@@ -1,0 +1,44 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+experiment functions are expensive (they train several models), so each
+benchmark runs its payload exactly once (``rounds=1, iterations=1``) — the
+timing pytest-benchmark reports is the wall-clock cost of regenerating that
+artefact, and the artefact itself is printed so the numbers can be compared
+against the paper (see EXPERIMENTS.md).
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+for path in (_ROOT, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import json
+
+import pytest
+
+RESULTS_DIR = os.path.join(_ROOT, "benchmarks", "results")
+
+
+def save_result(name: str, payload) -> str:
+    """Persist a benchmark's structured result next to the suite."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    return path
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

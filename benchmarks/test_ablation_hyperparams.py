@@ -1,0 +1,83 @@
+"""Extra ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's Table 3: they sweep the k-means density ratio
+``m/n``, the attention temperature ``τ`` and the number of heads ``h`` on the
+fork dataset, and report the resulting F1 so the sensitivity of the method to
+its two interpretability-specific hyper-parameters is visible.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import CausalFormer, fast_preset
+from repro.data import fork_dataset
+from repro.experiments import ResultTable
+from repro.graph import evaluate_discovery
+
+from benchmarks.conftest import save_result
+
+SEEDS = (0, 1)
+
+
+def _score(config, dataset):
+    model = CausalFormer(config)
+    graph = model.discover(dataset)
+    return evaluate_discovery(graph, dataset.graph).f1
+
+
+def run_density_sweep():
+    table = ResultTable("Ablation: m/n density", metric="f1")
+    for seed in SEEDS:
+        dataset = fork_dataset(seed=seed, length=300)
+        for top, total in ((1, 3), (1, 2), (2, 3), (3, 3)):
+            config = replace(fast_preset(max_epochs=15, seed=seed),
+                             top_clusters=top, n_clusters=total)
+            table.add(f"m/n={top}/{total}", "f1", _score(config, dataset))
+    return table
+
+
+def run_temperature_sweep():
+    table = ResultTable("Ablation: temperature", metric="f1")
+    for seed in SEEDS:
+        dataset = fork_dataset(seed=seed, length=300)
+        for temperature in (0.5, 1.0, 10.0, 100.0):
+            config = replace(fast_preset(max_epochs=15, seed=seed),
+                             temperature=temperature)
+            table.add(f"tau={temperature}", "f1", _score(config, dataset))
+    return table
+
+
+def run_heads_sweep():
+    table = ResultTable("Ablation: attention heads", metric="f1")
+    for seed in SEEDS:
+        dataset = fork_dataset(seed=seed, length=300)
+        for heads in (1, 2, 4):
+            config = replace(fast_preset(max_epochs=15, seed=seed), n_heads=heads)
+            table.add(f"h={heads}", "f1", _score(config, dataset))
+    return table
+
+
+def test_density_ratio_sweep(run_once):
+    table = run_once(run_density_sweep)
+    print("\n" + table.render())
+    save_result("ablation_density", table.to_dict())
+    # A denser graph (m/n = 1) can only raise recall; the F1 sweep must stay valid.
+    for row in table.rows:
+        assert 0.0 <= table.mean(row, "f1") <= 1.0
+
+
+def test_temperature_sweep(run_once):
+    table = run_once(run_temperature_sweep)
+    print("\n" + table.render())
+    save_result("ablation_temperature", table.to_dict())
+    for row in table.rows:
+        assert 0.0 <= table.mean(row, "f1") <= 1.0
+
+
+def test_heads_sweep(run_once):
+    table = run_once(run_heads_sweep)
+    print("\n" + table.render())
+    save_result("ablation_heads", table.to_dict())
+    for row in table.rows:
+        assert 0.0 <= table.mean(row, "f1") <= 1.0

@@ -1,0 +1,14 @@
+"""Pytest root conftest: make ``src/`` importable without installation.
+
+The production way to use this project is ``pip install -e .``; in offline
+environments without the ``wheel`` package that command cannot complete, so
+this conftest keeps the test and benchmark suites runnable straight from a
+checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce a slice of the paper's Table 1 from the command line.
+
+Runs every method (cMLP, cLSTM, TCDF, DVGNN-lite, CUTS-lite, CausalFormer)
+on a chosen dataset for several seeds and prints the mean ± std F1 table —
+the same harness the benchmark suite uses for the full Table 1.
+
+Run with::
+
+    python examples/baseline_comparison.py --dataset fork --seeds 0 1
+    python examples/baseline_comparison.py --dataset lorenz96
+"""
+
+import argparse
+
+from repro.experiments import run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="fork",
+                        choices=["diamond", "mediator", "v_structure", "fork",
+                                 "lorenz96", "fmri"])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    parser.add_argument("--full", action="store_true",
+                        help="use full-length series and full training budgets")
+    arguments = parser.parse_args()
+
+    table = run_table1(seeds=tuple(arguments.seeds), fast=not arguments.full,
+                       datasets=(arguments.dataset,), verbose=True)
+    print()
+    print(table.render())
+    best = table.best_column(arguments.dataset)
+    print(f"\nbest method on {arguments.dataset}: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Discover the coupling structure of the Lorenz-96 climate model.
+
+The Lorenz-96 system (paper Sec. 5.1, Eq. 21) couples each variable to its
+ring neighbours ``i-2``, ``i-1`` and ``i+1`` plus itself — a dense, non-linear
+causal structure that linear Granger methods struggle with.  This example
+
+* simulates the system with the paper's parameters (10 variables,
+  forcing F ∈ [30, 40]);
+* runs CausalFormer and the linear VAR-Granger reference side by side;
+* prints per-variable recovered parents and both methods' F1.
+
+Run with::
+
+    python examples/lorenz96_discovery.py  [--length 600]
+"""
+
+import argparse
+
+from repro.baselines import VarGranger
+from repro.core import CausalFormer, lorenz_preset
+from repro.data import lorenz96_dataset
+from repro.graph import evaluate_discovery
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=500,
+                        help="number of simulated time slots (paper: 1000)")
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+
+    dataset = lorenz96_dataset(length=arguments.length, seed=arguments.seed)
+    print(f"Lorenz-96: {dataset.n_series} variables, forcing "
+          f"F={dataset.metadata['forcing']:.1f}, {dataset.n_timesteps} slots")
+
+    causalformer = CausalFormer(lorenz_preset(max_epochs=arguments.epochs,
+                                              seed=arguments.seed))
+    causalformer_graph = causalformer.discover(dataset)
+    causalformer_scores = evaluate_discovery(causalformer_graph, dataset.graph)
+
+    granger = VarGranger(max_lag=3, n_clusters=3, top_clusters=2)
+    granger_graph = granger.discover(dataset)
+    granger_scores = evaluate_discovery(granger_graph, dataset.graph)
+
+    print("\nrecovered parents per variable (CausalFormer):")
+    for variable in range(dataset.n_series):
+        truth = dataset.graph.parents(variable)
+        found = causalformer_graph.parents(variable)
+        print(f"  x{variable}: truth {truth}  found {found}")
+
+    print(f"\nCausalFormer   F1 {causalformer_scores.f1:.2f} "
+          f"(precision {causalformer_scores.precision:.2f}, recall {causalformer_scores.recall:.2f})")
+    print(f"VAR-Granger    F1 {granger_scores.f1:.2f} "
+          f"(precision {granger_scores.precision:.2f}, recall {granger_scores.recall:.2f})")
+
+
+if __name__ == "__main__":
+    main()

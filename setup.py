@@ -1,0 +1,16 @@
+"""Setup shim for offline editable installs.
+
+This environment has no network access and no ``wheel`` package, so the
+PEP 660 editable-install path (``pip install -e .``) cannot build its
+metadata wheel.  Installing with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+falls back to ``setup.py develop`` and works fully offline.  All project
+metadata lives in ``pyproject.toml``; this file only exists to enable that
+fallback.
+"""
+
+from setuptools import setup
+
+setup()

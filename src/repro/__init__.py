@@ -1,0 +1,43 @@
+"""CausalFormer reproduction: interpretable transformer for temporal causal discovery.
+
+Public entry points
+-------------------
+* :class:`repro.core.CausalFormer` — the end-to-end model: train the
+  causality-aware transformer on a prediction task, then interpret it with
+  regression relevance propagation to produce a temporal causal graph.
+* :mod:`repro.data` — synthetic structure generators (diamond, mediator,
+  v-structure, fork), Lorenz-96, NetSim-style fMRI simulation and an SST
+  advection field, each with ground-truth graphs.
+* :mod:`repro.baselines` — cMLP, cLSTM, TCDF, DVGNN-lite, CUTS-lite and a
+  linear VAR Granger reference, all sharing one discovery interface.
+* :mod:`repro.graph` — temporal causal graphs and evaluation metrics
+  (precision / recall / F1 / precision-of-delay).
+* :mod:`repro.experiments` — runners that regenerate every table and figure
+  of the paper's evaluation section.
+
+The heavyweight subpackages are imported lazily so that, for example,
+``repro.data`` can be used without paying the cost of the model code.
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+_LAZY_ATTRIBUTES = {
+    "TemporalCausalGraph": ("repro.graph", "TemporalCausalGraph"),
+    "CausalFormer": ("repro.core", "CausalFormer"),
+    "CausalFormerConfig": ("repro.core", "CausalFormerConfig"),
+}
+
+__all__ = list(_LAZY_ATTRIBUTES) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_ATTRIBUTES:
+        module_name, attribute = _LAZY_ATTRIBUTES[name]
+        module = import_module(module_name)
+        value = getattr(module, attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

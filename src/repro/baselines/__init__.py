@@ -1,0 +1,50 @@
+"""Baseline temporal causal discovery methods (paper Sec. 5.2).
+
+Every baseline implements the :class:`CausalDiscoveryMethod` interface:
+``discover(dataset) -> TemporalCausalGraph``.  The deep baselines are
+re-implemented on the :mod:`repro.nn` substrate; the paper's comparison
+(Table 1/2) is reproduced by running them through the same experiment
+harness as CausalFormer.
+
+* :class:`CMlp` / :class:`CLstm` — neural Granger causality (Tank et al.):
+  per-target MLP/LSTM with group-sparse input weights.
+* :class:`Tcdf` — attention-based dilated temporal CNN (Nauta et al.).
+* :class:`DvgnnLite` — graph-learning GNN predictor (Liang et al.), reduced
+  to its causal-scoring core: a learnable diffusion adjacency.
+* :class:`CutsLite` — CUTS (Cheng et al.) reduced to its causal-scoring core:
+  learnable edge gates with a sparsity penalty, jointly trained with a
+  prediction network.
+* :class:`VarGranger` — classical linear VAR Granger causality, included as a
+  statistical reference beyond the paper's baseline set.
+"""
+
+from repro.baselines.base import CausalDiscoveryMethod, ScoreBasedMethod, graph_from_scores
+from repro.baselines.var_granger import VarGranger
+from repro.baselines.cmlp import CMlp
+from repro.baselines.clstm import CLstm
+from repro.baselines.tcdf import Tcdf
+from repro.baselines.dvgnn import DvgnnLite
+from repro.baselines.cuts import CutsLite
+
+__all__ = [
+    "CausalDiscoveryMethod",
+    "ScoreBasedMethod",
+    "graph_from_scores",
+    "VarGranger",
+    "CMlp",
+    "CLstm",
+    "Tcdf",
+    "DvgnnLite",
+    "CutsLite",
+]
+
+
+def all_baselines(**common_kwargs):
+    """Instantiate the paper's five deep baselines with default settings."""
+    return [
+        CMlp(**common_kwargs),
+        CLstm(**common_kwargs),
+        Tcdf(**common_kwargs),
+        DvgnnLite(**common_kwargs),
+        CutsLite(**common_kwargs),
+    ]

@@ -1,0 +1,123 @@
+"""TCDF — Temporal Causal Discovery Framework (Nauta et al., 2019).
+
+For every target series, TCDF trains an attention-based convolutional
+network: each candidate cause series passes through its own (depthwise)
+dilated causal convolution, an attention score per candidate weighs the
+channels, and a pointwise combination predicts the target.  Causes are the
+series with high attention; the causal delay is read from the position of
+the dominant weight in the cause's convolution kernel — which is why TCDF's
+delay precision is the strongest in the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import ScoreBasedMethod
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Conv1d
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+class _TargetTcn(Module):
+    """Attention-weighted depthwise causal convolution for one target."""
+
+    def __init__(self, n_series: int, kernel_size: int, dilation: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.n_series = n_series
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        rng = rng or init.default_rng()
+        # Depthwise convolution: one temporal kernel per candidate cause.
+        self.convolution = Conv1d(n_series, n_series, kernel_size,
+                                  dilation=dilation, groups=n_series, rng=rng)
+        # Attention scores over candidate causes.
+        self.attention_logits = Parameter(init.ones((n_series,)))
+        self.bias = Parameter(init.zeros((1,)))
+
+    def attention(self) -> Tensor:
+        return F.softmax(self.attention_logits, axis=-1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Predict the target over the whole window from ``(batch, N, T)`` input."""
+        convolved = self.convolution(x)                      # (batch, N, T)
+        attention = self.attention().reshape((1, self.n_series, 1))
+        weighted = convolved * attention
+        return weighted.sum(axis=1) + self.bias              # (batch, T)
+
+    def kernel_delays(self) -> np.ndarray:
+        """Delay estimate per candidate cause from the dominant kernel tap."""
+        kernels = self.convolution.weight.data[:, 0, :]      # (N, kernel_size)
+        positions = np.abs(kernels).argmax(axis=1)
+        # Tap index kernel_size-1 looks at the current slot (delay 0);
+        # earlier taps look further back, spaced by the dilation.
+        delays = (self.kernel_size - 1 - positions) * self.dilation
+        return delays.astype(int)
+
+
+class Tcdf(ScoreBasedMethod):
+    """Attention-based convolutional temporal causal discovery."""
+
+    name = "tcdf"
+
+    def __init__(self, kernel_size: int = 4, dilation: int = 1, epochs: int = 120,
+                 learning_rate: float = 1e-2, max_samples: int = 512, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.max_samples = max_samples
+        self.models_: List[_TargetTcn] = []
+
+    def _prepare(self, values: np.ndarray) -> np.ndarray:
+        """One (1, N, T) sample per series set, trimmed to a manageable length."""
+        if values.shape[1] > self.max_samples:
+            values = values[:, :self.max_samples]
+        return values[None, :, :]
+
+    def _fit(self, values: np.ndarray) -> None:
+        rng = init.default_rng(self.seed)
+        n_series = values.shape[0]
+        batch = self._prepare(values)
+        # Inputs are shifted one step back so the network never sees the
+        # value it is asked to predict (temporal priority).
+        inputs = np.zeros_like(batch)
+        inputs[:, :, 1:] = batch[:, :, :-1]
+        input_tensor = Tensor(inputs)
+        self.models_ = []
+        for target in range(n_series):
+            model = _TargetTcn(n_series, self.kernel_size, self.dilation, rng=rng)
+            optimizer = Adam(model.parameters(), lr=self.learning_rate)
+            target_tensor = Tensor(batch[:, target, :])
+            for _epoch in range(self.epochs):
+                optimizer.zero_grad()
+                prediction = model(input_tensor)
+                loss = F.mse_loss(prediction[:, 1:], target_tensor[:, 1:])
+                loss.backward()
+                optimizer.step()
+            self.models_.append(model)
+
+    def causal_scores(self, values: np.ndarray) -> np.ndarray:
+        self._fit(values)
+        n_series = values.shape[0]
+        scores = np.zeros((n_series, n_series))
+        for target, model in enumerate(self.models_):
+            scores[target] = model.attention().data
+        return scores
+
+    def estimated_delays(self, values: np.ndarray) -> np.ndarray:
+        if not self.models_:
+            self._fit(values)
+        n_series = values.shape[0]
+        delays = np.ones((n_series, n_series), dtype=int)
+        for target, model in enumerate(self.models_):
+            # +1 because the network input is the one-step-shifted series.
+            delays[target] = model.kernel_delays() + 1
+        return delays

@@ -1,0 +1,61 @@
+"""Classical linear VAR Granger causality.
+
+Fits a vector autoregression by ordinary least squares on a lagged design
+matrix and scores the relation ``j → i`` by the largest absolute coefficient
+of series ``j`` across lags in series ``i``'s equation (Sec. 2.1 of the
+paper, the ``w^τ_{i,j} ≠ 0`` criterion).  The delay estimate is the lag of
+that largest coefficient.  This statistical reference is not one of the
+paper's deep baselines but provides a sanity anchor for the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import ScoreBasedMethod
+from repro.data.windows import lagged_design_matrix
+
+
+class VarGranger(ScoreBasedMethod):
+    """Linear VAR Granger causal discovery by OLS."""
+
+    name = "var_granger"
+
+    def __init__(self, max_lag: int = 3, ridge: float = 1e-3,
+                 include_self: bool = True, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if max_lag < 1:
+            raise ValueError("max_lag must be at least 1")
+        self.max_lag = max_lag
+        self.ridge = ridge
+        self.include_self = include_self
+        self.coefficients_: Optional[np.ndarray] = None
+
+    def _fit_coefficients(self, values: np.ndarray) -> np.ndarray:
+        """Return coefficients of shape ``(max_lag, n_series, n_series)``.
+
+        ``coefficients[lag - 1, j, i]`` is the weight of series ``j`` at lag
+        ``lag`` in the equation of series ``i``.
+        """
+        n_series = values.shape[0]
+        design, targets = lagged_design_matrix(values, self.max_lag)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ targets)
+        return solution.reshape(self.max_lag, n_series, n_series)
+
+    def causal_scores(self, values: np.ndarray) -> np.ndarray:
+        self.coefficients_ = self._fit_coefficients(values)
+        # scores[target, source] = max over lags of |coef[lag, source, target]|
+        scores = np.max(np.abs(self.coefficients_), axis=0).T
+        if not self.include_self:
+            np.fill_diagonal(scores, 0.0)
+        return scores
+
+    def estimated_delays(self, values: np.ndarray) -> np.ndarray:
+        if self.coefficients_ is None:
+            self.coefficients_ = self._fit_coefficients(values)
+        best_lag = np.argmax(np.abs(self.coefficients_), axis=0) + 1
+        return best_lag.T

@@ -1,0 +1,48 @@
+"""CausalFormer core: causality-aware transformer + decomposition-based detector."""
+
+from repro.core.config import (
+    CausalFormerConfig,
+    synthetic_preset,
+    lorenz_preset,
+    fmri_preset,
+    sst_preset,
+    fast_preset,
+    PRESETS,
+)
+from repro.core.embedding import TimeSeriesEmbedding
+from repro.core.convolution import MultiKernelCausalConvolution
+from repro.core.attention import MultiVariateCausalAttention, CausalAttentionHead
+from repro.core.feedforward import FeedForward, OutputLayer
+from repro.core.transformer import CausalityAwareTransformer, TransformerCache
+from repro.core.training import Trainer, TrainingHistory
+from repro.core.relevance import RegressionRelevancePropagation, RelevanceResult
+from repro.core.detector import DecompositionCausalityDetector, CausalScores
+from repro.core.clustering import kmeans, select_top_scores
+from repro.core.discovery import CausalFormer
+
+__all__ = [
+    "CausalFormerConfig",
+    "synthetic_preset",
+    "lorenz_preset",
+    "fmri_preset",
+    "sst_preset",
+    "fast_preset",
+    "PRESETS",
+    "TimeSeriesEmbedding",
+    "MultiKernelCausalConvolution",
+    "MultiVariateCausalAttention",
+    "CausalAttentionHead",
+    "FeedForward",
+    "OutputLayer",
+    "CausalityAwareTransformer",
+    "TransformerCache",
+    "Trainer",
+    "TrainingHistory",
+    "RegressionRelevancePropagation",
+    "RelevanceResult",
+    "DecompositionCausalityDetector",
+    "CausalScores",
+    "kmeans",
+    "select_top_scores",
+    "CausalFormer",
+]

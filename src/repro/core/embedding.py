@@ -1,0 +1,40 @@
+"""Time-series embedding layer (paper Sec. 4.1.1, Eq. 2).
+
+The embedding projects each series' ``T``-slot window to a ``d``-dimensional
+vector: ``X_emb = X × W_emb + b_emb``.  The embedding is used only by the
+query/key path of the multi-variate causal attention; the value path uses the
+causal convolution output directly so the temporal-priority constraint is
+never broken by mixing time slots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class TimeSeriesEmbedding(Module):
+    """Row-wise linear projection of a ``(..., N, T)`` window to ``(..., N, d)``."""
+
+    def __init__(self, window: int, d_model: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if d_model <= 0 or window <= 0:
+            raise ValueError("window and d_model must be positive")
+        self.window = window
+        self.d_model = d_model
+        rng = rng or init.default_rng()
+        self.weight = Parameter(init.he_normal((window, d_model), rng), name="embedding.weight")
+        self.bias = Parameter(init.zeros((d_model,)), name="embedding.bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.window:
+            raise ValueError(
+                f"embedding expects windows of length {self.window}, got {x.shape[-1]}"
+            )
+        return x @ self.weight + self.bias

@@ -1,0 +1,53 @@
+"""Feed-forward and output layers of the causality-aware transformer.
+
+The feed-forward layer (paper Sec. 4.1.4, Eq. 8) is two linear layers with a
+leaky ReLU in between, applied along the time dimension of the attention
+output; the output layer (Sec. 4.1.5) is a final fully connected layer that
+produces the prediction ``X̃ ∈ R^{N×T}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class FeedForward(Module):
+    """``Linear(T → d_FFN) → leakyReLU → Linear(d_FFN → T)``."""
+
+    def __init__(self, window: int, d_ffn: int, negative_slope: float = 0.01,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.window = window
+        self.d_ffn = d_ffn
+        self.negative_slope = negative_slope
+        rng = rng or init.default_rng()
+        self.w1 = Parameter(init.he_normal((window, d_ffn), rng))
+        self.b1 = Parameter(init.zeros((d_ffn,)))
+        self.w2 = Parameter(init.he_normal((d_ffn, window), rng))
+        self.b2 = Parameter(init.zeros((window,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = x @ self.w1 + self.b1
+        activated = F.leaky_relu(hidden, self.negative_slope)
+        return activated @ self.w2 + self.b2
+
+
+class OutputLayer(Module):
+    """Final fully connected layer producing the ``(batch, N, T)`` prediction."""
+
+    def __init__(self, window: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.window = window
+        rng = rng or init.default_rng()
+        self.weight = Parameter(init.he_normal((window, window), rng))
+        self.bias = Parameter(init.zeros((window,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias

@@ -1,0 +1,193 @@
+"""Regression relevance propagation (RRP), paper Sec. 4.2.1.
+
+RRP extends layer-wise relevance propagation (LRP) to regression models.  The
+between-layer rule (Eq. 17) is
+
+.. math::
+
+    R^{(l)}_i = \\sum_j x_i \\; \\frac{\\partial f^{(l)}(x)_j}{\\partial x_i}
+                \\; \\frac{R^{(l+1)}_j}{f^{(l)}(x)_j}
+
+and non-parametric operations (matrix products) propagate relevance through
+both operands with the two-operand variant (Eq. 18).  The bias term is kept
+in the denominator (Eq. 15–16) so that the relevance the bias would claim is
+subtracted from the inputs' relevance — removing it is the "w/o bias"
+ablation of Table 3.
+
+The propagation implemented here starts at the model output (initialised with
+a one-hot relevance selecting the target series, Fig. 6a) and walks back
+through the output layer, the feed-forward layer, the head-concatenation
+weight, the attention application, and the causal convolution, stopping at
+the attention matrix ``A`` and the convolution kernel ``K`` — exactly the
+two tensors the causal-graph construction reads (Sec. 4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.transformer import CausalityAwareTransformer, TransformerCache
+
+
+def stabilize(values: np.ndarray, epsilon: float) -> np.ndarray:
+    """Add a sign-preserving epsilon so divisions by activations are safe."""
+    signs = np.where(values >= 0, 1.0, -1.0)
+    return values + signs * epsilon
+
+
+@dataclass
+class HeadRelevance:
+    """Relevance scores reaching one attention head."""
+
+    attention: np.ndarray   # (B, N, N) — relevance of the attention matrix
+    values: np.ndarray      # (B, N, N, T) — relevance of the convolution output
+    kernel: np.ndarray      # (N, N, T) — relevance of the convolution kernel
+
+
+@dataclass
+class RelevanceResult:
+    """Relevance of the interpretable tensors for one target series."""
+
+    target: int
+    heads: List[HeadRelevance]
+    output_relevance: np.ndarray  # the one-hot initialisation (B, N, T)
+
+
+class RegressionRelevancePropagation:
+    """Backward relevance decomposition of a trained causality-aware transformer.
+
+    Parameters
+    ----------
+    model:
+        The trained transformer.
+    use_bias:
+        Keep the bias term in the denominators (Eq. 15).  ``False``
+        reproduces the "w/o bias" ablation (z-rule denominators, Eq. 14).
+    epsilon:
+        Stabiliser for divisions by activations.
+    """
+
+    def __init__(self, model: CausalityAwareTransformer, use_bias: bool = True,
+                 epsilon: float = 1e-9) -> None:
+        self.model = model
+        self.use_bias = use_bias
+        self.epsilon = epsilon
+
+    # ------------------------------------------------------------------ #
+    # Elementary propagation rules
+    # ------------------------------------------------------------------ #
+    def _linear_relevance(self, inputs: np.ndarray, weight: np.ndarray,
+                          bias: Optional[np.ndarray], outputs: np.ndarray,
+                          relevance_out: np.ndarray) -> np.ndarray:
+        """Relevance through ``outputs = inputs @ weight + bias`` (Eq. 15/17)."""
+        denominator = outputs if (self.use_bias or bias is None) else outputs - bias
+        ratio = relevance_out / stabilize(denominator, self.epsilon)
+        return inputs * (ratio @ weight.T)
+
+    def _scale_relevance(self, operand: np.ndarray, scale: float,
+                         outputs: np.ndarray, relevance_out: np.ndarray) -> np.ndarray:
+        """Relevance through an element-wise scaling ``outputs = scale * operand``."""
+        return operand * scale * relevance_out / stabilize(outputs, self.epsilon)
+
+    # ------------------------------------------------------------------ #
+    # Full propagation
+    # ------------------------------------------------------------------ #
+    def one_hot_relevance(self, cache: TransformerCache, target: int) -> np.ndarray:
+        """Initial relevance: ones on the target series' output row (Fig. 6a)."""
+        batch, n_series, window = cache.output.shape
+        if not (0 <= target < n_series):
+            raise IndexError(f"target series {target} out of range [0, {n_series})")
+        relevance = np.zeros((batch, n_series, window))
+        relevance[:, target, :] = 1.0
+        return relevance
+
+    def propagate(self, cache: TransformerCache, target: int) -> RelevanceResult:
+        """Propagate relevance from the output of series ``target`` to A and K."""
+        model = self.model
+        relevance_output = self.one_hot_relevance(cache, target)
+
+        # Output layer: prediction = ffn_output @ W_out + b_out.
+        relevance_ffn_out = self._linear_relevance(
+            cache.ffn_output, model.output_layer.weight.data,
+            model.output_layer.bias.data, cache.output, relevance_output)
+
+        # Feed-forward second linear: ffn_output = activated @ W2 + b2.
+        relevance_activated = self._linear_relevance(
+            cache.ffn_activated, model.feed_forward.w2.data,
+            model.feed_forward.b2.data, cache.ffn_output, relevance_ffn_out)
+
+        # Leaky ReLU: the generic rule gives R_in = x·f'(x)·R_out / f(x) = R_out
+        # for a piecewise-linear activation through the origin, so relevance
+        # passes through unchanged.
+        relevance_hidden = relevance_activated
+
+        # Feed-forward first linear: hidden = attention_combined @ W1 + b1.
+        relevance_attention_combined = self._linear_relevance(
+            cache.attention_combined, model.feed_forward.w1.data,
+            model.feed_forward.b1.data, cache.ffn_hidden, relevance_hidden)
+
+        # Head concatenation: combined = Σ_h W_O[h] · head_output_h.
+        combined = cache.attention_combined
+        w_output = model.attention.w_output.data
+        head_relevances: List[HeadRelevance] = []
+        kernel = model.convolution.effective_kernel().data
+        window = model.config.window
+        scale = 1.0 / np.arange(1, window + 1, dtype=float)
+        scaled_windows = cache.conv_windows * scale[None, None, :, None]
+
+        for head_index, head_cache in enumerate(cache.head_caches):
+            head_output = head_cache.head_output_data
+            relevance_head = (head_output * w_output[head_index]
+                              * relevance_attention_combined
+                              / stabilize(combined, self.epsilon))
+
+            # Attention application (two-operand rule, Eq. 18):
+            #   head_output[b, i, t] = Σ_j attention[b, i, j] · values[b, j, i, t]
+            attention = head_cache.attention_data
+            values = cache.values
+            ratio = relevance_head / stabilize(head_output, self.epsilon)
+            relevance_attention = attention * np.einsum("bjit,bit->bij", values, ratio)
+            relevance_values = np.einsum("bij,bjit,bit->bjit", attention, values, ratio)
+
+            # Undo the diagonal right-shift before touching the kernel: the
+            # post-shift value at slot t+1 came from the pre-shift value at t.
+            relevance_pre_shift = relevance_values.copy()
+            n_series = values.shape[1]
+            diag = np.arange(n_series)
+            relevance_pre_shift[:, diag, diag, :-1] = relevance_values[:, diag, diag, 1:]
+            relevance_pre_shift[:, diag, diag, -1] = 0.0
+
+            # Convolution (two-operand rule): values_pre[b, i, j, t] =
+            #   Σ_τ kernel[i, j, τ] · windows[b, i, t, τ] / (t + 1)
+            ratio_values = relevance_pre_shift / stabilize(cache.values_pre_shift, self.epsilon)
+            relevance_kernel = kernel * np.einsum("bitk,bijt->ijk", scaled_windows, ratio_values)
+
+            head_relevances.append(HeadRelevance(
+                attention=relevance_attention,
+                values=relevance_values,
+                kernel=relevance_kernel,
+            ))
+
+        return RelevanceResult(target=target, heads=head_relevances,
+                               output_relevance=relevance_output)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics used by tests
+    # ------------------------------------------------------------------ #
+    def conservation_gap(self, cache: TransformerCache, target: int) -> float:
+        """Relative gap between output relevance and the relevance reaching A.
+
+        Exact LRP conserves relevance layer by layer (Eq. 10); RRP's bias
+        relevance deliberately breaks strict conservation (Sec. 4.2.1), so
+        this returns the relative difference — useful to verify that the
+        propagation neither explodes nor vanishes.
+        """
+        result = self.propagate(cache, target)
+        total_out = float(result.output_relevance.sum())
+        total_attention = float(sum(head.attention.sum() for head in result.heads))
+        if total_out == 0:
+            return 0.0
+        return abs(total_out - total_attention) / abs(total_out)

@@ -1,0 +1,125 @@
+"""Training loop for the causality-aware transformer.
+
+Follows the paper's scheme (Sec. 5.3): parameters initialised with He
+initialisation, optimised with Adam, and trained with an early-stop strategy
+on a held-out validation split of the windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import CausalFormerConfig
+from repro.core.transformer import CausalityAwareTransformer
+from repro.nn.optim import Adam, clip_grad_norm_
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses and the early-stopping bookkeeping."""
+
+    train_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_validation_loss: float = float("inf")
+    stopped_early: bool = False
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Adam + early stopping over sliding windows of one dataset."""
+
+    def __init__(self, model: CausalityAwareTransformer,
+                 config: Optional[CausalFormerConfig] = None) -> None:
+        self.model = model
+        self.config = config or model.config
+        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Data preparation
+    # ------------------------------------------------------------------ #
+    def make_windows(self, values: np.ndarray) -> np.ndarray:
+        """Cut the ``(N, T_total)`` series into training windows."""
+        from repro.data.windows import sliding_windows
+
+        return sliding_windows(values, self.config.window, self.config.window_stride)
+
+    def _split(self, windows: np.ndarray, rng: np.random.Generator):
+        n_windows = windows.shape[0]
+        indices = rng.permutation(n_windows)
+        n_validation = int(round(n_windows * self.config.validation_fraction))
+        n_validation = min(max(n_validation, 1 if n_windows > 1 else 0), n_windows - 1)
+        validation_idx = indices[:n_validation]
+        train_idx = indices[n_validation:]
+        return windows[train_idx], windows[validation_idx] if n_validation else None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, values: np.ndarray, verbose: bool = False) -> TrainingHistory:
+        """Train on an ``(N, T_total)`` array; returns the loss history."""
+        rng = np.random.default_rng(self.config.seed)
+        windows = self.make_windows(values)
+        train_windows, validation_windows = self._split(windows, rng)
+
+        best_state = None
+        epochs_without_improvement = 0
+
+        for epoch in range(self.config.max_epochs):
+            epoch_loss = self._run_epoch(train_windows, rng)
+            self.history.train_loss.append(epoch_loss)
+
+            if validation_windows is not None and len(validation_windows):
+                validation_loss = self._evaluate(validation_windows)
+            else:
+                validation_loss = epoch_loss
+            self.history.validation_loss.append(validation_loss)
+
+            if verbose:
+                print(f"epoch {epoch:3d}  train {epoch_loss:.5f}  val {validation_loss:.5f}")
+
+            if validation_loss < self.history.best_validation_loss - self.config.min_delta:
+                self.history.best_validation_loss = validation_loss
+                self.history.best_epoch = epoch
+                best_state = self.model.state_dict()
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= self.config.patience:
+                    self.history.stopped_early = True
+                    break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self.history
+
+    def _run_epoch(self, windows: np.ndarray, rng: np.random.Generator) -> float:
+        order = rng.permutation(windows.shape[0])
+        batch_size = self.config.batch_size
+        losses = []
+        for start in range(0, len(order), batch_size):
+            batch = windows[order[start:start + batch_size]]
+            self.optimizer.zero_grad()
+            prediction, _ = self.model(Tensor(batch))
+            loss = self.model.loss(prediction, Tensor(batch))
+            loss.backward()
+            clip_grad_norm_(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            losses.append(float(loss.data))
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _evaluate(self, windows: np.ndarray) -> float:
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            prediction, _ = self.model(Tensor(windows))
+            loss = self.model.loss(prediction, Tensor(windows))
+        return float(loss.data)

@@ -1,0 +1,48 @@
+"""Dataset substrate: every workload the paper evaluates on, with ground truth.
+
+The paper evaluates on four synthetic causal structures (diamond, mediator,
+v-structure, fork), the simulated Lorenz-96 climate model, the NetSim fMRI
+BOLD dataset, and an SST case study.  NetSim recordings and the NOAA OI-SST
+grid are not available offline, so :mod:`repro.data.fmri` and
+:mod:`repro.data.sst` provide simulators with the same statistical character
+and known ground truth (see DESIGN.md, Substitutions).
+"""
+
+from repro.data.base import TimeSeriesDataset
+from repro.data.windows import sliding_windows, zscore_normalize, minmax_normalize
+from repro.data.var import simulate_var, VarProcessSpec
+from repro.data.synthetic import (
+    diamond_dataset,
+    mediator_dataset,
+    v_structure_dataset,
+    fork_dataset,
+    synthetic_dataset,
+    SYNTHETIC_STRUCTURES,
+)
+from repro.data.lorenz import lorenz96_dataset, simulate_lorenz96
+from repro.data.fmri import fmri_dataset, fmri_benchmark_suite, simulate_bold, FmriNetworkSpec
+from repro.data.sst import sst_dataset, SstFieldSpec, current_alignment
+
+__all__ = [
+    "TimeSeriesDataset",
+    "sliding_windows",
+    "zscore_normalize",
+    "minmax_normalize",
+    "simulate_var",
+    "VarProcessSpec",
+    "diamond_dataset",
+    "mediator_dataset",
+    "v_structure_dataset",
+    "fork_dataset",
+    "synthetic_dataset",
+    "SYNTHETIC_STRUCTURES",
+    "lorenz96_dataset",
+    "simulate_lorenz96",
+    "fmri_dataset",
+    "fmri_benchmark_suite",
+    "simulate_bold",
+    "FmriNetworkSpec",
+    "sst_dataset",
+    "SstFieldSpec",
+    "current_alignment",
+]

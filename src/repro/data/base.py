@@ -1,0 +1,146 @@
+"""Core dataset container used throughout the project.
+
+A :class:`TimeSeriesDataset` holds an ``(N, T)`` array of observations (the
+paper's convention: one row per series), optional series names, the
+ground-truth :class:`~repro.graph.causal_graph.TemporalCausalGraph` (when the
+generator knows it), and free-form metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.windows import sliding_windows, zscore_normalize
+from repro.graph.causal_graph import TemporalCausalGraph
+
+
+@dataclass
+class TimeSeriesDataset:
+    """Multivariate time series with optional causal ground truth.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(n_series, n_timesteps)``.
+    name:
+        Short dataset identifier (e.g. ``"diamond"``).
+    graph:
+        Ground-truth temporal causal graph, when known.
+    series_names:
+        Human-readable names for the series.
+    metadata:
+        Generator parameters and anything else worth keeping.
+    """
+
+    values: np.ndarray
+    name: str = "dataset"
+    graph: Optional[TemporalCausalGraph] = None
+    series_names: Optional[List[str]] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be (n_series, n_timesteps); got shape {self.values.shape}")
+        if self.series_names is None:
+            self.series_names = [f"S{i}" for i in range(self.n_series)]
+        if len(self.series_names) != self.n_series:
+            raise ValueError("series_names length must match the number of series")
+        if self.graph is not None and self.graph.n_series != self.n_series:
+            raise ValueError("ground-truth graph and values disagree on the number of series")
+
+    # ------------------------------------------------------------------ #
+    # Shape helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def n_series(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.values.shape
+
+    def __len__(self) -> int:
+        return self.n_timesteps
+
+    # ------------------------------------------------------------------ #
+    # Transformations (all return new datasets, never mutate)
+    # ------------------------------------------------------------------ #
+    def normalized(self) -> "TimeSeriesDataset":
+        """Z-score normalise each series."""
+        return TimeSeriesDataset(
+            values=zscore_normalize(self.values),
+            name=self.name,
+            graph=self.graph,
+            series_names=list(self.series_names),
+            metadata={**self.metadata, "normalized": True},
+        )
+
+    def slice_time(self, start: int, stop: Optional[int] = None) -> "TimeSeriesDataset":
+        """Restrict to a time range ``[start, stop)``."""
+        return TimeSeriesDataset(
+            values=self.values[:, start:stop],
+            name=self.name,
+            graph=self.graph,
+            series_names=list(self.series_names),
+            metadata=dict(self.metadata),
+        )
+
+    def select_series(self, indices: Sequence[int]) -> "TimeSeriesDataset":
+        """Keep only the given series (ground truth restricted accordingly)."""
+        indices = list(indices)
+        subgraph = None
+        if self.graph is not None:
+            subgraph = TemporalCausalGraph(len(indices),
+                                           names=[self.series_names[i] for i in indices])
+            position = {series: k for k, series in enumerate(indices)}
+            for edge in self.graph.edges:
+                if edge.source in position and edge.target in position:
+                    subgraph.add_edge(position[edge.source], position[edge.target], edge.delay)
+        return TimeSeriesDataset(
+            values=self.values[indices, :],
+            name=self.name,
+            graph=subgraph,
+            series_names=[self.series_names[i] for i in indices],
+            metadata=dict(self.metadata),
+        )
+
+    def train_test_split(self, train_fraction: float = 0.8
+                         ) -> Tuple["TimeSeriesDataset", "TimeSeriesDataset"]:
+        """Chronological split into a training prefix and a test suffix."""
+        if not (0.0 < train_fraction < 1.0):
+            raise ValueError("train_fraction must be in (0, 1)")
+        cut = int(round(self.n_timesteps * train_fraction))
+        cut = max(1, min(self.n_timesteps - 1, cut))
+        return self.slice_time(0, cut), self.slice_time(cut, None)
+
+    def windows(self, window: int, stride: int = 1) -> np.ndarray:
+        """Sliding windows of shape ``(n_windows, n_series, window)``."""
+        return sliding_windows(self.values, window, stride)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise when the data contains NaN or infinite values."""
+        if not np.isfinite(self.values).all():
+            bad = int((~np.isfinite(self.values)).sum())
+            raise ValueError(f"dataset {self.name!r} contains {bad} non-finite values")
+
+    def summary(self) -> Dict[str, Any]:
+        """Lightweight description used by example scripts and reports."""
+        return {
+            "name": self.name,
+            "n_series": self.n_series,
+            "n_timesteps": self.n_timesteps,
+            "n_true_edges": None if self.graph is None else self.graph.n_edges,
+            "mean": float(self.values.mean()),
+            "std": float(self.values.std()),
+        }

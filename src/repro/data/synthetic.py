@@ -1,0 +1,143 @@
+"""The paper's four synthetic causal structures (Fig. 7).
+
+* **diamond** — ``S1→S2, S1→S3, S2→S4, S3→S4`` (four series);
+* **mediator** — ``S1→S2, S2→S3, S1→S3`` (three series);
+* **v-structure** — ``S1→S3, S2→S3`` (three series, a collider);
+* **fork** — ``S1→S2, S1→S3`` (three series, a common cause).
+
+Every structure also carries self-causation edges (``Si→Si`` with delay 1),
+matching the paper's Fig. 1 which lists self-causation among the relations a
+temporal causal graph may contain, and each non-self edge receives a small
+random delay.  Observations are produced by the structural lagged process of
+:mod:`repro.data.var` with additive standard-normal noise and 1,000 steps, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.data.base import TimeSeriesDataset
+from repro.data.var import VarProcessSpec, simulate_var
+from repro.graph.causal_graph import TemporalCausalGraph
+
+DEFAULT_LENGTH = 1000
+
+
+def _build_structure(edges, n_series: int, max_delay: int, include_self_loops: bool,
+                     rng: np.random.Generator) -> TemporalCausalGraph:
+    graph = TemporalCausalGraph(n_series)
+    for source, target in edges:
+        graph.add_edge(source, target, int(rng.integers(1, max_delay + 1)))
+    if include_self_loops:
+        for series in range(n_series):
+            graph.add_edge(series, series, 1)
+    return graph
+
+
+def diamond_graph(max_delay: int = 3, include_self_loops: bool = True,
+                  rng: Optional[np.random.Generator] = None) -> TemporalCausalGraph:
+    """Diamond structure: S0→S1, S0→S2, S1→S3, S2→S3."""
+    rng = rng or np.random.default_rng()
+    return _build_structure([(0, 1), (0, 2), (1, 3), (2, 3)], 4, max_delay,
+                            include_self_loops, rng)
+
+
+def mediator_graph(max_delay: int = 3, include_self_loops: bool = True,
+                   rng: Optional[np.random.Generator] = None) -> TemporalCausalGraph:
+    """Mediator structure: S0→S1, S1→S2, S0→S2."""
+    rng = rng or np.random.default_rng()
+    return _build_structure([(0, 1), (1, 2), (0, 2)], 3, max_delay,
+                            include_self_loops, rng)
+
+
+def v_structure_graph(max_delay: int = 3, include_self_loops: bool = True,
+                      rng: Optional[np.random.Generator] = None) -> TemporalCausalGraph:
+    """V-structure (collider): S0→S2, S1→S2."""
+    rng = rng or np.random.default_rng()
+    return _build_structure([(0, 2), (1, 2)], 3, max_delay, include_self_loops, rng)
+
+
+def fork_graph(max_delay: int = 3, include_self_loops: bool = True,
+               rng: Optional[np.random.Generator] = None) -> TemporalCausalGraph:
+    """Fork (common cause): S0→S1, S0→S2."""
+    rng = rng or np.random.default_rng()
+    return _build_structure([(0, 1), (0, 2)], 3, max_delay, include_self_loops, rng)
+
+
+_STRUCTURE_BUILDERS: Dict[str, Callable[..., TemporalCausalGraph]] = {
+    "diamond": diamond_graph,
+    "mediator": mediator_graph,
+    "v_structure": v_structure_graph,
+    "fork": fork_graph,
+}
+
+SYNTHETIC_STRUCTURES = tuple(_STRUCTURE_BUILDERS)
+
+
+def synthetic_dataset(structure: str, length: int = DEFAULT_LENGTH,
+                      nonlinearity: str = "tanh", noise_std: float = 1.0,
+                      max_delay: int = 3, include_self_loops: bool = True,
+                      seed: Optional[int] = None) -> TimeSeriesDataset:
+    """Generate one of the paper's synthetic datasets.
+
+    Parameters
+    ----------
+    structure:
+        One of ``"diamond"``, ``"mediator"``, ``"v_structure"``, ``"fork"``.
+    length:
+        Number of time steps (paper: 1,000).
+    nonlinearity:
+        Link function of the structural process; the paper uses additive
+        noise over basic structures, we default to a mild ``tanh``
+        non-linearity so discovery is non-trivial (``"linear"`` is available).
+    seed:
+        Seed controlling the graph delays, coefficients and noise.
+    """
+    if structure not in _STRUCTURE_BUILDERS:
+        raise ValueError(
+            f"unknown structure {structure!r}; choose from {sorted(_STRUCTURE_BUILDERS)}"
+        )
+    rng = np.random.default_rng(seed)
+    graph = _STRUCTURE_BUILDERS[structure](max_delay=max_delay,
+                                           include_self_loops=include_self_loops, rng=rng)
+    spec = VarProcessSpec(graph=graph, length=length, noise_std=noise_std,
+                          nonlinearity=nonlinearity)
+    values = simulate_var(spec, rng=rng)
+    return TimeSeriesDataset(
+        values=values,
+        name=structure,
+        graph=graph,
+        metadata={
+            "structure": structure,
+            "length": length,
+            "nonlinearity": nonlinearity,
+            "noise_std": noise_std,
+            "max_delay": max_delay,
+            "include_self_loops": include_self_loops,
+            "seed": seed,
+            "generator": "synthetic",
+        },
+    )
+
+
+def diamond_dataset(seed: Optional[int] = None, **kwargs) -> TimeSeriesDataset:
+    """Diamond dataset (4 series, paper Fig. 1 / Fig. 7)."""
+    return synthetic_dataset("diamond", seed=seed, **kwargs)
+
+
+def mediator_dataset(seed: Optional[int] = None, **kwargs) -> TimeSeriesDataset:
+    """Mediator dataset (3 series)."""
+    return synthetic_dataset("mediator", seed=seed, **kwargs)
+
+
+def v_structure_dataset(seed: Optional[int] = None, **kwargs) -> TimeSeriesDataset:
+    """V-structure / collider dataset (3 series)."""
+    return synthetic_dataset("v_structure", seed=seed, **kwargs)
+
+
+def fork_dataset(seed: Optional[int] = None, **kwargs) -> TimeSeriesDataset:
+    """Fork / common-cause dataset (3 series)."""
+    return synthetic_dataset("fork", seed=seed, **kwargs)

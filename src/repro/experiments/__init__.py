@@ -1,0 +1,44 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``run_*`` function returns a :class:`~repro.experiments.reporting.ResultTable`
+(or a structured report dict) that prints the same rows the paper reports.
+The ``fast`` flag trades series length / seeds / epochs for runtime so the
+benchmark suite stays CPU-friendly; the shapes of the comparisons are
+preserved (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.reporting import ResultTable, CellStatistic, format_mean_std
+from repro.experiments.runner import (
+    ExperimentSpec,
+    MethodSpec,
+    run_method_on_dataset,
+    evaluate_methods,
+    default_method_specs,
+    causalformer_spec,
+)
+from repro.experiments.table1 import run_table1, table1_dataset_specs
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3, ABLATION_NAMES
+from repro.experiments.figure7 import describe_structures
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure10 import run_figure10
+
+__all__ = [
+    "ResultTable",
+    "CellStatistic",
+    "format_mean_std",
+    "ExperimentSpec",
+    "MethodSpec",
+    "run_method_on_dataset",
+    "evaluate_methods",
+    "default_method_specs",
+    "causalformer_spec",
+    "run_table1",
+    "table1_dataset_specs",
+    "run_table2",
+    "run_table3",
+    "ABLATION_NAMES",
+    "describe_structures",
+    "run_figure8",
+    "run_figure10",
+]

@@ -1,0 +1,72 @@
+"""Figure 10 — sea-surface-temperature case study.
+
+The paper applies CausalFormer to North-Atlantic SST and observes that the
+discovered causal relations follow the ocean currents: many S→N edges along
+the North Atlantic Drift, N→S edges along the Greenland currents, and denser
+relations in the western basin.  On the synthetic advection field of
+:mod:`repro.data.sst` the prescribed current field is known, so this report
+quantifies the same observations: the fraction of discovered edges aligned
+with the local current, and the S→N / N→S / W→E / E→W direction histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import sst_preset
+from repro.core.discovery import CausalFormer
+from repro.data.sst import SstFieldSpec, current_alignment, edge_direction_labels, sst_dataset
+from repro.graph.causal_graph import TemporalCausalGraph
+from repro.graph.metrics import evaluate_discovery
+
+
+@dataclass
+class SstCaseStudyReport:
+    """Quantified version of the paper's Fig. 10 observations."""
+
+    n_cells: int
+    n_edges: int
+    alignment: float                      # fraction of edges along the current
+    direction_counts: Dict[str, int] = field(default_factory=dict)
+    f1_vs_advection_truth: float = 0.0
+    graph: Optional[TemporalCausalGraph] = None
+
+    def render(self) -> str:
+        directions = ", ".join(f"{k}:{v}" for k, v in sorted(self.direction_counts.items()))
+        return (f"SST case study on {self.n_cells} cells — {self.n_edges} edges, "
+                f"{self.alignment:.0%} aligned with the prescribed currents "
+                f"({directions}); F1 vs advection ground truth {self.f1_vs_advection_truth:.2f}")
+
+
+def run_figure10(seed: int = 0, fast: bool = True,
+                 spec: Optional[SstFieldSpec] = None,
+                 verbose: bool = False) -> SstCaseStudyReport:
+    """Run CausalFormer on the synthetic SST field and report current alignment."""
+    spec = spec or SstFieldSpec(n_lat=4, n_lon=4) if fast else (spec or SstFieldSpec())
+    dataset = sst_dataset(spec=spec, seed=seed)
+    config = sst_preset(seed=seed)
+    if fast:
+        payload = config.to_dict()
+        payload["max_epochs"] = max(10, config.max_epochs // 2)
+        payload["window_stride"] = 3
+        config = config.__class__(**payload)
+    model = CausalFormer(config)
+    predicted = model.discover(dataset)
+    alignment = current_alignment(spec, predicted)
+    labels = edge_direction_labels(spec, predicted)
+    counts: Dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    scores = evaluate_discovery(predicted, dataset.graph)
+    report = SstCaseStudyReport(
+        n_cells=spec.n_cells,
+        n_edges=predicted.n_edges,
+        alignment=alignment,
+        direction_counts=counts,
+        f1_vs_advection_truth=scores.f1,
+        graph=predicted,
+    )
+    if verbose:
+        print(report.render())
+    return report

@@ -1,0 +1,85 @@
+"""Figure 8 — case study on one fMRI network.
+
+The paper's Fig. 8 draws, for the fMRI-15 network (5 regions shown), the
+ground-truth graph and the graphs recovered by cMLP, TCDF, DVGNN, CUTS and
+CausalFormer, annotating true-positive / false-positive / false-negative
+edges and each method's F1.  ``run_figure8`` produces the same content as a
+structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import CMlp, CutsLite, DvgnnLite, Tcdf
+from repro.core.config import fmri_preset
+from repro.core.discovery import CausalFormer
+from repro.data.fmri import fmri_dataset
+from repro.experiments.table1 import _scale_config
+from repro.graph.metrics import edge_classification, evaluate_discovery
+
+
+@dataclass
+class CaseStudyEntry:
+    """One method's recovered graph on the case-study network."""
+
+    method: str
+    f1: float
+    precision: float
+    recall: float
+    true_positive: List[tuple] = field(default_factory=list)
+    false_positive: List[tuple] = field(default_factory=list)
+    false_negative: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class CaseStudyReport:
+    """The full Fig. 8 report: ground truth plus every method's result."""
+
+    truth_edges: List[tuple]
+    entries: Dict[str, CaseStudyEntry] = field(default_factory=dict)
+
+    def best_method(self) -> str:
+        return max(self.entries.values(), key=lambda entry: entry.f1).method
+
+    def render(self) -> str:
+        lines = [f"ground truth edges: {self.truth_edges}"]
+        for entry in self.entries.values():
+            lines.append(
+                f"{entry.method:14s} F1={entry.f1:.2f}  "
+                f"TP={len(entry.true_positive)} FP={len(entry.false_positive)} "
+                f"FN={len(entry.false_negative)}")
+        lines.append(f"best: {self.best_method()}")
+        return "\n".join(lines)
+
+
+def run_figure8(seed: int = 0, fast: bool = True, n_nodes: int = 5,
+                length: int = 200, verbose: bool = False) -> CaseStudyReport:
+    """Regenerate the Fig. 8 case study on one simulated fMRI network."""
+    dataset = fmri_dataset(n_nodes=n_nodes, length=length, seed=seed)
+    epoch_scale = 0.5 if fast else 1.0
+    methods = {
+        "cmlp": CMlp(epochs=int(120 * epoch_scale), sparsity=1e-3, seed=seed),
+        "tcdf": Tcdf(epochs=int(120 * epoch_scale), seed=seed),
+        "dvgnn": DvgnnLite(epochs=int(150 * epoch_scale), seed=seed),
+        "cuts": CutsLite(epochs=int(200 * epoch_scale), seed=seed),
+        "causalformer": CausalFormer(_scale_config(fmri_preset(seed=seed), fast)),
+    }
+    report = CaseStudyReport(truth_edges=[edge.as_tuple() for edge in dataset.graph.edges])
+    for name, method in methods.items():
+        predicted = method.discover(dataset)
+        scores = evaluate_discovery(predicted, dataset.graph)
+        classified = edge_classification(predicted, dataset.graph)
+        report.entries[name] = CaseStudyEntry(
+            method=name,
+            f1=scores.f1,
+            precision=scores.precision,
+            recall=scores.recall,
+            true_positive=classified["true_positive"],
+            false_positive=classified["false_positive"],
+            false_negative=classified["false_negative"],
+        )
+        if verbose:
+            print(f"{name:14s} F1={scores.f1:.2f}")
+    return report

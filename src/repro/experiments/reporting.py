@@ -1,0 +1,156 @@
+"""Result aggregation and text-table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def format_mean_std(values: Sequence[float], precision: int = 2) -> str:
+    """Render ``mean±std`` the way the paper's tables do."""
+    array = np.asarray([v for v in values if v is not None and np.isfinite(v)], dtype=float)
+    if array.size == 0:
+        return "n/a"
+    return f"{array.mean():.{precision}f}±{array.std():.{precision}f}"
+
+
+@dataclass
+class CellStatistic:
+    """All runs of one (row, column) cell."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: Optional[float]) -> None:
+        if value is None or not np.isfinite(value):
+            return
+        self.values.append(float(value))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    def __str__(self) -> str:
+        return format_mean_std(self.values)
+
+
+class ResultTable:
+    """A rows × columns table of aggregated metric values.
+
+    Rows are datasets (or ablation variants), columns are methods (or
+    metrics) — mirroring the layout of the paper's Tables 1–3.
+    """
+
+    def __init__(self, title: str, metric: str = "f1") -> None:
+        self.title = title
+        self.metric = metric
+        self._cells: Dict[str, Dict[str, CellStatistic]] = {}
+        self._row_order: List[str] = []
+        self._column_order: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Population
+    # ------------------------------------------------------------------ #
+    def add(self, row: str, column: str, value: Optional[float]) -> None:
+        if row not in self._cells:
+            self._cells[row] = {}
+            self._row_order.append(row)
+        if column not in self._column_order:
+            self._column_order.append(column)
+        cell = self._cells[row].setdefault(column, CellStatistic())
+        cell.add(value)
+
+    def add_many(self, row: str, column: str, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(row, column, value)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> List[str]:
+        return list(self._row_order)
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._column_order)
+
+    def cell(self, row: str, column: str) -> CellStatistic:
+        return self._cells.get(row, {}).get(column, CellStatistic())
+
+    def mean(self, row: str, column: str) -> float:
+        return self.cell(row, column).mean
+
+    def best_column(self, row: str) -> Optional[str]:
+        """Column with the highest mean in a row (the paper bolds these)."""
+        candidates = [(column, self.mean(row, column)) for column in self._column_order
+                      if self.cell(row, column).values]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda pair: pair[1])[0]
+
+    # ------------------------------------------------------------------ #
+    # Rendering / serialization
+    # ------------------------------------------------------------------ #
+    def render(self, precision: int = 2, mark_best: bool = True) -> str:
+        header = [self.title] + self.columns
+        lines = []
+        widths = [max(len(header[0]), max((len(r) for r in self.rows), default=0))]
+        body: List[List[str]] = []
+        for row in self.rows:
+            best = self.best_column(row) if mark_best else None
+            rendered = [row]
+            for column in self.columns:
+                cell = self.cell(row, column)
+                text = format_mean_std(cell.values, precision) if cell.values else "n/a"
+                if best is not None and column == best and cell.values:
+                    text = f"*{text}*"
+                rendered.append(text)
+            body.append(rendered)
+        for index, column in enumerate(self.columns, start=1):
+            column_width = max([len(column)] + [len(line[index]) for line in body]) if body else len(column)
+            widths.append(column_width)
+        def fmt(cells: List[str]) -> str:
+            return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+        lines.append(fmt(header))
+        lines.append("-" * (sum(widths) + 2 * len(widths)))
+        for rendered in body:
+            lines.append(fmt(rendered))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "title": self.title,
+            "metric": self.metric,
+            "rows": self.rows,
+            "columns": self.columns,
+            "cells": {
+                row: {column: self._cells[row][column].values
+                      for column in self._cells[row]}
+                for row in self.rows
+            },
+        }
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ResultTable":
+        table = cls(payload["title"], payload.get("metric", "f1"))
+        for row in payload["rows"]:
+            for column, values in payload["cells"].get(row, {}).items():
+                table.add_many(row, column, values)
+        return table
+
+    def __str__(self) -> str:
+        return self.render()

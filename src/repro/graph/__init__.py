@@ -1,0 +1,29 @@
+"""Temporal causal graphs and evaluation metrics."""
+
+from repro.graph.causal_graph import TemporalCausalEdge, TemporalCausalGraph
+from repro.graph.metrics import (
+    ConfusionCounts,
+    DiscoveryScores,
+    confusion_counts,
+    precision_recall_f1,
+    precision_of_delay,
+    structural_hamming_distance,
+    evaluate_discovery,
+    aggregate_scores,
+)
+from repro.graph.random_graphs import random_temporal_graph, random_dag
+
+__all__ = [
+    "TemporalCausalEdge",
+    "TemporalCausalGraph",
+    "ConfusionCounts",
+    "DiscoveryScores",
+    "confusion_counts",
+    "precision_recall_f1",
+    "precision_of_delay",
+    "structural_hamming_distance",
+    "evaluate_discovery",
+    "aggregate_scores",
+    "random_temporal_graph",
+    "random_dag",
+]

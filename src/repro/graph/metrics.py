@@ -1,0 +1,179 @@
+"""Evaluation metrics for temporal causal discovery.
+
+The paper evaluates with precision, recall and F1 on the recovered edge set
+(Table 1, Table 3, Fig. 8) and with the precision of delay (PoD, Table 2):
+among the correctly discovered causal relations, the fraction whose estimated
+delay matches the ground truth (within an optional tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.causal_graph import TemporalCausalGraph
+
+
+@dataclass
+class ConfusionCounts:
+    """Edge-level confusion counts between a predicted and a true graph."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def total(self) -> int:
+        return self.true_positive + self.false_positive + self.false_negative + self.true_negative
+
+
+@dataclass
+class DiscoveryScores:
+    """Scores for one causal-discovery run."""
+
+    precision: float
+    recall: float
+    f1: float
+    precision_of_delay: Optional[float] = None
+    counts: Optional[ConfusionCounts] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        payload = {"precision": self.precision, "recall": self.recall, "f1": self.f1}
+        if self.precision_of_delay is not None:
+            payload["precision_of_delay"] = self.precision_of_delay
+        return payload
+
+
+def _validate_pair(predicted: TemporalCausalGraph, truth: TemporalCausalGraph) -> None:
+    if predicted.n_series != truth.n_series:
+        raise ValueError(
+            f"graphs compare different numbers of series: {predicted.n_series} vs {truth.n_series}"
+        )
+
+
+def confusion_counts(predicted: TemporalCausalGraph, truth: TemporalCausalGraph,
+                     include_self_loops: bool = True) -> ConfusionCounts:
+    """Edge-level confusion counts over all ordered series pairs."""
+    _validate_pair(predicted, truth)
+    n = truth.n_series
+    predicted_set = predicted.edge_set(include_self_loops)
+    truth_set = truth.edge_set(include_self_loops)
+    pairs = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if include_self_loops or i != j
+    ]
+    tp = sum(1 for pair in pairs if pair in predicted_set and pair in truth_set)
+    fp = sum(1 for pair in pairs if pair in predicted_set and pair not in truth_set)
+    fn = sum(1 for pair in pairs if pair not in predicted_set and pair in truth_set)
+    tn = len(pairs) - tp - fp - fn
+    return ConfusionCounts(tp, fp, fn, tn)
+
+
+def precision_recall_f1(predicted: TemporalCausalGraph, truth: TemporalCausalGraph,
+                        include_self_loops: bool = True) -> Tuple[float, float, float]:
+    """Precision, recall and F1 of the predicted edge set."""
+    counts = confusion_counts(predicted, truth, include_self_loops)
+    tp, fp, fn = counts.true_positive, counts.false_positive, counts.false_negative
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def precision_of_delay(predicted: TemporalCausalGraph, truth: TemporalCausalGraph,
+                       tolerance: int = 0) -> Optional[float]:
+    """Fraction of correctly-discovered edges whose delay is also correct.
+
+    Returns ``None`` when no true-positive edges exist (PoD is undefined
+    then, matching the paper's practice of not reporting it).
+    """
+    _validate_pair(predicted, truth)
+    correct = 0
+    total = 0
+    for edge in predicted.edges:
+        true_delay = truth.delay(edge.source, edge.target)
+        if true_delay is None:
+            continue
+        total += 1
+        if abs(edge.delay - true_delay) <= tolerance:
+            correct += 1
+    if total == 0:
+        return None
+    return correct / total
+
+
+def structural_hamming_distance(predicted: TemporalCausalGraph,
+                                truth: TemporalCausalGraph) -> int:
+    """Number of edge insertions/deletions/reversals to reach the truth."""
+    _validate_pair(predicted, truth)
+    predicted_set = predicted.edge_set()
+    truth_set = truth.edge_set()
+    missing = truth_set - predicted_set
+    extra = predicted_set - truth_set
+    # A reversal (predicted j->i where truth has i->j and not j->i) counts once.
+    reversals = {
+        (i, j) for (i, j) in extra
+        if (j, i) in missing
+    }
+    distance = len(missing) + len(extra) - len(reversals)
+    return distance
+
+
+def evaluate_discovery(predicted: TemporalCausalGraph, truth: TemporalCausalGraph,
+                       include_self_loops: bool = True,
+                       delay_tolerance: int = 0) -> DiscoveryScores:
+    """All edge metrics for one run, bundled."""
+    precision, recall, f1 = precision_recall_f1(predicted, truth, include_self_loops)
+    pod = precision_of_delay(predicted, truth, tolerance=delay_tolerance)
+    counts = confusion_counts(predicted, truth, include_self_loops)
+    return DiscoveryScores(precision=precision, recall=recall, f1=f1,
+                           precision_of_delay=pod, counts=counts)
+
+
+@dataclass
+class AggregateScore:
+    """Mean ± standard deviation of a metric over several runs."""
+
+    mean: float
+    std: float
+    n_runs: int
+    values: List[float] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.std:.2f}"
+
+
+def aggregate_scores(scores: Sequence[DiscoveryScores], metric: str = "f1") -> AggregateScore:
+    """Aggregate one metric (``f1``/``precision``/``recall``/``precision_of_delay``)."""
+    values = []
+    for score in scores:
+        value = getattr(score, metric)
+        if value is None:
+            continue
+        values.append(float(value))
+    if not values:
+        return AggregateScore(mean=float("nan"), std=float("nan"), n_runs=0, values=[])
+    array = np.asarray(values)
+    return AggregateScore(mean=float(array.mean()), std=float(array.std()),
+                          n_runs=len(values), values=values)
+
+
+def edge_classification(predicted: TemporalCausalGraph, truth: TemporalCausalGraph
+                        ) -> Dict[str, List[Tuple[int, int]]]:
+    """Classify every predicted/true edge as TP / FP / FN (for Fig. 8 plots)."""
+    _validate_pair(predicted, truth)
+    predicted_set = predicted.edge_set()
+    truth_set = truth.edge_set()
+    return {
+        "true_positive": sorted(predicted_set & truth_set),
+        "false_positive": sorted(predicted_set - truth_set),
+        "false_negative": sorted(truth_set - predicted_set),
+    }

@@ -1,0 +1,94 @@
+"""Random temporal causal graph generators.
+
+Used by the fMRI-style simulator (random sparse connectivity per "brain
+network"), by property-based tests, and by the hyper-parameter ablation
+benches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.causal_graph import TemporalCausalGraph
+
+
+def random_dag(n_series: int, edge_probability: float = 0.3,
+               max_delay: int = 3, self_loops: bool = False,
+               rng: Optional[np.random.Generator] = None) -> TemporalCausalGraph:
+    """Random DAG (edges only from lower to higher index) with random delays."""
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = rng or np.random.default_rng()
+    graph = TemporalCausalGraph(n_series)
+    for i in range(n_series):
+        for j in range(i + 1, n_series):
+            if rng.random() < edge_probability:
+                graph.add_edge(i, j, int(rng.integers(1, max_delay + 1)))
+    if self_loops:
+        for i in range(n_series):
+            if rng.random() < edge_probability:
+                graph.add_edge(i, i, 1)
+    return graph
+
+
+def random_temporal_graph(n_series: int, n_edges: int, max_delay: int = 3,
+                          allow_self_loops: bool = True,
+                          allow_instantaneous: bool = False,
+                          rng: Optional[np.random.Generator] = None) -> TemporalCausalGraph:
+    """Random graph with exactly ``n_edges`` distinct edges."""
+    rng = rng or np.random.default_rng()
+    max_possible = n_series * n_series if allow_self_loops else n_series * (n_series - 1)
+    if n_edges > max_possible:
+        raise ValueError(f"cannot place {n_edges} edges among {max_possible} ordered pairs")
+    graph = TemporalCausalGraph(n_series)
+    pairs = [
+        (i, j)
+        for i in range(n_series)
+        for j in range(n_series)
+        if allow_self_loops or i != j
+    ]
+    chosen = rng.choice(len(pairs), size=n_edges, replace=False)
+    minimum_delay = 0 if allow_instantaneous else 1
+    for index in chosen:
+        i, j = pairs[int(index)]
+        delay = int(rng.integers(minimum_delay, max_delay + 1))
+        if i == j and delay == 0:
+            delay = 1  # an instantaneous self-loop is not meaningful
+        graph.add_edge(i, j, delay)
+    return graph
+
+
+def stable_var_coefficients(graph: TemporalCausalGraph, max_delay: Optional[int] = None,
+                            strength: float = 0.8,
+                            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Lagged coefficient tensor ``W[lag, i, j]`` for a stable VAR process.
+
+    Coefficients are placed only where the graph has edges (at the edge's
+    delay) and rescaled so the companion-matrix spectral radius stays below
+    one, which keeps simulated series bounded.
+    """
+    rng = rng or np.random.default_rng()
+    if max_delay is None:
+        max_delay = max(graph.max_delay(), 1)
+    n = graph.n_series
+    weights = np.zeros((max_delay + 1, n, n))
+    for edge in graph.edges:
+        sign = rng.choice([-1.0, 1.0])
+        magnitude = rng.uniform(0.4, 0.9)
+        lag = min(edge.delay, max_delay)
+        weights[lag, edge.source, edge.target] = sign * magnitude
+    # Rescale for stability using the companion matrix of the lagged part.
+    lagged = weights[1:]
+    if lagged.size:
+        p = lagged.shape[0]
+        companion = np.zeros((n * p, n * p))
+        for lag in range(p):
+            companion[:n, lag * n:(lag + 1) * n] = lagged[lag].T
+        if p > 1:
+            companion[n:, :-n] = np.eye(n * (p - 1))
+        radius = max(abs(np.linalg.eigvals(companion)))
+        if radius >= strength:
+            weights[1:] *= strength / (radius + 1e-9)
+    return weights

@@ -1,0 +1,138 @@
+"""Point-wise functions, activations and losses used by the models.
+
+Every function here accepts and returns :class:`repro.nn.tensor.Tensor`
+objects and is differentiable through the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import tensor as T
+from repro.nn.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(x, 0)``."""
+    return T.maximum(x, T.Tensor(np.zeros_like(x.data)))
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU, the activation the paper's feed-forward layer uses."""
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+    out = T._make_op(out_data, (x,))
+    if out.requires_grad:
+        slope = np.where(x.data > 0, 1.0, negative_slope)
+
+        def backward(grad, route):
+            route(x, grad * slope)
+
+        out._backward = backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+    out = T._make_op(out_data, (x,))
+    if out.requires_grad:
+        def backward(grad, route):
+            route(x, grad * out_data * (1.0 - out_data))
+        out._backward = backward
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    out_data = np.tanh(x.data)
+    out = T._make_op(out_data, (x,))
+    if out.requires_grad:
+        def backward(grad, route):
+            route(x, grad * (1.0 - out_data ** 2))
+        out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+    out = T._make_op(out_data, (x,))
+    if out.requires_grad:
+        def backward(grad, route):
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            route(x, out_data * (grad - dot))
+        out._backward = backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return T.log(softmax(x, axis=axis) + 1e-12)
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when ``training`` is false or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error between prediction and target."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def l1_norm(x: Tensor) -> Tensor:
+    """Sum of absolute values — the paper's sparsity penalty (Eq. 9)."""
+    return x.abs().sum()
+
+
+def l2_norm(x: Tensor) -> Tensor:
+    """Euclidean norm (square root of the sum of squares)."""
+    return ((x * x).sum() + 1e-12) ** 0.5
+
+
+def group_lasso(weight: Tensor, axis: int = 0) -> Tensor:
+    """Group-lasso penalty: sum over groups of the L2 norms along ``axis``.
+
+    Used by the cMLP / cLSTM neural-Granger baselines to push whole input
+    groups (one group per candidate cause series) to zero.
+    """
+    squared = (weight * weight).sum(axis=axis)
+    return ((squared + 1e-12) ** 0.5).sum()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss, provided for robustness experiments."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta * delta
+    mask = abs_diff.data <= delta
+    return T.where(mask, quadratic, linear).mean()

@@ -1,0 +1,87 @@
+"""Parameter initialisation schemes.
+
+The paper initialises the causality-aware transformer with He initialisation
+(He et al., 2015) and optimises with Adam, so :func:`he_normal` /
+:func:`he_uniform` are the defaults used by :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_GLOBAL_SEED_SEQUENCE = np.random.SeedSequence(0)
+
+
+def default_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Return a numpy Generator, seeded deterministically when ``seed`` given."""
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(seed)
+
+
+def _fan_in_fan_out(shape: Sequence[int]) -> Tuple[int, int]:
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out
+
+
+def he_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Kaiming/He normal initialisation: ``std = sqrt(2 / fan_in)``."""
+    rng = rng or default_rng()
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Kaiming/He uniform initialisation: ``bound = sqrt(6 / fan_in)``."""
+    rng = rng or default_rng()
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(shape: Sequence[int], value: float) -> np.ndarray:
+    return np.full(shape, float(value), dtype=np.float64)
+
+
+def normal(shape: Sequence[int], mean: float = 0.0, std: float = 1.0,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def uniform(shape: Sequence[int], low: float = -0.1, high: float = 0.1,
+            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape)

@@ -1,0 +1,216 @@
+"""Standard neural-network layers built on the autograd engine.
+
+These layers cover what CausalFormer and the baseline models need:
+``Linear`` (embedding, Q/K projections, feed-forward, output layer, cMLP),
+``LSTMCell``/``LSTM`` (cLSTM baseline), ``Conv1d`` (TCDF baseline),
+activations, ``Dropout`` and ``Sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn import tensor as T
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with He initialisation by default."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or init.default_rng()
+        self.weight = Parameter(init.he_normal((in_features, out_features), rng), name="weight")
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None})"
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: List[Module] = []
+        for index, module in enumerate(modules):
+            self._items.append(module)
+            self._modules[str(index)] = module
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = rng or init.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, p=self.p, training=self.training, rng=self._rng)
+
+
+class LSTMCell(Module):
+    """A single LSTM cell used by the cLSTM neural-Granger baseline."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        rng = rng or init.default_rng()
+        # Gates: input, forget, cell, output — stacked for a single matmul.
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_size, 4 * hidden_size), rng))
+        self.bias = Parameter(init.zeros((4 * hidden_size,)))
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+        H = self.hidden_size
+        i = F.sigmoid(gates[..., 0:H])
+        f = F.sigmoid(gates[..., H:2 * H])
+        g = F.tanh(gates[..., 2 * H:3 * H])
+        o = F.sigmoid(gates[..., 3 * H:4 * H])
+        c = f * c_prev + i * g
+        h = o * F.tanh(c)
+        return h, c
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unrolled single-layer LSTM over a (batch, time, features) tensor."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
+                ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        batch, steps, _features = x.shape
+        if state is None:
+            state = self.cell.initial_state(batch)
+        outputs = []
+        h, c = state
+        for t in range(steps):
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        stacked = T.stack(outputs, axis=1)
+        return stacked, (h, c)
+
+
+class Conv1d(Module):
+    """1-D convolution over (batch, channels, time) with optional dilation.
+
+    Implemented as an explicit sliding-window contraction; kernel sizes in
+    this project are small (≤ 8) so the loop over kernel taps is cheap.
+    Used by the TCDF baseline's dilated temporal convolution network.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 dilation: int = 1, bias: bool = True, groups: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_channels % groups != 0 or out_channels % groups != 0:
+            raise ValueError("in_channels and out_channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.groups = groups
+        rng = rng or init.default_rng()
+        group_in = in_channels // groups
+        self.weight = Parameter(init.he_normal((out_channels, group_in, kernel_size), rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Causal convolution: left-pad so output has the same length."""
+        pad_amount = (self.kernel_size - 1) * self.dilation
+        padded = T.pad(x, ((0, 0), (0, 0), (pad_amount, 0)))
+        batch, _channels, length = x.shape
+        group_in = self.in_channels // self.groups
+        group_out = self.out_channels // self.groups
+        group_outputs = []
+        for g in range(self.groups):
+            in_slice = padded[:, g * group_in:(g + 1) * group_in, :]
+            weight = self.weight[g * group_out:(g + 1) * group_out, :, :]
+            taps = []
+            for k in range(self.kernel_size):
+                start = k * self.dilation
+                taps.append(in_slice[:, :, start:start + length])
+            # stacked: (batch, group_in, kernel, length)
+            stacked = T.stack(taps, axis=2)
+            # contract with weight (group_out, group_in, kernel)
+            out = T.einsum("bikt,oik->bot", stacked, weight)
+            group_outputs.append(out)
+        out = group_outputs[0] if len(group_outputs) == 1 else T.concatenate(group_outputs, axis=1)
+        if self.bias is not None:
+            out = out + self.bias.reshape((1, self.out_channels, 1))
+        return out

@@ -1,0 +1,31 @@
+"""Saving and loading model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(module: Module, path: str) -> str:
+    """Save ``module.state_dict()`` to ``path`` (``.npz`` appended if missing)."""
+    state = module.state_dict()
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state, strict=strict)
+    return module

@@ -1,0 +1,90 @@
+"""Shared baseline interface and graph construction from score matrices."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import all_baselines, graph_from_scores
+from repro.baselines.base import CausalDiscoveryMethod, ScoreBasedMethod, extract_values
+from repro.data import fork_dataset
+
+
+class TestExtractValues:
+    def test_from_dataset(self, fork_data):
+        values = extract_values(fork_data, normalize=False)
+        np.testing.assert_array_equal(values, fork_data.values)
+
+    def test_normalization_applied(self, fork_data):
+        values = extract_values(fork_data, normalize=True)
+        np.testing.assert_allclose(values.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_from_array(self):
+        array = np.random.default_rng(0).normal(size=(3, 50))
+        values = extract_values(array, normalize=False)
+        np.testing.assert_array_equal(values, array)
+
+    def test_rejects_one_dimensional(self):
+        with pytest.raises(ValueError):
+            extract_values(np.zeros(10))
+
+
+class TestGraphFromScores:
+    def test_strong_scores_become_edges(self):
+        scores = np.array([[0.9, 0.0, 0.0],
+                           [0.8, 0.9, 0.0],
+                           [0.0, 0.0, 0.9]])
+        graph = graph_from_scores(scores, n_clusters=2, top_clusters=1)
+        assert graph.has_edge(0, 0)
+        assert graph.has_edge(0, 1)   # scores[target=1, source=0]
+        assert graph.has_edge(2, 2)
+        assert not graph.has_edge(1, 0)
+
+    def test_delays_attached(self):
+        scores = np.array([[0.0, 0.9], [0.0, 0.0]])
+        delays = np.array([[1, 4], [1, 1]])
+        graph = graph_from_scores(scores, delays=delays)
+        assert graph.delay(1, 0) == 4
+
+    def test_self_loop_delay_floor(self):
+        scores = np.eye(2)
+        delays = np.zeros((2, 2), dtype=int)
+        graph = graph_from_scores(scores, delays=delays)
+        for edge in graph.self_loops:
+            assert edge.delay >= 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            graph_from_scores(np.zeros((2, 3)))
+
+    def test_density_ratio(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random((5, 5))
+        sparse = graph_from_scores(scores, n_clusters=3, top_clusters=1)
+        dense = graph_from_scores(scores, n_clusters=3, top_clusters=3)
+        assert dense.n_edges >= sparse.n_edges
+
+
+class TestInterface:
+    def test_all_baselines_factory(self):
+        methods = all_baselines()
+        assert len(methods) == 5
+        names = {method.name for method in methods}
+        assert names == {"cmlp", "clstm", "tcdf", "dvgnn", "cuts"}
+        assert all(isinstance(method, CausalDiscoveryMethod) for method in methods)
+
+    def test_score_based_methods_store_scores(self):
+        dataset = fork_dataset(seed=0, length=150)
+        from repro.baselines import VarGranger
+
+        method = VarGranger()
+        method.discover(dataset)
+        assert method.scores_ is not None
+        assert method.scores_.shape == (3, 3)
+
+    def test_abstract_methods_enforced(self):
+        with pytest.raises(TypeError):
+            ScoreBasedMethod()  # abstract causal_scores not implemented
+
+
+@pytest.fixture(scope="module")
+def fork_data():
+    return fork_dataset(seed=3, length=200)

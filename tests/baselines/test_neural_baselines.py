@@ -1,0 +1,136 @@
+"""The deep baselines: cMLP, cLSTM, TCDF, DVGNN-lite, CUTS-lite.
+
+Each baseline is checked on a strongly-coupled two-series system (series 0
+drives series 1) — the causal score of the true relation must exceed the
+score of the reverse relation — plus interface-level behaviour.  Heavier
+accuracy comparisons live in the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CLstm, CMlp, CutsLite, DvgnnLite, Tcdf
+from repro.data.var import VarProcessSpec, simulate_var
+from repro.graph import TemporalCausalGraph
+
+
+@pytest.fixture(scope="module")
+def driven_pair():
+    """Series 0 strongly drives series 1 with lag 1; no reverse influence."""
+    graph = TemporalCausalGraph(2)
+    graph.add_edge(0, 1, 1)
+    weights = np.zeros((2, 2, 2))
+    weights[1, 0, 1] = 0.9
+    spec = VarProcessSpec(graph=graph, length=500, noise_std=0.4, coefficients=weights)
+    values = simulate_var(spec, rng=np.random.default_rng(0))
+    return values, graph
+
+
+FAST_BASELINES = [
+    pytest.param(lambda: CMlp(epochs=80, sparsity=1e-3, seed=0), id="cmlp"),
+    pytest.param(lambda: CLstm(epochs=25, seed=0), id="clstm"),
+    pytest.param(lambda: Tcdf(epochs=80, seed=0), id="tcdf"),
+    pytest.param(lambda: DvgnnLite(epochs=100, seed=0), id="dvgnn"),
+    pytest.param(lambda: CutsLite(epochs=120, seed=0), id="cuts"),
+]
+
+
+class TestDirectionality:
+    @pytest.mark.parametrize("factory", FAST_BASELINES)
+    def test_true_direction_scores_higher(self, factory, driven_pair):
+        values, _graph = driven_pair
+        method = factory()
+        scores = method.causal_scores(values)
+        # scores[target, source]: the relation 0 → 1 must beat 1 → 0.
+        assert scores[1, 0] > scores[0, 1]
+
+    @pytest.mark.parametrize("factory", FAST_BASELINES)
+    def test_scores_shape_and_finiteness(self, factory, driven_pair):
+        values, _graph = driven_pair
+        scores = factory().causal_scores(values)
+        assert scores.shape == (2, 2)
+        assert np.isfinite(scores).all()
+
+    @pytest.mark.parametrize("factory", FAST_BASELINES)
+    def test_discover_returns_graph(self, factory, driven_pair):
+        values, graph = driven_pair
+        predicted = factory().discover(values)
+        assert predicted.n_series == 2
+
+
+class TestDelayEstimates:
+    def test_cmlp_delay_matrix(self, driven_pair):
+        values, _ = driven_pair
+        method = CMlp(epochs=60, seed=0)
+        method.causal_scores(values)
+        delays = method.estimated_delays(values)
+        assert delays.shape == (2, 2)
+        assert (delays >= 1).all()
+
+    def test_tcdf_delay_matrix(self, driven_pair):
+        values, _ = driven_pair
+        method = Tcdf(epochs=60, seed=0)
+        method.causal_scores(values)
+        delays = method.estimated_delays(values)
+        assert delays.shape == (2, 2)
+        assert (delays >= 1).all()
+
+    def test_cuts_delay_matrix(self, driven_pair):
+        values, _ = driven_pair
+        method = CutsLite(epochs=60, seed=0)
+        method.causal_scores(values)
+        delays = method.estimated_delays(values)
+        assert (delays >= 1).all() and (delays <= 3).all()
+
+    def test_clstm_has_no_delays(self, driven_pair):
+        values, _ = driven_pair
+        method = CLstm(epochs=10, seed=0)
+        assert method.estimated_delays(values) is None
+
+
+class TestInternals:
+    def test_cmlp_group_norms_shape(self, driven_pair):
+        values, _ = driven_pair
+        method = CMlp(epochs=10, max_lag=4, hidden=8, seed=0)
+        method.causal_scores(values)
+        norms = method.models_[0].group_norms()
+        assert norms.shape == (4, 2)
+        assert (norms >= 0).all()
+
+    def test_cmlp_sparsity_shrinks_weights(self, driven_pair):
+        values, _ = driven_pair
+        loose = CMlp(epochs=60, sparsity=0.0, seed=0)
+        tight = CMlp(epochs=60, sparsity=5e-2, seed=0)
+        loose_scores = loose.causal_scores(values)
+        tight_scores = tight.causal_scores(values)
+        assert tight_scores.sum() < loose_scores.sum()
+
+    def test_tcdf_attention_normalised(self, driven_pair):
+        values, _ = driven_pair
+        method = Tcdf(epochs=20, seed=0)
+        scores = method.causal_scores(values)
+        np.testing.assert_allclose(scores.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_dvgnn_adjacency_rows_normalised(self, driven_pair):
+        values, _ = driven_pair
+        method = DvgnnLite(epochs=20, seed=0)
+        scores = method.causal_scores(values)
+        np.testing.assert_allclose(scores.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_cuts_gates_are_probabilities(self, driven_pair):
+        values, _ = driven_pair
+        method = CutsLite(epochs=20, seed=0)
+        scores = method.causal_scores(values)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_clstm_window_cap(self, driven_pair):
+        values, _ = driven_pair
+        method = CLstm(epochs=2, max_windows=32, seed=0)
+        inputs, _targets = method._prepare(values)
+        assert inputs.shape[0] <= 32
+
+    def test_seed_reproducibility(self, driven_pair):
+        values, _ = driven_pair
+        a = CutsLite(epochs=40, seed=5).causal_scores(values)
+        b = CutsLite(epochs=40, seed=5).causal_scores(values)
+        np.testing.assert_allclose(a, b)

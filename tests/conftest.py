@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (trained models) are session-scoped so the many tests
+that inspect a trained CausalFormer share one training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CausalFormer, CausalFormerConfig, CausalityAwareTransformer, fast_preset
+from repro.data import fork_dataset, v_structure_dataset
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(function, x: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    gradient = np.zeros_like(x, dtype=float)
+    iterator = np.nditer(x, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = x[index]
+        x[index] = original + epsilon
+        plus = function(x)
+        x[index] = original - epsilon
+        minus = function(x)
+        x[index] = original
+        gradient[index] = (plus - minus) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> CausalFormerConfig:
+    """A deliberately small configuration used across the core tests."""
+    return CausalFormerConfig(
+        n_series=3,
+        window=8,
+        d_model=12,
+        d_qk=12,
+        d_ffn=12,
+        n_heads=2,
+        temperature=1.0,
+        max_epochs=8,
+        window_stride=4,
+        batch_size=32,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def fork_data():
+    """A small fork dataset (S0 → S1, S0 → S2 plus self-loops)."""
+    return fork_dataset(seed=7, length=300)
+
+
+@pytest.fixture(scope="session")
+def v_structure_data():
+    return v_structure_dataset(seed=11, length=300)
+
+
+@pytest.fixture(scope="session")
+def tiny_transformer(tiny_config) -> CausalityAwareTransformer:
+    """An untrained transformer with the tiny configuration."""
+    return CausalityAwareTransformer(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def trained_causalformer(fork_data) -> CausalFormer:
+    """One trained CausalFormer shared by the detector / relevance / discovery tests."""
+    model = CausalFormer(fast_preset(max_epochs=15, seed=3))
+    model.discover(fork_data)
+    return model
+
+
+@pytest.fixture()
+def window_batch(tiny_config, rng) -> np.ndarray:
+    """A random batch of windows matching the tiny configuration."""
+    return rng.normal(size=(4, tiny_config.n_series, tiny_config.window))
+
+
+@pytest.fixture()
+def tensor_factory(rng):
+    """Factory producing random Tensors with gradients enabled."""
+
+    def make(*shape, requires_grad: bool = True) -> Tensor:
+        return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+    return make

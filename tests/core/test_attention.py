@@ -1,0 +1,113 @@
+"""Multi-variate causal attention block."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import CausalAttentionHead, MultiVariateCausalAttention
+from repro.core.convolution import MultiKernelCausalConvolution
+from repro.core.embedding import TimeSeriesEmbedding
+from repro.nn.tensor import Tensor
+
+
+def build_blocks(n=3, t=6, d=8, heads=2, temperature=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    embedding = TimeSeriesEmbedding(t, d, rng=rng)
+    convolution = MultiKernelCausalConvolution(n, t, rng=rng)
+    attention = MultiVariateCausalAttention(n, d, d, heads, temperature, rng=rng)
+    return embedding, convolution, attention
+
+
+class TestEmbedding:
+    def test_output_shape(self):
+        embedding = TimeSeriesEmbedding(6, 10)
+        assert embedding(Tensor(np.zeros((2, 3, 6)))).shape == (2, 3, 10)
+
+    def test_window_checked(self):
+        embedding = TimeSeriesEmbedding(6, 10)
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((2, 3, 5))))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesEmbedding(0, 4)
+
+
+class TestSingleHead:
+    def test_attention_rows_sum_to_one(self):
+        embedding, convolution, _ = build_blocks()
+        head = CausalAttentionHead(3, 8, 8, temperature=1.0, rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).normal(size=(4, 3, 6)))
+        cache = head(embedding(x), convolution(x))
+        np.testing.assert_allclose(cache.attention_data.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_head_output_shape(self):
+        embedding, convolution, _ = build_blocks()
+        head = CausalAttentionHead(3, 8, 8, temperature=1.0)
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 6)))
+        cache = head(embedding(x), convolution(x))
+        assert cache.head_output_data.shape == (2, 3, 6)
+
+    def test_high_temperature_flattens_attention(self):
+        embedding, convolution, _ = build_blocks()
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(2, 3, 6)))
+        sharp = CausalAttentionHead(3, 8, 8, temperature=0.1, rng=np.random.default_rng(5))
+        flat = CausalAttentionHead(3, 8, 8, temperature=1000.0, rng=np.random.default_rng(5))
+        sharp_entropy = -(sharp(embedding(x), convolution(x)).attention_data
+                          * np.log(sharp(embedding(x), convolution(x)).attention_data + 1e-12)).sum()
+        flat_attention = flat(embedding(x), convolution(x)).attention_data
+        flat_entropy = -(flat_attention * np.log(flat_attention + 1e-12)).sum()
+        assert flat_entropy >= sharp_entropy
+
+    def test_head_output_matches_manual_contraction(self):
+        embedding, convolution, _ = build_blocks(seed=6)
+        head = CausalAttentionHead(3, 8, 8, temperature=1.0, rng=np.random.default_rng(7))
+        x = Tensor(np.random.default_rng(8).normal(size=(1, 3, 6)))
+        values = convolution(x)
+        cache = head(embedding(x), values)
+        manual = np.einsum("bij,bjit->bit", cache.attention_data, values.data)
+        np.testing.assert_allclose(cache.head_output_data, manual, atol=1e-10)
+
+    def test_mask_l1_penalty(self):
+        head = CausalAttentionHead(3, 8, 8, temperature=1.0)
+        assert float(head.l1_penalty().data) == pytest.approx(np.abs(head.mask.data).sum())
+
+    def test_attention_gradient_retained(self):
+        embedding, convolution, _ = build_blocks(seed=9)
+        head = CausalAttentionHead(3, 8, 8, temperature=1.0)
+        x = Tensor(np.random.default_rng(10).normal(size=(2, 3, 6)))
+        cache = head(embedding(x), convolution(x))
+        cache.head_output.sum().backward()
+        assert cache.attention.grad is not None
+
+
+class TestMultiHead:
+    def test_combined_output_shape(self):
+        embedding, convolution, attention = build_blocks(heads=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3, 6)))
+        combined, caches = attention(embedding(x), convolution(x))
+        assert combined.shape == (4, 3, 6)
+        assert len(caches) == 3
+
+    def test_heads_have_independent_parameters(self):
+        _, _, attention = build_blocks(heads=2)
+        w0 = attention.heads[0].w_query.data
+        w1 = attention.heads[1].w_query.data
+        assert not np.allclose(w0, w1)
+
+    def test_requires_at_least_one_head(self):
+        with pytest.raises(ValueError):
+            MultiVariateCausalAttention(3, 8, 8, 0, 1.0)
+
+    def test_combination_uses_w_output(self):
+        embedding, convolution, attention = build_blocks(heads=2, seed=11)
+        x = Tensor(np.random.default_rng(12).normal(size=(2, 3, 6)))
+        combined, caches = attention(embedding(x), convolution(x))
+        manual = sum(attention.w_output.data[h] * caches[h].head_output_data
+                     for h in range(2))
+        np.testing.assert_allclose(combined.data, manual, atol=1e-10)
+
+    def test_mask_penalty_sums_over_heads(self):
+        _, _, attention = build_blocks(heads=2)
+        expected = sum(np.abs(head.mask.data).sum() for head in attention.heads)
+        assert float(attention.mask_l1_penalty().data) == pytest.approx(expected)

@@ -1,0 +1,134 @@
+"""Multi-kernel causal convolution: temporal priority, scaling, self-shift."""
+
+import numpy as np
+import pytest
+
+from repro.core.convolution import MultiKernelCausalConvolution
+from repro.nn.tensor import Tensor
+
+
+def make_conv(n=3, t=6, single=False, seed=0):
+    return MultiKernelCausalConvolution(n, t, single_kernel=single,
+                                        rng=np.random.default_rng(seed))
+
+
+class TestShapes:
+    def test_output_shape(self):
+        conv = make_conv(n=3, t=6)
+        out = conv(Tensor(np.random.default_rng(0).normal(size=(4, 3, 6))))
+        assert out.shape == (4, 3, 3, 6)
+
+    def test_kernel_shape_multi(self):
+        assert make_conv(n=3, t=6).kernel.shape == (3, 3, 6)
+
+    def test_kernel_shape_single(self):
+        conv = make_conv(n=3, t=6, single=True)
+        assert conv.kernel.shape == (1, 1, 6)
+        assert conv.effective_kernel().shape == (3, 3, 6)
+
+    def test_input_shape_checked(self):
+        conv = make_conv(n=3, t=6)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((2, 4, 6))))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((2, 3, 5))))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MultiKernelCausalConvolution(0, 6)
+        with pytest.raises(ValueError):
+            MultiKernelCausalConvolution(3, 1)
+
+
+class TestTemporalPriority:
+    def test_output_does_not_depend_on_future_inputs(self):
+        """The convolution at slot t must ignore observations after slot t."""
+        rng = np.random.default_rng(1)
+        conv = make_conv(n=2, t=8)
+        x = rng.normal(size=(1, 2, 8))
+        base = conv(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[:, :, 5:] += 100.0
+        out = conv(Tensor(perturbed)).data
+        # Cross-series entries: slots before 5 unchanged.
+        np.testing.assert_allclose(out[:, :, :, :5], base[:, :, :, :5], atol=1e-9)
+
+    def test_matches_paper_equation_for_cross_series(self):
+        """X̂[i, j, t] = K[i, j] · [0…0, X_i^1..X_i^t] / t (Eq. 3), cross-series."""
+        rng = np.random.default_rng(2)
+        n, t = 2, 5
+        conv = make_conv(n=n, t=t, seed=3)
+        x = rng.normal(size=(1, n, t))
+        out = conv(Tensor(x)).data[0]
+        kernel = conv.kernel.data
+        padded = np.concatenate([np.zeros((n, t)), x[0]], axis=1)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                for slot in range(t):
+                    window = padded[i, slot + 1:slot + 1 + t]
+                    expected = float(kernel[i, j] @ window) / (slot + 1)
+                    assert out[i, j, slot] == pytest.approx(expected, abs=1e-9)
+
+    def test_self_convolution_right_shifted(self):
+        """X̂[i, i] is shifted right one slot so slot 0 is exactly zero (Eq. 4)."""
+        rng = np.random.default_rng(3)
+        conv = make_conv(n=3, t=6, seed=4)
+        out = conv(Tensor(rng.normal(size=(2, 3, 6)))).data
+        for i in range(3):
+            np.testing.assert_allclose(out[:, i, i, 0], 0.0, atol=1e-12)
+
+    def test_self_convolution_never_sees_current_value(self):
+        """Perturbing X_i at slot t must not change X̂[i, i, t]."""
+        rng = np.random.default_rng(4)
+        conv = make_conv(n=2, t=7, seed=5)
+        x = rng.normal(size=(1, 2, 7))
+        base = conv(Tensor(x)).data
+        slot = 4
+        perturbed = x.copy()
+        perturbed[0, 0, slot] += 50.0
+        out = conv(Tensor(perturbed)).data
+        assert out[0, 0, 0, slot] == pytest.approx(base[0, 0, 0, slot], abs=1e-9)
+        # The cross-series entry at the same slot does change (instantaneous causality).
+        assert out[0, 0, 1, slot] != pytest.approx(base[0, 0, 1, slot], abs=1e-9)
+
+
+class TestScalingAndPenalty:
+    def test_scaling_divides_by_observed_slots(self):
+        """With an all-ones kernel and all-ones input the output is exactly 1."""
+        conv = make_conv(n=2, t=4)
+        conv.kernel.data = np.ones_like(conv.kernel.data)
+        x = np.ones((1, 2, 4))
+        out = conv(Tensor(x)).data
+        # Cross-series: sum of t ones divided by t = 1 at every slot.
+        np.testing.assert_allclose(out[0, 0, 1], 1.0, atol=1e-12)
+
+    def test_l1_penalty_matches_numpy(self):
+        conv = make_conv(n=2, t=4)
+        assert float(conv.l1_penalty().data) == pytest.approx(np.abs(conv.kernel.data).sum())
+
+    def test_single_kernel_shares_weights_across_pairs(self):
+        conv = make_conv(n=3, t=5, single=True)
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(1, 3, 5))
+        out = conv(Tensor(x)).data
+        # For a shared kernel, the convolution of source i is identical for
+        # every cross target j (it only depends on the source's history).
+        np.testing.assert_allclose(out[0, 0, 1], out[0, 0, 2], atol=1e-12)
+
+    def test_gradients_reach_kernel(self):
+        conv = make_conv(n=2, t=4)
+        x = Tensor(np.random.default_rng(7).normal(size=(2, 2, 4)), requires_grad=True)
+        conv(x).sum().backward()
+        assert conv.kernel.grad is not None
+        assert x.grad is not None
+
+    def test_convolution_windows_helper_matches_padding(self):
+        conv = make_conv(n=2, t=4)
+        x = np.random.default_rng(8).normal(size=(1, 2, 4))
+        windows = conv.convolution_windows(x)
+        assert windows.shape == (1, 2, 4, 4)
+        padded = np.concatenate([np.zeros((2, 4)), x[0]], axis=1)
+        for t in range(4):
+            np.testing.assert_array_equal(windows[0, :, t, :], padded[:, t + 1:t + 5])

@@ -1,0 +1,61 @@
+"""Feed-forward and output layers."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedforward import FeedForward, OutputLayer
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestFeedForward:
+    def test_shape_preserved(self):
+        ffn = FeedForward(window=6, d_ffn=10)
+        assert ffn(Tensor(np.zeros((2, 3, 6)))).shape == (2, 3, 6)
+
+    def test_matches_manual_composition(self):
+        rng = np.random.default_rng(0)
+        ffn = FeedForward(window=5, d_ffn=7, rng=rng)
+        x = rng.normal(size=(2, 3, 5))
+        hidden = x @ ffn.w1.data + ffn.b1.data
+        activated = np.where(hidden > 0, hidden, 0.01 * hidden)
+        expected = activated @ ffn.w2.data + ffn.b2.data
+        np.testing.assert_allclose(ffn(Tensor(x)).data, expected, atol=1e-10)
+
+    def test_introduces_nonlinearity(self):
+        """f(x) + f(-x) ≠ 2 f(0) in general (the leaky ReLU is not linear)."""
+        rng = np.random.default_rng(1)
+        ffn = FeedForward(window=4, d_ffn=6, rng=rng)
+        x = rng.normal(size=(1, 2, 4)) * 3
+        plus = ffn(Tensor(x)).data
+        minus = ffn(Tensor(-x)).data
+        zero = ffn(Tensor(np.zeros_like(x))).data
+        assert not np.allclose(plus + minus, 2 * zero, atol=1e-6)
+
+    def test_gradients_flow(self):
+        ffn = FeedForward(window=4, d_ffn=6)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 4)), requires_grad=True)
+        ffn(x).sum().backward()
+        assert x.grad is not None
+        assert ffn.w1.grad is not None and ffn.w2.grad is not None
+
+
+class TestOutputLayer:
+    def test_shape_preserved(self):
+        layer = OutputLayer(window=6)
+        assert layer(Tensor(np.zeros((2, 3, 6)))).shape == (2, 3, 6)
+
+    def test_is_affine(self):
+        rng = np.random.default_rng(3)
+        layer = OutputLayer(window=5, rng=rng)
+        a = rng.normal(size=(1, 2, 5))
+        b = rng.normal(size=(1, 2, 5))
+        lhs = layer(Tensor(a + b)).data + layer(Tensor(np.zeros_like(a))).data
+        rhs = layer(Tensor(a)).data + layer(Tensor(b)).data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    def test_bias_used(self):
+        layer = OutputLayer(window=4)
+        layer.bias.data = np.arange(4.0)
+        out = layer(Tensor(np.zeros((1, 2, 4)))).data
+        np.testing.assert_allclose(out[0, 0], np.arange(4.0))

@@ -1,0 +1,72 @@
+"""Training loop: loss decrease, early stopping, best-state restoration."""
+
+import numpy as np
+import pytest
+
+from repro.core import CausalFormerConfig, CausalityAwareTransformer, Trainer
+from repro.data import fork_dataset
+
+
+def make_config(**overrides):
+    base = dict(n_series=3, window=8, d_model=12, d_qk=12, d_ffn=12, n_heads=2,
+                max_epochs=12, window_stride=4, batch_size=32, seed=0,
+                learning_rate=5e-3)
+    base.update(overrides)
+    return CausalFormerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def training_values():
+    return fork_dataset(seed=0, length=260).normalized().values
+
+
+class TestTrainer:
+    def test_loss_decreases(self, training_values):
+        config = make_config()
+        model = CausalityAwareTransformer(config)
+        trainer = Trainer(model, config)
+        history = trainer.fit(training_values)
+        assert history.n_epochs >= 2
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_history_lengths_match(self, training_values):
+        config = make_config(max_epochs=5, patience=100)
+        trainer = Trainer(CausalityAwareTransformer(config), config)
+        history = trainer.fit(training_values)
+        assert len(history.train_loss) == len(history.validation_loss) == 5
+
+    def test_early_stopping_triggers(self, training_values):
+        """With zero patience the trainer stops as soon as validation stalls."""
+        config = make_config(max_epochs=50, patience=1, min_delta=10.0)
+        trainer = Trainer(CausalityAwareTransformer(config), config)
+        history = trainer.fit(training_values)
+        assert history.stopped_early
+        assert history.n_epochs < 50
+
+    def test_best_state_restored(self, training_values):
+        config = make_config(max_epochs=10)
+        model = CausalityAwareTransformer(config)
+        trainer = Trainer(model, config)
+        history = trainer.fit(training_values)
+        # After fit, the model must reproduce (approximately) the best
+        # validation loss, not the last one.
+        windows = trainer.make_windows(training_values)
+        assert history.best_validation_loss <= min(history.validation_loss) + 1e-9
+
+    def test_window_generation_respects_stride(self, training_values):
+        config = make_config(window_stride=8)
+        trainer = Trainer(CausalityAwareTransformer(config), config)
+        windows = trainer.make_windows(training_values)
+        expected = (training_values.shape[1] - config.window) // 8 + 1
+        assert windows.shape == (expected, 3, config.window)
+
+    def test_deterministic_given_seed(self, training_values):
+        def run():
+            config = make_config(max_epochs=4)
+            model = CausalityAwareTransformer(config)
+            Trainer(model, config).fit(training_values)
+            return model.state_dict()
+
+        a, b = run(), run()
+        for key in a:
+            np.testing.assert_allclose(a[key], b[key])

@@ -1,0 +1,98 @@
+"""TimeSeriesDataset container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data import TimeSeriesDataset
+from repro.graph import TemporalCausalGraph
+
+
+def make_dataset(n=3, t=50, with_graph=True, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = None
+    if with_graph:
+        graph = TemporalCausalGraph(n)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 1, 1)
+    return TimeSeriesDataset(values=rng.normal(size=(n, t)), name="toy", graph=graph)
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        dataset = make_dataset()
+        assert dataset.n_series == 3
+        assert dataset.n_timesteps == 50
+        assert dataset.shape == (3, 50)
+        assert len(dataset) == 50
+
+    def test_default_series_names(self):
+        assert make_dataset().series_names == ["S0", "S1", "S2"]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(values=np.zeros(10))
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(values=np.zeros((2, 5)), series_names=["only-one"])
+
+    def test_rejects_graph_size_mismatch(self):
+        graph = TemporalCausalGraph(5)
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(values=np.zeros((3, 10)), graph=graph)
+
+    def test_validate_detects_nan(self):
+        dataset = make_dataset()
+        dataset.values[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            dataset.validate()
+
+    def test_summary_keys(self):
+        summary = make_dataset().summary()
+        assert summary["n_series"] == 3
+        assert summary["n_true_edges"] == 2
+
+
+class TestTransformations:
+    def test_normalized_moments(self):
+        dataset = make_dataset(t=500)
+        normalized = dataset.normalized()
+        np.testing.assert_allclose(normalized.values.mean(axis=1), 0.0, atol=1e-9)
+        assert normalized.metadata["normalized"] is True
+        # The original is untouched.
+        assert abs(dataset.values.mean()) != pytest.approx(0.0, abs=1e-12)
+
+    def test_slice_time(self):
+        dataset = make_dataset()
+        sliced = dataset.slice_time(10, 30)
+        assert sliced.n_timesteps == 20
+        np.testing.assert_array_equal(sliced.values, dataset.values[:, 10:30])
+
+    def test_select_series_restricts_graph(self):
+        dataset = make_dataset()
+        subset = dataset.select_series([0, 1])
+        assert subset.n_series == 2
+        assert subset.graph.has_edge(0, 1)
+        assert subset.graph.has_edge(1, 1)
+        assert subset.graph.n_edges == 2
+
+    def test_select_series_drops_external_edges(self):
+        dataset = make_dataset()
+        subset = dataset.select_series([1, 2])
+        # Edge 0 -> 1 involved a dropped series and must disappear.
+        assert subset.graph.n_edges == 1
+
+    def test_train_test_split_chronological(self):
+        dataset = make_dataset(t=100)
+        train, test = dataset.train_test_split(0.7)
+        assert train.n_timesteps == 70
+        assert test.n_timesteps == 30
+        np.testing.assert_array_equal(np.concatenate([train.values, test.values], axis=1),
+                                      dataset.values)
+
+    def test_train_test_split_bounds(self):
+        with pytest.raises(ValueError):
+            make_dataset().train_test_split(1.5)
+
+    def test_windows_shape(self):
+        dataset = make_dataset(t=40)
+        windows = dataset.windows(window=8, stride=4)
+        assert windows.shape == (9, 3, 8)

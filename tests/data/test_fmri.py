@@ -1,0 +1,101 @@
+"""NetSim-style fMRI BOLD simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.fmri import (
+    FmriNetworkSpec,
+    double_gamma_hrf,
+    fmri_benchmark_suite,
+    fmri_dataset,
+    simulate_bold,
+)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FmriNetworkSpec(n_nodes=1)
+        with pytest.raises(ValueError):
+            FmriNetworkSpec(length=5)
+        with pytest.raises(ValueError):
+            FmriNetworkSpec(edge_probability=0.0)
+
+
+class TestHrf:
+    def test_unit_area(self):
+        hrf = double_gamma_hrf(24)
+        assert hrf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_peak_before_undershoot(self):
+        hrf = double_gamma_hrf(30)
+        peak_index = hrf.argmax()
+        trough_index = hrf.argmin()
+        assert 0 < peak_index < trough_index
+
+    def test_length(self):
+        assert double_gamma_hrf(12).shape == (12,)
+
+
+class TestSimulation:
+    def test_output_shape(self):
+        spec = FmriNetworkSpec(n_nodes=5, length=120)
+        bold, graph = simulate_bold(spec, rng=np.random.default_rng(0))
+        assert bold.shape == (5, 120)
+        assert graph.n_series == 5
+
+    def test_at_least_one_cross_edge(self):
+        spec = FmriNetworkSpec(n_nodes=4, length=60, edge_probability=0.05)
+        _bold, graph = simulate_bold(spec, rng=np.random.default_rng(1))
+        assert graph.without_self_loops().n_edges >= 1
+
+    def test_self_loops_included_by_default(self):
+        spec = FmriNetworkSpec(n_nodes=4, length=60)
+        _bold, graph = simulate_bold(spec, rng=np.random.default_rng(2))
+        assert len(graph.self_loops) == 4
+
+    def test_bold_is_finite_and_bounded(self):
+        spec = FmriNetworkSpec(n_nodes=8, length=200)
+        bold, _graph = simulate_bold(spec, rng=np.random.default_rng(3))
+        assert np.isfinite(bold).all()
+        assert np.abs(bold).max() < 50.0
+
+    def test_ground_truth_acyclic(self):
+        spec = FmriNetworkSpec(n_nodes=10, length=80)
+        _bold, graph = simulate_bold(spec, rng=np.random.default_rng(4))
+        assert graph.is_acyclic_ignoring_self_loops()
+
+    def test_coupling_leaves_signature_in_correlation(self):
+        """A strongly-coupled pair must correlate more than an uncoupled pair."""
+        spec = FmriNetworkSpec(n_nodes=5, length=400, edge_probability=0.4,
+                               coupling_strength=0.9, observation_noise_std=0.05)
+        bold, graph = simulate_bold(spec, rng=np.random.default_rng(5))
+        correlations = np.abs(np.corrcoef(bold))
+        coupled = [correlations[e.source, e.target]
+                   for e in graph.without_self_loops().edges]
+        uncoupled = [correlations[i, j] for i in range(5) for j in range(5)
+                     if i < j and not graph.has_edge(i, j) and not graph.has_edge(j, i)]
+        if coupled and uncoupled:
+            assert np.mean(coupled) > np.mean(uncoupled) - 0.1
+
+
+class TestDatasetApi:
+    def test_dataset_name_and_metadata(self):
+        dataset = fmri_dataset(n_nodes=5, length=100, seed=0)
+        assert dataset.name == "fmri-5"
+        assert dataset.metadata["generator"] == "fmri-netsim-style"
+
+    def test_network_id_changes_topology(self):
+        a = fmri_dataset(n_nodes=5, length=80, seed=0, network_id=0)
+        b = fmri_dataset(n_nodes=5, length=80, seed=0, network_id=1)
+        assert a.graph != b.graph or not np.allclose(a.values, b.values)
+
+    def test_reproducible(self):
+        a = fmri_dataset(n_nodes=5, length=80, seed=2)
+        b = fmri_dataset(n_nodes=5, length=80, seed=2)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_benchmark_suite_sizes(self):
+        suite = fmri_benchmark_suite(sizes=[5, 10], networks_per_size=2, length=60)
+        assert len(suite) == 4
+        assert {dataset.n_series for dataset in suite} == {5, 10}

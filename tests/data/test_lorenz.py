@@ -1,0 +1,95 @@
+"""Lorenz-96 simulator and its ground-truth coupling graph."""
+
+import numpy as np
+import pytest
+
+from repro.data.lorenz import (
+    lorenz96_dataset,
+    lorenz96_derivative,
+    lorenz96_graph,
+    simulate_lorenz96,
+)
+
+
+class TestDerivative:
+    def test_fixed_point_without_forcing_gradient(self):
+        """At x_i = F for all i the derivative is zero (the trivial equilibrium)."""
+        forcing = 8.0
+        state = np.full(6, forcing)
+        derivative = lorenz96_derivative(state, forcing)
+        np.testing.assert_allclose(derivative, 0.0, atol=1e-12)
+
+    def test_matches_manual_formula(self):
+        state = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        forcing = 2.0
+        derivative = lorenz96_derivative(state, forcing)
+        i = 2
+        expected = (state[3] - state[0]) * state[1] - state[2] + forcing
+        assert derivative[i] == pytest.approx(expected)
+
+
+class TestSimulation:
+    def test_output_shape(self):
+        values = simulate_lorenz96(n_series=6, length=100, rng=np.random.default_rng(0))
+        assert values.shape == (6, 100)
+
+    def test_requires_at_least_four_variables(self):
+        with pytest.raises(ValueError):
+            simulate_lorenz96(n_series=3, length=10)
+
+    def test_positive_length_required(self):
+        with pytest.raises(ValueError):
+            simulate_lorenz96(length=0)
+
+    def test_bounded_trajectory(self):
+        values = simulate_lorenz96(n_series=8, length=400, forcing=35.0,
+                                   rng=np.random.default_rng(1))
+        assert np.isfinite(values).all()
+        assert np.abs(values).max() < 200.0
+
+    def test_chaotic_not_constant(self):
+        values = simulate_lorenz96(n_series=8, length=400, forcing=35.0,
+                                   rng=np.random.default_rng(2))
+        assert values.std() > 1.0
+
+    def test_observation_noise_added(self):
+        clean = simulate_lorenz96(n_series=6, length=50, noise_std=0.0,
+                                  rng=np.random.default_rng(3))
+        noisy = simulate_lorenz96(n_series=6, length=50, noise_std=1.0,
+                                  rng=np.random.default_rng(3))
+        assert not np.allclose(clean, noisy)
+
+
+class TestGroundTruthGraph:
+    def test_each_variable_has_four_causes(self):
+        graph = lorenz96_graph(10)
+        for i in range(10):
+            assert len(graph.parents(i)) == 4  # i-2, i-1, i+1 and itself
+
+    def test_without_self_loops(self):
+        graph = lorenz96_graph(10, include_self_loops=False)
+        for i in range(10):
+            assert len(graph.parents(i)) == 3
+
+    def test_ring_wraparound(self):
+        graph = lorenz96_graph(5)
+        assert graph.has_edge(4, 0)   # i-1 of variable 0
+        assert graph.has_edge(3, 0)   # i-2 of variable 0
+        assert graph.has_edge(1, 0)   # i+1 of variable 0
+
+
+class TestDataset:
+    def test_paper_defaults(self):
+        dataset = lorenz96_dataset(length=100, seed=0)
+        assert dataset.n_series == 10
+        assert 30.0 <= dataset.metadata["forcing"] <= 40.0
+        assert dataset.graph.n_edges == 40
+
+    def test_explicit_forcing(self):
+        dataset = lorenz96_dataset(length=50, forcing=32.0, seed=1)
+        assert dataset.metadata["forcing"] == 32.0
+
+    def test_reproducible(self):
+        a = lorenz96_dataset(length=80, seed=9)
+        b = lorenz96_dataset(length=80, seed=9)
+        np.testing.assert_array_equal(a.values, b.values)

@@ -1,0 +1,57 @@
+"""Property-based tests of the data layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.windows import sliding_windows, zscore_normalize
+from repro.data.var import VarProcessSpec, simulate_var
+from repro.graph.random_graphs import random_temporal_graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=10, max_value=60),
+       st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=4))
+def test_sliding_window_count_formula(n_series, n_timesteps, window, stride):
+    if window > n_timesteps:
+        return
+    values = np.arange(n_series * n_timesteps, dtype=float).reshape(n_series, n_timesteps)
+    windows = sliding_windows(values, window, stride)
+    expected = (n_timesteps - window) // stride + 1
+    assert windows.shape == (expected, n_series, window)
+    # Every window is an exact slice of the source.
+    for k in range(expected):
+        np.testing.assert_array_equal(windows[k], values[:, k * stride:k * stride + window])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=30, max_value=120))
+def test_zscore_is_idempotent(n_series, n_timesteps):
+    rng = np.random.default_rng(n_series * 100 + n_timesteps)
+    values = rng.normal(3.0, 5.0, size=(n_series, n_timesteps))
+    once = zscore_normalize(values)
+    twice = zscore_normalize(once)
+    np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=8),
+       st.sampled_from(["linear", "tanh", "relu", "sin"]))
+def test_var_simulation_always_finite(n_series, n_edges, nonlinearity):
+    n_edges = min(n_edges, n_series * n_series)
+    rng = np.random.default_rng(n_series * 10 + n_edges)
+    graph = random_temporal_graph(n_series, n_edges=n_edges, max_delay=3, rng=rng)
+    spec = VarProcessSpec(graph=graph, length=150, nonlinearity=nonlinearity, burn_in=30)
+    values = simulate_var(spec, rng=rng)
+    assert values.shape == (n_series, 150)
+    assert np.isfinite(values).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_var_is_deterministic_given_seed(seed):
+    graph = random_temporal_graph(3, n_edges=3, rng=np.random.default_rng(0))
+    spec = VarProcessSpec(graph=graph, length=80)
+    a = simulate_var(spec, rng=np.random.default_rng(seed))
+    b = simulate_var(spec, rng=np.random.default_rng(seed))
+    np.testing.assert_array_equal(a, b)

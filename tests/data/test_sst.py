@@ -1,0 +1,119 @@
+"""Synthetic SST advection field (Fig. 10 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.data.sst import (
+    SstFieldSpec,
+    current_alignment,
+    current_field,
+    edge_direction_labels,
+    simulate_sst,
+    sst_dataset,
+    sst_ground_truth,
+)
+from repro.graph import TemporalCausalGraph
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SstFieldSpec(n_lat=1)
+        with pytest.raises(ValueError):
+            SstFieldSpec(length=5)
+
+    def test_cell_index_roundtrip(self):
+        spec = SstFieldSpec(n_lat=4, n_lon=6)
+        for lat in range(4):
+            for lon in range(6):
+                index = spec.cell_index(lat, lon)
+                assert spec.cell_coords(index) == (lat, lon)
+
+    def test_n_cells(self):
+        assert SstFieldSpec(n_lat=3, n_lon=7).n_cells == 21
+
+
+class TestCurrentField:
+    def test_western_half_flows_north_east(self):
+        spec = SstFieldSpec(n_lat=4, n_lon=6)
+        field = current_field(spec)
+        assert field[0, 0, 0] > 0 and field[0, 0, 1] > 0
+
+    def test_eastern_half_flows_south_west(self):
+        spec = SstFieldSpec(n_lat=4, n_lon=6)
+        field = current_field(spec)
+        assert field[0, 5, 0] < 0 and field[0, 5, 1] < 0
+
+
+class TestGroundTruth:
+    def test_every_cell_has_self_loop(self):
+        spec = SstFieldSpec(n_lat=3, n_lon=3)
+        graph = sst_ground_truth(spec)
+        assert len(graph.self_loops) == spec.n_cells
+
+    def test_truth_edges_perfectly_aligned_with_currents(self):
+        spec = SstFieldSpec(n_lat=3, n_lon=3)
+        graph = sst_ground_truth(spec)
+        assert current_alignment(spec, graph) == 1.0
+
+    def test_edges_stay_on_grid(self):
+        spec = SstFieldSpec(n_lat=3, n_lon=4)
+        graph = sst_ground_truth(spec)
+        assert all(0 <= e.source < spec.n_cells and 0 <= e.target < spec.n_cells
+                   for e in graph.edges)
+
+
+class TestSimulation:
+    def test_output_shape(self):
+        spec = SstFieldSpec(n_lat=3, n_lon=3, length=40)
+        values = simulate_sst(spec, rng=np.random.default_rng(0))
+        assert values.shape == (9, 40)
+
+    def test_field_stays_bounded(self):
+        spec = SstFieldSpec(n_lat=5, n_lon=5, length=97)
+        values = simulate_sst(spec, rng=np.random.default_rng(1))
+        assert np.isfinite(values).all()
+        assert np.abs(values).max() < 20.0
+
+    def test_warm_injection_raises_southwest_mean(self):
+        spec = SstFieldSpec(n_lat=4, n_lon=4, length=80, noise_std=0.1)
+        values = simulate_sst(spec, rng=np.random.default_rng(2))
+        injection_cell = spec.cell_index(0, 0)
+        far_cell = spec.cell_index(3, 3)
+        assert values[injection_cell].mean() > values[far_cell].mean()
+
+    def test_downstream_cell_lags_upstream(self):
+        """The cell north of the injection point responds with a positive lag-1 correlation."""
+        spec = SstFieldSpec(n_lat=4, n_lon=4, length=90, noise_std=0.1)
+        values = simulate_sst(spec, rng=np.random.default_rng(3))
+        source = spec.cell_index(0, 0)
+        downstream = spec.cell_index(1, 0)
+        lagged = np.corrcoef(values[source, :-1], values[downstream, 1:])[0, 1]
+        assert lagged > 0.1
+
+
+class TestDatasetAndReports:
+    def test_dataset_api(self):
+        dataset = sst_dataset(spec=SstFieldSpec(n_lat=3, n_lon=3, length=50), seed=0)
+        assert dataset.name == "sst"
+        assert dataset.n_series == 9
+        assert dataset.graph is not None
+        dataset.validate()
+
+    def test_direction_labels(self):
+        spec = SstFieldSpec(n_lat=3, n_lon=3)
+        graph = TemporalCausalGraph(spec.n_cells)
+        graph.add_edge(spec.cell_index(0, 0), spec.cell_index(1, 0), 1)   # S->N
+        graph.add_edge(spec.cell_index(2, 2), spec.cell_index(1, 2), 1)   # N->S
+        graph.add_edge(spec.cell_index(0, 0), spec.cell_index(0, 1), 1)   # W->E
+        labels = edge_direction_labels(spec, graph)
+        assert labels == ["S->N", "W->E", "N->S"] or sorted(labels) == ["N->S", "S->N", "W->E"]
+
+    def test_alignment_of_reversed_edges_is_zero(self):
+        spec = SstFieldSpec(n_lat=3, n_lon=3)
+        truth = sst_ground_truth(spec)
+        reversed_graph = TemporalCausalGraph(spec.n_cells)
+        for edge in truth.without_self_loops().edges:
+            reversed_graph.add_edge(edge.target, edge.source, edge.delay)
+        # Reversing every edge cannot be better-aligned than the truth.
+        assert current_alignment(spec, reversed_graph) < current_alignment(spec, truth)

@@ -1,0 +1,99 @@
+"""The four synthetic causal structures of the paper (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SYNTHETIC_STRUCTURES, synthetic_dataset
+from repro.data.synthetic import (
+    diamond_dataset,
+    diamond_graph,
+    fork_dataset,
+    fork_graph,
+    mediator_dataset,
+    mediator_graph,
+    v_structure_dataset,
+    v_structure_graph,
+)
+
+
+class TestStructureGraphs:
+    def test_diamond_shape(self):
+        graph = diamond_graph(include_self_loops=False, rng=np.random.default_rng(0))
+        assert graph.n_series == 4
+        assert graph.edge_set() == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_mediator_shape(self):
+        graph = mediator_graph(include_self_loops=False, rng=np.random.default_rng(0))
+        assert graph.edge_set() == {(0, 1), (1, 2), (0, 2)}
+
+    def test_v_structure_is_collider(self):
+        graph = v_structure_graph(include_self_loops=False, rng=np.random.default_rng(0))
+        assert graph.edge_set() == {(0, 2), (1, 2)}
+        assert graph.parents(2) == [0, 1]
+
+    def test_fork_is_common_cause(self):
+        graph = fork_graph(include_self_loops=False, rng=np.random.default_rng(0))
+        assert graph.edge_set() == {(0, 1), (0, 2)}
+        assert graph.children(0) == [1, 2]
+
+    def test_self_loops_added_by_default(self):
+        graph = fork_graph(rng=np.random.default_rng(0))
+        assert len(graph.self_loops) == 3
+
+    def test_all_structures_acyclic(self):
+        for builder in (diamond_graph, mediator_graph, v_structure_graph, fork_graph):
+            assert builder(rng=np.random.default_rng(1)).is_acyclic_ignoring_self_loops()
+
+    def test_delays_bounded_by_max_delay(self):
+        graph = diamond_graph(max_delay=5, rng=np.random.default_rng(2))
+        assert all(edge.delay <= 5 for edge in graph.edges)
+
+
+class TestSyntheticDatasets:
+    def test_registry_contains_all_four(self):
+        assert set(SYNTHETIC_STRUCTURES) == {"diamond", "mediator", "v_structure", "fork"}
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset("pentagon")
+
+    @pytest.mark.parametrize("structure,expected_series", [
+        ("diamond", 4), ("mediator", 3), ("v_structure", 3), ("fork", 3)])
+    def test_series_counts(self, structure, expected_series):
+        dataset = synthetic_dataset(structure, length=120, seed=0)
+        assert dataset.n_series == expected_series
+        assert dataset.n_timesteps == 120
+
+    def test_default_length_is_papers_1000(self):
+        dataset = fork_dataset(seed=0)
+        assert dataset.n_timesteps == 1000
+
+    def test_values_finite(self):
+        for structure in SYNTHETIC_STRUCTURES:
+            dataset = synthetic_dataset(structure, length=300, seed=1)
+            dataset.validate()
+
+    def test_reproducible_with_seed(self):
+        a = diamond_dataset(seed=5, length=100)
+        b = diamond_dataset(seed=5, length=100)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.graph == b.graph
+
+    def test_different_seeds_differ(self):
+        a = mediator_dataset(seed=1, length=100)
+        b = mediator_dataset(seed=2, length=100)
+        assert not np.allclose(a.values, b.values)
+
+    def test_metadata_recorded(self):
+        dataset = v_structure_dataset(seed=3, length=100, nonlinearity="linear")
+        assert dataset.metadata["structure"] == "v_structure"
+        assert dataset.metadata["nonlinearity"] == "linear"
+        assert dataset.metadata["seed"] == 3
+
+    def test_causal_signal_present(self):
+        """The fork cause S0 must predict its effect S1 better than noise."""
+        dataset = fork_dataset(seed=4, length=2000, noise_std=0.5)
+        delay = dataset.graph.delay(0, 1)
+        cause = dataset.values[0, :-delay] if delay else dataset.values[0]
+        effect = dataset.values[1, delay:] if delay else dataset.values[1]
+        assert abs(np.corrcoef(cause, effect)[0, 1]) > 0.15

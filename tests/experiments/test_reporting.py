@@ -1,0 +1,91 @@
+"""Result tables and aggregation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import CellStatistic, ResultTable, format_mean_std
+
+
+class TestFormatting:
+    def test_mean_std_format(self):
+        assert format_mean_std([0.5, 0.7]) == "0.60±0.10"
+
+    def test_precision(self):
+        assert format_mean_std([1 / 3], precision=3) == "0.333±0.000"
+
+    def test_empty_is_na(self):
+        assert format_mean_std([]) == "n/a"
+
+    def test_skips_none_and_nan(self):
+        assert format_mean_std([0.5, None, float("nan")]) == "0.50±0.00"
+
+
+class TestCellStatistic:
+    def test_mean_std(self):
+        cell = CellStatistic()
+        cell.add(0.2)
+        cell.add(0.4)
+        assert cell.mean == pytest.approx(0.3)
+        assert cell.std == pytest.approx(0.1)
+
+    def test_ignores_invalid(self):
+        cell = CellStatistic()
+        cell.add(None)
+        cell.add(float("inf"))
+        assert cell.values == []
+        assert np.isnan(cell.mean)
+
+
+class TestResultTable:
+    def make_table(self):
+        table = ResultTable("Table X", metric="f1")
+        table.add("dataset_a", "method1", 0.5)
+        table.add("dataset_a", "method1", 0.7)
+        table.add("dataset_a", "method2", 0.9)
+        table.add("dataset_b", "method1", 0.4)
+        return table
+
+    def test_rows_and_columns_ordered(self):
+        table = self.make_table()
+        assert table.rows == ["dataset_a", "dataset_b"]
+        assert table.columns == ["method1", "method2"]
+
+    def test_cell_aggregation(self):
+        table = self.make_table()
+        assert table.mean("dataset_a", "method1") == pytest.approx(0.6)
+        assert table.cell("dataset_a", "method2").values == [0.9]
+
+    def test_best_column(self):
+        table = self.make_table()
+        assert table.best_column("dataset_a") == "method2"
+        assert table.best_column("dataset_b") == "method1"
+        assert table.best_column("missing_row") is None
+
+    def test_render_contains_rows_and_marks_best(self):
+        text = self.make_table().render()
+        assert "dataset_a" in text and "method2" in text
+        assert "*" in text  # best cell highlighted
+
+    def test_missing_cell_rendered_na(self):
+        table = self.make_table()
+        assert "n/a" in table.render()
+
+    def test_dict_roundtrip(self):
+        table = self.make_table()
+        restored = ResultTable.from_dict(table.to_dict())
+        assert restored.rows == table.rows
+        assert restored.mean("dataset_a", "method1") == pytest.approx(0.6)
+
+    def test_json_file_output(self, tmp_path):
+        table = self.make_table()
+        path = tmp_path / "table.json"
+        table.to_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["title"] == "Table X"
+
+    def test_add_many(self):
+        table = ResultTable("t")
+        table.add_many("r", "c", [0.1, 0.2, 0.3])
+        assert table.cell("r", "c").values == [0.1, 0.2, 0.3]

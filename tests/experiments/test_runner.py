@@ -1,0 +1,105 @@
+"""Generic experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.data import fork_dataset
+from repro.experiments import (
+    ExperimentSpec,
+    MethodSpec,
+    causalformer_spec,
+    default_method_specs,
+    evaluate_methods,
+    run_method_on_dataset,
+)
+from repro.graph import TemporalCausalGraph
+
+
+class _OracleMethod:
+    """Returns the ground-truth graph (for testing the runner plumbing)."""
+
+    name = "oracle"
+
+    def __init__(self, dataset):
+        self._dataset = dataset
+
+    def discover(self, data):
+        return self._dataset.graph.copy()
+
+
+class _EmptyMethod:
+    name = "empty"
+
+    def discover(self, data):
+        return TemporalCausalGraph(data.n_series)
+
+
+class TestRunMethodOnDataset:
+    def test_oracle_scores_perfectly(self):
+        dataset = fork_dataset(seed=0, length=120)
+        scores = run_method_on_dataset(_OracleMethod(dataset), dataset)
+        assert scores.f1 == 1.0
+        assert scores.precision_of_delay == 1.0
+
+    def test_empty_method_scores_zero(self):
+        dataset = fork_dataset(seed=0, length=120)
+        scores = run_method_on_dataset(_EmptyMethod(), dataset)
+        assert scores.f1 == 0.0
+
+    def test_missing_ground_truth_rejected(self):
+        dataset = fork_dataset(seed=0, length=120)
+        dataset.graph = None
+        with pytest.raises(ValueError):
+            run_method_on_dataset(_EmptyMethod(), dataset)
+
+
+class TestEvaluateMethods:
+    def test_table_filled_for_each_method_and_seed(self):
+        datasets = {}
+
+        def factory(seed):
+            datasets[seed] = fork_dataset(seed=seed, length=120)
+            return datasets[seed]
+
+        experiment = ExperimentSpec("fork", factory, seeds=(0, 1))
+        methods = [MethodSpec("oracle", lambda seed: _OracleMethod(datasets[seed])),
+                   MethodSpec("empty", lambda seed: _EmptyMethod())]
+        table = evaluate_methods([experiment], methods, metric="f1")
+        assert table.rows == ["fork"]
+        assert set(table.columns) == {"oracle", "empty"}
+        assert len(table.cell("fork", "oracle").values) == 2
+        assert table.mean("fork", "oracle") == 1.0
+        assert table.mean("fork", "empty") == 0.0
+
+    def test_best_column_is_oracle(self):
+        datasets = {}
+
+        def factory(seed):
+            datasets[seed] = fork_dataset(seed=seed, length=120)
+            return datasets[seed]
+
+        experiment = ExperimentSpec("fork", factory, seeds=(0,))
+        methods = [MethodSpec("empty", lambda seed: _EmptyMethod()),
+                   MethodSpec("oracle", lambda seed: _OracleMethod(datasets[seed]))]
+        table = evaluate_methods([experiment], methods)
+        assert table.best_column("fork") == "oracle"
+
+
+class TestMethodSpecs:
+    def test_default_line_up(self):
+        specs = default_method_specs(fast=True)
+        names = [spec.name for spec in specs]
+        assert names == ["cmlp", "clstm", "tcdf", "dvgnn", "cuts", "causalformer"]
+
+    def test_causalformer_excluded_when_asked(self):
+        names = [spec.name for spec in default_method_specs(include_causalformer=False)]
+        assert "causalformer" not in names
+
+    def test_causalformer_spec_propagates_seed(self):
+        spec = causalformer_spec()
+        model = spec.build(seed=17)
+        assert model.config.seed == 17
+
+    def test_method_factories_build_fresh_instances(self):
+        spec = default_method_specs(fast=True)[0]
+        assert spec.build(0) is not spec.build(0)

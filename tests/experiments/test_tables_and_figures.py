@@ -1,0 +1,95 @@
+"""Smoke-level integration tests of the table/figure runners.
+
+These run heavily reduced versions (single seed, tiny lengths) so the test
+suite stays fast; the full-size runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ABLATION_NAMES,
+    describe_structures,
+    run_figure8,
+    run_figure10,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.figure7 import render_structures
+
+
+class TestFigure7:
+    def test_all_structures_described(self):
+        report = describe_structures(length=80)
+        assert set(report) == {"diamond", "mediator", "v_structure", "fork"}
+        assert report["diamond"]["n_series"] == 4
+        assert report["fork"]["n_cross_edges"] == 2
+        assert all(info["is_acyclic"] for info in report.values())
+
+    def test_render(self):
+        text = render_structures(describe_structures(length=80))
+        assert "diamond" in text and "->" in text
+
+
+class TestTable1:
+    @pytest.mark.slow
+    def test_single_dataset_single_seed(self):
+        table = run_table1(seeds=(0,), fast=True, datasets=("fork",))
+        assert table.rows == ["fork"]
+        assert set(table.columns) == {"cmlp", "clstm", "tcdf", "dvgnn", "cuts", "causalformer"}
+        for column in table.columns:
+            value = table.mean("fork", column)
+            assert 0.0 <= value <= 1.0
+
+    def test_dataset_filter(self):
+        table = run_table1(seeds=(0,), fast=True, datasets=())
+        assert table.rows == []
+
+
+class TestTable2:
+    @pytest.mark.slow
+    def test_pod_only_for_delay_capable_methods(self):
+        table = run_table2(seeds=(0,), fast=True, datasets=("fork",))
+        assert set(table.columns) <= {"cmlp", "tcdf", "causalformer"}
+        for column in table.columns:
+            values = table.cell("fork", column).values
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestTable3:
+    def test_ablation_names(self):
+        assert "CausalFormer" in ABLATION_NAMES
+        assert len(ABLATION_NAMES) == 6
+
+    @pytest.mark.slow
+    def test_two_variants_run(self):
+        table = run_table3(seeds=(0,), fast=True, length=200,
+                           variants=("w/o interpretation", "CausalFormer"))
+        assert set(table.rows) == {"w/o interpretation", "CausalFormer"}
+        assert set(table.columns) == {"precision", "recall", "f1"}
+
+
+class TestFigure8:
+    @pytest.mark.slow
+    def test_case_study_report(self):
+        report = run_figure8(seed=0, fast=True, length=160)
+        assert set(report.entries) == {"cmlp", "tcdf", "dvgnn", "cuts", "causalformer"}
+        assert report.best_method() in report.entries
+        text = report.render()
+        assert "F1" in text and "ground truth" in text
+        for entry in report.entries.values():
+            assert 0.0 <= entry.f1 <= 1.0
+            # TP/FP/FN partition the predicted and true edges coherently.
+            assert len(entry.true_positive) + len(entry.false_negative) == len(report.truth_edges)
+
+
+class TestFigure10:
+    @pytest.mark.slow
+    def test_sst_report(self):
+        report = run_figure10(seed=0, fast=True)
+        assert report.n_cells == 16
+        assert 0.0 <= report.alignment <= 1.0
+        assert report.n_edges >= 0
+        assert isinstance(report.direction_counts, dict)
+        assert "aligned" in report.render()

@@ -1,0 +1,147 @@
+"""Causal-discovery evaluation metrics (precision / recall / F1 / PoD / SHD)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    TemporalCausalGraph,
+    aggregate_scores,
+    confusion_counts,
+    evaluate_discovery,
+    precision_of_delay,
+    precision_recall_f1,
+    structural_hamming_distance,
+)
+from repro.graph.metrics import edge_classification
+
+
+def make_graph(n, edges):
+    graph = TemporalCausalGraph(n)
+    for source, target, delay in edges:
+        graph.add_edge(source, target, delay)
+    return graph
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_prediction(self):
+        truth = make_graph(3, [(0, 1, 1), (1, 2, 2)])
+        precision, recall, f1 = precision_recall_f1(truth, truth)
+        assert precision == recall == f1 == 1.0
+
+    def test_empty_prediction(self):
+        truth = make_graph(3, [(0, 1, 1)])
+        predicted = make_graph(3, [])
+        precision, recall, f1 = precision_recall_f1(predicted, truth)
+        assert precision == 0.0 and recall == 0.0 and f1 == 0.0
+
+    def test_half_correct(self):
+        truth = make_graph(3, [(0, 1, 1), (1, 2, 1)])
+        predicted = make_graph(3, [(0, 1, 1), (2, 0, 1)])
+        precision, recall, f1 = precision_recall_f1(predicted, truth)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_delay_does_not_affect_f1(self):
+        truth = make_graph(2, [(0, 1, 3)])
+        predicted = make_graph(2, [(0, 1, 1)])
+        _, _, f1 = precision_recall_f1(predicted, truth)
+        assert f1 == 1.0
+
+    def test_exclude_self_loops(self):
+        truth = make_graph(2, [(0, 0, 1), (0, 1, 1)])
+        predicted = make_graph(2, [(0, 1, 1)])
+        _, recall_with, _ = precision_recall_f1(predicted, truth, include_self_loops=True)
+        _, recall_without, _ = precision_recall_f1(predicted, truth, include_self_loops=False)
+        assert recall_with == pytest.approx(0.5)
+        assert recall_without == pytest.approx(1.0)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1(make_graph(2, []), make_graph(3, []))
+
+
+class TestConfusionCounts:
+    def test_counts_sum_to_all_pairs(self):
+        truth = make_graph(3, [(0, 1, 1), (1, 2, 1), (2, 2, 1)])
+        predicted = make_graph(3, [(0, 1, 1), (0, 2, 1)])
+        counts = confusion_counts(predicted, truth)
+        assert counts.total == 9
+        assert counts.true_positive == 1
+        assert counts.false_positive == 1
+        assert counts.false_negative == 2
+
+    def test_edge_classification(self):
+        truth = make_graph(3, [(0, 1, 1), (1, 2, 1)])
+        predicted = make_graph(3, [(0, 1, 1), (2, 0, 1)])
+        classified = edge_classification(predicted, truth)
+        assert classified["true_positive"] == [(0, 1)]
+        assert classified["false_positive"] == [(2, 0)]
+        assert classified["false_negative"] == [(1, 2)]
+
+
+class TestPrecisionOfDelay:
+    def test_exact_delays(self):
+        truth = make_graph(3, [(0, 1, 2), (1, 2, 3)])
+        predicted = make_graph(3, [(0, 1, 2), (1, 2, 1)])
+        assert precision_of_delay(predicted, truth) == pytest.approx(0.5)
+
+    def test_tolerance(self):
+        truth = make_graph(3, [(0, 1, 2), (1, 2, 3)])
+        predicted = make_graph(3, [(0, 1, 3), (1, 2, 2)])
+        assert precision_of_delay(predicted, truth, tolerance=0) == 0.0
+        assert precision_of_delay(predicted, truth, tolerance=1) == 1.0
+
+    def test_false_positives_ignored(self):
+        truth = make_graph(3, [(0, 1, 2)])
+        predicted = make_graph(3, [(0, 1, 2), (2, 0, 5)])
+        assert precision_of_delay(predicted, truth) == 1.0
+
+    def test_undefined_when_no_true_positive(self):
+        truth = make_graph(2, [(0, 1, 1)])
+        predicted = make_graph(2, [(1, 0, 1)])
+        assert precision_of_delay(predicted, truth) is None
+
+
+class TestStructuralHammingDistance:
+    def test_zero_for_identical(self):
+        graph = make_graph(3, [(0, 1, 1), (1, 2, 1)])
+        assert structural_hamming_distance(graph, graph) == 0
+
+    def test_counts_missing_and_extra(self):
+        truth = make_graph(3, [(0, 1, 1), (1, 2, 1)])
+        predicted = make_graph(3, [(0, 1, 1), (0, 2, 1)])
+        assert structural_hamming_distance(predicted, truth) == 2
+
+    def test_reversal_counts_once(self):
+        truth = make_graph(2, [(0, 1, 1)])
+        predicted = make_graph(2, [(1, 0, 1)])
+        assert structural_hamming_distance(predicted, truth) == 1
+
+
+class TestEvaluateAndAggregate:
+    def test_evaluate_bundles_everything(self):
+        truth = make_graph(3, [(0, 1, 2), (1, 2, 1)])
+        predicted = make_graph(3, [(0, 1, 2)])
+        scores = evaluate_discovery(predicted, truth)
+        assert scores.precision == 1.0
+        assert scores.recall == pytest.approx(0.5)
+        assert scores.precision_of_delay == 1.0
+        assert scores.counts.true_positive == 1
+        assert set(scores.as_dict()) >= {"precision", "recall", "f1"}
+
+    def test_aggregate_mean_std(self):
+        truth = make_graph(2, [(0, 1, 1)])
+        scores = [evaluate_discovery(make_graph(2, [(0, 1, 1)]), truth),
+                  evaluate_discovery(make_graph(2, []), truth)]
+        aggregate = aggregate_scores(scores, metric="f1")
+        assert aggregate.mean == pytest.approx(0.5)
+        assert aggregate.n_runs == 2
+        assert "±" in str(aggregate)
+
+    def test_aggregate_skips_none_values(self):
+        truth = make_graph(2, [(0, 1, 1)])
+        scores = [evaluate_discovery(make_graph(2, [(1, 0, 1)]), truth)]
+        aggregate = aggregate_scores(scores, metric="precision_of_delay")
+        assert aggregate.n_runs == 0
+        assert np.isnan(aggregate.mean)

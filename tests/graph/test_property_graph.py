@@ -1,0 +1,92 @@
+"""Property-based tests of graphs and metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    TemporalCausalGraph,
+    evaluate_discovery,
+    precision_recall_f1,
+    structural_hamming_distance,
+)
+
+
+@st.composite
+def graph_pairs(draw):
+    """Two random graphs over the same series set."""
+    n = draw(st.integers(min_value=2, max_value=6))
+
+    def build():
+        graph = TemporalCausalGraph(n)
+        n_edges = draw(st.integers(min_value=0, max_value=n * n))
+        for _ in range(n_edges):
+            source = draw(st.integers(min_value=0, max_value=n - 1))
+            target = draw(st.integers(min_value=0, max_value=n - 1))
+            delay = draw(st.integers(min_value=0, max_value=4))
+            if source == target and delay == 0:
+                delay = 1
+            graph.add_edge(source, target, delay)
+        return graph
+
+    return build(), build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_pairs())
+def test_f1_is_symmetric_in_direction_of_comparison_bounds(pair):
+    predicted, truth = pair
+    precision, recall, f1 = precision_recall_f1(predicted, truth)
+    assert 0.0 <= precision <= 1.0
+    assert 0.0 <= recall <= 1.0
+    assert 0.0 <= f1 <= 1.0
+    # F1 is the harmonic mean: it can never exceed either component.
+    assert f1 <= max(precision, recall) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_pairs())
+def test_self_comparison_is_perfect(pair):
+    graph, _ = pair
+    precision, recall, f1 = precision_recall_f1(graph, graph)
+    if graph.n_edges:
+        assert precision == recall == f1 == 1.0
+    assert structural_hamming_distance(graph, graph) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_pairs())
+def test_shd_symmetry_and_bound(pair):
+    a, b = pair
+    assert structural_hamming_distance(a, b) == structural_hamming_distance(b, a)
+    assert structural_hamming_distance(a, b) <= a.n_series ** 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_pairs())
+def test_adjacency_roundtrip_preserves_edges(pair):
+    graph, _ = pair
+    restored = TemporalCausalGraph.from_adjacency(graph.adjacency_matrix(),
+                                                  graph.delay_matrix())
+    assert restored == graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_pairs())
+def test_serialization_roundtrip(pair):
+    graph, _ = pair
+    assert TemporalCausalGraph.from_json(graph.to_json()) == graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_pairs())
+def test_evaluate_discovery_consistent_with_counts(pair):
+    predicted, truth = pair
+    scores = evaluate_discovery(predicted, truth)
+    counts = scores.counts
+    if counts.true_positive + counts.false_positive > 0:
+        expected_precision = counts.true_positive / (counts.true_positive + counts.false_positive)
+        assert np.isclose(scores.precision, expected_precision)
+    if counts.true_positive + counts.false_negative > 0:
+        expected_recall = counts.true_positive / (counts.true_positive + counts.false_negative)
+        assert np.isclose(scores.recall, expected_recall)

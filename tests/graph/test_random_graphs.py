@@ -1,0 +1,90 @@
+"""Random graph generators and stable VAR coefficient sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import random_dag, random_temporal_graph
+from repro.graph.random_graphs import stable_var_coefficients
+
+
+class TestRandomDag:
+    def test_is_acyclic(self):
+        for seed in range(5):
+            graph = random_dag(8, edge_probability=0.4, rng=np.random.default_rng(seed))
+            assert graph.is_acyclic_ignoring_self_loops()
+
+    def test_edge_probability_extremes(self):
+        empty = random_dag(5, edge_probability=0.0, rng=np.random.default_rng(0))
+        assert empty.n_edges == 0
+        full = random_dag(5, edge_probability=1.0, rng=np.random.default_rng(0))
+        assert full.n_edges == 10  # all upper-triangular pairs
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_dag(5, edge_probability=1.5)
+
+    def test_self_loops_flag(self):
+        graph = random_dag(5, edge_probability=1.0, self_loops=True,
+                           rng=np.random.default_rng(0))
+        assert len(graph.self_loops) > 0
+
+    def test_delays_within_bounds(self):
+        graph = random_dag(6, edge_probability=0.8, max_delay=4,
+                           rng=np.random.default_rng(1))
+        assert all(1 <= edge.delay <= 4 for edge in graph.edges)
+
+
+class TestRandomTemporalGraph:
+    def test_exact_edge_count(self):
+        graph = random_temporal_graph(6, n_edges=10, rng=np.random.default_rng(0))
+        assert graph.n_edges == 10
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_temporal_graph(3, n_edges=100)
+
+    def test_no_self_loops_when_disallowed(self):
+        graph = random_temporal_graph(5, n_edges=10, allow_self_loops=False,
+                                      rng=np.random.default_rng(0))
+        assert len(graph.self_loops) == 0
+
+    def test_instantaneous_only_when_allowed(self):
+        graph = random_temporal_graph(6, n_edges=15, allow_instantaneous=False,
+                                      rng=np.random.default_rng(0))
+        assert all(edge.delay >= 1 for edge in graph.edges)
+
+    def test_reproducible_with_seed(self):
+        a = random_temporal_graph(5, n_edges=6, rng=np.random.default_rng(7))
+        b = random_temporal_graph(5, n_edges=6, rng=np.random.default_rng(7))
+        assert a == b
+
+
+class TestStableVarCoefficients:
+    def test_shape(self):
+        graph = random_dag(4, edge_probability=0.5, max_delay=3,
+                           rng=np.random.default_rng(0))
+        weights = stable_var_coefficients(graph, max_delay=3, rng=np.random.default_rng(0))
+        assert weights.shape == (4, 4, 4)
+
+    def test_nonzero_only_on_edges(self):
+        graph = random_dag(4, edge_probability=0.5, rng=np.random.default_rng(1))
+        weights = stable_var_coefficients(graph, rng=np.random.default_rng(1))
+        adjacency = graph.adjacency_matrix()
+        lagged_support = (np.abs(weights[1:]).sum(axis=0) > 0).astype(int)
+        assert np.all(lagged_support <= adjacency)
+
+    def test_companion_spectral_radius_below_one(self):
+        graph = random_dag(5, edge_probability=0.9, max_delay=2,
+                           rng=np.random.default_rng(2))
+        weights = stable_var_coefficients(graph, max_delay=2, strength=0.8,
+                                          rng=np.random.default_rng(2))
+        n = graph.n_series
+        lagged = weights[1:]
+        p = lagged.shape[0]
+        companion = np.zeros((n * p, n * p))
+        for lag in range(p):
+            companion[:n, lag * n:(lag + 1) * n] = lagged[lag].T
+        if p > 1:
+            companion[n:, :-n] = np.eye(n * (p - 1))
+        radius = max(abs(np.linalg.eigvals(companion)))
+        assert radius <= 0.8 + 1e-6

@@ -1,0 +1,65 @@
+"""Statistical sanity of the parameter initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestHeInitialisation:
+    def test_he_normal_std(self):
+        rng = init.default_rng(0)
+        shape = (400, 300)
+        values = init.he_normal(shape, rng)
+        expected_std = np.sqrt(2.0 / shape[0])
+        assert values.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_he_normal_zero_mean(self):
+        values = init.he_normal((500, 100), init.default_rng(1))
+        assert abs(values.mean()) < 0.01
+
+    def test_he_uniform_bound(self):
+        shape = (200, 50)
+        values = init.he_uniform(shape, init.default_rng(2))
+        bound = np.sqrt(6.0 / shape[0])
+        assert np.all(np.abs(values) <= bound)
+
+    def test_deterministic_with_seed(self):
+        a = init.he_normal((10, 10), init.default_rng(42))
+        b = init.he_normal((10, 10), init.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavierInitialisation:
+    def test_xavier_uniform_bound(self):
+        shape = (100, 200)
+        values = init.xavier_uniform(shape, init.default_rng(3))
+        bound = np.sqrt(6.0 / (shape[0] + shape[1]))
+        assert np.all(np.abs(values) <= bound)
+
+    def test_xavier_normal_std(self):
+        shape = (300, 300)
+        values = init.xavier_normal(shape, init.default_rng(4))
+        expected_std = np.sqrt(2.0 / (shape[0] + shape[1]))
+        assert values.std() == pytest.approx(expected_std, rel=0.05)
+
+
+class TestSimpleInitialisers:
+    def test_zeros_ones_constant(self):
+        assert init.zeros((3, 2)).sum() == 0.0
+        assert init.ones((3, 2)).sum() == 6.0
+        np.testing.assert_allclose(init.constant((2, 2), 3.5), 3.5)
+
+    def test_normal_parameters(self):
+        values = init.normal((2000,), mean=1.0, std=0.5, rng=init.default_rng(5))
+        assert values.mean() == pytest.approx(1.0, abs=0.05)
+        assert values.std() == pytest.approx(0.5, abs=0.05)
+
+    def test_uniform_range(self):
+        values = init.uniform((1000,), low=-2.0, high=3.0, rng=init.default_rng(6))
+        assert values.min() >= -2.0 and values.max() <= 3.0
+
+    def test_one_dimensional_fan(self):
+        # fan_in for a 1-D shape is the length itself and must not crash.
+        values = init.he_normal((50,), init.default_rng(7))
+        assert values.shape == (50,)

@@ -1,0 +1,171 @@
+"""Behaviour of the standard layers (Linear, Conv1d, LSTM, Dropout, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    Conv1d,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    LSTM,
+    LSTMCell,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 7)
+        assert layer(Tensor(np.zeros((3, 4)))).shape == (3, 7)
+
+    def test_batched_3d_input(self):
+        layer = Linear(4, 7)
+        assert layer(Tensor(np.zeros((2, 5, 4)))).shape == (2, 5, 7)
+
+    def test_matches_manual_affine(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3)
+        x = rng.normal(size=(5, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        x = np.ones((2, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x @ layer.weight.data)
+
+    def test_gradients_reach_parameters(self):
+        layer = Linear(3, 2)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_repr(self):
+        assert "in_features=3" in repr(Linear(3, 2))
+
+
+class TestActivationsAndContainers:
+    def test_identity(self):
+        x = Tensor(np.arange(4.0))
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(2, 2), ReLU(), Linear(2, 1))
+        assert model(Tensor(np.zeros((3, 2)))).shape == (3, 1)
+
+    def test_sequential_indexing_and_len(self):
+        model = Sequential(Linear(2, 2), Tanh())
+        assert len(model) == 2
+        assert isinstance(model[1], Tanh)
+
+    def test_activation_modules_match_functional(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(LeakyReLU(0.2)(Tensor(x)).data,
+                                   F.leaky_relu(Tensor(x), 0.2).data)
+        np.testing.assert_allclose(Sigmoid()(Tensor(x)).data, F.sigmoid(Tensor(x)).data)
+        np.testing.assert_allclose(Tanh()(Tensor(x)).data, np.tanh(x))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones((8, 8)))
+        np.testing.assert_allclose(layer(x).data, 1.0)
+
+    def test_training_mode_zeroes_entries(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((20, 20))))
+        assert (out.data == 0).any()
+        assert (out.data != 0).any()
+
+
+class TestConv1d:
+    def test_output_shape_causal(self):
+        conv = Conv1d(3, 5, kernel_size=3)
+        assert conv(Tensor(np.zeros((2, 3, 10)))).shape == (2, 5, 10)
+
+    def test_matches_manual_convolution(self):
+        rng = np.random.default_rng(2)
+        conv = Conv1d(1, 1, kernel_size=3, bias=False)
+        x = rng.normal(size=(1, 1, 6))
+        out = conv(Tensor(x)).data[0, 0]
+        kernel = conv.weight.data[0, 0]
+        padded = np.concatenate([np.zeros(2), x[0, 0]])
+        expected = np.array([np.dot(kernel, padded[t:t + 3]) for t in range(6)])
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_causality(self):
+        """Changing a future input must not change past outputs."""
+        rng = np.random.default_rng(3)
+        conv = Conv1d(2, 2, kernel_size=3, dilation=2)
+        x = rng.normal(size=(1, 2, 12))
+        base = conv(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[:, :, 8] += 10.0
+        out = conv(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[:, :, :8], base[:, :, :8], atol=1e-10)
+
+    def test_grouped_depthwise(self):
+        conv = Conv1d(4, 4, kernel_size=2, groups=4)
+        assert conv.weight.shape == (4, 1, 2)
+        assert conv(Tensor(np.zeros((2, 4, 7)))).shape == (2, 4, 7)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            Conv1d(3, 4, kernel_size=2, groups=2)
+
+    def test_gradients_flow(self):
+        conv = Conv1d(2, 3, kernel_size=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 5)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert conv.weight.grad is not None
+
+
+class TestLstm:
+    def test_cell_shapes(self):
+        cell = LSTMCell(3, 5)
+        h, c = cell.initial_state(batch_size=4)
+        h2, c2 = cell(Tensor(np.zeros((4, 3))), (h, c))
+        assert h2.shape == (4, 5) and c2.shape == (4, 5)
+
+    def test_sequence_output_shape(self):
+        lstm = LSTM(3, 6)
+        outputs, (h, c) = lstm(Tensor(np.zeros((2, 7, 3))))
+        assert outputs.shape == (2, 7, 6)
+        assert h.shape == (2, 6) and c.shape == (2, 6)
+
+    def test_state_carries_information(self):
+        """The last output must depend on the first input."""
+        rng = np.random.default_rng(4)
+        lstm = LSTM(2, 4, rng=rng)
+        x = rng.normal(size=(1, 5, 2))
+        base = lstm(Tensor(x))[0].data[:, -1, :]
+        perturbed = x.copy()
+        perturbed[0, 0, :] += 5.0
+        changed = lstm(Tensor(perturbed))[0].data[:, -1, :]
+        assert not np.allclose(base, changed)
+
+    def test_gradients_reach_input_weights(self):
+        lstm = LSTM(2, 3)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 2)))
+        out, _ = lstm(x)
+        out.sum().backward()
+        assert lstm.cell.weight_ih.grad is not None
+        assert lstm.cell.weight_hh.grad is not None
+
+    def test_bounded_hidden_state(self):
+        lstm = LSTM(2, 3)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 20, 2)) * 100)
+        out, _ = lstm(x)
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-9)

@@ -1,0 +1,133 @@
+"""Module/Parameter container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential, LeakyReLU
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+class _ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(3, 2)
+        self.scale = Parameter(np.array([2.0]))
+        self.register_buffer("running_mean", np.zeros(2))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        module = _ToyModule()
+        names = dict(module.named_parameters())
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_parameter_count(self):
+        module = _ToyModule()
+        assert module.num_parameters() == 3 * 2 + 2 + 1
+
+    def test_buffers_in_state_dict_not_parameters(self):
+        module = _ToyModule()
+        assert "running_mean" in module.state_dict()
+        assert "running_mean" not in dict(module.named_parameters())
+
+    def test_modules_iteration(self):
+        module = _ToyModule()
+        classes = [m.__class__.__name__ for m in module.modules()]
+        assert "Linear" in classes and "_ToyModule" in classes
+
+    def test_children(self):
+        module = _ToyModule()
+        assert [child.__class__.__name__ for child in module.children()] == ["Linear"]
+
+    def test_named_modules_prefixes(self):
+        module = _ToyModule()
+        names = [name for name, _ in module.named_modules()]
+        assert "linear" in names
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = _ToyModule()
+        target = _ToyModule()
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(target.linear.weight.data, source.linear.weight.data)
+        np.testing.assert_allclose(target.scale.data, source.scale.data)
+
+    def test_state_dict_is_a_copy(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["scale"][0] = 99.0
+        assert module.scale.data[0] == 2.0
+
+    def test_missing_key_strict_raises(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            module.load_state_dict(state, strict=True)
+
+    def test_missing_key_non_strict_returns_names(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        del state["scale"]
+        missing = module.load_state_dict(state, strict=False)
+        assert missing == ["scale"]
+
+    def test_shape_mismatch_raises(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), LeakyReLU(), Linear(2, 1))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        module = _ToyModule()
+        out = module(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert module.linear.weight.grad is not None
+        module.zero_grad()
+        assert all(p.grad is None for p in module.parameters())
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+    def test_repr_lists_children(self):
+        assert "linear" in repr(_ToyModule())
+
+
+class TestModuleList:
+    def test_registers_items(self):
+        modules = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(list(modules.parameters())) == 4
+
+    def test_len_and_indexing(self):
+        modules = ModuleList([Linear(2, 2), Linear(2, 3)])
+        assert len(modules) == 2
+        assert modules[1].out_features == 3
+
+    def test_append(self):
+        modules = ModuleList()
+        modules.append(Linear(1, 1))
+        assert len(modules) == 1
+        assert len(list(modules.parameters())) == 2
+
+    def test_iteration(self):
+        items = [Linear(2, 2), Linear(2, 2), Linear(2, 2)]
+        modules = ModuleList(items)
+        assert list(modules) == items

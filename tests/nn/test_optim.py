@@ -1,0 +1,140 @@
+"""Optimiser behaviour: convergence, state handling, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, Optimizer, SGD, clip_grad_norm_
+from repro.nn.tensor import Tensor
+
+
+def _linear_regression_loss(layer, inputs, targets):
+    prediction = layer(Tensor(inputs)).squeeze(-1)
+    return F.mse_loss(prediction, Tensor(targets))
+
+
+def _make_problem(seed=0, n=80, d=4):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(n, d))
+    true_weights = rng.normal(size=d)
+    targets = inputs @ true_weights + 0.5
+    return inputs, targets
+
+
+class TestSgd:
+    def test_reduces_loss(self):
+        inputs, targets = _make_problem()
+        layer = Linear(4, 1)
+        optimizer = SGD(layer.parameters(), lr=0.05)
+        first = None
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = _linear_regression_loss(layer, inputs, targets)
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            optimizer.step()
+        assert float(loss.data) < first * 0.1
+
+    def test_momentum_accelerates(self):
+        inputs, targets = _make_problem(seed=1)
+
+        def run(momentum):
+            layer = Linear(4, 1, rng=np.random.default_rng(0))
+            optimizer = SGD(layer.parameters(), lr=0.01, momentum=momentum)
+            for _ in range(60):
+                optimizer.zero_grad()
+                loss = _linear_regression_loss(layer, inputs, targets)
+                loss.backward()
+                optimizer.step()
+            return float(loss.data)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([10.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.array([0.0])
+        optimizer.step()
+        assert abs(parameter.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient: must not raise nor change the value
+        assert parameter.data[0] == 1.0
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.array([1.0]))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_regression(self):
+        inputs, targets = _make_problem(seed=2)
+        layer = Linear(4, 1)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = _linear_regression_loss(layer, inputs, targets)
+            loss.backward()
+            optimizer.step()
+        assert float(loss.data) < 1e-3
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 1)
+        optimizer = Adam(layer.parameters(), lr=0.01)
+        _linear_regression_loss(layer, np.ones((4, 2)), np.ones(4)).backward()
+        optimizer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_step_count_affects_bias_correction(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        first_update = 1.0 - parameter.data[0]
+        # The very first Adam step should be close to the learning rate.
+        assert first_update == pytest.approx(0.1, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.array([1.0]))], betas=(1.0, 0.9))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_weight_decay_applies(self):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = Adam([parameter], lr=0.1, weight_decay=1.0)
+        parameter.grad = np.array([0.0])
+        optimizer.step()
+        assert parameter.data[0] < 5.0
+
+
+class TestGradientClipping:
+    def test_clips_large_gradients(self):
+        parameters = [Parameter(np.zeros(3)) for _ in range(2)]
+        for parameter in parameters:
+            parameter.grad = np.full(3, 10.0)
+        norm_before = clip_grad_norm_(parameters, max_norm=1.0)
+        assert norm_before > 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients_untouched(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad = np.full(3, 0.01)
+        clip_grad_norm_([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, 0.01)
+
+    def test_handles_missing_gradients(self):
+        assert clip_grad_norm_([Parameter(np.zeros(3))], max_norm=1.0) == 0.0
+
+    def test_base_optimizer_step_abstract(self):
+        optimizer = Optimizer([Parameter(np.array([1.0]))])
+        with pytest.raises(NotImplementedError):
+            optimizer.step()

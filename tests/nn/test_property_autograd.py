@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) of the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+FINITE = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(dtype=np.float64,
+                  shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+                  elements=FINITE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_gradient_of_sum_is_ones(values):
+    x = Tensor(values, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+def test_gradient_is_linear_in_scale(values, scale):
+    x = Tensor(values, requires_grad=True)
+    (x * scale).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(values, scale))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_commutes_in_forward_and_backward(values):
+    other = np.ones_like(values) * 0.5
+    a = Tensor(values, requires_grad=True)
+    b = Tensor(values, requires_grad=True)
+    (a + Tensor(other)).sum().backward()
+    (Tensor(other) + b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.grad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mse_of_self_is_zero_with_zero_gradient(values):
+    x = Tensor(values, requires_grad=True)
+    loss = F.mse_loss(x, Tensor(values.copy()))
+    loss.backward()
+    assert float(loss.data) == 0.0
+    np.testing.assert_allclose(x.grad, 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(2, 6)),
+              elements=FINITE))
+def test_softmax_rows_always_sum_to_one(values):
+    out = F.softmax(Tensor(values), axis=-1)
+    np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-9)
+    assert np.all(out.data >= 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(2, 6)),
+              elements=FINITE))
+def test_softmax_gradient_rows_sum_to_zero(values):
+    x = Tensor(values, requires_grad=True)
+    weights = np.linspace(0.0, 1.0, values.shape[1])
+    (F.softmax(x, axis=-1) * Tensor(weights)).sum().backward()
+    np.testing.assert_allclose(x.grad.sum(axis=-1), 0.0, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_abs_gradient_has_unit_magnitude_away_from_zero(values):
+    values = values + np.where(values >= 0, 0.1, -0.1)  # keep away from the kink
+    x = Tensor(values, requires_grad=True)
+    x.abs().sum().backward()
+    np.testing.assert_allclose(np.abs(x.grad), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+def test_sum_rule_of_gradients(a_values, b_values):
+    """grad of (f + g) equals grad f + grad g for elementwise squares."""
+    if a_values.shape != b_values.shape:
+        return
+    x = Tensor(a_values, requires_grad=True)
+    ((x * x).sum() + (x * Tensor(b_values)).sum()).backward()
+    expected = 2 * a_values + b_values
+    np.testing.assert_allclose(x.grad, expected, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6))
+def test_matmul_gradient_shapes(n, m):
+    a = Tensor(np.ones((n, m)), requires_grad=True)
+    b = Tensor(np.ones((m, n)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (n, m)
+    assert b.grad.shape == (m, n)
+    np.testing.assert_allclose(a.grad, n)
+    np.testing.assert_allclose(b.grad, n)

@@ -1,0 +1,50 @@
+"""Saving and loading model weights to .npz archives."""
+
+import numpy as np
+
+from repro.nn.layers import LeakyReLU, Linear, Sequential
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+def _make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng=rng), LeakyReLU(), Linear(8, 2, rng=rng))
+
+
+class TestSerialization:
+    def test_roundtrip_restores_outputs(self, tmp_path):
+        model = _make_model(seed=0)
+        path = save_state_dict(model, str(tmp_path / "model"))
+        clone = _make_model(seed=99)
+        load_state_dict(clone, path)
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        np.testing.assert_allclose(clone(Tensor(x)).data, model(Tensor(x)).data)
+
+    def test_extension_added(self, tmp_path):
+        model = _make_model()
+        path = save_state_dict(model, str(tmp_path / "weights"))
+        assert path.endswith(".npz")
+
+    def test_load_accepts_missing_extension(self, tmp_path):
+        model = _make_model()
+        save_state_dict(model, str(tmp_path / "weights"))
+        clone = _make_model(seed=5)
+        load_state_dict(clone, str(tmp_path / "weights"))
+        np.testing.assert_allclose(clone[0].weight.data, model[0].weight.data)
+
+    def test_nested_directory_created(self, tmp_path):
+        model = _make_model()
+        path = save_state_dict(model, str(tmp_path / "deep" / "nested" / "model"))
+        clone = _make_model(seed=3)
+        load_state_dict(clone, path)
+        np.testing.assert_allclose(clone[2].bias.data, model[2].bias.data)
+
+    def test_causalformer_transformer_roundtrip(self, tmp_path, tiny_transformer, window_batch):
+        from repro.core import CausalityAwareTransformer
+
+        path = save_state_dict(tiny_transformer, str(tmp_path / "transformer"))
+        clone = CausalityAwareTransformer(tiny_transformer.config)
+        load_state_dict(clone, path)
+        np.testing.assert_allclose(clone.predict(window_batch),
+                                   tiny_transformer.predict(window_batch))

@@ -1,0 +1,162 @@
+"""Autograd-engine mechanics: graph construction, retain_grad, no_grad, errors."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestGraphMechanics:
+    def test_leaf_requires_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        assert x.requires_grad
+        assert x.is_leaf
+
+    def test_result_of_op_is_not_leaf(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2
+        assert not y.is_leaf
+        assert y.requires_grad
+
+    def test_no_grad_parents_means_no_graph(self):
+        x = Tensor([1.0, 2.0])
+        y = x * 2
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_backward_accumulates_on_leaves_only_by_default(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = x * 2
+        z = (y * y).sum()
+        z.backward()
+        assert x.grad is not None
+        assert y.grad is None
+
+    def test_retain_grad_keeps_intermediate(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = (x * 2)
+        y.retain_grad()
+        (y * y).sum().backward()
+        np.testing.assert_allclose(y.grad, 2 * y.data)
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).sum().backward()
+        first = x.grad.copy()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_zero_grad_clears(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_non_scalar_requires_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2
+        with pytest.raises(ValueError):
+            y.backward()
+
+    def test_backward_non_scalar_with_explicit_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2
+        y.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(x.grad, 2 * np.ones((2, 2)))
+
+    def test_diamond_graph_gradient(self):
+        # x feeds two paths that re-join: gradient must sum the paths.
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3
+        b = x * 5
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        z = (y * 3).sum()
+        assert not z.requires_grad
+
+    def test_clone_passes_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x.clone()
+        (y * y).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_grad_mode_restored_after_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_grad_mode_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_tensor_created_in_no_grad_never_requires(self):
+        with no_grad():
+            x = Tensor([1.0], requires_grad=True)
+        assert not x.requires_grad
+
+
+class TestTensorBasics:
+    def test_shape_ndim_size(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.shape == (2, 3, 4)
+        assert x.ndim == 3
+        assert x.size == 24
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_item(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_comparison_returns_boolean_arrays(self):
+        x = Tensor([1.0, 2.0, 3.0])
+        result = x > 1.5
+        assert result.dtype == bool
+        np.testing.assert_array_equal(result, [False, True, True])
+
+    def test_numpy_shares_memory(self):
+        x = Tensor([1.0, 2.0])
+        x.numpy()[0] = 9.0
+        assert x.data[0] == 9.0
+
+    def test_copy_is_independent(self):
+        x = Tensor([1.0, 2.0])
+        y = x.copy()
+        y.data[0] = 9.0
+        assert x.data[0] == 1.0
+
+    def test_min_matches_numpy(self):
+        data = np.array([[1.0, -2.0], [3.0, 0.5]])
+        np.testing.assert_allclose(Tensor(data).min().data, data.min())
+
+    def test_softmax_of_constant_row_is_uniform(self):
+        out = F.softmax(Tensor(np.zeros((2, 4))), axis=-1)
+        np.testing.assert_allclose(out.data, 0.25)

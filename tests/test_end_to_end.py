@@ -1,0 +1,68 @@
+"""End-to-end integration tests across the whole stack.
+
+These tie together data generation, training, interpretation, baselines and
+evaluation the way the example scripts and benchmark harness do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CausalFormer, fast_preset, synthetic_preset
+from repro.baselines import VarGranger
+from repro.data import fork_dataset, v_structure_dataset
+from repro.graph import evaluate_discovery
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_causalformer_recovers_fork_structure(self, trained_causalformer, fork_data):
+        """The shared trained model must find the fork's self-causation and
+        score clearly above an uninformed baseline."""
+        scores = evaluate_discovery(trained_causalformer.graph_, fork_data.graph)
+        assert scores.f1 >= 0.4
+        assert scores.precision >= 0.4
+
+    def test_causalformer_on_v_structure(self, v_structure_data):
+        model = CausalFormer(synthetic_preset("v_structure", max_epochs=30,
+                                              window_stride=4, seed=1))
+        graph = model.discover(v_structure_data)
+        scores = evaluate_discovery(graph, v_structure_data.graph)
+        assert scores.f1 >= 0.4
+
+    def test_full_model_not_worse_than_raw_weights(self, fork_data):
+        """The paper's central claim (Table 3): interpreting the whole model
+        beats reading raw attention weights.  On this small dataset we only
+        require the full detector not to be worse."""
+        full = CausalFormer(fast_preset(max_epochs=12, seed=5))
+        full_f1 = evaluate_discovery(full.discover(fork_data), fork_data.graph).f1
+        raw = CausalFormer(fast_preset(max_epochs=12, seed=5), use_interpretation=False)
+        raw_f1 = evaluate_discovery(raw.discover(fork_data), fork_data.graph).f1
+        assert full_f1 >= raw_f1 - 0.15
+
+    def test_deep_method_competitive_with_linear_granger(self, fork_data):
+        causalformer_scores = evaluate_discovery(
+            CausalFormer(fast_preset(max_epochs=15, seed=2)).discover(fork_data),
+            fork_data.graph)
+        granger_scores = evaluate_discovery(
+            VarGranger(max_lag=3).discover(fork_data), fork_data.graph)
+        # Both should produce sensible graphs on this easy structure.
+        assert causalformer_scores.f1 > 0.3
+        assert granger_scores.f1 > 0.3
+
+    def test_model_persistence_roundtrip(self, trained_causalformer, tmp_path, fork_data):
+        """Save the trained transformer, reload it into a fresh CausalFormer,
+        and check the reloaded model interprets to the same causal graph."""
+        path = save_state_dict(trained_causalformer.model_, str(tmp_path / "model"))
+        clone = CausalFormer(trained_causalformer.config)
+        clone.fit(fork_data)  # builds a model of the right shape
+        load_state_dict(clone.model_, path)
+        clone_graph = clone.interpret()
+        assert clone_graph.edge_set() == trained_causalformer.graph_.edge_set()
+
+    def test_discovery_is_reproducible(self, fork_data):
+        def run():
+            model = CausalFormer(fast_preset(max_epochs=8, seed=9))
+            return model.discover(fork_data)
+
+        assert run() == run()
