@@ -14,6 +14,10 @@ Public entry points
   (precision / recall / F1 / precision-of-delay).
 * :mod:`repro.experiments` — runners that regenerate every table and figure
   of the paper's evaluation section.
+* :mod:`repro.service` — the discovery-job subsystem: schedulable
+  :class:`DiscoveryJob` specs, a parallel :class:`JobExecutor` with an
+  on-disk :class:`ResultCache`, an :class:`ArtifactStore` for run outputs,
+  and the ``python -m repro`` command line.
 
 The heavyweight subpackages are imported lazily so that, for example,
 ``repro.data`` can be used without paying the cost of the model code.
@@ -28,6 +32,11 @@ _LAZY_ATTRIBUTES = {
     "TemporalCausalGraph": ("repro.graph", "TemporalCausalGraph"),
     "CausalFormer": ("repro.core", "CausalFormer"),
     "CausalFormerConfig": ("repro.core", "CausalFormerConfig"),
+    "DiscoveryJob": ("repro.service", "DiscoveryJob"),
+    "JobResult": ("repro.service", "JobResult"),
+    "JobExecutor": ("repro.service", "JobExecutor"),
+    "ResultCache": ("repro.service", "ResultCache"),
+    "ArtifactStore": ("repro.service", "ArtifactStore"),
 }
 
 __all__ = list(_LAZY_ATTRIBUTES) + ["__version__"]

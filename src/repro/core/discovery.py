@@ -69,6 +69,7 @@ class CausalFormer:
         self.history_: Optional[TrainingHistory] = None
         self.scores_: Optional[CausalScores] = None
         self.graph_: Optional[TemporalCausalGraph] = None
+        self._fitted_values: Optional[np.ndarray] = None
         self._series_names = None
 
     # ------------------------------------------------------------------ #
@@ -108,6 +109,13 @@ class CausalFormer:
     # ------------------------------------------------------------------ #
     def fit(self, data: DataLike, verbose: bool = False) -> "CausalFormer":
         """Train the causality-aware transformer on the prediction task."""
+        # Reset all fitted state first so a refit (or a failed refit) never
+        # leaves a previous run's discovery results visible via summary().
+        self.model_ = None
+        self.history_ = None
+        self.scores_ = None
+        self.graph_ = None
+        self._fitted_values = None
         values = self._extract_values(data)
         config = replace(self.config, n_series=values.shape[0])
         self.config = config

@@ -4,21 +4,30 @@ The paper's evaluation runs every method on every dataset for several random
 seeds and reports mean ± standard deviation.  ``MethodSpec`` and
 ``ExperimentSpec`` describe the sweep declaratively; :func:`evaluate_methods`
 executes it and fills a :class:`~repro.experiments.reporting.ResultTable`.
+
+Sweeps dispatch through the :mod:`repro.service` job subsystem: a
+``MethodSpec`` that names a registry method (rather than wrapping an opaque
+factory) becomes a picklable :class:`~repro.service.jobs.DiscoveryJob`, so
+``evaluate_methods(..., max_workers=4, cache="...")`` fans the sweep out over
+worker processes and answers repeated cells from the on-disk result cache.
+Specs built from bare factories still run, in-process, exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines import CMlp, CLstm, CutsLite, DvgnnLite, Tcdf
 from repro.core.config import CausalFormerConfig, fast_preset
-from repro.core.discovery import CausalFormer
 from repro.data.base import TimeSeriesDataset
 from repro.experiments.reporting import ResultTable
 from repro.graph.metrics import DiscoveryScores, evaluate_discovery
+from repro.service.cache import ResultCache
+from repro.service.executor import JobExecutor
+from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+from repro.service.registry import build_method, method_names
 
 MethodFactory = Callable[[int], object]
 DatasetFactory = Callable[[int], TimeSeriesDataset]
@@ -26,13 +35,48 @@ DatasetFactory = Callable[[int], TimeSeriesDataset]
 
 @dataclass
 class MethodSpec:
-    """A named method factory (the seed is passed to the factory)."""
+    """A named method, either registry-addressable or an opaque factory.
+
+    Registry form (``method`` + ``config``) is preferred: it serializes into
+    :class:`~repro.service.jobs.DiscoveryJob` specs, so sweeps can run in
+    worker processes and hit the result cache.  The ``factory`` form remains
+    for ad-hoc methods (the factory receives the seed) but always runs
+    in-process and uncached.
+    """
 
     name: str
-    factory: MethodFactory
+    factory: Optional[MethodFactory] = None
+    method: Optional[str] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.factory is None and self.method is None:
+            # ``MethodSpec("cmlp")`` addresses the registry method "cmlp".
+            self.method = self.name
+
+    @property
+    def is_schedulable(self) -> bool:
+        """True when this spec can become a picklable discovery job."""
+        return self.factory is None and self.method in method_names()
 
     def build(self, seed: int):
-        return self.factory(seed)
+        if self.factory is not None:
+            return self.factory(seed)
+        return build_method(self.method, self.config, seed=seed)
+
+    def job_for(self, dataset_name: str, dataset_fingerprint: str, seed: int,
+                delay_tolerance: int = 0) -> DiscoveryJob:
+        if not self.is_schedulable:
+            raise ValueError(f"method spec {self.name!r} wraps a bare factory "
+                             f"and cannot be scheduled as a job")
+        return DiscoveryJob(
+            method=self.method,
+            config=dict(self.config),
+            dataset=dataset_name,
+            dataset_fingerprint=dataset_fingerprint,
+            seed=seed,
+            delay_tolerance=delay_tolerance,
+        )
 
 
 @dataclass
@@ -57,39 +101,129 @@ def run_method_on_dataset(method, dataset: TimeSeriesDataset,
     return evaluate_discovery(predicted, dataset.graph, delay_tolerance=delay_tolerance)
 
 
+def make_executor(executor: Optional[JobExecutor] = None,
+                  max_workers: Optional[int] = None,
+                  cache=None) -> Optional[JobExecutor]:
+    """Resolve the executor the table/figure runners should dispatch through.
+
+    An explicit ``executor`` wins; otherwise one is built when parallelism
+    (``max_workers`` ≠ 1) or caching is requested; otherwise ``None`` (the
+    caller runs serially in-process).
+    """
+    if executor is not None:
+        return executor
+    if (max_workers is not None and max_workers != 1) or cache is not None:
+        # Invalid worker counts (e.g. 0) surface as JobExecutor's ValueError.
+        return JobExecutor(max_workers=1 if max_workers is None else max_workers,
+                           cache=cache)
+    return None
+
+
 def evaluate_methods(experiments: Sequence[ExperimentSpec],
                      methods: Sequence[MethodSpec],
                      metric: str = "f1",
                      title: str = "F1",
                      delay_tolerance: int = 0,
-                     verbose: bool = False) -> ResultTable:
-    """Run every method on every experiment/seed; aggregate one metric."""
+                     verbose: bool = False,
+                     executor: Optional[JobExecutor] = None,
+                     max_workers: Optional[int] = None,
+                     cache=None) -> ResultTable:
+    """Run every method on every experiment/seed; aggregate one metric.
+
+    With ``executor`` (or ``max_workers`` / ``cache``), registry-addressable
+    method specs are dispatched as discovery jobs — in parallel when the
+    executor has workers, answered from its cache when warm.  Factory-based
+    specs always run serially in-process.  A job that crashed raises, naming
+    the offending cell, so a sweep cannot silently lose values.
+    """
+    executor = make_executor(executor, max_workers=max_workers, cache=cache)
     table = ResultTable(title, metric=metric)
+
+    def record(experiment_name: str, seed: int, method_spec: MethodSpec, value) -> None:
+        table.add(experiment_name, method_spec.name, value)
+        if verbose:
+            print(f"{experiment_name:12s} seed={seed} {method_spec.name:14s} "
+                  f"{metric}={value if value is not None else float('nan'):.3f}")
+
+    if executor is None:
+        # Serial path: stream one dataset at a time (no sweep-wide
+        # materialization), exactly like the pre-service runner.
+        for experiment in experiments:
+            for seed, dataset in experiment.datasets():
+                for method_spec in methods:
+                    method = method_spec.build(seed)
+                    scores = run_method_on_dataset(method, dataset,
+                                                   delay_tolerance=delay_tolerance)
+                    record(experiment.name, seed, method_spec, getattr(scores, metric))
+        return table
+
+    # Executor path: materialize the cells so jobs can fan out all at once.
+    cells: List[Tuple[str, int, TimeSeriesDataset, MethodSpec]] = []
     for experiment in experiments:
         for seed, dataset in experiment.datasets():
+            if dataset.graph is None:
+                raise ValueError(f"dataset {dataset.name!r} has no ground-truth "
+                                 f"graph to score against")
             for method_spec in methods:
-                method = method_spec.build(seed)
-                scores = run_method_on_dataset(method, dataset, delay_tolerance=delay_tolerance)
-                value = getattr(scores, metric)
-                table.add(experiment.name, method_spec.name, value)
-                if verbose:
-                    print(f"{experiment.name:12s} seed={seed} {method_spec.name:14s} "
-                          f"{metric}={value if value is not None else float('nan'):.3f}")
+                cells.append((experiment.name, seed, dataset, method_spec))
+
+    scheduled = [index for index, cell in enumerate(cells)
+                 if cell[3].is_schedulable]
+    values: Dict[int, Optional[float]] = {}
+
+    if scheduled:
+        fingerprints: Dict[int, str] = {}
+        pairs = []
+        for index in scheduled:
+            experiment_name, seed, dataset, method_spec = cells[index]
+            fingerprint = fingerprints.get(id(dataset))
+            if fingerprint is None:
+                fingerprint = fingerprint_dataset(dataset)
+                fingerprints[id(dataset)] = fingerprint
+            pairs.append((method_spec.job_for(experiment_name, fingerprint, seed,
+                                              delay_tolerance), dataset))
+        for index, result in zip(scheduled, executor.run(pairs)):
+            experiment_name, seed, _dataset, method_spec = cells[index]
+            if not result.ok:
+                raise RuntimeError(
+                    f"{method_spec.name} on {experiment_name} (seed={seed}) failed:\n"
+                    f"{result.error}")
+            values[index] = result.metric(metric)
+
+    for index, (experiment_name, seed, dataset, method_spec) in enumerate(cells):
+        if index in values:
+            value = values[index]
+        else:
+            method = method_spec.build(seed)
+            scores = run_method_on_dataset(method, dataset, delay_tolerance=delay_tolerance)
+            value = getattr(scores, metric)
+        record(experiment_name, seed, method_spec, value)
     return table
 
 
 # ---------------------------------------------------------------------- #
 # Default method factories (paper Sec. 5.2 baselines + CausalFormer)
 # ---------------------------------------------------------------------- #
+def causalformer_config_payload(config: CausalFormerConfig, **causalformer_kwargs
+                                ) -> Dict[str, Any]:
+    """Flatten a config + detector switches into a job config payload.
+
+    The seed is dropped — the job's own seed always wins — and the detector
+    switches ride alongside the model hyper-parameters (the registry factory
+    splits them back apart).
+    """
+    payload = config.to_dict()
+    payload.pop("seed", None)
+    payload.update(causalformer_kwargs)
+    return payload
+
+
 def causalformer_spec(config_factory: Optional[Callable[[], CausalFormerConfig]] = None,
                       name: str = "causalformer", **causalformer_kwargs) -> MethodSpec:
     """MethodSpec for CausalFormer with a per-seed config."""
-    def factory(seed: int) -> CausalFormer:
-        config = config_factory() if config_factory is not None else fast_preset()
-        config = config.__class__(**{**config.to_dict(), "seed": seed})
-        return CausalFormer(config, **causalformer_kwargs)
-
-    return MethodSpec(name=name, factory=factory)
+    config = config_factory() if config_factory is not None else fast_preset()
+    return MethodSpec(name=name, method="causalformer",
+                      config=causalformer_config_payload(config, **causalformer_kwargs))
 
 
 def default_method_specs(fast: bool = True,
@@ -99,12 +233,11 @@ def default_method_specs(fast: bool = True,
     """The paper's method line-up: cMLP, cLSTM, TCDF, DVGNN, CUTS, CausalFormer."""
     epoch_scale = 1.0 if not fast else 0.5
     specs = [
-        MethodSpec("cmlp", lambda seed: CMlp(epochs=int(120 * epoch_scale),
-                                             sparsity=1e-3, seed=seed)),
-        MethodSpec("clstm", lambda seed: CLstm(epochs=int(40 * epoch_scale), seed=seed)),
-        MethodSpec("tcdf", lambda seed: Tcdf(epochs=int(120 * epoch_scale), seed=seed)),
-        MethodSpec("dvgnn", lambda seed: DvgnnLite(epochs=int(150 * epoch_scale), seed=seed)),
-        MethodSpec("cuts", lambda seed: CutsLite(epochs=int(200 * epoch_scale), seed=seed)),
+        MethodSpec("cmlp", config={"epochs": int(120 * epoch_scale), "sparsity": 1e-3}),
+        MethodSpec("clstm", config={"epochs": int(40 * epoch_scale)}),
+        MethodSpec("tcdf", config={"epochs": int(120 * epoch_scale)}),
+        MethodSpec("dvgnn", config={"epochs": int(150 * epoch_scale)}),
+        MethodSpec("cuts", config={"epochs": int(200 * epoch_scale)}),
     ]
     if include_causalformer:
         specs.append(causalformer_spec(config_factory))

@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     causalformer_spec,
     default_method_specs,
     evaluate_methods,
+    make_executor,
 )
 
 
@@ -82,7 +83,9 @@ def _config_factory_for(dataset_name: str, fast: bool) -> Callable[[], CausalFor
 
 def run_table1(seeds: Sequence[int] = (0, 1), fast: bool = True,
                datasets: Optional[Sequence[str]] = None,
-               verbose: bool = False) -> ResultTable:
+               verbose: bool = False,
+               max_workers: Optional[int] = None,
+               cache=None) -> ResultTable:
     """Regenerate Table 1 (F1 of every method on every dataset).
 
     Parameters
@@ -95,17 +98,22 @@ def run_table1(seeds: Sequence[int] = (0, 1), fast: bool = True,
         on CPU.
     datasets:
         Optional subset of dataset names to run (default: all six).
+    max_workers / cache:
+        Dispatch the sweep through a :class:`~repro.service.JobExecutor`
+        with that many worker processes and/or that result cache.
     """
     all_specs = table1_dataset_specs(seeds=seeds, fast=fast)
     if datasets is not None:
         wanted = set(datasets)
         all_specs = [spec for spec in all_specs if spec.name in wanted]
+    executor = make_executor(max_workers=max_workers, cache=cache)
     table = ResultTable("Table 1: F1", metric="f1")
     for spec in all_specs:
         methods = default_method_specs(
             fast=fast, config_factory=_config_factory_for(spec.name, fast))
         partial = evaluate_methods([spec], methods, metric="f1",
-                                   title=table.title, verbose=verbose)
+                                   title=table.title, verbose=verbose,
+                                   executor=executor)
         for row in partial.rows:
             for column in partial.columns:
                 table.add_many(row, column, partial.cell(row, column).values)

@@ -11,9 +11,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.baselines import CMlp, Tcdf
 from repro.experiments.reporting import ResultTable
-from repro.experiments.runner import ExperimentSpec, MethodSpec, causalformer_spec, evaluate_methods
+from repro.experiments.runner import (
+    ExperimentSpec,
+    MethodSpec,
+    causalformer_spec,
+    evaluate_methods,
+    make_executor,
+)
 from repro.experiments.table1 import _config_factory_for, table1_dataset_specs
 
 #: datasets with delay ground truth (Table 2 rows)
@@ -23,9 +28,8 @@ TABLE2_DATASETS = ("diamond", "mediator", "v_structure", "fork", "lorenz96")
 def table2_method_specs(fast: bool = True, dataset_name: str = "diamond") -> List[MethodSpec]:
     epoch_scale = 0.5 if fast else 1.0
     return [
-        MethodSpec("cmlp", lambda seed: CMlp(epochs=int(120 * epoch_scale),
-                                             sparsity=1e-3, seed=seed)),
-        MethodSpec("tcdf", lambda seed: Tcdf(epochs=int(120 * epoch_scale), seed=seed)),
+        MethodSpec("cmlp", config={"epochs": int(120 * epoch_scale), "sparsity": 1e-3}),
+        MethodSpec("tcdf", config={"epochs": int(120 * epoch_scale)}),
         causalformer_spec(_config_factory_for(dataset_name, fast)),
     ]
 
@@ -33,7 +37,9 @@ def table2_method_specs(fast: bool = True, dataset_name: str = "diamond") -> Lis
 def run_table2(seeds: Sequence[int] = (0, 1), fast: bool = True,
                datasets: Optional[Sequence[str]] = None,
                delay_tolerance: int = 1,
-               verbose: bool = False) -> ResultTable:
+               verbose: bool = False,
+               max_workers: Optional[int] = None,
+               cache=None) -> ResultTable:
     """Regenerate Table 2 (precision of delay).
 
     ``delay_tolerance`` counts a delay as correct when it is within that many
@@ -45,12 +51,13 @@ def run_table2(seeds: Sequence[int] = (0, 1), fast: bool = True,
     wanted = set(datasets) if datasets is not None else set(TABLE2_DATASETS)
     specs = [spec for spec in table1_dataset_specs(seeds=seeds, fast=fast)
              if spec.name in wanted]
+    executor = make_executor(max_workers=max_workers, cache=cache)
     table = ResultTable("Table 2: PoD", metric="precision_of_delay")
     for spec in specs:
         methods = table2_method_specs(fast=fast, dataset_name=spec.name)
         partial = evaluate_methods([spec], methods, metric="precision_of_delay",
                                    title=table.title, delay_tolerance=delay_tolerance,
-                                   verbose=verbose)
+                                   verbose=verbose, executor=executor)
         for row in partial.rows:
             for column in partial.columns:
                 table.add_many(row, column, partial.cell(row, column).values)

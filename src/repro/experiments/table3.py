@@ -10,18 +10,24 @@ F1 on the fMRI networks:
 * ``w/o bias``           — drop the bias term from the RRP denominators;
 * ``w/o multi conv kernel`` — a single convolution kernel shared by all pairs;
 * ``CausalFormer``       — the full model.
+
+Every variant is expressible as a ``causalformer`` job config (the detector
+switches and ``single_kernel`` are part of the config payload), so the
+ablation sweep dispatches through the :mod:`repro.service` executor and
+gains ``max_workers`` / ``cache`` like the other runners.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.config import CausalFormerConfig, fmri_preset
-from repro.core.discovery import CausalFormer
 from repro.data.fmri import fmri_dataset
 from repro.experiments.reporting import ResultTable
-from repro.graph.metrics import evaluate_discovery
+from repro.experiments.runner import causalformer_config_payload, make_executor
+from repro.service.executor import execute_job
+from repro.service.jobs import DiscoveryJob, fingerprint_dataset
 
 ABLATION_NAMES = (
     "w/o interpretation",
@@ -32,27 +38,30 @@ ABLATION_NAMES = (
     "CausalFormer",
 )
 
+#: extra causalformer job-config entries for each ablation variant
+_VARIANT_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "w/o interpretation": {"use_interpretation": False},
+    "w/o relevance": {"use_relevance": False},
+    "w/o gradient": {"use_gradient": False},
+    "w/o bias": {"use_bias": False},
+    "w/o multi conv kernel": {"single_kernel": True},
+    "CausalFormer": {},
+}
 
-def _build_variant(name: str, config: CausalFormerConfig) -> CausalFormer:
-    if name == "w/o interpretation":
-        return CausalFormer(config, use_interpretation=False)
-    if name == "w/o relevance":
-        return CausalFormer(config, use_relevance=False)
-    if name == "w/o gradient":
-        return CausalFormer(config, use_gradient=False)
-    if name == "w/o bias":
-        return CausalFormer(config, use_bias=False)
-    if name == "w/o multi conv kernel":
-        return CausalFormer(replace(config, single_kernel=True))
-    if name == "CausalFormer":
-        return CausalFormer(config)
-    raise ValueError(f"unknown ablation variant {name!r}")
+
+def variant_config(name: str, config: CausalFormerConfig) -> Dict[str, Any]:
+    """The ``causalformer`` job-config payload for one ablation variant."""
+    if name not in _VARIANT_OVERRIDES:
+        raise ValueError(f"unknown ablation variant {name!r}")
+    return causalformer_config_payload(config, **_VARIANT_OVERRIDES[name])
 
 
 def run_table3(seeds: Sequence[int] = (0, 1), fast: bool = True,
                n_nodes: int = 5, length: int = 200,
                variants: Optional[Sequence[str]] = None,
-               verbose: bool = False) -> ResultTable:
+               verbose: bool = False,
+               max_workers: Optional[int] = None,
+               cache=None) -> ResultTable:
     """Regenerate Table 3 (ablations on fMRI): precision, recall and F1 rows."""
     variants = tuple(variants) if variants is not None else ABLATION_NAMES
     preset = fmri_preset()
@@ -60,18 +69,36 @@ def run_table3(seeds: Sequence[int] = (0, 1), fast: bool = True,
         # Keep the full training budget (the detector needs a converged
         # model); only the windowing stride is loosened for speed.
         preset = replace(preset, window_stride=2)
-    table = ResultTable("Table 3: fMRI ablations", metric="f1")
+    executor = make_executor(max_workers=max_workers, cache=cache)
+
+    pairs = []
     for seed in seeds:
         dataset = fmri_dataset(n_nodes=n_nodes, length=length, seed=seed)
+        fingerprint = fingerprint_dataset(dataset)
         for variant in variants:
-            config = replace(preset, seed=seed)
-            model = _build_variant(variant, config)
-            predicted = model.discover(dataset)
-            scores = evaluate_discovery(predicted, dataset.graph)
-            table.add(variant, "precision", scores.precision)
-            table.add(variant, "recall", scores.recall)
-            table.add(variant, "f1", scores.f1)
-            if verbose:
-                print(f"seed={seed} {variant:24s} "
-                      f"P={scores.precision:.2f} R={scores.recall:.2f} F1={scores.f1:.2f}")
+            job = DiscoveryJob(
+                method="causalformer",
+                config=variant_config(variant, preset),
+                dataset=f"fmri-{n_nodes}",
+                dataset_fingerprint=fingerprint,
+                seed=seed,
+            )
+            pairs.append((variant, seed, job, dataset))
+
+    if executor is not None:
+        results = executor.run([(job, dataset) for _v, _s, job, dataset in pairs])
+    else:
+        results = [execute_job(job, dataset) for _v, _s, job, dataset in pairs]
+
+    table = ResultTable("Table 3: fMRI ablations", metric="f1")
+    for (variant, seed, _job, _dataset), result in zip(pairs, results):
+        if not result.ok:
+            raise RuntimeError(f"ablation {variant!r} (seed={seed}) failed:\n{result.error}")
+        scores = result.scores
+        table.add(variant, "precision", scores.precision)
+        table.add(variant, "recall", scores.recall)
+        table.add(variant, "f1", scores.f1)
+        if verbose:
+            print(f"seed={seed} {variant:24s} "
+                  f"P={scores.precision:.2f} R={scores.recall:.2f} F1={scores.f1:.2f}")
     return table

@@ -1,0 +1,60 @@
+"""Discovery-job subsystem: schedulable jobs, parallel execution, caching.
+
+This package turns causal discovery into a job-oriented service layer:
+
+* :mod:`repro.service.jobs` — :class:`DiscoveryJob` / :class:`JobResult`
+  specs with deterministic serialization and content fingerprints;
+* :mod:`repro.service.registry` — name → factory registries that make jobs
+  picklable and CLI-addressable;
+* :mod:`repro.service.executor` — :class:`JobExecutor`, a process-pool
+  fan-out with per-job error capture;
+* :mod:`repro.service.cache` — :class:`ResultCache`, an on-disk cache keyed
+  by SHA-256 of (job spec + data fingerprint);
+* :mod:`repro.service.artifacts` — :class:`ArtifactStore` run directories
+  for graphs, scores and manifests;
+* :mod:`repro.service.cli` — the ``python -m repro`` command line.
+
+The experiment harness (:mod:`repro.experiments`) dispatches its sweeps
+through this layer, so every table/figure runner gains ``max_workers`` and
+``cache`` for free.
+"""
+
+from repro.service.artifacts import ArtifactStore, RunArtifacts
+from repro.service.cache import CacheStats, ResultCache, default_cache_dir
+from repro.service.executor import JobExecutor, execute_job
+from repro.service.jobs import (
+    DiscoveryJob,
+    JobResult,
+    canonical_json,
+    fingerprint_array,
+    fingerprint_dataset,
+)
+from repro.service.registry import (
+    build_dataset,
+    build_method,
+    dataset_names,
+    method_names,
+    register_dataset,
+    register_method,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "RunArtifacts",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "JobExecutor",
+    "execute_job",
+    "DiscoveryJob",
+    "JobResult",
+    "canonical_json",
+    "fingerprint_array",
+    "fingerprint_dataset",
+    "build_dataset",
+    "build_method",
+    "dataset_names",
+    "method_names",
+    "register_dataset",
+    "register_method",
+]

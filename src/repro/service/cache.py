@@ -1,0 +1,143 @@
+"""On-disk, content-addressed result cache.
+
+Results are keyed by the SHA-256 of the job's canonical spec (which already
+includes the dataset fingerprint — see
+:meth:`repro.service.jobs.DiscoveryJob.cache_key`), so a cache entry can
+never be served for different data, a different configuration or a different
+seed.  Entries are single JSON files, sharded by the first two hex digits of
+the key to keep directories small; writes go through a temporary file and an
+atomic rename so concurrent workers and interrupted runs cannot leave a
+half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory: ``$REPRO_CACHE_DIR`` or XDG cache."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "repro", "results")
+
+
+@dataclass
+class CacheStats:
+    """Snapshot of a cache directory plus this session's hit/miss counters."""
+
+    directory: str
+    n_entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "n_entries": self.n_entries,
+            "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class ResultCache:
+    """A directory of JSON result payloads addressed by hex digest keys."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = (os.path.expanduser(str(directory))
+                          if directory is not None else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Key → path layout
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> str:
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise ValueError(f"cache keys must be lowercase hex digests; got {key!r}")
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload, or ``None`` on a miss (or a corrupted entry)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> str:
+        """Atomically persist a payload; returns the entry's path."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                # default=str matches canonical_json: a config that hashed
+                # cleanly (e.g. numpy scalars) must also store cleanly.
+                json.dump(payload, handle, default=str)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def keys(self) -> Iterator[str]:
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_path = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for entry in sorted(os.listdir(shard_path)):
+                if entry.endswith(".json"):
+                    yield entry[:-len(".json")]
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                os.unlink(self.path_for(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        n_entries = 0
+        total_bytes = 0
+        for key in self.keys():
+            n_entries += 1
+            try:
+                total_bytes += os.path.getsize(self.path_for(key))
+            except OSError:
+                pass
+        return CacheStats(directory=self.directory, n_entries=n_entries,
+                          total_bytes=total_bytes, hits=self.hits, misses=self.misses)
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.directory!r})"

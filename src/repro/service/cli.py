@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``discover``
+    Run one method on one dataset and print the recovered graph and scores.
+``sweep``
+    Run a methods × datasets × seeds sweep through the parallel executor and
+    print the aggregated result table.
+``cache``
+    Inspect (``info``) or empty (``clear``) the on-disk result cache.
+``list``
+    Show the registered method and dataset names.
+
+Every run-producing subcommand shares the executor flags ``--workers``,
+``--cache-dir`` / ``--no-cache`` and ``--run-dir`` (artifact persistence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.artifacts import ArtifactStore
+from repro.service.cache import ResultCache, default_cache_dir
+from repro.service.executor import JobExecutor
+from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+from repro.service.registry import build_dataset, dataset_names, method_names
+
+
+def _parse_config(entries: Optional[Sequence[str]]) -> Dict[str, Any]:
+    """Parse repeated ``key=value`` flags; values are JSON when possible."""
+    config: Dict[str, Any] = {}
+    for entry in entries or ():
+        if "=" not in entry:
+            raise SystemExit(f"--config expects key=value, got {entry!r}")
+        key, _sep, raw = entry.partition("=")
+        try:
+            config[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            config[key] = raw
+    return config
+
+
+def _split_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _dataset_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    if getattr(args, "length", None) is not None:
+        kwargs["length"] = args.length
+    return kwargs
+
+
+def _build_dataset_checked(name: str, seed: int, **kwargs: Any):
+    """Build a dataset, turning registry/signature errors into clean exits."""
+    try:
+        return build_dataset(name, seed=seed, **kwargs)
+    except (KeyError, TypeError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"error: {message}")
+
+
+def _format_scores(result) -> str:
+    if result.scores is None:
+        return "no ground truth — scores unavailable"
+    scores = result.scores
+    text = f"precision={scores.precision:.3f} recall={scores.recall:.3f} f1={scores.f1:.3f}"
+    if scores.precision_of_delay is not None:
+        text += f" pod={scores.precision_of_delay:.3f}"
+    return text
+
+
+def _persist(args: argparse.Namespace, results, manifest_extra: Dict[str, Any]) -> Optional[str]:
+    if getattr(args, "run_dir", None) is None:
+        return None
+    run = ArtifactStore(args.run_dir).create_run()
+    for result in results:
+        run.save_result(result)
+        if result.graph is not None:
+            run.save_graph(result.job.job_id, result.graph)
+    run.write_manifest({
+        "command": " ".join(sys.argv[1:]),
+        "jobs": [result.job.to_dict() for result in results],
+        "errors": sum(1 for result in results if not result.ok),
+        **manifest_extra,
+    })
+    return run.path
+
+
+# ---------------------------------------------------------------------- #
+# Subcommand implementations
+# ---------------------------------------------------------------------- #
+def _cmd_discover(args: argparse.Namespace) -> int:
+    dataset = _build_dataset_checked(args.dataset, args.seed, **_dataset_kwargs(args))
+    job = DiscoveryJob(
+        method=args.method,
+        config=_parse_config(args.config),
+        dataset=args.dataset,
+        dataset_fingerprint=fingerprint_dataset(dataset),
+        seed=args.seed,
+        delay_tolerance=args.delay_tolerance,
+    )
+    executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args))
+    result = executor.run_one(job, dataset)
+    run_path = _persist(args, [result], {"subcommand": "discover"})
+
+    if not result.ok:
+        print(f"job {job.job_id} failed:\n{result.error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        origin = "cache" if result.cached else f"{result.duration:.2f}s"
+        print(f"{job} [{origin}]")
+        print(f"discovered {result.graph.n_edges} edges:")
+        for edge in result.graph.edges:
+            source = result.graph.names[edge.source]
+            target = result.graph.names[edge.target]
+            print(f"  {source} -> {target} (delay {edge.delay})")
+        print(_format_scores(result))
+    if run_path:
+        print(f"artifacts: {run_path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import ResultTable
+
+    methods = _split_csv(args.methods)
+    datasets = _split_csv(args.datasets)
+    seeds = [int(seed) for seed in _split_csv(args.seeds)]
+    config = _parse_config(args.config)
+
+    pairs = []
+    for dataset_name in datasets:
+        for seed in seeds:
+            dataset = _build_dataset_checked(dataset_name, seed, **_dataset_kwargs(args))
+            fingerprint = fingerprint_dataset(dataset)
+            for method in methods:
+                job = DiscoveryJob(
+                    method=method,
+                    config=config if method == args.config_method else {},
+                    dataset=dataset_name,
+                    dataset_fingerprint=fingerprint,
+                    seed=seed,
+                    delay_tolerance=args.delay_tolerance,
+                )
+                pairs.append((job, dataset))
+
+    executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args))
+    results = executor.run(pairs)
+    run_path = _persist(args, results, {"subcommand": "sweep", "metric": args.metric})
+
+    table = ResultTable(f"sweep: {args.metric}", metric=args.metric)
+    failures = 0
+    for result in results:
+        value = result.metric(args.metric)
+        if not result.ok:
+            failures += 1
+            print(f"job {result.job.job_id} failed:\n{result.error}", file=sys.stderr)
+        table.add(result.job.dataset, result.job.method, value)
+    if args.json:
+        print(table.to_json())
+    else:
+        print(table.render())
+        cached = sum(1 for result in results if result.cached)
+        print(f"\n{len(results)} jobs ({cached} from cache, {failures} failed)")
+    if run_path:
+        print(f"artifacts: {run_path}")
+    return 1 if failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache directory: {stats.directory}")
+    print(f"entries: {stats.n_entries}")
+    print(f"size: {stats.total_bytes} bytes")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("methods: " + ", ".join(method_names()))
+    print("datasets: " + ", ".join(dataset_names()))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Argument parsing
+# ---------------------------------------------------------------------- #
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = in-process, default)")
+    parser.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="result-cache directory (default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache for this run")
+    parser.add_argument("--run-dir", default=None,
+                        help="persist graphs/results/manifest under this artifact root")
+    parser.add_argument("--delay-tolerance", type=int, default=0,
+                        help="slots of slack when scoring causal delays")
+    parser.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of text")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CausalFormer reproduction: causal-discovery jobs, sweeps and cache.")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    discover = commands.add_parser("discover", help="run one method on one dataset")
+    discover.add_argument("--dataset", required=True, choices=dataset_names())
+    discover.add_argument("--method", default="causalformer", choices=method_names())
+    discover.add_argument("--seed", type=int, default=0)
+    discover.add_argument("--length", type=int, default=None,
+                          help="series length (dataset default when omitted)")
+    discover.add_argument("--config", action="append", metavar="KEY=VALUE",
+                          help="method configuration override (repeatable)")
+    _add_executor_flags(discover)
+    discover.set_defaults(handler=_cmd_discover)
+
+    sweep = commands.add_parser("sweep", help="run a methods × datasets × seeds sweep")
+    sweep.add_argument("--datasets", required=True,
+                       help="comma-separated dataset names")
+    sweep.add_argument("--methods", default="causalformer",
+                       help="comma-separated method names")
+    sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    sweep.add_argument("--length", type=int, default=None,
+                       help="series length (dataset default when omitted)")
+    sweep.add_argument("--metric", default="f1",
+                       choices=("f1", "precision", "recall", "precision_of_delay"))
+    sweep.add_argument("--config", action="append", metavar="KEY=VALUE",
+                       help="configuration overrides for --config-method")
+    sweep.add_argument("--config-method", default="causalformer",
+                       help="method that receives the --config overrides")
+    _add_executor_flags(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    cache = commands.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache-dir", default=default_cache_dir())
+    cache.set_defaults(handler=_cmd_cache)
+
+    listing = commands.add_parser("list", help="list registered methods and datasets")
+    listing.set_defaults(handler=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Parallel job execution with result caching and per-job error capture.
+
+:class:`JobExecutor` takes ``(DiscoveryJob, TimeSeriesDataset)`` pairs and
+returns one :class:`~repro.service.jobs.JobResult` per pair, in order:
+
+1. jobs whose cache key already has an entry are answered from disk;
+2. the rest run on a ``concurrent.futures.ProcessPoolExecutor`` when
+   ``max_workers > 1`` (falling back to in-process execution when the pool
+   cannot be created, e.g. in sandboxes without working semaphores) or
+   inline when ``max_workers == 1``;
+3. every job is wrapped in its own try/except — a crashing method produces a
+   ``JobResult`` with a formatted traceback instead of killing the sweep;
+4. fresh successful results are written back to the cache.
+
+The worker entry point :func:`execute_job` is a module-level function (so the
+pool can pickle it by reference) and rebuilds the method inside the worker
+from the registry, so only plain data crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.data.base import TimeSeriesDataset
+from repro.service.cache import ResultCache
+from repro.service.jobs import DiscoveryJob, JobResult
+from repro.service.registry import build_method
+
+JobPair = Tuple[DiscoveryJob, TimeSeriesDataset]
+CacheLike = Union[None, str, ResultCache]
+
+
+def execute_job(job: DiscoveryJob, dataset: TimeSeriesDataset) -> JobResult:
+    """Run one job to completion, capturing any exception into the result."""
+    start = time.perf_counter()
+    try:
+        method = build_method(job.method, job.config, seed=job.seed)
+        graph = method.discover(dataset)
+        scores = None
+        if dataset.graph is not None:
+            from repro.graph.metrics import evaluate_discovery
+
+            scores = evaluate_discovery(graph, dataset.graph,
+                                        delay_tolerance=job.delay_tolerance)
+        return JobResult(job=job, graph=graph, scores=scores,
+                         duration=time.perf_counter() - start)
+    except Exception:
+        return JobResult(job=job, error=traceback.format_exc(),
+                         duration=time.perf_counter() - start)
+
+
+def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(str(cache))
+
+
+class JobExecutor:
+    """Fan discovery jobs out over worker processes, through a result cache.
+
+    Parameters
+    ----------
+    max_workers:
+        Process-pool size; ``1`` (the default) executes in-process, ``None``
+        uses ``os.cpu_count()``.
+    cache:
+        ``None`` disables caching; a path creates a
+        :class:`~repro.service.cache.ResultCache` there; an existing cache
+        instance is used as-is.
+    """
+
+    def __init__(self, max_workers: Optional[int] = 1,
+                 cache: CacheLike = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1 (or None for cpu_count)")
+        if max_workers is None:
+            import os
+
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max_workers
+        self.cache = _coerce_cache(cache)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, pairs: Sequence[JobPair]) -> List[JobResult]:
+        """Execute every ``(job, dataset)`` pair; results come back in order."""
+        pairs = list(pairs)
+        results: List[Optional[JobResult]] = [None] * len(pairs)
+
+        pending: List[Tuple[int, JobPair]] = []
+        for index, (job, dataset) in enumerate(pairs):
+            cached = self._lookup(job)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, (job, dataset)))
+
+        if pending:
+            if self.max_workers > 1 and len(pending) > 1:
+                fresh = self._run_pool([pair for _idx, pair in pending])
+            else:
+                fresh = [execute_job(job, dataset) for _idx, (job, dataset) in pending]
+            for (index, _pair), result in zip(pending, fresh):
+                results[index] = result
+                self._store(result)
+
+        return [result for result in results if result is not None]
+
+    def run_one(self, job: DiscoveryJob, dataset: TimeSeriesDataset) -> JobResult:
+        return self.run([(job, dataset)])[0]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _run_pool(self, pairs: List[JobPair]) -> List[JobResult]:
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(execute_job, job, dataset)
+                           for job, dataset in pairs]
+                results = []
+                for future, (job, _dataset) in zip(futures, pairs):
+                    try:
+                        results.append(future.result())
+                    except Exception:
+                        # The worker died (or the result failed to unpickle);
+                        # degrade to a per-job error instead of aborting.
+                        results.append(JobResult(job=job, error=traceback.format_exc()))
+                return results
+        except (OSError, PermissionError):
+            # No usable multiprocessing primitives — run in-process instead.
+            return [execute_job(job, dataset) for job, dataset in pairs]
+
+    def _lookup(self, job: DiscoveryJob) -> Optional[JobResult]:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(job.cache_key())
+        if payload is None:
+            return None
+        try:
+            result = JobResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        result.cached = True
+        return result
+
+    def _store(self, result: JobResult) -> None:
+        if self.cache is None or not result.ok:
+            return
+        self.cache.put(result.job.cache_key(), result.to_dict())
+
+    def __repr__(self) -> str:
+        return f"JobExecutor(max_workers={self.max_workers}, cache={self.cache!r})"

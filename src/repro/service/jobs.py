@@ -1,0 +1,208 @@
+"""Discovery-job specifications with deterministic serialization.
+
+A :class:`DiscoveryJob` describes one causal-discovery run — which method to
+build (by :mod:`repro.service.registry` name), with which configuration, on
+which dataset (identified by a content fingerprint), with which seed — as
+plain JSON-able data.  Because the spec is pure data it can be pickled to a
+worker process, hashed into a cache key, and written into run manifests.
+
+Determinism matters: ``cache_key`` must be identical across processes and
+across Python sessions for the on-disk result cache to work, so the canonical
+serialization sorts dictionary keys and uses a fixed separator style.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.data.base import TimeSeriesDataset
+from repro.graph.causal_graph import TemporalCausalGraph
+from repro.graph.metrics import ConfusionCounts, DiscoveryScores
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN surprises."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def fingerprint_array(values: np.ndarray) -> str:
+    """SHA-256 fingerprint of an array's shape and contents."""
+    values = np.ascontiguousarray(np.asarray(values, dtype=float))
+    digest = hashlib.sha256()
+    digest.update(str(values.shape).encode("utf-8"))
+    digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_dataset(data: Union[TimeSeriesDataset, np.ndarray]) -> str:
+    """SHA-256 fingerprint of a dataset: values, names and ground truth.
+
+    Two datasets with identical observations but different ground-truth graphs
+    fingerprint differently, because the evaluation (and therefore the cached
+    scores) depends on the truth as well as on the observations.
+    """
+    if not isinstance(data, TimeSeriesDataset):
+        return fingerprint_array(np.asarray(data, dtype=float))
+    digest = hashlib.sha256()
+    digest.update(fingerprint_array(data.values).encode("ascii"))
+    digest.update(canonical_json(list(data.series_names)).encode("utf-8"))
+    if data.graph is not None:
+        digest.update(canonical_json(data.graph.to_dict()).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class DiscoveryJob:
+    """One schedulable causal-discovery run, as plain data.
+
+    Attributes
+    ----------
+    method:
+        Method name in :mod:`repro.service.registry` (e.g. ``"causalformer"``).
+    config:
+        JSON-able keyword arguments for the method factory.  For
+        ``causalformer`` this is a flat :class:`CausalFormerConfig` payload
+        plus the detector switches; for baselines it is their constructor
+        keywords.
+    dataset:
+        Human-readable dataset identifier (used in tables and manifests).
+    dataset_fingerprint:
+        Content hash of the dataset (see :func:`fingerprint_dataset`); part
+        of the cache key so stale results are never served for fresh data.
+    seed:
+        Random seed handed to the method factory (overrides any seed in
+        ``config``).
+    delay_tolerance:
+        Tolerance passed to the delay-precision metric when scoring.
+    """
+
+    method: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    dataset: str = "dataset"
+    dataset_fingerprint: str = ""
+    seed: int = 0
+    delay_tolerance: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "method": self.method,
+            "config": dict(self.config),
+            "dataset": self.dataset,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "seed": self.seed,
+            "delay_tolerance": self.delay_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DiscoveryJob":
+        return cls(
+            method=payload["method"],
+            config=dict(payload.get("config", {})),
+            dataset=payload.get("dataset", "dataset"),
+            dataset_fingerprint=payload.get("dataset_fingerprint", ""),
+            seed=int(payload.get("seed", 0)),
+            delay_tolerance=int(payload.get("delay_tolerance", 0)),
+        )
+
+    def canonical(self) -> str:
+        """Deterministic serialization used for hashing and manifests."""
+        return canonical_json(self.to_dict())
+
+    def cache_key(self) -> str:
+        """SHA-256 of the canonical spec — the result-cache key."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    @property
+    def job_id(self) -> str:
+        """Short, filesystem-safe identifier for logs and artifact names."""
+        return f"{self.dataset}-{self.method}-seed{self.seed}-{self.cache_key()[:10]}"
+
+    def __str__(self) -> str:
+        return f"{self.method} on {self.dataset} (seed={self.seed})"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :class:`DiscoveryJob`.
+
+    Exactly one of ``error`` or (``graph``, ``scores``) is populated: a job
+    that raised carries the formatted traceback instead of results, so one
+    crashing method never takes down a sweep.
+    """
+
+    job: DiscoveryJob
+    graph: Optional[TemporalCausalGraph] = None
+    scores: Optional[DiscoveryScores] = None
+    error: Optional[str] = None
+    duration: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def metric(self, name: str) -> Optional[float]:
+        """One scalar score (``f1`` / ``precision`` / ...), ``None`` on error."""
+        if self.scores is None:
+            return None
+        return getattr(self.scores, name)
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (used by the result cache and the artifact store)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job": self.job.to_dict(),
+            "error": self.error,
+            "duration": self.duration,
+        }
+        if self.graph is not None:
+            payload["graph"] = self.graph.to_dict()
+        if self.scores is not None:
+            scores = {
+                "precision": self.scores.precision,
+                "recall": self.scores.recall,
+                "f1": self.scores.f1,
+                "precision_of_delay": self.scores.precision_of_delay,
+            }
+            if self.scores.counts is not None:
+                counts = self.scores.counts
+                scores["counts"] = {
+                    "true_positive": counts.true_positive,
+                    "false_positive": counts.false_positive,
+                    "false_negative": counts.false_negative,
+                    "true_negative": counts.true_negative,
+                }
+            payload["scores"] = scores
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobResult":
+        graph = None
+        if payload.get("graph") is not None:
+            graph = TemporalCausalGraph.from_dict(payload["graph"])
+        scores = None
+        if payload.get("scores") is not None:
+            raw = payload["scores"]
+            counts = None
+            if raw.get("counts") is not None:
+                counts = ConfusionCounts(**raw["counts"])
+            scores = DiscoveryScores(
+                precision=raw["precision"],
+                recall=raw["recall"],
+                f1=raw["f1"],
+                precision_of_delay=raw.get("precision_of_delay"),
+                counts=counts,
+            )
+        return cls(
+            job=DiscoveryJob.from_dict(payload["job"]),
+            graph=graph,
+            scores=scores,
+            error=payload.get("error"),
+            duration=float(payload.get("duration", 0.0)),
+        )

@@ -1,0 +1,136 @@
+"""Name → factory registries for methods and datasets.
+
+Jobs travel between processes as plain data, so worker processes need a way
+to rebuild a method object from its name and a JSON-able configuration.  The
+registries here cover CausalFormer, the paper's six baselines and every
+dataset generator, and are extensible with :func:`register_method` /
+:func:`register_dataset` (entries registered before an executor forks are
+inherited by its workers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.data.base import TimeSeriesDataset
+
+MethodBuilder = Callable[..., Any]
+DatasetBuilder = Callable[..., TimeSeriesDataset]
+
+_METHODS: Dict[str, MethodBuilder] = {}
+_DATASETS: Dict[str, DatasetBuilder] = {}
+
+#: causalformer config keys that go to the ``CausalFormer`` constructor, not
+#: to its :class:`CausalFormerConfig`.
+CAUSALFORMER_SWITCHES = ("use_interpretation", "use_relevance",
+                         "use_gradient", "use_bias", "normalize")
+
+
+# ---------------------------------------------------------------------- #
+# Registration and lookup
+# ---------------------------------------------------------------------- #
+def register_method(name: str, builder: MethodBuilder) -> None:
+    """Register ``builder(seed=..., **config)`` under ``name``."""
+    _METHODS[name] = builder
+
+
+def register_dataset(name: str, builder: DatasetBuilder) -> None:
+    """Register ``builder(seed=..., **kwargs)`` under ``name``."""
+    _DATASETS[name] = builder
+
+
+def method_names() -> List[str]:
+    return sorted(_METHODS)
+
+
+def dataset_names() -> List[str]:
+    return sorted(_DATASETS)
+
+
+def build_method(name: str, config: Optional[Dict[str, Any]] = None,
+                 seed: int = 0) -> Any:
+    """Instantiate a registered method; the job seed wins over any config seed."""
+    if name not in _METHODS:
+        raise KeyError(f"unknown method {name!r}; known: {', '.join(method_names())}")
+    config = dict(config or {})
+    config.pop("seed", None)
+    return _METHODS[name](seed=seed, **config)
+
+
+def build_dataset(name: str, seed: int = 0, **kwargs: Any) -> TimeSeriesDataset:
+    """Instantiate a registered dataset generator."""
+    if name not in _DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {', '.join(dataset_names())}")
+    return _DATASETS[name](seed=seed, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in methods (CausalFormer + paper baselines)
+# ---------------------------------------------------------------------- #
+def _build_causalformer(seed: int = 0, **config: Any):
+    from repro.core.config import CausalFormerConfig, PRESETS
+    from repro.core.discovery import CausalFormer
+
+    config = dict(config)
+    switches = {key: config.pop(key) for key in CAUSALFORMER_SWITCHES if key in config}
+    preset_name = config.pop("preset", "fast")
+    if preset_name not in PRESETS:
+        raise KeyError(f"unknown causalformer preset {preset_name!r}; "
+                       f"known: {', '.join(sorted(PRESETS))}")
+    payload = {**PRESETS[preset_name]().to_dict(), **config, "seed": seed}
+    return CausalFormer(CausalFormerConfig.from_dict(payload), **switches)
+
+
+def _baseline_builder(class_name: str) -> MethodBuilder:
+    def builder(seed: int = 0, **config: Any):
+        import repro.baselines as baselines
+
+        return getattr(baselines, class_name)(seed=seed, **config)
+
+    return builder
+
+
+register_method("causalformer", _build_causalformer)
+register_method("cmlp", _baseline_builder("CMlp"))
+register_method("clstm", _baseline_builder("CLstm"))
+register_method("tcdf", _baseline_builder("Tcdf"))
+register_method("dvgnn", _baseline_builder("DvgnnLite"))
+register_method("cuts", _baseline_builder("CutsLite"))
+register_method("var_granger", _baseline_builder("VarGranger"))
+
+
+# ---------------------------------------------------------------------- #
+# Built-in datasets
+# ---------------------------------------------------------------------- #
+def _synthetic_builder(structure: str) -> DatasetBuilder:
+    def builder(seed: int = 0, **kwargs: Any) -> TimeSeriesDataset:
+        from repro.data.synthetic import synthetic_dataset
+
+        return synthetic_dataset(structure, seed=seed, **kwargs)
+
+    return builder
+
+
+def _build_lorenz96(seed: int = 0, **kwargs: Any) -> TimeSeriesDataset:
+    from repro.data.lorenz import lorenz96_dataset
+
+    return lorenz96_dataset(seed=seed, **kwargs)
+
+
+def _build_fmri(seed: int = 0, **kwargs: Any) -> TimeSeriesDataset:
+    from repro.data.fmri import fmri_dataset
+
+    return fmri_dataset(seed=seed, **kwargs)
+
+
+def _build_sst(seed: int = 0, **kwargs: Any) -> TimeSeriesDataset:
+    from repro.data.sst import sst_dataset
+
+    return sst_dataset(seed=seed, **kwargs)
+
+
+for _structure in ("diamond", "mediator", "v_structure", "fork"):
+    register_dataset(_structure, _synthetic_builder(_structure))
+register_dataset("lorenz96", _build_lorenz96)
+register_dataset("fmri", _build_fmri)
+register_dataset("sst", _build_sst)

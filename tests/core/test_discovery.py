@@ -79,6 +79,31 @@ class TestInputHandling:
         assert windows.shape[0] <= 10
 
 
+class TestRefitHygiene:
+    def test_unfitted_state_is_none(self):
+        model = CausalFormer(fast_preset())
+        assert model._fitted_values is None
+        assert model.graph_ is None and model.scores_ is None and model.history_ is None
+
+    def test_refit_clears_stale_discovery_results(self, fork_data):
+        model = CausalFormer(fast_preset(max_epochs=3))
+        model.discover(fork_data)
+        assert model.graph_ is not None
+        model.fit(fork_data)
+        # fit() alone must not leave the previous run's discovery visible.
+        assert model.graph_ is None and model.scores_ is None
+        assert "n_edges" not in model.summary()
+
+    def test_failed_refit_does_not_keep_stale_state(self, fork_data):
+        model = CausalFormer(fast_preset(max_epochs=3))
+        model.discover(fork_data)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 5)))  # shorter than the window
+        assert not model.is_fitted
+        assert model.summary()["fitted"] is False
+        assert model.graph_ is None and model._fitted_values is None
+
+
 class TestAblationsRun:
     @pytest.mark.parametrize("kwargs", [
         {"use_interpretation": False},

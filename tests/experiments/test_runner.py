@@ -85,6 +85,68 @@ class TestEvaluateMethods:
         assert table.best_column("fork") == "oracle"
 
 
+class TestExecutorDispatch:
+    def _experiment(self):
+        return ExperimentSpec("fork",
+                              lambda seed: fork_dataset(seed=seed, length=140),
+                              seeds=(0, 1))
+
+    def _methods(self):
+        return [MethodSpec("var_granger"),
+                MethodSpec("cmlp", config={"epochs": 4})]
+
+    def test_registry_specs_are_schedulable(self):
+        assert all(spec.is_schedulable for spec in self._methods())
+        assert not MethodSpec("oracle", lambda seed: _EmptyMethod()).is_schedulable
+
+    def test_parallel_cached_sweep_matches_serial(self, tmp_path):
+        serial = evaluate_methods([self._experiment()], self._methods())
+        parallel = evaluate_methods([self._experiment()], self._methods(),
+                                    max_workers=2, cache=str(tmp_path))
+        cached = evaluate_methods([self._experiment()], self._methods(),
+                                  cache=str(tmp_path))
+        assert serial.to_dict() == parallel.to_dict() == cached.to_dict()
+
+    def test_mixed_factory_and_registry_specs(self, tmp_path):
+        datasets = {}
+
+        def factory(seed):
+            datasets[seed] = fork_dataset(seed=seed, length=140)
+            return datasets[seed]
+
+        experiment = ExperimentSpec("fork", factory, seeds=(0,))
+        methods = [MethodSpec("var_granger"),
+                   MethodSpec("oracle", lambda seed: _OracleMethod(datasets[seed]))]
+        table = evaluate_methods([experiment], methods, cache=str(tmp_path))
+        assert set(table.columns) == {"var_granger", "oracle"}
+        assert table.mean("fork", "oracle") == 1.0
+
+    def test_job_failure_names_the_cell(self):
+        experiment = self._experiment()
+        methods = [MethodSpec("broken", method="causalformer",
+                              config={"window": 10_000})]
+        with pytest.raises(RuntimeError, match="broken on fork"):
+            evaluate_methods([experiment], methods, max_workers=2)
+
+    def test_missing_ground_truth_raises_on_every_path(self, tmp_path):
+        def factory(seed):
+            dataset = fork_dataset(seed=seed, length=140)
+            dataset.graph = None
+            return dataset
+
+        experiment = ExperimentSpec("fork", factory, seeds=(0,))
+        methods = [MethodSpec("var_granger")]
+        with pytest.raises(ValueError, match="no ground-truth"):
+            evaluate_methods([experiment], methods)
+        with pytest.raises(ValueError, match="no ground-truth"):
+            evaluate_methods([experiment], methods, max_workers=2,
+                             cache=str(tmp_path))
+
+    def test_invalid_worker_count_surfaces(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            evaluate_methods([self._experiment()], self._methods(), max_workers=0)
+
+
 class TestMethodSpecs:
     def test_default_line_up(self):
         specs = default_method_specs(fast=True)

@@ -1,0 +1,73 @@
+"""Artifact store: run directories, graphs, results and manifests."""
+
+import pytest
+
+from repro.data import fork_dataset
+from repro.graph import TemporalCausalGraph
+from repro.service import ArtifactStore, DiscoveryJob, fingerprint_dataset
+from repro.service.executor import execute_job
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "runs"))
+
+
+def _graph():
+    graph = TemporalCausalGraph(3, names=["a", "b", "c"])
+    graph.add_edge(0, 1, 2)
+    graph.add_edge(2, 2, 1)
+    return graph
+
+
+class TestRunAllocation:
+    def test_empty_store(self, store):
+        assert store.run_ids() == []
+        assert store.latest_run() is None
+
+    def test_sequential_run_ids(self, store):
+        first = store.create_run()
+        second = store.create_run()
+        assert first.run_id == "run-0001"
+        assert second.run_id == "run-0002"
+        assert store.run_ids() == ["run-0001", "run-0002"]
+        assert store.latest_run().run_id == "run-0002"
+
+    def test_open_missing_run(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.open_run("run-9999")
+
+
+class TestPersistence:
+    def test_graph_round_trip(self, store):
+        run = store.create_run()
+        run.save_graph("fork", _graph())
+        assert run.load_graph("fork") == _graph()
+
+    def test_scores_round_trip(self, store):
+        run = store.create_run()
+        run.save_scores("fork", {"f1": 0.5, "precision": 1.0})
+        assert run.load_scores("fork")["f1"] == 0.5
+
+    def test_manifest_round_trip(self, store):
+        run = store.create_run()
+        run.write_manifest({"jobs": 3, "command": "sweep"})
+        assert run.read_manifest() == {"jobs": 3, "command": "sweep"}
+
+    def test_job_results_round_trip(self, store):
+        dataset = fork_dataset(seed=0, length=140)
+        job = DiscoveryJob(method="var_granger", dataset="fork",
+                           dataset_fingerprint=fingerprint_dataset(dataset))
+        result = execute_job(job, dataset)
+        run = store.create_run()
+        run.save_result(result)
+
+        reopened = store.open_run(run.run_id)
+        loaded = reopened.load_results()
+        assert len(loaded) == 1
+        assert loaded[0].job == job
+        assert loaded[0].graph == result.graph
+        assert loaded[0].scores.f1 == result.scores.f1
+
+    def test_no_results_directory(self, store):
+        assert store.create_run().load_results() == []

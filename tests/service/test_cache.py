@@ -1,0 +1,98 @@
+"""On-disk result cache: round-trips, corruption handling, maintenance."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import ResultCache
+from repro.service.cache import default_cache_dir
+
+KEY = "ab12" * 16
+OTHER = "cd34" * 16
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, cache):
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"answer": 42})
+        assert cache.get(KEY) == {"answer": 42}
+
+    def test_contains(self, cache):
+        assert KEY not in cache
+        cache.put(KEY, {})
+        assert KEY in cache
+        assert OTHER not in cache
+
+    def test_overwrite(self, cache):
+        cache.put(KEY, {"v": 1})
+        cache.put(KEY, {"v": 2})
+        assert cache.get(KEY) == {"v": 2}
+
+    def test_entries_sharded_by_prefix(self, cache):
+        path = cache.put(KEY, {})
+        assert os.path.dirname(path).endswith(KEY[:2])
+
+
+class TestRobustness:
+    def test_corrupted_entry_is_a_miss(self, cache):
+        path = cache.put(KEY, {"ok": True})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.get(KEY) is None
+
+    def test_rejects_non_hex_keys(self, cache):
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+        with pytest.raises(ValueError):
+            cache.path_for("")
+
+    def test_missing_directory_is_empty(self, cache):
+        assert list(cache.keys()) == []
+        assert cache.stats().n_entries == 0
+
+    def test_non_json_native_values_stored(self, cache):
+        """Anything canonical_json can hash, put() must be able to store."""
+        import numpy as np
+
+        cache.put(KEY, {"max_lag": np.int64(2), "rate": np.float64(0.5)})
+        assert cache.get(KEY) is not None
+
+
+class TestMaintenance:
+    def test_keys_and_clear(self, cache):
+        cache.put(KEY, {})
+        cache.put(OTHER, {})
+        assert sorted(cache.keys()) == sorted([KEY, OTHER])
+        assert cache.clear() == 2
+        assert list(cache.keys()) == []
+
+    def test_stats_counts_hits_and_misses(self, cache):
+        cache.get(KEY)
+        cache.put(KEY, {"payload": "x"})
+        cache.get(KEY)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.n_entries == 1
+        assert stats.total_bytes > 0
+        assert json.dumps(stats.as_dict())  # JSON-able for the CLI
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == str(tmp_path / "override")
+        assert ResultCache().directory == str(tmp_path / "override")
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path / "repro" / "results")
+
+    def test_tilde_expanded(self):
+        assert "~" not in ResultCache("~/somewhere").directory

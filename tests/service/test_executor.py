@@ -1,0 +1,99 @@
+"""Job executor: serial/parallel equivalence, caching, error capture."""
+
+import pytest
+
+from repro.data import fork_dataset
+from repro.service import DiscoveryJob, JobExecutor, ResultCache, fingerprint_dataset
+
+
+@pytest.fixture(scope="module")
+def fork_pairs():
+    """Three cheap jobs (two methods × seeds) on small fork datasets."""
+    pairs = []
+    for seed in (0, 1):
+        dataset = fork_dataset(seed=seed, length=140)
+        fingerprint = fingerprint_dataset(dataset)
+        pairs.append((DiscoveryJob(method="var_granger", dataset="fork",
+                                   dataset_fingerprint=fingerprint, seed=seed),
+                      dataset))
+    dataset = fork_dataset(seed=0, length=140)
+    pairs.append((DiscoveryJob(method="cmlp", config={"epochs": 4}, dataset="fork",
+                               dataset_fingerprint=fingerprint_dataset(dataset),
+                               seed=0), dataset))
+    return pairs
+
+
+def _summaries(results):
+    return [(result.job.method, result.job.seed, result.scores.f1,
+             [edge.as_tuple() for edge in result.graph.edges])
+            for result in results]
+
+
+class TestExecution:
+    def test_results_keep_submission_order(self, fork_pairs):
+        results = JobExecutor(max_workers=1).run(fork_pairs)
+        assert [result.job for result in results] == [job for job, _ in fork_pairs]
+        assert all(result.ok for result in results)
+
+    def test_parallel_equals_serial(self, fork_pairs):
+        serial = JobExecutor(max_workers=1).run(fork_pairs)
+        parallel = JobExecutor(max_workers=2).run(fork_pairs)
+        assert _summaries(serial) == _summaries(parallel)
+
+    def test_run_one(self, fork_pairs):
+        job, dataset = fork_pairs[0]
+        result = JobExecutor().run_one(job, dataset)
+        assert result.ok and result.scores.f1 > 0.0
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            JobExecutor(max_workers=0)
+        assert JobExecutor(max_workers=None).max_workers >= 1
+
+
+class TestErrorCapture:
+    def test_one_crash_does_not_kill_the_sweep(self, fork_pairs):
+        job, dataset = fork_pairs[0]
+        # window longer than the series → the facade raises inside the job
+        bad = DiscoveryJob(method="causalformer", config={"window": 10_000},
+                           dataset="fork",
+                           dataset_fingerprint=job.dataset_fingerprint, seed=0)
+        results = JobExecutor(max_workers=1).run([(bad, dataset), (job, dataset)])
+        assert not results[0].ok
+        assert "ValueError" in results[0].error
+        assert results[1].ok
+
+    def test_unknown_method_is_captured(self, fork_pairs):
+        job, dataset = fork_pairs[0]
+        bad = DiscoveryJob(method="no-such-method", dataset="fork", seed=0)
+        result = JobExecutor().run_one(bad, dataset)
+        assert not result.ok and "unknown method" in result.error
+
+
+class TestCaching:
+    def test_second_run_is_served_from_cache(self, fork_pairs, tmp_path):
+        executor = JobExecutor(max_workers=1, cache=str(tmp_path))
+        cold = executor.run(fork_pairs)
+        warm = executor.run(fork_pairs)
+        assert not any(result.cached for result in cold)
+        assert all(result.cached for result in warm)
+        assert _summaries(cold) == _summaries(warm)
+
+    def test_cache_shared_between_executors(self, fork_pairs, tmp_path):
+        cache = ResultCache(tmp_path / "shared")
+        JobExecutor(cache=cache).run(fork_pairs)
+        warm = JobExecutor(max_workers=2, cache=cache).run(fork_pairs)
+        assert all(result.cached for result in warm)
+
+    def test_failures_are_not_cached(self, fork_pairs, tmp_path):
+        _job, dataset = fork_pairs[0]
+        bad = DiscoveryJob(method="causalformer", config={"window": 10_000},
+                           dataset="fork", seed=0)
+        executor = JobExecutor(cache=str(tmp_path))
+        executor.run_one(bad, dataset)
+        assert bad.cache_key() not in executor.cache
+
+    def test_different_seeds_do_not_collide(self, fork_pairs, tmp_path):
+        executor = JobExecutor(cache=str(tmp_path))
+        results = executor.run(fork_pairs[:2])  # same method, seeds 0 and 1
+        assert results[0].job.cache_key() != results[1].job.cache_key()

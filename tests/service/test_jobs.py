@@ -1,0 +1,123 @@
+"""Job specs: deterministic serialization, hashing and fingerprints."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data import fork_dataset
+from repro.service import (
+    DiscoveryJob,
+    JobResult,
+    canonical_json,
+    fingerprint_array,
+    fingerprint_dataset,
+)
+from repro.service.executor import execute_job
+
+
+def _job(**overrides):
+    payload = dict(method="causalformer", config={"max_epochs": 5, "window": 10},
+                   dataset="fork", dataset_fingerprint="ab" * 32, seed=3,
+                   delay_tolerance=1)
+    payload.update(overrides)
+    return DiscoveryJob(**payload)
+
+
+class TestCanonicalSerialization:
+    def test_round_trip(self):
+        job = _job()
+        assert DiscoveryJob.from_dict(job.to_dict()) == job
+
+    def test_canonical_is_valid_json(self):
+        assert json.loads(_job().canonical())["method"] == "causalformer"
+
+    def test_key_independent_of_config_insertion_order(self):
+        forward = _job(config={"max_epochs": 5, "window": 10})
+        backward = _job(config={"window": 10, "max_epochs": 5})
+        assert forward.cache_key() == backward.cache_key()
+
+    @pytest.mark.parametrize("field, value", [
+        ("method", "cmlp"),
+        ("config", {"max_epochs": 6, "window": 10}),
+        ("dataset_fingerprint", "cd" * 32),
+        ("seed", 4),
+        ("delay_tolerance", 0),
+    ])
+    def test_key_changes_with_every_field(self, field, value):
+        assert _job().cache_key() != _job(**{field: value}).cache_key()
+
+    def test_job_id_is_filesystem_safe(self):
+        job_id = _job().job_id
+        assert "/" not in job_id and " " not in job_id
+        assert job_id.startswith("fork-causalformer-seed3-")
+
+
+class TestHashStability:
+    def test_key_stable_across_processes(self):
+        """The cache key must be reproducible in a fresh interpreter."""
+        job = _job()
+        script = (
+            "from repro.service import DiscoveryJob;"
+            f"import json; job = DiscoveryJob.from_dict(json.loads({job.canonical()!r}));"
+            "print(job.cache_key())"
+        )
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": src},
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert output == job.cache_key()
+
+
+class TestFingerprints:
+    def test_fingerprint_deterministic(self):
+        dataset = fork_dataset(seed=0, length=80)
+        assert fingerprint_dataset(dataset) == fingerprint_dataset(dataset)
+
+    def test_fingerprint_tracks_values(self):
+        dataset = fork_dataset(seed=0, length=80)
+        other = fork_dataset(seed=1, length=80)
+        assert fingerprint_dataset(dataset) != fingerprint_dataset(other)
+
+    def test_fingerprint_tracks_ground_truth(self):
+        dataset = fork_dataset(seed=0, length=80)
+        modified = fork_dataset(seed=0, length=80)
+        assert np.array_equal(dataset.values, modified.values)
+        modified.graph.add_edge(0, 2, 3)
+        assert fingerprint_dataset(dataset) != fingerprint_dataset(modified)
+
+    def test_plain_array_fingerprint(self):
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        assert fingerprint_dataset(values) == fingerprint_array(values)
+        assert fingerprint_array(values) != fingerprint_array(values.T)
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestJobResultRoundTrip:
+    def test_success_round_trip(self):
+        dataset = fork_dataset(seed=0, length=140)
+        job = DiscoveryJob(method="var_granger", dataset="fork",
+                           dataset_fingerprint=fingerprint_dataset(dataset))
+        result = execute_job(job, dataset)
+        assert result.ok and result.duration > 0
+
+        restored = JobResult.from_dict(result.to_dict())
+        assert restored.job == result.job
+        assert restored.graph == result.graph
+        assert restored.scores.f1 == result.scores.f1
+        assert restored.scores.counts.true_positive == result.scores.counts.true_positive
+
+    def test_error_round_trip(self):
+        result = JobResult(job=_job(), error="Traceback: boom")
+        restored = JobResult.from_dict(result.to_dict())
+        assert not restored.ok
+        assert restored.error == result.error
+        assert restored.metric("f1") is None

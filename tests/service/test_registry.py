@@ -1,0 +1,90 @@
+"""Method/dataset registries: lookup, seeds, extensibility."""
+
+import pytest
+
+from repro.baselines import CausalDiscoveryMethod
+from repro.core.discovery import CausalFormer
+from repro.service import (
+    build_dataset,
+    build_method,
+    dataset_names,
+    method_names,
+    register_dataset,
+    register_method,
+)
+from repro.service.registry import _DATASETS, _METHODS
+
+
+class TestMethodRegistry:
+    def test_paper_line_up_registered(self):
+        assert {"causalformer", "cmlp", "clstm", "tcdf", "dvgnn", "cuts",
+                "var_granger"} <= set(method_names())
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError, match="unknown method"):
+            build_method("nope")
+
+    @pytest.mark.parametrize("name", ["cmlp", "clstm", "tcdf", "dvgnn", "cuts",
+                                      "var_granger"])
+    def test_baselines_build_and_take_seed(self, name):
+        method = build_method(name, seed=7)
+        assert isinstance(method, CausalDiscoveryMethod)
+        assert method.seed == 7
+
+    def test_job_seed_wins_over_config_seed(self):
+        method = build_method("cmlp", {"seed": 99, "epochs": 5}, seed=7)
+        assert method.seed == 7
+
+    def test_causalformer_config_and_switches(self):
+        model = build_method("causalformer",
+                             {"max_epochs": 3, "temperature": 9.0,
+                              "use_relevance": False, "normalize": False},
+                             seed=11)
+        assert isinstance(model, CausalFormer)
+        assert model.config.seed == 11
+        assert model.config.max_epochs == 3
+        assert model.config.temperature == 9.0
+        assert model.use_relevance is False
+        assert model.normalize is False
+
+    def test_causalformer_preset_selection(self):
+        model = build_method("causalformer", {"preset": "lorenz96"})
+        assert model.config.window == 32
+        with pytest.raises(KeyError, match="preset"):
+            build_method("causalformer", {"preset": "nope"})
+
+    def test_register_custom_method(self):
+        sentinel = object()
+        register_method("custom-test-method", lambda seed=0, **cfg: sentinel)
+        try:
+            assert build_method("custom-test-method") is sentinel
+        finally:
+            _METHODS.pop("custom-test-method", None)
+
+
+class TestDatasetRegistry:
+    def test_paper_datasets_registered(self):
+        assert {"diamond", "mediator", "v_structure", "fork", "lorenz96",
+                "fmri", "sst"} <= set(dataset_names())
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            build_dataset("nope")
+
+    def test_synthetic_build_honors_kwargs(self):
+        dataset = build_dataset("fork", seed=3, length=90)
+        assert dataset.n_timesteps == 90
+        assert dataset.graph is not None
+
+    def test_seeds_change_data(self):
+        one = build_dataset("diamond", seed=0, length=80)
+        two = build_dataset("diamond", seed=1, length=80)
+        assert not (one.values == two.values).all()
+
+    def test_register_custom_dataset(self):
+        fork = build_dataset("fork", seed=0, length=80)
+        register_dataset("custom-test-dataset", lambda seed=0, **kw: fork)
+        try:
+            assert build_dataset("custom-test-dataset") is fork
+        finally:
+            _DATASETS.pop("custom-test-dataset", None)
