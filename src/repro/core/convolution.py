@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn import init
 from repro.nn import tensor as T
 from repro.nn.module import Module, Parameter
@@ -53,16 +54,33 @@ class MultiKernelCausalConvolution(Module):
         self.kernel = Parameter(init.he_normal(kernel_shape, rng) / np.sqrt(window),
                                 name="causal_conv.kernel")
         # Constant masks used to apply the diagonal right-shift.
-        eye = np.eye(n_series)
+        eye = np.eye(n_series, dtype=T.get_default_dtype())
         self.register_buffer("_diag_mask", eye.reshape(n_series, n_series, 1))
-        self.register_buffer("_scale", 1.0 / np.arange(1, window + 1, dtype=float))
+        self.register_buffer("_scale",
+                             1.0 / np.arange(1, window + 1, dtype=T.get_default_dtype()))
+        self._rebuild_constant_cache()
+
+    def _rebuild_constant_cache(self) -> None:
+        """Precompute the constant tensors every forward pass needs.
+
+        These never depend on the learnable kernel values, but rebuilding
+        them here (also triggered by ``load_state_dict``) keeps their dtype
+        in sync with reloaded buffers.
+        """
+        self._scale_array = np.asarray(self._scale)
+        # Broadcast helper for the single-kernel ablation: constant, grad-free,
+        # so one cached Tensor can be reused across autograd graphs.
+        self._ones_broadcast = Tensor(
+            np.ones((self.n_series, self.n_series, 1), dtype=self._scale_array.dtype))
+
+    def _invalidate_caches(self) -> None:  # hook called by Module.load_state_dict
+        self._rebuild_constant_cache()
 
     def effective_kernel(self) -> Tensor:
         """The kernel broadcast to ``(N, N, T)`` (identity for multi-kernel)."""
         if not self.single_kernel:
             return self.kernel
-        ones = Tensor(np.ones((self.n_series, self.n_series, 1)))
-        return self.kernel * ones
+        return self.kernel * self._ones_broadcast
 
     def forward(self, x: Tensor) -> Tensor:
         """Convolve a batch of windows.
@@ -83,27 +101,22 @@ class MultiKernelCausalConvolution(Module):
             raise ValueError(
                 f"expected input of shape (*, {self.n_series}, {self.window}); got {x.shape}"
             )
-        # Left-pad with T zeros: P[b, i, :] = [0 × T, X_i^1 .. X_i^T].
-        padded = T.pad(x, ((0, 0), (0, 0), (window, 0)))
-        # windows[b, i, t, τ] = P[b, i, t + 1 + τ]: the T-slot sub-vector whose
-        # last element is the observation at slot t (0-indexed t).
-        slices = [padded[:, :, t + 1:t + 1 + window] for t in range(window)]
-        windows = T.stack(slices, axis=2)
-        kernel = self.effective_kernel()
-        raw = T.einsum("bitk,ijk->bijt", windows, kernel)
-        scaled = raw * Tensor(self._scale)
-        # Right-shift the self-convolution results (Eq. 4).
-        zeros = Tensor(np.zeros((batch, n_series, n_series, 1)))
-        shifted = T.concatenate([zeros, scaled[:, :, :, :window - 1]], axis=3)
-        diag = Tensor(self._diag_mask)
-        return diag * shifted + (1.0 - diag) * scaled
+        # One fused autograd node: pad → causal-window view → batched GEMM
+        # with the per-slot 1/t rescale (Eq. 3) and the diagonal right-shift
+        # (Eq. 4) folded in — replacing the former T-iteration
+        # slice-and-stack loop plus mask/concatenate ops.
+        return F.causal_conv(x, self.effective_kernel(), self._scale_array,
+                             right_shift=True)
 
     def convolution_windows(self, x: np.ndarray) -> np.ndarray:
-        """Numpy helper exposing ``windows[b, i, t, τ]`` for relevance propagation."""
+        """Numpy helper exposing ``windows[b, i, t, τ]`` for relevance propagation.
+
+        Returns a read-only strided view: ``windows[b, i, t, τ]`` is the
+        left-zero-padded history ``P[b, i, t + 1 + τ]``.
+        """
         x = np.asarray(x, dtype=float)
-        batch, n_series, window = x.shape
-        padded = np.pad(x, ((0, 0), (0, 0), (window, 0)))
-        return np.stack([padded[:, :, t + 1:t + 1 + window] for t in range(window)], axis=2)
+        _padded, view = F._causal_window_view(x, x.shape[-1])
+        return view
 
     def l1_penalty(self) -> Tensor:
         """``‖K‖₁`` — the kernel sparsity term of the loss (Eq. 9)."""

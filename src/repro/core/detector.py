@@ -64,7 +64,8 @@ class DecompositionCausalityDetector:
                  use_relevance: bool = True,
                  use_gradient: bool = True,
                  use_bias: bool = True) -> None:
-        self.model = model
+        self._source_model = model
+        self.model = self._interpretation_model(model)
         self.config = config or model.config
         self.use_interpretation = use_interpretation
         self.use_relevance = use_relevance
@@ -73,7 +74,43 @@ class DecompositionCausalityDetector:
         if not use_relevance and not use_gradient:
             raise ValueError("at least one of relevance or gradients must be used")
         self._rrp = RegressionRelevancePropagation(
-            model, use_bias=use_bias, epsilon=self.config.relevance_epsilon)
+            self.model, use_bias=use_bias, epsilon=self.config.relevance_epsilon)
+
+    @staticmethod
+    def _interpretation_model(model: CausalityAwareTransformer
+                              ) -> CausalityAwareTransformer:
+        """A float64 view of the trained model for interpretation.
+
+        Training runs in float32 (the engine default), but the detector's
+        gradient-modulated relevance scores divide by stabilised activations
+        (Eq. 15–18) — float32 noise there measurably shifts Table 2/3
+        scores, and interpretation cost is bounded by
+        ``max_detector_windows``, so precision is cheap here.  The trained
+        weights are copied into a float64 twin; a model that is already
+        float64 is used as-is.
+        """
+        parameter = next(iter(model.parameters()))
+        if parameter.data.dtype == np.float64:
+            return model
+        from repro.nn.tensor import default_dtype
+
+        with default_dtype(np.float64):
+            twin = CausalityAwareTransformer(model.config)
+        twin.load_state_dict(model.state_dict())
+        return twin
+
+    def _sync_interpretation_model(self) -> None:
+        """Copy the source model's current weights into the float64 twin.
+
+        The twin must track the live model — the detector may be constructed
+        before (or between) training runs, so weights are re-synced on every
+        scoring call rather than frozen at construction time.
+        """
+        if self.model is self._source_model:
+            return
+        for twin_param, source_param in zip(self.model.parameters(),
+                                            self._source_model.parameters()):
+            twin_param.data = source_param.data.astype(twin_param.data.dtype)
 
     # ------------------------------------------------------------------ #
     # Causal scores
@@ -90,6 +127,7 @@ class DecompositionCausalityDetector:
                 f"windows of shape {windows.shape[1:]} do not match the model "
                 f"({self.config.n_series} series, window {self.config.window})"
             )
+        self._sync_interpretation_model()
         if not self.use_interpretation:
             return self._raw_weight_scores(windows)
 

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
@@ -37,4 +38,4 @@ class TimeSeriesEmbedding(Module):
             raise ValueError(
                 f"embedding expects windows of length {self.window}, got {x.shape[-1]}"
             )
-        return x @ self.weight + self.bias
+        return F.linear(x, self.weight, self.bias)

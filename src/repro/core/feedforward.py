@@ -34,9 +34,9 @@ class FeedForward(Module):
         self.b2 = Parameter(init.zeros((window,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        hidden = x @ self.w1 + self.b1
+        hidden = F.linear(x, self.w1, self.b1)
         activated = F.leaky_relu(hidden, self.negative_slope)
-        return activated @ self.w2 + self.b2
+        return F.linear(activated, self.w2, self.b2)
 
 
 class OutputLayer(Module):
@@ -50,4 +50,4 @@ class OutputLayer(Module):
         self.bias = Parameter(init.zeros((window,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        return x @ self.weight + self.bias
+        return F.linear(x, self.weight, self.bias)

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.config import CausalFormerConfig
 from repro.core.transformer import CausalityAwareTransformer
-from repro.nn.optim import Adam, clip_grad_norm_
+from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 
 
@@ -40,7 +40,9 @@ class Trainer:
                  config: Optional[CausalFormerConfig] = None) -> None:
         self.model = model
         self.config = config or model.config
-        self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        self._parameters = list(model.parameters())
+        self.optimizer = Adam(self._parameters, lr=self.config.learning_rate,
+                              clip_norm=self.config.grad_clip)
         self.history = TrainingHistory()
 
     # ------------------------------------------------------------------ #
@@ -68,6 +70,10 @@ class Trainer:
         """Train on an ``(N, T_total)`` array; returns the loss history."""
         rng = np.random.default_rng(self.config.seed)
         windows = self.make_windows(values)
+        # Cast once to the model's parameter dtype (float32 engine default)
+        # so no per-batch Tensor construction re-casts the data.
+        dtype = next(iter(self.model.parameters())).data.dtype
+        windows = np.ascontiguousarray(windows, dtype=dtype)
         train_windows, validation_windows = self._split(windows, rng)
 
         best_state = None
@@ -89,7 +95,10 @@ class Trainer:
             if validation_loss < self.history.best_validation_loss - self.config.min_delta:
                 self.history.best_validation_loss = validation_loss
                 self.history.best_epoch = epoch
-                best_state = self.model.state_dict()
+                # Snapshot parameter values directly — cheaper than a full
+                # state_dict walk, and taken every improving epoch.
+                best_state = [parameter.data.copy()
+                              for parameter in self._parameters]
                 epochs_without_improvement = 0
             else:
                 epochs_without_improvement += 1
@@ -98,7 +107,8 @@ class Trainer:
                     break
 
         if best_state is not None:
-            self.model.load_state_dict(best_state)
+            for parameter, saved in zip(self._parameters, best_state):
+                parameter.data = saved
         return self.history
 
     def _run_epoch(self, windows: np.ndarray, rng: np.random.Generator) -> float:
@@ -106,20 +116,37 @@ class Trainer:
         batch_size = self.config.batch_size
         losses = []
         for start in range(0, len(order), batch_size):
-            batch = windows[order[start:start + batch_size]]
+            batch = Tensor(windows[order[start:start + batch_size]])
             self.optimizer.zero_grad()
-            prediction, _ = self.model(Tensor(batch))
-            loss = self.model.loss(prediction, Tensor(batch))
+            prediction, _ = self.model(batch)
+            loss = self.model.loss(prediction, batch)
             loss.backward()
-            clip_grad_norm_(self.model.parameters(), self.config.grad_clip)
+            # Gradient clipping happens inside the fused optimizer step (one
+            # dot product over the flat gradient vector).
             self.optimizer.step()
             losses.append(float(loss.data))
         return float(np.mean(losses)) if losses else float("nan")
 
     def _evaluate(self, windows: np.ndarray) -> float:
+        """Validation loss, evaluated in ``batch_size`` chunks.
+
+        Chunking keeps peak memory proportional to the batch size — the
+        forward pass materialises a ``(chunk, N, N, T)`` convolution tensor,
+        so a single full-split evaluation used to dominate peak RSS.  Each
+        window contributes the same number of loss elements and the L1
+        penalties are constant across chunks, so the window-weighted mean of
+        the chunk losses equals the single-shot loss exactly.
+        """
         from repro.nn.tensor import no_grad
 
+        batch_size = self.config.batch_size
+        total = 0.0
+        count = 0
         with no_grad():
-            prediction, _ = self.model(Tensor(windows))
-            loss = self.model.loss(prediction, Tensor(windows))
-        return float(loss.data)
+            for start in range(0, windows.shape[0], batch_size):
+                chunk = Tensor(windows[start:start + batch_size])
+                prediction, _ = self.model(chunk)
+                loss = self.model.loss(prediction, chunk)
+                total += float(loss.data) * len(chunk)
+                count += len(chunk)
+        return total / count if count else float("nan")

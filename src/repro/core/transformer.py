@@ -77,18 +77,52 @@ class CausalityAwareTransformer(Module):
             When true, also return the :class:`TransformerCache` of
             intermediates needed by the causality detector.
         """
+        dtype = self.embedding.weight.data.dtype
         if not isinstance(x, Tensor):
-            x = Tensor(np.asarray(x, dtype=float))
+            x = Tensor(np.asarray(x, dtype=dtype))
+        elif x.data.dtype != dtype and not x.requires_grad:
+            # Keep the whole graph in the engine dtype (float32 by default):
+            # mixed-precision inputs would silently promote every op to
+            # float64 and forfeit the fast path.
+            x = Tensor(x.data.astype(dtype))
         if x.ndim == 2:
             x = x.unsqueeze(0)
-        embedding = self.embedding(x)
         values = self.convolution(x)
-        values.retain_grad()
-        combined, head_caches = self.attention(embedding, values)
-        ffn_hidden = combined @ self.feed_forward.w1 + self.feed_forward.b1
-        ffn_activated = F.leaky_relu(ffn_hidden, self.feed_forward.negative_slope)
-        ffn_output = ffn_activated @ self.feed_forward.w2 + self.feed_forward.b2
-        prediction = self.output_layer(ffn_output)
+        if return_cache:
+            embedding = self.embedding(x)
+            # Only the causality detector reads values.grad; training steps
+            # skip the retained-gradient copy and the per-head cache nodes.
+            values.retain_grad()
+            combined, head_caches = self.attention(embedding, values,
+                                                   collect_caches=True)
+        else:
+            # Training fast path: embedding, Q/K projection and the masked
+            # softmax fuse into one node; application + head combination
+            # into a second.
+            attention = self.attention
+            scale = 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+            probabilities = F.causal_attention_probs(
+                x, attention.query_weights, attention.query_biases,
+                attention.key_weights, attention.key_biases,
+                attention.mask_parameters, scale,
+                embed_weight=self.embedding.weight,
+                embed_bias=self.embedding.bias)
+            combined = F.attention_combine(probabilities, values, attention.w_output)
+            head_caches = []
+        if return_cache:
+            ffn_hidden = F.linear(combined, self.feed_forward.w1, self.feed_forward.b1)
+            ffn_activated = F.leaky_relu(ffn_hidden, self.feed_forward.negative_slope)
+            ffn_output = F.linear(ffn_activated, self.feed_forward.w2, self.feed_forward.b2)
+            prediction = self.output_layer(ffn_output)
+        else:
+            # Training fast path: the FFN + output tail runs as one fused
+            # node (the cache path above keeps the individual intermediates
+            # relevance propagation reads).
+            prediction = F.mlp_chain(
+                combined, self.feed_forward.w1, self.feed_forward.b1,
+                self.feed_forward.w2, self.feed_forward.b2,
+                self.output_layer.weight, self.output_layer.bias,
+                self.feed_forward.negative_slope)
 
         cache: Optional[TransformerCache] = None
         if return_cache:
@@ -96,7 +130,7 @@ class CausalityAwareTransformer(Module):
             # relevance propagation has the un-shifted denominators.
             conv_windows = self.convolution.convolution_windows(x.data)
             kernel = self.convolution.effective_kernel().data
-            scale = 1.0 / np.arange(1, self.config.window + 1, dtype=float)
+            scale = self.convolution._scale_array
             values_pre = np.einsum("bitk,ijk->bijt", conv_windows, kernel) * scale
             cache = TransformerCache(
                 inputs=x.data,
@@ -128,14 +162,17 @@ class CausalityAwareTransformer(Module):
     def loss(self, prediction: Tensor, target: Tensor) -> Tensor:
         """MSE over slots ``2..T`` plus the L1 kernel/mask penalties."""
         if not isinstance(target, Tensor):
-            target = Tensor(np.asarray(target, dtype=float))
-        mse = F.mse_loss(prediction[:, :, 1:], target[:, :, 1:])
-        total = mse
+            target = Tensor(np.asarray(target, dtype=prediction.data.dtype))
+        elif target.data.dtype != prediction.data.dtype and not target.requires_grad:
+            target = Tensor(target.data.astype(prediction.data.dtype))
+        penalties = []
         if self.config.lambda_kernel > 0:
-            total = total + self.config.lambda_kernel * self.convolution.l1_penalty()
+            penalties.append((self.config.lambda_kernel, self.convolution.kernel))
         if self.config.lambda_mask > 0:
-            total = total + self.config.lambda_mask * self.attention.mask_l1_penalty()
-        return total
+            penalties.extend((self.config.lambda_mask, head.mask)
+                             for head in self.attention.heads)
+        return F.prediction_loss_with_l1(prediction, target, penalties,
+                                         start_slot=1)
 
     def prediction_error(self, x: np.ndarray) -> float:
         """Plain MSE (no penalties) of the model on a batch of windows."""

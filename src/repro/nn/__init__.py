@@ -22,7 +22,14 @@ pieces the paper's pipeline actually needs:
   initialisation).
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    get_default_dtype,
+    set_default_dtype,
+    default_dtype,
+)
 from repro.nn import functional
 from repro.nn.module import Module, Parameter, ModuleList
 from repro.nn.layers import (
@@ -46,6 +53,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "functional",
     "Module",
     "Parameter",

@@ -11,6 +11,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.tensor import get_default_dtype
+
 _GLOBAL_SEED_SEQUENCE = np.random.SeedSequence(0)
 
 
@@ -36,7 +38,7 @@ def he_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -
     rng = rng or default_rng()
     fan_in, _ = _fan_in_fan_out(shape)
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def he_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -44,7 +46,7 @@ def he_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) 
     rng = rng or default_rng()
     fan_in, _ = _fan_in_fan_out(shape)
     bound = np.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -52,7 +54,7 @@ def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = No
     rng = rng or default_rng()
     fan_in, fan_out = _fan_in_fan_out(shape)
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -60,28 +62,28 @@ def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = Non
     rng = rng or default_rng()
     fan_in, fan_out = _fan_in_fan_out(shape)
     std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: Sequence[int]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: Sequence[int]) -> np.ndarray:
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def constant(shape: Sequence[int], value: float) -> np.ndarray:
-    return np.full(shape, float(value), dtype=np.float64)
+    return np.full(shape, float(value), dtype=get_default_dtype())
 
 
 def normal(shape: Sequence[int], mean: float = 0.0, std: float = 1.0,
            rng: Optional[np.random.Generator] = None) -> np.ndarray:
     rng = rng or default_rng()
-    return rng.normal(mean, std, size=shape)
+    return rng.normal(mean, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def uniform(shape: Sequence[int], low: float = -0.1, high: float = 0.1,
             rng: Optional[np.random.Generator] = None) -> np.ndarray:
     rng = rng or default_rng()
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(get_default_dtype(), copy=False)

@@ -125,6 +125,12 @@ class Module:
                 missing.append(name)
         if strict and missing:
             raise KeyError(f"missing keys in state dict: {missing}")
+        # Let modules that precompute constants from their parameters or
+        # buffers (e.g. the causal convolution's cached masks) rebuild them.
+        for module in self.modules():
+            hook = getattr(module, "_invalidate_caches", None)
+            if callable(hook):
+                hook()
         return missing
 
     # ------------------------------------------------------------------ #

@@ -54,10 +54,11 @@ class SGD(Optimizer):
                 velocity = self._velocity.get(id(parameter))
                 if velocity is None:
                     velocity = np.zeros_like(parameter.data)
-                velocity = self.momentum * velocity + grad
-                self._velocity[id(parameter)] = velocity
+                    self._velocity[id(parameter)] = velocity
+                velocity *= self.momentum
+                velocity += grad
                 grad = velocity
-            parameter.data = parameter.data - self.lr * grad
+            parameter.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -65,44 +66,125 @@ class Adam(Optimizer):
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0) -> None:
+                 weight_decay: float = 0.0,
+                 clip_norm: Optional[float] = None) -> None:
         super().__init__(parameters)
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
             raise ValueError("betas must be in [0, 1)")
         self.lr = lr
+        #: when set, gradients are globally L2-clipped to this norm inside
+        #: ``step`` — one dot product on the fused gradient vector instead of
+        #: a per-parameter pass through :func:`clip_grad_norm_`.
+        self.clip_norm = clip_norm
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
         self._step_count = 0
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        # Fused update state: every parameter's gradient and both moments
+        # live in one flat buffer each, so a step is a handful of vectorized
+        # ops over the whole parameter vector instead of ~10 numpy calls per
+        # parameter.  Rebuilt (with moments preserved) whenever the set of
+        # gradient-carrying parameters changes.
+        self._flat_key: Optional[tuple] = None
+        self._flat_views: List[tuple] = []
+        self._flat_grad: Optional[np.ndarray] = None
+        self._flat_m: Optional[np.ndarray] = None
+        self._flat_v: Optional[np.ndarray] = None
+        # When every parameter shares one dtype, their .data arrays are
+        # re-pointed at views of one flat vector so the whole update is a
+        # single in-place subtraction (no per-parameter scatter).  External
+        # reassignment of a .data array is detected by identity and the
+        # fusion is rebuilt from the new arrays.
+        self._flat_data: Optional[np.ndarray] = None
+        self._data_ids: List[int] = []
+
+    def _flush_moments(self) -> None:
+        """Write the flat moment buffers back to the per-parameter store."""
+        for parameter, view_slice, _shape in self._flat_views:
+            key = id(parameter)
+            self._m[key] = self._flat_m[view_slice].copy()
+            self._v[key] = self._flat_v[view_slice].copy()
+
+    def _rebuild_flat(self, active: List[Parameter]) -> None:
+        if self._flat_views:
+            self._flush_moments()
+        dtype = np.result_type(*(p.data.dtype for p in active))
+        total = sum(p.data.size for p in active)
+        self._flat_grad = np.empty(total, dtype=dtype)
+        self._flat_m = np.zeros(total, dtype=dtype)
+        self._flat_v = np.zeros(total, dtype=dtype)
+        self._flat_views = []
+        offset = 0
+        for parameter in active:
+            size = parameter.data.size
+            view_slice = slice(offset, offset + size)
+            key = id(parameter)
+            if key in self._m:
+                self._flat_m[view_slice] = self._m[key].ravel()
+                self._flat_v[view_slice] = self._v[key].ravel()
+            self._flat_views.append((parameter, view_slice, parameter.data.shape))
+            offset += size
+        self._flat_key = tuple(id(p) for p in active)
+        self._fuse_parameter_data(dtype)
+
+    def _fuse_parameter_data(self, dtype) -> None:
+        if any(p.data.dtype != dtype for p, _s, _shape in self._flat_views):
+            self._flat_data = None
+            self._data_ids = []
+            return
+        self._flat_data = np.concatenate(
+            [p.data.ravel() for p, _s, _shape in self._flat_views])
+        self._data_ids = []
+        for parameter, view_slice, shape in self._flat_views:
+            parameter.data = self._flat_data[view_slice].reshape(shape)
+            self._data_ids.append(id(parameter.data))
 
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
         bias_correction1 = 1.0 - self.beta1 ** t
         bias_correction2 = 1.0 - self.beta2 ** t
-        for parameter in self.parameters:
-            if parameter.grad is None:
-                continue
-            grad = parameter.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
-            key = id(parameter)
-            m = self._m.get(key)
-            v = self._v.get(key)
-            if m is None:
-                m = np.zeros_like(parameter.data)
-                v = np.zeros_like(parameter.data)
-            m = self.beta1 * m + (1.0 - self.beta1) * grad
-            v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
-            self._m[key] = m
-            self._v[key] = v
-            m_hat = m / bias_correction1
-            v_hat = v / bias_correction2
-            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        active = [p for p in self.parameters if p.grad is not None]
+        if not active:
+            return
+        if self._flat_key != tuple(id(p) for p in active):
+            self._rebuild_flat(active)
+        elif self._flat_data is not None:
+            for (parameter, _s, _shape), data_id in zip(self._flat_views,
+                                                        self._data_ids):
+                if id(parameter.data) != data_id:
+                    # A .data array was replaced (e.g. load_state_dict):
+                    # re-fuse from the new arrays.
+                    self._fuse_parameter_data(self._flat_data.dtype)
+                    break
+        grad = self._flat_grad
+        np.concatenate([p.grad.ravel() for p in active], out=grad)
+        if self.clip_norm is not None:
+            total = float(np.sqrt(np.dot(grad, grad)))
+            if total > self.clip_norm:
+                grad *= self.clip_norm / (total + 1e-12)
+        if self.weight_decay:
+            for parameter, view_slice, _shape in self._flat_views:
+                grad[view_slice] += self.weight_decay * parameter.data.ravel()
+        m, v = self._flat_m, self._flat_v
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        np.multiply(grad, grad, out=grad)  # grad buffer now holds g²
+        v += (1.0 - self.beta2) * grad
+        denominator = np.sqrt(v / bias_correction2)
+        denominator += self.eps
+        update = (self.lr / bias_correction1) * m
+        update /= denominator
+        if self._flat_data is not None:
+            self._flat_data -= update
+        else:
+            for parameter, view_slice, shape in self._flat_views:
+                parameter.data -= update[view_slice].reshape(shape)
 
 
 def clip_grad_norm_(parameters: Iterable[Parameter], max_norm: float) -> float:
@@ -113,9 +195,10 @@ def clip_grad_norm_(parameters: Iterable[Parameter], max_norm: float) -> float:
     parameters = [p for p in parameters if p.grad is not None]
     if not parameters:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    total = float(np.sqrt(sum(
+        float(np.dot(p.grad.ravel(), p.grad.ravel())) for p in parameters)))
     if total > max_norm and total > 0:
         scale = max_norm / (total + 1e-12)
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            parameter.grad *= scale
     return total

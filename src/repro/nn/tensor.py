@@ -21,6 +21,7 @@ reproduction:
 from __future__ import annotations
 
 import contextlib
+import itertools
 import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -28,39 +29,69 @@ import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_DEFAULT_DTYPE = np.float64
 
+class _EngineState(threading.local):
+    """Thread-local switches: graph recording and the default float dtype.
 
-class _GradMode(threading.local):
-    """Thread-local switch controlling whether operations build the graph."""
+    Training runs in float32 by default — on a CPU numpy substrate the
+    hot-path einsums are roughly twice as fast and half the memory.  Code
+    that needs float64 precision (gradcheck, reference comparisons) opts in
+    via :func:`set_default_dtype` or the :func:`default_dtype` context
+    manager.
+    """
 
     def __init__(self) -> None:
         self.enabled = True
+        self.dtype = np.dtype(np.float32)
 
 
-_grad_mode = _GradMode()
+_engine = _EngineState()
 
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record the autograd graph."""
-    return _grad_mode.enabled
+    return _engine.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
-    previous = _grad_mode.enabled
-    _grad_mode.enabled = False
+    previous = _engine.enabled
+    _engine.enabled = False
     try:
         yield
     finally:
-        _grad_mode.enabled = previous
+        _engine.enabled = previous
 
 
-def _as_array(value: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with (float32 unless overridden)."""
+    return _engine.dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used for all subsequent tensor creation."""
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be a float dtype, got {resolved}")
+    _engine.dtype = resolved
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype` (e.g. for gradcheck)."""
+    previous = _engine.dtype
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _engine.dtype = previous
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype or _engine.dtype)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -96,8 +127,13 @@ class Tensor:
         "_backward",
         "_parents",
         "_retain_grad",
+        "_freed",
+        "_seq",
         "name",
     )
+
+    #: monotonically increasing creation counter (see _topological_order)
+    _seq_counter = itertools.count()
 
     def __init__(
         self,
@@ -111,6 +147,8 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
         self._retain_grad: bool = False
+        self._freed: bool = False
+        self._seq: int = next(Tensor._seq_counter)
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -155,8 +193,8 @@ class Tensor:
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a new tensor sharing data (and dtype) detached from the graph."""
+        return _make_op(self.data, ())
 
     def clone(self) -> "Tensor":
         """Return a differentiable copy of this tensor."""
@@ -169,7 +207,9 @@ class Tensor:
         return out
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        out = _make_op(self.data.copy(), ())
+        out.requires_grad = self.requires_grad and is_grad_enabled()
+        return out
 
     def retain_grad(self) -> "Tensor":
         """Keep the gradient of this (possibly non-leaf) tensor after backward."""
@@ -185,13 +225,18 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        data = self.data
+        if getattr(grad, "shape", None) != data.shape or grad.dtype != data.dtype:
+            grad = _unbroadcast(np.asarray(grad, dtype=data.dtype), data.shape)
         if self.grad is None:
+            # The routed gradient may alias an array shared with other graph
+            # nodes (or be a read-only broadcast view), so take ownership.
             self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            np.add(self.grad, grad, out=self.grad)
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def backward(self, grad: Optional[ArrayLike] = None,
+                 free_graph: bool = True) -> None:
         """Run reverse-mode autodiff from this tensor.
 
         Parameters
@@ -200,6 +245,13 @@ class Tensor:
             Gradient of some scalar objective with respect to this tensor.
             Defaults to ones (valid for scalar outputs; for non-scalar
             outputs an explicit ``grad`` of the same shape must be given).
+        free_graph:
+            Release every visited node's backward closure and parent links
+            once its gradient has been propagated (the default).  This keeps
+            per-step peak memory flat across training steps: without it the
+            forward activations captured by the closures stay reachable for
+            as long as the caller holds the loss tensor.  Pass ``False``
+            to keep the graph (e.g. to call ``backward`` again).
         """
         if grad is None:
             if self.data.size != 1:
@@ -214,56 +266,85 @@ class Tensor:
 
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
 
         for node in order:
             node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and (node.is_leaf or node._retain_grad):
-                node._accumulate(node_grad)
-            if node._backward is not None:
-                node._push(node_grad, grads)
+            if node_grad is not None:
+                if node.requires_grad and (node.is_leaf or node._retain_grad):
+                    node._accumulate(node_grad)
+                if node._backward is not None:
+                    node._push(node_grad, grads, owned)
+            if free_graph:
+                if node._backward is not None:
+                    node._backward = None
+                    node._freed = True
+                node._parents = ()
 
-    def _push(self, grad: np.ndarray, grads: dict) -> None:
-        """Invoke the backward closure, routing parent gradients via ``grads``."""
-        # The backward closures were written to call parent._accumulate
-        # directly.  We temporarily redirect accumulation into the ``grads``
-        # dict for non-leaf parents so gradients flow through the graph
-        # without being stored on every intermediate tensor.
-        collected: List[Tuple[Tensor, np.ndarray]] = []
+    def _push(self, grad: np.ndarray, grads: dict, owned: set) -> None:
+        """Invoke the backward closure, routing parent gradients via ``grads``.
 
+        ``owned`` tracks which accumulator arrays were freshly allocated by
+        this traversal: only those are updated in place (a first routed
+        gradient may alias an array another node also received, e.g. both
+        parents of an addition, so it is never mutated).
+        """
         def route(parent: Tensor, g: np.ndarray) -> None:
-            collected.append((parent, g))
+            if not parent.requires_grad:
+                return
+            data = parent.data
+            if getattr(g, "shape", None) != data.shape or g.dtype != data.dtype:
+                g = _unbroadcast(np.asarray(g, dtype=data.dtype), data.shape)
+            if parent._backward is None and not parent._parents:
+                # Leaf: accumulate immediately (order-independent addition)
+                # instead of round-tripping through the traversal dict.
+                parent._accumulate(g)
+                return
+            key = id(parent)
+            existing = grads.get(key)
+            if existing is None:
+                grads[key] = g
+            elif key in owned:
+                np.add(existing, g, out=existing)
+            else:
+                grads[key] = existing + g
+                owned.add(key)
 
         self._backward(grad, route)  # type: ignore[misc]
-        for parent, g in collected:
-            if not parent.requires_grad:
-                continue
-            g = _unbroadcast(np.asarray(g, dtype=parent.data.dtype), parent.data.shape)
-            key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + g
-            else:
-                grads[key] = g
 
     def _topological_order(self) -> List["Tensor"]:
-        order: List[Tensor] = []
-        visited: set[int] = set()
-        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        """Reverse topological order of the reachable graph (iterative).
+
+        Tensors are created parents-first (ops never mutate the graph), so
+        the monotone creation counter ``_seq`` is a valid topological key:
+        one flat reachability sweep plus a sort replaces the conventional
+        two-phase DFS.
+        """
+        if self._freed:
+            raise RuntimeError(
+                "backward through a freed graph: this tensor's backward "
+                "closure was already released by a previous backward() call. "
+                "Pass free_graph=False to the first backward to keep the "
+                "graph alive.")
+        visited: set[int] = {id(self)}
+        nodes: List[Tensor] = [self]
+        stack: List[Tensor] = [self]
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
+            node = stack.pop()
             for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-        order.reverse()
-        return order
+                if parent._freed:
+                    raise RuntimeError(
+                        "backward through a freed graph: a shared subgraph "
+                        "was already released by a previous backward() call. "
+                        "Pass free_graph=False to the first backward to keep "
+                        "the graph alive.")
+                key = id(parent)
+                if key not in visited:
+                    visited.add(key)
+                    nodes.append(parent)
+                    stack.append(parent)
+        nodes.sort(key=_seq_key, reverse=True)
+        return nodes
 
     # ------------------------------------------------------------------ #
     # Arithmetic operators
@@ -370,11 +451,29 @@ class Tensor:
 # ---------------------------------------------------------------------- #
 # Operation constructors
 # ---------------------------------------------------------------------- #
+def _seq_key(node: "Tensor") -> int:
+    return node._seq
+
+
 def _make_op(data: np.ndarray, parents: Sequence[Tensor]) -> Tensor:
+    """Build an op-result tensor without the user-facing constructor cast.
+
+    Operation results keep exactly the dtype numpy computed them in; only
+    :class:`Tensor` construction from external data applies the engine's
+    default dtype.  Bypassing ``__init__`` also skips a redundant
+    ``asarray`` per op, which matters at this engine's op granularity.
+    """
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-    out = Tensor(data, requires_grad=requires)
-    if requires:
-        out._parents = tuple(parents)
+    out = Tensor.__new__(Tensor)
+    out.data = data
+    out.grad = None
+    out.requires_grad = requires
+    out._backward = None
+    out._parents = tuple(parents) if requires else ()
+    out._retain_grad = False
+    out._freed = False
+    out._seq = next(Tensor._seq_counter)
+    out.name = None
     return out
 
 
@@ -649,16 +748,31 @@ def expand_dims(a: ArrayLike, axis: int) -> Tensor:
     return out
 
 
+def _is_basic_index(index) -> bool:
+    """True for pure slice/int/None/Ellipsis indexing (no repeated elements)."""
+    items = index if isinstance(index, tuple) else (index,)
+    for item in items:
+        if not isinstance(item, (int, np.integer, slice, type(None), type(Ellipsis))):
+            return False
+    return True
+
+
 def getitem(a: ArrayLike, index) -> Tensor:
     a = _wrap(a)
     out = _make_op(a.data[index], (a,))
     if out.requires_grad:
         shape = a.data.shape
         dtype = a.data.dtype
+        basic = _is_basic_index(index)
 
         def backward(grad, route):
             full = np.zeros(shape, dtype=dtype)
-            np.add.at(full, index, grad)
+            if basic:
+                # Basic indexing selects distinct elements, so a plain
+                # assignment scatters the gradient (np.add.at is ~10× slower).
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
             route(a, full)
 
         out._backward = backward
@@ -688,9 +802,10 @@ def stack(tensors: Iterable[ArrayLike], axis: int = 0) -> Tensor:
     out = _make_op(np.stack([t.data for t in tensors], axis=axis), tuple(tensors))
     if out.requires_grad:
         def backward(grad, route):
-            parts = np.split(grad, len(tensors), axis=axis)
-            for t, part in zip(tensors, parts):
-                route(t, np.squeeze(part, axis=axis))
+            index = [slice(None)] * grad.ndim
+            for position, t in enumerate(tensors):
+                index[axis] = position
+                route(t, grad[tuple(index)])
 
         out._backward = backward
     return out
@@ -763,8 +878,8 @@ def einsum(subscripts: str, *operands: ArrayLike) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=get_default_dtype()), requires_grad=requires_grad)

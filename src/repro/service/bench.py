@@ -1,0 +1,291 @@
+"""Performance microbenchmarks: ``python -m repro bench``.
+
+The suite times the layers the training loop actually exercises —
+
+* ``tensor_ops``    — elementwise/matmul autograd round trips,
+* ``convolution``   — multi-kernel causal convolution forward + backward,
+* ``attention``     — multi-variate causal attention forward + backward,
+* ``train_epoch``   — one epoch of :class:`repro.core.training.Trainer`,
+* ``fit_small``     — a full small ``Trainer.fit`` on a VAR fork dataset —
+
+and writes the wall-clock results to ``BENCH_nn.json`` together with the
+committed pre-optimisation baseline (``benchmarks/perf/baseline.json``), so
+every PR can defend its perf trajectory.  The payload definitions are frozen:
+the baseline file was produced by this module running against the pre-PR
+engine, and re-running ``python -m repro bench`` compares the current tree
+against it.
+
+``run_suite(smoke=True)`` is the CI entry point: fewer repeats, and the
+regression check compares the end-to-end epoch benchmark against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: repository root (three levels up from this file: service -> repro -> src -> root)
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+
+BASELINE_PATH = os.path.join(_ROOT, "benchmarks", "perf", "baseline.json")
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_nn.json")
+
+#: benchmark used by the CI regression gate
+REGRESSION_KEY = "train_epoch"
+
+
+# ---------------------------------------------------------------------- #
+# Payloads.  Each builder returns a zero-argument callable that runs one
+# timed iteration; all state is pre-built so timing measures the hot path.
+# ---------------------------------------------------------------------- #
+def _payload_tensor_ops() -> Callable[[], None]:
+    from repro.nn import functional as F
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(128, 128)), requires_grad=True)
+    w1 = Tensor(rng.normal(size=(128, 128)) * 0.1, requires_grad=True)
+    w2 = Tensor(rng.normal(size=(128, 64)) * 0.1, requires_grad=True)
+    bias = Tensor(np.zeros(64), requires_grad=True)
+
+    def run() -> None:
+        for parameter in (x, w1, w2, bias):
+            parameter.grad = None
+        hidden = F.tanh(x @ w1)
+        out = F.sigmoid(hidden @ w2 + bias)
+        loss = (out * out).mean() + 0.1 * hidden.abs().sum()
+        loss.backward()
+
+    return run
+
+
+def _payload_convolution() -> Callable[[], None]:
+    from repro.core.convolution import MultiKernelCausalConvolution
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(1)
+    conv = MultiKernelCausalConvolution(10, 16, rng=rng)
+    batch = rng.normal(size=(32, 10, 16))
+
+    def run() -> None:
+        conv.zero_grad()
+        out = conv(Tensor(batch))
+        (out * out).mean().backward()
+
+    return run
+
+
+def _payload_attention() -> Callable[[], None]:
+    from repro.core.attention import MultiVariateCausalAttention
+    from repro.core.convolution import MultiKernelCausalConvolution
+    from repro.core.embedding import TimeSeriesEmbedding
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(2)
+    n, t, d, heads = 10, 16, 32, 4
+    embedding = TimeSeriesEmbedding(t, d, rng=rng)
+    convolution = MultiKernelCausalConvolution(n, t, rng=rng)
+    attention = MultiVariateCausalAttention(n, d, d, heads, 1.0, rng=rng)
+    batch = rng.normal(size=(32, n, t))
+
+    def run() -> None:
+        for module in (embedding, convolution, attention):
+            module.zero_grad()
+        x = Tensor(batch)
+        combined, _caches = attention(embedding(x), convolution(x))
+        (combined * combined).mean().backward()
+
+    return run
+
+
+def _epoch_fixture():
+    from repro.core.config import CausalFormerConfig
+    from repro.core.training import Trainer
+    from repro.core.transformer import CausalityAwareTransformer
+
+    config = CausalFormerConfig(
+        n_series=5, window=16, d_model=24, d_qk=24, d_ffn=24, n_heads=4,
+        batch_size=32, window_stride=2, max_epochs=1, seed=0)
+    model = CausalityAwareTransformer(config)
+    trainer = Trainer(model, config)
+    values = np.random.default_rng(3).normal(size=(5, 400))
+    windows = trainer.make_windows(values)
+    return trainer, windows
+
+
+def _payload_train_epoch() -> Callable[[], None]:
+    trainer, windows = _epoch_fixture()
+
+    def run() -> None:
+        trainer._run_epoch(windows, np.random.default_rng(4))
+
+    return run
+
+
+def _payload_fit_small() -> Callable[[], None]:
+    from repro.core.config import CausalFormerConfig
+    from repro.core.training import Trainer
+    from repro.core.transformer import CausalityAwareTransformer
+    from repro.data import fork_dataset
+    from repro.data.windows import zscore_normalize
+
+    # A VAR-process fork dataset, trained for a fixed number of epochs
+    # (patience large enough that early stopping never cuts the run short),
+    # so the measured wall clock is deterministic in shape across engines.
+    values = zscore_normalize(fork_dataset(seed=0, length=320).values)
+    config = CausalFormerConfig(
+        n_series=values.shape[0], window=16, d_model=24, d_qk=24, d_ffn=24,
+        n_heads=4, batch_size=32, window_stride=2, max_epochs=10,
+        patience=1000, seed=0)
+
+    def run() -> None:
+        model = CausalityAwareTransformer(config)
+        Trainer(model, config).fit(values)
+
+    return run
+
+
+#: name -> (builder, full-mode repeats, smoke-mode repeats)
+PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
+    "tensor_ops": (_payload_tensor_ops, 20, 5),
+    "convolution": (_payload_convolution, 20, 5),
+    "attention": (_payload_attention, 20, 5),
+    "train_epoch": (_payload_train_epoch, 9, 3),
+    "fit_small": (_payload_fit_small, 7, 1),
+}
+
+
+# ---------------------------------------------------------------------- #
+# Harness
+# ---------------------------------------------------------------------- #
+def time_payload(name: str, repeats: int) -> Dict[str, object]:
+    """Build one payload, run it ``repeats`` times, return timing stats."""
+    builder, _full, _smoke = PAYLOADS[name]
+    run = builder()
+    run()  # warm-up iteration (allocator, caches) outside the measurement
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return {
+        "seconds": statistics.median(samples),
+        "best": min(samples),
+        "repeats": repeats,
+        "samples": [round(sample, 6) for sample in samples],
+    }
+
+
+def _engine_info() -> Dict[str, str]:
+    try:
+        from repro.nn import tensor as T
+        dtype = str(np.dtype(T.get_default_dtype()))
+    except AttributeError:  # pre-optimisation engine: fixed float64
+        dtype = "float64"
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "default_dtype": dtype,
+    }
+
+
+def load_baseline(path: str = BASELINE_PATH) -> Optional[Dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def run_suite(smoke: bool = False, names: Optional[List[str]] = None,
+              verbose: bool = True) -> Dict:
+    """Run the microbenchmarks; return the report payload (not yet written)."""
+    selected = names or list(PAYLOADS)
+    unknown = [name for name in selected if name not in PAYLOADS]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}; available: {list(PAYLOADS)}")
+
+    timings: Dict[str, Dict] = {}
+    for name in selected:
+        _builder, full_repeats, smoke_repeats = PAYLOADS[name]
+        repeats = smoke_repeats if smoke else full_repeats
+        timings[name] = time_payload(name, repeats)
+        if verbose:
+            print(f"  {name:<12} {timings[name]['seconds'] * 1000:10.2f} ms "
+                  f"(median of {repeats})")
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "engine": _engine_info(),
+        "timings": timings,
+    }
+
+    baseline = load_baseline()
+    if baseline is not None:
+        report["baseline"] = baseline
+        speedups: Dict[str, float] = {}
+        for name, stats in timings.items():
+            reference = baseline.get("timings", {}).get(name)
+            if reference:
+                speedups[name] = round(reference["seconds"] / stats["seconds"], 3)
+        report["speedup_vs_baseline"] = speedups
+    return report
+
+
+def check_regression(report: Dict, max_regression: float = 0.25,
+                     key: str = REGRESSION_KEY,
+                     reference: Optional[Dict] = None,
+                     normalize_by: Optional[str] = None) -> Optional[str]:
+    """Return an error message when ``key`` regressed more than ``max_regression``.
+
+    ``reference`` is a previously written report (e.g. the committed
+    ``BENCH_nn.json``); when omitted, the pre-optimization baseline embedded
+    in ``report`` is used.  ``normalize_by`` divides both sides by another
+    benchmark's timing from the same run — the committed reference was
+    measured on different hardware, so comparing the ``key``/``normalize_by``
+    *ratio* gates code regressions instead of machine-speed differences.
+    """
+    if reference is None:
+        reference = report.get("baseline")
+    if not reference:
+        return None
+
+    def metric(source: Dict) -> Optional[float]:
+        timings = source.get("timings", {})
+        entry = timings.get(key)
+        if not entry:
+            return None
+        value = entry["seconds"]
+        if normalize_by:
+            denominator = timings.get(normalize_by)
+            if not denominator or denominator["seconds"] <= 0:
+                return None
+            value /= denominator["seconds"]
+        return value
+
+    reference_value = metric(reference)
+    current_value = metric(report)
+    if reference_value is None or current_value is None:
+        return None
+    limit = reference_value * (1.0 + max_regression)
+    unit = f"/{normalize_by}" if normalize_by else "s"
+    if current_value > limit:
+        return (f"{key} regressed: {current_value:.4f}{unit} vs reference "
+                f"{reference_value:.4f}{unit} (limit {limit:.4f}, "
+                f"+{max_regression:.0%} allowed)")
+    return None
+
+
+def write_report(report: Dict, path: str = DEFAULT_OUTPUT) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return path

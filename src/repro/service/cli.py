@@ -11,6 +11,10 @@ Subcommands
     Inspect (``info``) or empty (``clear``) the on-disk result cache.
 ``list``
     Show the registered method and dataset names.
+``bench``
+    Run the perf microbenchmarks (tensor ops, convolution, attention, one
+    training epoch, a small end-to-end fit) and write ``BENCH_nn.json``
+    with speedups against the committed pre-optimization baseline.
 
 Every run-producing subcommand shares the executor flags ``--workers``,
 ``--cache-dir`` / ``--no-cache`` and ``--run-dir`` (artifact persistence).
@@ -199,6 +203,36 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.service import bench
+
+    names = _split_csv(args.only) if args.only else None
+    print(f"running {'smoke' if args.smoke else 'full'} microbenchmarks "
+          f"({', '.join(names or bench.PAYLOADS)}):")
+    report = bench.run_suite(smoke=args.smoke, names=names)
+    speedups = report.get("speedup_vs_baseline")
+    if speedups:
+        rendered = "  ".join(f"{name} {value:.2f}x" for name, value in speedups.items())
+        print(f"speedup vs pre-optimization baseline: {rendered}")
+    path = bench.write_report(report, args.output)
+    print(f"report written to {path}")
+    if args.check_regression:
+        reference = None
+        if args.reference:
+            with open(args.reference, "r", encoding="utf-8") as handle:
+                reference = json.load(handle)
+        message = bench.check_regression(report, args.max_regression,
+                                         reference=reference,
+                                         normalize_by=args.normalize_by)
+        if message:
+            print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        normalized = f" (normalized by {args.normalize_by})" if args.normalize_by else ""
+        print(f"regression check passed ({bench.REGRESSION_KEY} within "
+              f"{args.max_regression:.0%} of reference{normalized})")
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Argument parsing
 # ---------------------------------------------------------------------- #
@@ -261,6 +295,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     listing = commands.add_parser("list", help="list registered methods and datasets")
     listing.set_defaults(handler=_cmd_list)
+
+    from repro.service.bench import DEFAULT_OUTPUT
+
+    bench = commands.add_parser(
+        "bench", help="run perf microbenchmarks and write BENCH_nn.json")
+    bench.add_argument("--smoke", action="store_true",
+                       help="fewer repeats (CI mode)")
+    bench.add_argument("--only", default=None,
+                       help="comma-separated benchmark names (default: all)")
+    bench.add_argument("--output", default=DEFAULT_OUTPUT,
+                       help="report path (default: %(default)s)")
+    bench.add_argument("--check-regression", action="store_true",
+                       help="fail when the epoch benchmark regresses vs the reference")
+    bench.add_argument("--reference", default=None,
+                       help="reference report for the regression check "
+                            "(default: the embedded pre-optimization baseline)")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="allowed slowdown fraction (default: %(default)s)")
+    bench.add_argument("--normalize-by", default=None, metavar="BENCHMARK",
+                       help="gate on the ratio vs this same-run benchmark "
+                            "(hardware-independent, e.g. tensor_ops)")
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 

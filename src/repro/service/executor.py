@@ -33,6 +33,20 @@ JobPair = Tuple[DiscoveryJob, TimeSeriesDataset]
 CacheLike = Union[None, str, ResultCache]
 
 
+def execute_job_with_dtype(job: DiscoveryJob, dataset: TimeSeriesDataset,
+                           dtype: str) -> JobResult:
+    """Worker entry point: adopt the submitter's engine dtype, then run.
+
+    The engine's default dtype is thread-local state, so a fresh pool worker
+    would otherwise silently fall back to float32 even when the submitting
+    process opted into float64 (``set_default_dtype``/``default_dtype``).
+    """
+    from repro.nn.tensor import set_default_dtype
+
+    set_default_dtype(dtype)
+    return execute_job(job, dataset)
+
+
 def execute_job(job: DiscoveryJob, dataset: TimeSeriesDataset) -> JobResult:
     """Run one job to completion, capturing any exception into the result."""
     start = time.perf_counter()
@@ -117,9 +131,12 @@ class JobExecutor:
     # Internals
     # ------------------------------------------------------------------ #
     def _run_pool(self, pairs: List[JobPair]) -> List[JobResult]:
+        from repro.nn.tensor import get_default_dtype
+
+        dtype = str(get_default_dtype())
         try:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(execute_job, job, dataset)
+                futures = [pool.submit(execute_job_with_dtype, job, dataset, dtype)
                            for job, dataset in pairs]
                 results = []
                 for future, (job, _dataset) in zip(futures, pairs):

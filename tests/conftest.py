@@ -31,6 +31,21 @@ def numeric_gradient(function, x: np.ndarray, epsilon: float = 1e-6) -> np.ndarr
     return gradient
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _float64_reference_engine():
+    """Run the legacy suite on the float64 reference path.
+
+    The engine defaults to float32 (the training fast path); these tests
+    assert numerics at float64 tolerances (down to 1e-12), so they pin the
+    reference dtype.  Float32 behaviour is covered explicitly by
+    ``tests/nn/test_dtype.py`` and ``tests/core/test_perf_equivalence.py``.
+    """
+    from repro.nn.tensor import default_dtype
+
+    with default_dtype(np.float64):
+        yield
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

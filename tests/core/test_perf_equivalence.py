@@ -1,0 +1,269 @@
+"""Numerical-equivalence regression tests for the vectorized hot paths.
+
+Each fused/vectorized implementation is compared against an independent
+reference built the way the pre-optimization engine computed it: slice-and-
+stack convolution windows, a Python loop over attention heads, separate
+linear/activation/loss nodes.  A float32-vs-float64 gradcheck parity test
+guards the reduced-precision training default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import MultiVariateCausalAttention
+from repro.core.config import CausalFormerConfig
+from repro.core.convolution import MultiKernelCausalConvolution
+from repro.core.embedding import TimeSeriesEmbedding
+from repro.core.transformer import CausalityAwareTransformer
+from repro.nn import functional as F
+from repro.nn import tensor as T
+from repro.nn.tensor import Tensor, default_dtype
+
+
+def reference_windows(x: np.ndarray) -> np.ndarray:
+    """The seed implementation: left-pad and stack T slices."""
+    batch, n_series, window = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (window, 0)))
+    return np.stack([padded[:, :, t + 1:t + 1 + window] for t in range(window)],
+                    axis=2)
+
+
+class TestSlidingWindows:
+    def test_strided_windows_match_slice_stack_reference(self):
+        x = np.random.default_rng(0).normal(size=(3, 4, 7))
+        out = F.sliding_window(Tensor(x), 7)
+        np.testing.assert_array_equal(out.data, reference_windows(x))
+
+    def test_sliding_window_gradient_matches_stack_reference(self):
+        rng = np.random.default_rng(1)
+        x_data = rng.normal(size=(2, 3, 5))
+        weights = rng.normal(size=(2, 3, 5, 5))
+
+        x_fast = Tensor(x_data, requires_grad=True)
+        (F.sliding_window(x_fast, 5) * Tensor(weights)).sum().backward()
+
+        x_ref = Tensor(x_data, requires_grad=True)
+        padded = T.pad(x_ref, ((0, 0), (0, 0), (5, 0)))
+        stacked = T.stack([padded[:, :, t + 1:t + 6] for t in range(5)], axis=2)
+        (stacked * Tensor(weights)).sum().backward()
+
+        np.testing.assert_allclose(x_fast.grad, x_ref.grad, atol=1e-12)
+
+    def test_convolution_windows_helper_uses_strided_view(self):
+        conv = MultiKernelCausalConvolution(2, 4, rng=np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(1, 2, 4))
+        np.testing.assert_array_equal(conv.convolution_windows(x),
+                                      reference_windows(x))
+
+
+class TestFusedCausalConv:
+    def _reference_forward(self, x, kernel, scale):
+        windows = reference_windows(x)
+        raw = np.einsum("bitk,ijk->bijt", windows, kernel) * scale
+        n = x.shape[1]
+        diag = np.arange(n)
+        shifted = raw.copy()
+        shifted[:, diag, diag, 1:] = raw[:, diag, diag, :-1]
+        shifted[:, diag, diag, 0] = 0.0
+        return shifted
+
+    def test_forward_matches_reference(self):
+        rng = np.random.default_rng(4)
+        conv = MultiKernelCausalConvolution(3, 6, rng=rng)
+        x = rng.normal(size=(2, 3, 6))
+        expected = self._reference_forward(x, conv.kernel.data,
+                                           np.asarray(conv._scale))
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, atol=1e-10)
+
+    def test_gradients_match_autograd_composition(self):
+        rng = np.random.default_rng(5)
+        conv = MultiKernelCausalConvolution(2, 5, rng=rng)
+        x_data = rng.normal(size=(3, 2, 5))
+        weights = rng.normal(size=(3, 2, 2, 5))
+
+        x_fast = Tensor(x_data, requires_grad=True)
+        conv.zero_grad()
+        (conv(x_fast) * Tensor(weights)).sum().backward()
+        fast_kernel_grad = conv.kernel.grad.copy()
+        fast_x_grad = x_fast.grad.copy()
+
+        # Reference: compose the same computation from generic autograd ops.
+        x_ref = Tensor(x_data, requires_grad=True)
+        kernel = Tensor(conv.kernel.data.copy(), requires_grad=True)
+        padded = T.pad(x_ref, ((0, 0), (0, 0), (5, 0)))
+        stacked = T.stack([padded[:, :, t + 1:t + 6] for t in range(5)], axis=2)
+        raw = T.einsum("bitk,ijk->bijt", stacked, kernel)
+        scaled = raw * Tensor(np.asarray(conv._scale))
+        shifted = F.diagonal_right_shift(scaled)
+        (shifted * Tensor(weights)).sum().backward()
+
+        np.testing.assert_allclose(fast_kernel_grad, kernel.grad, atol=1e-10)
+        np.testing.assert_allclose(fast_x_grad, x_ref.grad, atol=1e-10)
+
+    def test_diagonal_right_shift_matches_mask_composition(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=(2, 3, 3, 4))
+        n = 3
+        diag = np.eye(n).reshape(n, n, 1)
+        zeros = np.zeros((2, n, n, 1))
+        shifted = np.concatenate([zeros, values[:, :, :, :-1]], axis=3)
+        expected = diag * shifted + (1.0 - diag) * values
+        out = F.diagonal_right_shift(Tensor(values))
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+
+class TestBatchedAttention:
+    def _blocks(self, n=3, t=6, d=8, heads=3, seed=7):
+        rng = np.random.default_rng(seed)
+        embedding = TimeSeriesEmbedding(t, d, rng=rng)
+        convolution = MultiKernelCausalConvolution(n, t, rng=rng)
+        attention = MultiVariateCausalAttention(n, d, d, heads, 1.0, rng=rng)
+        x = Tensor(rng.normal(size=(4, n, t)))
+        return embedding(x), convolution(x), attention
+
+    def test_batched_heads_match_per_head_loop(self):
+        emb, vals, attention = self._blocks()
+        combined, caches = attention(emb, vals)
+        # Reference: run each head standalone (the original per-head path).
+        reference = sum(
+            attention.w_output.data[index]
+            * head(emb, vals).head_output_data
+            for index, head in enumerate(attention.heads))
+        np.testing.assert_allclose(combined.data, reference, atol=1e-9)
+        for index, head in enumerate(attention.heads):
+            head_cache = head(emb, vals)
+            np.testing.assert_allclose(caches[index].attention_data,
+                                       head_cache.attention_data, atol=1e-9)
+            np.testing.assert_allclose(caches[index].head_output_data,
+                                       head_cache.head_output_data, atol=1e-9)
+
+    def test_fast_path_matches_cache_path(self):
+        emb, vals, attention = self._blocks(seed=8)
+        cached, _ = attention(emb, vals, collect_caches=True)
+        fast, caches = attention(emb, vals, collect_caches=False)
+        assert caches == []
+        np.testing.assert_allclose(fast.data, cached.data, atol=1e-9)
+
+    def test_per_head_attention_gradients_flow_in_batched_path(self):
+        emb, vals, attention = self._blocks(seed=9)
+        combined, caches = attention(emb, vals)
+        combined.sum().backward()
+        for cache in caches:
+            assert cache.attention.grad is not None
+            assert np.isfinite(cache.attention.grad).all()
+
+
+class TestTransformerFastPath:
+    @pytest.fixture()
+    def tiny_model(self):
+        config = CausalFormerConfig(n_series=3, window=8, d_model=10, d_qk=10,
+                                    d_ffn=12, n_heads=2, seed=0)
+        return CausalityAwareTransformer(config)
+
+    def test_training_forward_matches_cache_forward(self, tiny_model):
+        x = np.random.default_rng(10).normal(size=(4, 3, 8))
+        fast, no_cache = tiny_model(Tensor(x))
+        slow, cache = tiny_model(Tensor(x), return_cache=True)
+        assert no_cache is None
+        assert cache is not None
+        np.testing.assert_allclose(fast.data, slow.data, atol=1e-9)
+
+    def test_fused_loss_matches_composition(self, tiny_model):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(4, 3, 8))
+        prediction, _ = tiny_model(Tensor(x))
+        loss = tiny_model.loss(prediction, Tensor(x))
+        config = tiny_model.config
+        mse = float(np.mean(
+            (prediction.data[:, :, 1:] - x[:, :, 1:]) ** 2))
+        expected = mse \
+            + config.lambda_kernel * np.abs(tiny_model.convolution.kernel.data).sum() \
+            + config.lambda_mask * sum(np.abs(h.mask.data).sum()
+                                       for h in tiny_model.attention.heads)
+        assert float(loss.data) == pytest.approx(expected, rel=1e-8)
+
+    def test_training_step_gradients_match_cache_path(self, tiny_model):
+        """The fused fast path must produce the same parameter gradients."""
+        x = np.random.default_rng(12).normal(size=(4, 3, 8))
+
+        tiny_model.zero_grad()
+        prediction, _ = tiny_model(Tensor(x))
+        tiny_model.loss(prediction, Tensor(x)).backward()
+        fast_grads = {name: p.grad.copy()
+                      for name, p in tiny_model.named_parameters()}
+
+        tiny_model.zero_grad()
+        prediction, _ = tiny_model(Tensor(x), return_cache=True)
+        tiny_model.loss(prediction, Tensor(x)).backward()
+        for name, parameter in tiny_model.named_parameters():
+            np.testing.assert_allclose(
+                fast_grads[name], parameter.grad, atol=1e-9,
+                err_msg=f"gradient mismatch for {name}")
+
+
+class TestDetectorFollowsLiveModel:
+    def test_float64_twin_resyncs_before_each_scoring(self):
+        """A detector built before training must see the trained weights."""
+        from repro.core.detector import DecompositionCausalityDetector
+
+        config = CausalFormerConfig(n_series=2, window=6, d_model=8, d_qk=8,
+                                    d_ffn=8, n_heads=2, seed=0)
+        with default_dtype(np.float32):
+            model = CausalityAwareTransformer(config)
+            detector = DecompositionCausalityDetector(model, config)
+            windows = np.random.default_rng(20).normal(size=(3, 2, 6))
+            before = detector.compute_scores(windows)
+            # Mutate the source model (stands in for a training run).
+            for parameter in model.parameters():
+                parameter.data = parameter.data + np.float32(0.05)
+            after = detector.compute_scores(windows)
+        for twin_param, source_param in zip(detector.model.parameters(),
+                                            model.parameters()):
+            np.testing.assert_allclose(twin_param.data, source_param.data,
+                                       atol=1e-7)
+        assert not np.allclose(before.attention, after.attention)
+
+
+class TestDtypeParity:
+    def _grads(self, dtype, x):
+        with default_dtype(dtype):
+            config = CausalFormerConfig(n_series=2, window=6, d_model=8,
+                                        d_qk=8, d_ffn=8, n_heads=2, seed=0)
+            model = CausalityAwareTransformer(config)
+            prediction, _ = model(Tensor(np.asarray(x, dtype=dtype)))
+            model.loss(prediction, Tensor(np.asarray(x, dtype=dtype))).backward()
+            return {name: p.grad.copy() for name, p in model.named_parameters()}
+
+    def test_float32_gradients_track_float64_reference(self):
+        """Gradcheck parity: float32 training grads ≈ float64 reference."""
+        x = np.random.default_rng(13).normal(size=(4, 2, 6))
+        grads32 = self._grads(np.float32, x)
+        grads64 = self._grads(np.float64, x)
+        assert set(grads32) == set(grads64)
+        for name in grads64:
+            reference = grads64[name]
+            scale = max(np.abs(reference).max(), 1e-6)
+            np.testing.assert_allclose(
+                grads32[name].astype(np.float64) / scale, reference / scale,
+                atol=5e-4, err_msg=f"dtype parity failed for {name}")
+            assert grads32[name].dtype == np.float32
+
+    def test_numeric_gradcheck_float64_on_fused_ops(self):
+        """Central-difference check of the fused conv+attention forward."""
+        from tests.conftest import numeric_gradient
+
+        rng = np.random.default_rng(14)
+        conv = MultiKernelCausalConvolution(2, 4, rng=rng)
+        x0 = rng.normal(size=(1, 2, 4))
+
+        def scalar(values):
+            from repro.nn.tensor import no_grad
+            with no_grad():
+                return float((conv(Tensor(values.copy()))
+                              * Tensor(weights)).sum().data)
+
+        weights = rng.normal(size=(1, 2, 2, 4))
+        x = Tensor(x0.copy(), requires_grad=True)
+        (conv(x) * Tensor(weights)).sum().backward()
+        numeric = numeric_gradient(scalar, x0.copy())
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-6)

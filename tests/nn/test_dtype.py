@@ -1,0 +1,181 @@
+"""Configurable engine dtype and the autograd fast-path semantics.
+
+The engine defaults to float32 (training fast path); the legacy suite pins
+float64 via the session fixture in ``tests/conftest.py``.  These tests
+exercise the dtype switch itself plus the engine behaviours introduced with
+it: graph freeing after backward, in-place gradient accumulation and the
+flat-fused Adam update.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.optim import Adam
+from repro.nn.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
+
+
+class TestDefaultDtype:
+    def test_suite_runs_on_float64_reference_path(self):
+        # Pinned by the session fixture; the engine's own default is float32.
+        assert get_default_dtype() == np.float64
+
+    def test_context_manager_scopes_dtype(self):
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_tensor_creation_casts_to_default(self):
+        with default_dtype(np.float32):
+            assert Tensor(np.arange(3)).dtype == np.float32
+            assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float64
+
+    def test_op_results_keep_their_computed_dtype(self):
+        with default_dtype(np.float32):
+            x = Tensor(np.ones(4))
+            y = Tensor(np.ones(4))
+            assert (x * y).dtype == np.float32
+
+    def test_detach_and_clone_preserve_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float64))
+        with default_dtype(np.float32):
+            assert x.detach().dtype == np.float64
+            assert x.clone().dtype == np.float64
+
+    def test_init_helpers_follow_default(self):
+        from repro.nn import init
+
+        with default_dtype(np.float32):
+            assert init.he_normal((4, 4)).dtype == np.float32
+            assert init.zeros((4,)).dtype == np.float32
+            assert init.ones((2, 2)).dtype == np.float32
+
+    def test_gradients_match_parameter_dtype(self):
+        with default_dtype(np.float32):
+            x = Tensor(np.ones(5, dtype=np.float32), requires_grad=True)
+            (x * 2.0).sum().backward()
+        assert x.grad.dtype == np.float32
+
+
+class TestGraphFreeing:
+    def test_backward_frees_closures_and_parents(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2
+        z = (y * y).sum()
+        z.backward()
+        assert z._backward is None
+        assert z._parents == ()
+        assert y._backward is None
+        assert y._parents == ()
+        np.testing.assert_allclose(x.grad, 4 * y.data)
+
+    def test_free_graph_false_allows_second_backward(self):
+        x = Tensor([3.0], requires_grad=True)
+        z = (x * x).sum()
+        z.backward(free_graph=False)
+        first = x.grad.copy()
+        z.backward(free_graph=False)
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_second_backward_through_freed_graph_raises(self):
+        x = Tensor([1.0], requires_grad=True)
+        hidden = x * 2
+        (hidden * hidden).sum().backward()
+        with pytest.raises(RuntimeError, match="freed graph"):
+            hidden.sum().backward()
+
+    def test_retained_intermediate_grad_survives_freeing(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = (x * 2).retain_grad()
+        (y * y).sum().backward()
+        assert y.grad is not None
+        assert y._backward is None
+
+
+class TestAccumulation:
+    def test_diamond_graph_accumulates_both_paths(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3
+        b = x * 5
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_shared_gradient_array_not_mutated_across_parents(self):
+        # add routes the *same* gradient array to both parents; accumulation
+        # into one parent must not corrupt the other's gradient.
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        y = Tensor([2.0, 2.0], requires_grad=True)
+        s = x + y
+        total = (s * 1.0).sum() + (x * 4.0).sum()
+        total.backward()
+        np.testing.assert_allclose(y.grad, [1.0, 1.0])
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+
+class TestFusedAdam:
+    def _quadratic_step_path(self, clip_norm=None, n_steps=5):
+        target = np.array([1.0, -2.0, 3.0])
+        w = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = Adam([w], lr=0.1, clip_norm=clip_norm)
+        for _ in range(n_steps):
+            optimizer.zero_grad()
+            ((w - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        return w.data.copy()
+
+    def test_matches_reference_adam_sequence(self):
+        # Hand-rolled reference of the textbook update.
+        target = np.array([1.0, -2.0, 3.0])
+        w = np.zeros(3)
+        m = np.zeros(3)
+        v = np.zeros(3)
+        for t in range(1, 6):
+            grad = 2 * (w - target)
+            m = 0.9 * m + 0.1 * grad
+            v = 0.999 * v + 0.001 * grad * grad
+            m_hat = m / (1 - 0.9 ** t)
+            v_hat = v / (1 - 0.999 ** t)
+            w = w - 0.1 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(self._quadratic_step_path(), w, rtol=1e-10)
+
+    def test_clip_norm_inside_step_limits_update(self):
+        unclipped = self._quadratic_step_path(clip_norm=None, n_steps=1)
+        clipped = self._quadratic_step_path(clip_norm=1e-3, n_steps=1)
+        assert np.abs(clipped).max() < np.abs(unclipped).max()
+
+    def test_data_replacement_is_detected(self):
+        w = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = Adam([w], lr=0.1)
+        optimizer.zero_grad()
+        (w * w).sum().backward()
+        optimizer.step()
+        # Simulate load_state_dict: replace the data array entirely.
+        w.data = np.array([10.0, 10.0, 10.0])
+        optimizer.zero_grad()
+        ((w - Tensor(np.zeros(3))) ** 2).sum().backward()
+        optimizer.step()
+        # The step must have applied to the *new* array.
+        assert np.all(w.data < 10.0)
+
+    def test_moments_survive_active_set_changes(self):
+        w1 = Tensor(np.ones(2), requires_grad=True)
+        w2 = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([w1, w2], lr=0.1)
+        optimizer.zero_grad()
+        (w1 * w1).sum().backward()   # only w1 active
+        optimizer.step()
+        optimizer.zero_grad()
+        ((w1 * w1).sum() + (w2 * w2).sum()).backward()
+        optimizer.step()             # both active: rebuild, moments preserved
+        assert not np.allclose(w1.data, w2.data)
