@@ -1,0 +1,46 @@
+"""Batched sweep execution must beat per-job dispatch on same-shape jobs.
+
+Four same-shape CausalFormer discovery jobs (the ``sweep_batched`` bench
+fixture) run through the executor both ways; the stacked pass must be
+faster — it replaces four per-model numpy call sequences with one — while
+returning identical graphs and scores (the unit tests in
+``tests/service/test_batched_jobs.py`` pin identity on every field; this
+module pins the speed claim with a committed margin).
+"""
+
+import time
+
+from repro.service import bench
+from repro.service.executor import JobExecutor
+
+
+def best_of(runs, call):
+    call()   # warm-up (imports, caches) outside the measurement
+    samples = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        call()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def test_batched_sweep_faster_than_per_job_dispatch():
+    pairs = bench._sweep_pairs()
+    sequential = JobExecutor(max_workers=1, cache=None)
+    batched = JobExecutor(max_workers=1, cache=None, batch_jobs=True)
+    sequential_best = best_of(3, lambda: sequential.run(pairs))
+    batched_best = best_of(3, lambda: batched.run(pairs))
+    assert batched_best < sequential_best, (
+        f"batched sweep took {batched_best:.3f}s, per-job dispatch "
+        f"{sequential_best:.3f}s — stacking should win on 4 same-shape jobs")
+
+
+def test_batched_sweep_matches_per_job_results():
+    pairs = bench._sweep_pairs()
+    sequential = JobExecutor(max_workers=1, cache=None).run(pairs)
+    batched = JobExecutor(max_workers=1, cache=None, batch_jobs=True).run(pairs)
+    for result_a, result_b in zip(sequential, batched):
+        assert result_a.ok and result_b.ok
+        assert sorted(edge.as_tuple() for edge in result_a.graph.edges) \
+            == sorted(edge.as_tuple() for edge in result_b.graph.edges)
+        assert result_a.scores.f1 == result_b.scores.f1

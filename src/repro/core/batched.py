@@ -1,0 +1,460 @@
+"""Lockstep training of several same-shape CausalFormer models at once.
+
+A causal-discovery sweep runs many *small* models — one per (dataset, seed)
+cell — and at these sizes the per-step numpy/autograd dispatch overhead
+costs more than the arithmetic.  :class:`StackedCausalFormerTrainer` trains
+``K`` same-architecture models (different datasets and seeds) in lockstep:
+every parameter gains a leading model axis, each training step runs the
+whole fleet through stacked GEMMs (one set of numpy calls for ``K`` models
+instead of ``K`` sets), and a hand-derived backward — transcribed from the
+fused autograd ops' closures — fills a stacked flat Adam state.
+
+Numerical contract: batched matmuls dispatch one GEMM per 2-D slice and
+reductions keep their per-model order, so every model's parameter
+trajectory is **bit-identical** to training it alone through
+:class:`repro.core.training.Trainer` (the correctness tests assert exactly
+this).  Early stopping is tracked per model: a model that has stopped keeps
+riding the stacked step (its updates are discarded when its best snapshot
+is restored, exactly like the sequential trainer restores its best epoch),
+and the loop ends when every model has stopped or ``max_epochs`` is
+reached.
+
+The per-model parameter tensors are re-pointed at views of the stacked
+``(K, P)`` parameter matrix, so the models — and their fused inference
+engines, which run the validation passes — stay live during training with
+zero copying.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CausalFormerConfig
+from repro.core.training import TrainingHistory, split_windows
+from repro.core.transformer import CausalityAwareTransformer
+from repro.data.windows import sliding_windows
+from repro.nn.inference import max_last_keepdims, sum_last_keepdims
+from repro.nn.optim import ADAM_BETAS, ADAM_CLIP_FUZZ, ADAM_EPS
+
+
+def stackable_config(config: CausalFormerConfig) -> bool:
+    """Whether a model with this config can join a stacked training pass."""
+    return not config.single_kernel
+
+
+class StackedCausalFormerTrainer:
+    """Adam + early stopping over ``K`` models, one stacked step at a time.
+
+    Parameters
+    ----------
+    models:
+        Same-architecture :class:`CausalityAwareTransformer` instances (their
+        configs may differ only in ``seed``).
+    """
+
+    def __init__(self, models: Sequence[CausalityAwareTransformer]) -> None:
+        if not models:
+            raise ValueError("need at least one model to train")
+        self.models = list(models)
+        reference = self.models[0].config
+        for model in self.models[1:]:
+            if not self._compatible(reference, model.config):
+                raise ValueError(
+                    "stacked training requires identical configs up to the seed")
+        if not stackable_config(reference):
+            raise ValueError("single-kernel models cannot be stacked")
+        self.config = reference
+        self.histories = [TrainingHistory() for _ in self.models]
+        self._build_parameter_stack()
+
+    @staticmethod
+    def _compatible(a: CausalFormerConfig, b: CausalFormerConfig) -> bool:
+        payload_a = {k: v for k, v in a.to_dict().items() if k != "seed"}
+        payload_b = {k: v for k, v in b.to_dict().items() if k != "seed"}
+        return payload_a == payload_b
+
+    # ------------------------------------------------------------------ #
+    # Stacked parameter storage
+    # ------------------------------------------------------------------ #
+    def _build_parameter_stack(self) -> None:
+        """Stack every model's parameters into one ``(K, P)`` matrix.
+
+        Each model's ``Parameter.data`` is re-pointed at a contiguous view
+        of its row, mirroring the fused flat Adam's parameter fusion — the
+        stacked update is then a single in-place subtraction and the models
+        (and their inference engines) observe it with no copies.
+        """
+        self._parameters = [list(model.parameters()) for model in self.models]
+        reference = self._parameters[0]
+        self.dtype = reference[0].data.dtype
+        sizes = [parameter.data.size for parameter in reference]
+        self._slices = []
+        offset = 0
+        for size in sizes:
+            self._slices.append(slice(offset, offset + size))
+            offset += size
+        self.n_params = offset
+        k = len(self.models)
+        self.params = np.empty((k, offset), dtype=self.dtype)
+        for row, parameters in enumerate(self._parameters):
+            for view, parameter in zip(self._slices, parameters):
+                self.params[row, view] = parameter.data.ravel()
+        # Stacked per-parameter views (K, *shape), and per-model re-pointing.
+        self._stacked = {}
+        self._grad_views = {}
+        names = [name for name, _p in self.models[0].named_parameters()]
+        for name, view, parameter in zip(names, self._slices, reference):
+            stacked = self.params[:, view].reshape((k,) + parameter.data.shape)
+            assert np.shares_memory(stacked, self.params)
+            self._stacked[name] = stacked
+        for row, parameters in enumerate(self._parameters):
+            for view, parameter in zip(self._slices, parameters):
+                data = self.params[row, view].reshape(parameter.data.shape)
+                assert np.shares_memory(data, self.params)
+                parameter.data = data
+        # Adam state (stacked flat buffers, one row per model).
+        self._grads = np.empty((k, offset), dtype=self.dtype)
+        for name, view, parameter in zip(names, self._slices, reference):
+            grad_view = self._grads[:, view].reshape((k,) + parameter.data.shape)
+            assert np.shares_memory(grad_view, self._grads)
+            self._grad_views[name] = grad_view
+        self._adam_m = np.zeros((k, offset), dtype=self.dtype)
+        self._adam_v = np.zeros((k, offset), dtype=self.dtype)
+        self._step_count = 0
+
+    def stacked(self, name: str) -> np.ndarray:
+        """The ``(K, *shape)`` stacked view of one named parameter."""
+        return self._stacked[name]
+
+    def _grad_view(self, name: str) -> np.ndarray:
+        """The ``(K, *shape)`` stacked view into the flat gradient matrix."""
+        return self._grad_views[name]
+
+    # ------------------------------------------------------------------ #
+    # Training loop (lockstep replica of Trainer.fit)
+    # ------------------------------------------------------------------ #
+    def fit(self, values_list: Sequence[np.ndarray]) -> List[TrainingHistory]:
+        """Train every model on its own ``(N, T_total)`` series, in lockstep."""
+        if len(values_list) != len(self.models):
+            raise ValueError("one dataset per model required")
+        config = self.config
+        k = len(self.models)
+        rngs = [np.random.default_rng(model.config.seed) for model in self.models]
+        train_sets: List[np.ndarray] = []
+        validation_sets: List[Optional[np.ndarray]] = []
+        for model, values, rng in zip(self.models, values_list, rngs):
+            windows = sliding_windows(np.asarray(values), config.window,
+                                      config.window_stride)
+            windows = np.ascontiguousarray(windows, dtype=self.dtype)
+            train, validation = self._split(windows, rng, model.config)
+            train_sets.append(train)
+            validation_sets.append(validation)
+        counts = {train.shape for train in train_sets}
+        if len(counts) != 1:
+            raise ValueError("stacked training requires same-shape window sets")
+
+        engines = [model.inference_engine() for model in self.models]
+        n_train = train_sets[0].shape[0]
+        batch_size = config.batch_size
+        active = [True] * k
+        best_states: List[Optional[List[np.ndarray]]] = [None] * k
+        stale_epochs = [0] * k
+
+        for _epoch in range(config.max_epochs):
+            orders = [rng.permutation(n_train) for rng in rngs]
+            batch_losses: List[List[float]] = [[] for _ in range(k)]
+            for start in range(0, n_train, batch_size):
+                stop = min(start + batch_size, n_train)
+                batch = np.empty((k, stop - start) + train_sets[0].shape[1:],
+                                 dtype=self.dtype)
+                for row, (train, order) in enumerate(zip(train_sets, orders)):
+                    np.take(train, order[start:stop], axis=0, out=batch[row])
+                losses = self._train_step(batch)
+                for row, loss in enumerate(losses):
+                    batch_losses[row].append(loss)
+
+            for row in range(k):
+                if not active[row]:
+                    continue
+                history = self.histories[row]
+                epoch_loss = float(np.mean(batch_losses[row])) \
+                    if batch_losses[row] else float("nan")
+                history.train_loss.append(epoch_loss)
+                validation = validation_sets[row]
+                if validation is not None and len(validation):
+                    validation_loss = engines[row].evaluate(validation,
+                                                            batch_size)
+                else:
+                    validation_loss = epoch_loss
+                history.validation_loss.append(validation_loss)
+                if validation_loss < history.best_validation_loss - config.min_delta:
+                    history.best_validation_loss = validation_loss
+                    history.best_epoch = history.n_epochs - 1
+                    best_states[row] = [
+                        parameter.data.copy()
+                        for parameter in self._parameters[row]]
+                    stale_epochs[row] = 0
+                else:
+                    stale_epochs[row] += 1
+                    if stale_epochs[row] >= config.patience:
+                        history.stopped_early = True
+                        active[row] = False
+            if not any(active):
+                break
+
+        for row, saved in enumerate(best_states):
+            if saved is not None:
+                for parameter, data in zip(self._parameters[row], saved):
+                    parameter.data = data
+        return self.histories
+
+    # The split must match the sequential trainer draw for draw.
+    _split = staticmethod(split_windows)
+
+    # ------------------------------------------------------------------ #
+    # One stacked step: forward, per-model losses, backward, Adam
+    # ------------------------------------------------------------------ #
+    def _train_step(self, batch: np.ndarray) -> List[float]:
+        losses, grads = self._forward_backward(batch)
+        self._adam_step()
+        return losses
+
+    def _forward_backward(self, xb: np.ndarray
+                          ) -> Tuple[List[float], np.ndarray]:
+        """Stacked replica of the training fast path and its backward.
+
+        Every operation transcribes the corresponding fused autograd op (or
+        its backward closure) with a leading model axis; batched matmuls run
+        the same per-slice GEMMs, so each model's gradients are bit-identical
+        to a solo step.
+        """
+        config = self.config
+        k, batch, n, window = xb.shape
+        dtype = self.dtype
+        model = self.models[0]
+        n_heads = model.attention.n_heads
+        d_qk = model.attention.d_qk
+        diag = np.arange(n)
+        s = self.stacked
+
+        kernel = s("convolution.kernel")                       # (K, N, N, T)
+        scale_array = model.convolution._scale_array
+
+        # --- causal convolution (Eq. 3 + folded Eq. 4 shift) ----------- #
+        padded = np.zeros((k, batch, n, 2 * window), dtype=dtype)
+        padded[..., window:] = xb
+        view = np.lib.stride_tricks.sliding_window_view(
+            padded, window, axis=-1)[..., 1:, :]               # (K,B,N,T,τ)
+        windows_flat = np.ascontiguousarray(view.transpose(0, 2, 1, 3, 4)) \
+            .reshape(k, n, batch * window, window)
+        raw = windows_flat @ kernel.transpose(0, 1, 3, 2)      # (K,N,B·T,N)
+        values = raw.reshape(k, n, batch, window, n) \
+            .transpose(0, 2, 1, 4, 3) * scale_array            # (K,B,i,j,t)
+        diagonal = values[:, :, diag, diag, :]
+        values[:, :, diag, diag, 1:] = diagonal[..., :-1]
+        values[:, :, diag, diag, 0] = 0.0
+
+        # --- embedding + Q/K projection + masked softmax (Eq. 2, 5) ---- #
+        embed_weight = s("embedding.weight")                   # (K, T, d)
+        embed_bias = s("embedding.bias")
+        head_names = [f"attention.heads.{h}" for h in range(n_heads)]
+        weight_flat = np.concatenate(
+            [s(f"{name}.w_query") for name in head_names]
+            + [s(f"{name}.w_key") for name in head_names], axis=2)
+        bias_flat = np.concatenate(
+            [s(f"{name}.b_query") for name in head_names]
+            + [s(f"{name}.b_key") for name in head_names], axis=1)
+        masks = np.stack([s(f"{name}.mask") for name in head_names], axis=1)
+        scale = 1.0 / (model.attention.temperature * np.sqrt(d_qk))
+        modulation = masks[:, :, None, :, :] * scale           # (K,h,1,N,N) f64
+
+        x2d = xb.reshape(k, batch * n, window)
+        emb2d = x2d @ embed_weight
+        emb2d += embed_bias[:, None, :]
+        projected = emb2d @ weight_flat
+        projected += bias_flat[:, None, :]
+        qk = np.ascontiguousarray(
+            projected.reshape(k, batch, n, 2 * n_heads, d_qk)
+            .transpose(0, 3, 1, 2, 4))                         # (K,2h,B,N,q)
+        q_data, k_data = qk[:, :n_heads], qk[:, n_heads:]
+        raw_scores = q_data @ k_data.transpose(0, 1, 2, 4, 3)  # (K,h,B,N,N)
+        probabilities = raw_scores * modulation
+        probabilities -= max_last_keepdims(probabilities)
+        np.exp(probabilities, out=probabilities)
+        probabilities /= sum_last_keepdims(probabilities)
+
+        # --- attention application + head combination (Eq. 6–7) -------- #
+        w_output = s("attention.w_output")                     # (K, h)
+        a_bihj = np.ascontiguousarray(
+            probabilities.transpose(0, 2, 3, 1, 4))            # (K,B,i,h,j)
+        v_bijt = np.ascontiguousarray(values.transpose(0, 1, 3, 2, 4))
+        head_outputs = a_bihj @ v_bijt                         # (K,B,i,h,t)
+        # Per-model np.tensordot(head_outputs, w_output, ([2], [0])) unrolled
+        # to its internal transpose-reshape-dot (same ops, no axis
+        # bookkeeping per call).
+        at = np.ascontiguousarray(head_outputs.transpose(0, 1, 2, 4, 3)) \
+            .reshape(k, batch * n * window, n_heads)
+        combined = np.stack([
+            np.dot(at[row], w_output[row].reshape(n_heads, 1))
+            .reshape(batch, n, window)
+            for row in range(k)])                              # (K,B,i,t)
+
+        # --- fused MLP tail (Eq. 8 + output layer) --------------------- #
+        w1, b1 = s("feed_forward.w1"), s("feed_forward.b1")
+        w2, b2 = s("feed_forward.w2"), s("feed_forward.b2")
+        w3, b3 = s("output_layer.weight"), s("output_layer.bias")
+        x2d_c = combined.reshape(k, batch * n, window)
+        hidden = x2d_c @ w1
+        hidden += b1[:, None, :]
+        slope = np.where(hidden > 0, hidden.dtype.type(1.0),
+                         hidden.dtype.type(model.feed_forward.negative_slope))
+        hidden *= slope
+        ffn = hidden @ w2
+        ffn += b2[:, None, :]
+        out2d = ffn @ w3
+        out2d += b3[:, None, :]
+        prediction = out2d.reshape(k, batch, n, window)
+
+        # --- loss values (Eq. 9), one per model ------------------------ #
+        diff = prediction[..., 1:] - xb[..., 1:]
+        losses = []
+        for row in range(k):
+            flat = diff[row].ravel()
+            value = np.dot(flat, flat) / flat.size
+            groups = {}
+            if config.lambda_kernel > 0:
+                groups.setdefault(config.lambda_kernel, []).append(
+                    kernel[row].ravel())
+            if config.lambda_mask > 0:
+                for head in range(n_heads):
+                    groups.setdefault(config.lambda_mask, []).append(
+                        masks[row, head].ravel())
+            for coefficient, arrays in groups.items():
+                flat_pen = arrays[0] if len(arrays) == 1 \
+                    else np.concatenate(arrays)
+                value += coefficient * float(np.abs(flat_pen).sum())
+            losses.append(float(np.asarray(value, dtype=diff.dtype)))
+
+        # ================= backward (reverse topo order) =============== #
+        grads = self._grads
+        one = np.float64(1.0)
+
+        # loss node: L1 signs (first accumulation into kernel and masks)
+        # and the windowed-MSE gradient into the prediction.
+        kernel_grad = self._grad_view("convolution.kernel")
+        if config.lambda_kernel > 0:
+            kernel_grad[...] = (config.lambda_kernel * one) * np.sign(kernel)
+        else:
+            kernel_grad[...] = 0.0
+        for head, name in enumerate(head_names):
+            mask_grad = self._grad_view(f"{name}.mask")
+            if config.lambda_mask > 0:
+                mask_grad[...] = (config.lambda_mask * one) \
+                    * np.sign(masks[:, head])
+            else:
+                mask_grad[...] = 0.0
+        loss_scale = 2.0 / diff[0].size
+        grad_pred = np.zeros_like(prediction)
+        grad_pred[..., 1:] = loss_scale * diff
+
+        # mlp_chain backward.
+        grad2d = grad_pred.reshape(k, batch * n, window)
+        self._grad_view("output_layer.weight")[...] = \
+            ffn.transpose(0, 2, 1) @ grad2d
+        self._grad_view("output_layer.bias")[...] = grad2d.sum(axis=1)
+        grad_ffn = grad2d @ w3.transpose(0, 2, 1)
+        self._grad_view("feed_forward.w2")[...] = \
+            hidden.transpose(0, 2, 1) @ grad_ffn
+        self._grad_view("feed_forward.b2")[...] = grad_ffn.sum(axis=1)
+        grad_hidden = grad_ffn @ w2.transpose(0, 2, 1)
+        grad_hidden *= slope
+        self._grad_view("feed_forward.w1")[...] = \
+            x2d_c.transpose(0, 2, 1) @ grad_hidden
+        self._grad_view("feed_forward.b1")[...] = grad_hidden.sum(axis=1)
+        grad_combined = (grad_hidden @ w1.transpose(0, 2, 1)) \
+            .reshape(k, batch, n, window)
+
+        # attention_combine backward.
+        grad_heads = grad_combined[:, :, :, None, :] \
+            * w_output[:, None, None, :, None]                 # (K,B,i,h,t)
+        grad_a = grad_heads @ v_bijt.transpose(0, 1, 2, 4, 3)  # (K,B,i,h,j)
+        grad_probs = grad_a.transpose(0, 3, 1, 2, 4)           # (K,h,B,i,j)
+        grad_v = a_bihj.transpose(0, 1, 2, 4, 3) @ grad_heads  # (K,B,i,j,t)
+        grad_values = np.asarray(grad_v.transpose(0, 1, 3, 2, 4), dtype=dtype)
+        # Per-model np.tensordot(head_outputs, grad_combined, ([0,1,3],
+        # [0,1,2])) unrolled the same way.
+        ho_heads = np.ascontiguousarray(head_outputs.transpose(0, 3, 1, 2, 4)) \
+            .reshape(k, n_heads, batch * n * window)
+        w_output_grad = self._grad_view("attention.w_output")
+        for row in range(k):
+            w_output_grad[row] = np.dot(
+                ho_heads[row],
+                grad_combined[row].reshape(batch * n * window, 1))[:, 0]
+
+        # causal_attention_probs backward (softmax Jacobian included).
+        dot = sum_last_keepdims(grad_probs * probabilities)
+        grad_masked = probabilities * (grad_probs - dot)
+        grad_raw = grad_masked * modulation
+        grad_qk = np.empty_like(qk)
+        np.matmul(grad_raw, k_data, out=grad_qk[:, :n_heads])
+        np.matmul(grad_raw.transpose(0, 1, 2, 4, 3), q_data,
+                  out=grad_qk[:, n_heads:])
+        grad_2d = np.ascontiguousarray(grad_qk.transpose(0, 2, 3, 1, 4)) \
+            .reshape(k, batch * n, 2 * n_heads * d_qk)
+        grad_weight = emb2d.transpose(0, 2, 1) @ grad_2d       # (K,d,2h·q)
+        grad_bias = grad_2d.sum(axis=1)
+        for head, name in enumerate(head_names):
+            query = slice(head * d_qk, (head + 1) * d_qk)
+            key = slice((n_heads + head) * d_qk, (n_heads + head + 1) * d_qk)
+            self._grad_view(f"{name}.w_query")[...] = grad_weight[:, :, query]
+            self._grad_view(f"{name}.b_query")[...] = grad_bias[:, query]
+            self._grad_view(f"{name}.w_key")[...] = grad_weight[:, :, key]
+            self._grad_view(f"{name}.b_key")[...] = grad_bias[:, key]
+        grad_emb = grad_2d @ weight_flat.transpose(0, 2, 1)
+        self._grad_view("embedding.weight")[...] = \
+            x2d.transpose(0, 2, 1) @ grad_emb
+        self._grad_view("embedding.bias")[...] = grad_emb.sum(axis=1)
+        grad_mask_terms = (grad_masked * raw_scores).sum(axis=2) * scale
+        for head, name in enumerate(head_names):
+            self._grad_view(f"{name}.mask")[...] += \
+                np.asarray(grad_mask_terms[:, head], dtype=dtype)
+
+        # causal_conv backward (kernel gradient; inputs carry no grad).
+        grad_values = grad_values.copy()
+        diagonal = grad_values[:, :, diag, diag, :]
+        grad_values[:, :, diag, diag, :-1] = diagonal[..., 1:]
+        grad_values[:, :, diag, diag, -1] = 0.0
+        grad_scaled = grad_values * scale_array
+        flat = np.ascontiguousarray(grad_scaled.transpose(0, 2, 3, 1, 4)) \
+            .reshape(k, n, n, batch * window)
+        kernel_grad += flat @ windows_flat
+        return losses, grads
+
+    def _adam_step(self) -> None:
+        """Stacked replica of the fused flat Adam update (one row per model)."""
+        config = self.config
+        self._step_count += 1
+        t = self._step_count
+        beta1, beta2 = ADAM_BETAS
+        eps = ADAM_EPS
+        bias_correction1 = 1.0 - beta1 ** t
+        bias_correction2 = 1.0 - beta2 ** t
+        grad = self._grads
+        if config.grad_clip is not None:
+            for row in range(grad.shape[0]):
+                total = float(np.sqrt(np.dot(grad[row], grad[row])))
+                if total > config.grad_clip:
+                    grad[row] *= config.grad_clip / (total + ADAM_CLIP_FUZZ)
+        m, v = self._adam_m, self._adam_v
+        m *= beta1
+        m += (1.0 - beta1) * grad
+        v *= beta2
+        np.multiply(grad, grad, out=grad)
+        v += (1.0 - beta2) * grad
+        denominator = np.sqrt(v / bias_correction2)
+        denominator += eps
+        update = (config.learning_rate / bias_correction1) * m
+        update /= denominator
+        self.params -= update

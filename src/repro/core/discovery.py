@@ -107,8 +107,15 @@ class CausalFormer:
     # ------------------------------------------------------------------ #
     # Fitting and discovery
     # ------------------------------------------------------------------ #
-    def fit(self, data: DataLike, verbose: bool = False) -> "CausalFormer":
-        """Train the causality-aware transformer on the prediction task."""
+    def prepare_fit(self, data: DataLike) -> np.ndarray:
+        """Reset fitted state and build the (untrained) model for ``data``.
+
+        Returns the normalised values the trainer should consume.  Splitting
+        this from :meth:`fit` lets the batched sweep runner
+        (:mod:`repro.service.batched`) train several prepared models in one
+        stacked pass; afterwards it hands the history back via
+        :meth:`finalize_fit`.
+        """
         # Reset all fitted state first so a refit (or a failed refit) never
         # leaves a previous run's discovery results visible via summary().
         self.model_ = None
@@ -120,10 +127,20 @@ class CausalFormer:
         config = replace(self.config, n_series=values.shape[0])
         self.config = config
         self.model_ = CausalityAwareTransformer(config)
-        trainer = Trainer(self.model_, config)
-        self.history_ = trainer.fit(values, verbose=verbose)
+        return values
+
+    def finalize_fit(self, values: np.ndarray,
+                     history: TrainingHistory) -> "CausalFormer":
+        """Adopt an externally produced training history (batched training)."""
+        self.history_ = history
         self._fitted_values = values
         return self
+
+    def fit(self, data: DataLike, verbose: bool = False) -> "CausalFormer":
+        """Train the causality-aware transformer on the prediction task."""
+        values = self.prepare_fit(data)
+        trainer = Trainer(self.model_, self.config)
+        return self.finalize_fit(values, trainer.fit(values, verbose=verbose))
 
     def interpret(self) -> TemporalCausalGraph:
         """Run the causality detector on the trained model."""

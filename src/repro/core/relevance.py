@@ -25,7 +25,7 @@ two tensors the causal-graph construction reads (Sec. 4.2.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -54,6 +54,28 @@ class RelevanceResult:
     target: int
     heads: List[HeadRelevance]
     output_relevance: np.ndarray  # the one-hot initialisation (B, N, T)
+
+
+@dataclass
+class PreparedPropagation:
+    """Target-independent precomputation shared by every propagated target.
+
+    Every denominator of the RRP rules (Eq. 15–18) depends only on the
+    forward activations, not on the target series — stabilising them once
+    per cache (instead of once per target per head) removes most of the
+    per-target overhead when the detector sweeps all ``N`` targets.
+    """
+
+    cache: TransformerCache
+    d_output: np.ndarray            # stabilised output-layer denominator
+    d_ffn_output: np.ndarray        # stabilised second-linear denominator
+    d_hidden: np.ndarray            # stabilised first-linear denominator
+    d_combined: np.ndarray          # stabilised head-combination denominator
+    d_heads: List[np.ndarray]       # stabilised per-head application denominators
+    d_values_pre: np.ndarray        # stabilised pre-shift convolution values
+    weighted_heads: List[np.ndarray]  # head_output · W_O[h] numerators
+    kernel: np.ndarray
+    scaled_windows: np.ndarray
 
 
 class RegressionRelevancePropagation:
@@ -104,75 +126,133 @@ class RegressionRelevancePropagation:
         relevance[:, target, :] = 1.0
         return relevance
 
-    def propagate(self, cache: TransformerCache, target: int) -> RelevanceResult:
-        """Propagate relevance from the output of series ``target`` to A and K."""
+    def prepare(self, cache: TransformerCache) -> PreparedPropagation:
+        """Precompute everything that does not depend on the target series."""
         model = self.model
-        relevance_output = self.one_hot_relevance(cache, target)
-
-        # Output layer: prediction = ffn_output @ W_out + b_out.
-        relevance_ffn_out = self._linear_relevance(
-            cache.ffn_output, model.output_layer.weight.data,
-            model.output_layer.bias.data, cache.output, relevance_output)
-
-        # Feed-forward second linear: ffn_output = activated @ W2 + b2.
-        relevance_activated = self._linear_relevance(
-            cache.ffn_activated, model.feed_forward.w2.data,
-            model.feed_forward.b2.data, cache.ffn_output, relevance_ffn_out)
-
-        # Leaky ReLU: the generic rule gives R_in = x·f'(x)·R_out / f(x) = R_out
-        # for a piecewise-linear activation through the origin, so relevance
-        # passes through unchanged.
-        relevance_hidden = relevance_activated
-
-        # Feed-forward first linear: hidden = attention_combined @ W1 + b1.
-        relevance_attention_combined = self._linear_relevance(
-            cache.attention_combined, model.feed_forward.w1.data,
-            model.feed_forward.b1.data, cache.ffn_hidden, relevance_hidden)
-
-        # Head concatenation: combined = Σ_h W_O[h] · head_output_h.
-        combined = cache.attention_combined
-        w_output = model.attention.w_output.data
-        head_relevances: List[HeadRelevance] = []
-        kernel = model.convolution.effective_kernel().data
         window = model.config.window
         scale = 1.0 / np.arange(1, window + 1, dtype=float)
-        scaled_windows = cache.conv_windows * scale[None, None, :, None]
 
+        def denominator(outputs: np.ndarray, bias: Optional[np.ndarray]) -> np.ndarray:
+            base = outputs if (self.use_bias or bias is None) else outputs - bias
+            return stabilize(base, self.epsilon)
+
+        w_output = model.attention.w_output.data
+        return PreparedPropagation(
+            cache=cache,
+            d_output=denominator(cache.output, model.output_layer.bias.data),
+            d_ffn_output=denominator(cache.ffn_output, model.feed_forward.b2.data),
+            d_hidden=denominator(cache.ffn_hidden, model.feed_forward.b1.data),
+            d_combined=stabilize(cache.attention_combined, self.epsilon),
+            d_heads=[stabilize(head.head_output_data, self.epsilon)
+                     for head in cache.head_caches],
+            d_values_pre=stabilize(cache.values_pre_shift, self.epsilon),
+            weighted_heads=[head.head_output_data * w_output[index]
+                            for index, head in enumerate(cache.head_caches)],
+            kernel=model.convolution.effective_kernel().data,
+            scaled_windows=cache.conv_windows * scale[None, None, :, None],
+        )
+
+    def propagate(self, cache: TransformerCache, target: int) -> RelevanceResult:
+        """Propagate relevance from the output of series ``target`` to A and K."""
+        return self.propagate_targets(cache, [target])[0]
+
+    def propagate_targets(self, cache: TransformerCache,
+                          targets: Sequence[int],
+                          prepared: Optional[PreparedPropagation] = None,
+                          include_values: bool = True) -> List[RelevanceResult]:
+        """Propagate several target series in one vectorised pass.
+
+        Relevance propagation is linear in the output relevance, so the
+        targets stack as a leading axis: the between-layer matmuls run as
+        batched per-``(target, batch)`` GEMM slices and the Eq. 18 einsums
+        gain a leading target subscript — both produce, slice for slice, the
+        same floating-point results as one pass per target (the contraction
+        order over the summed indices is unchanged), so ``propagate`` stays
+        bit-identical to the historical per-target implementation.
+
+        ``include_values=False`` skips storing the per-head ``(B, N, N, T)``
+        values relevance in the results (the detector only consumes the
+        attention and kernel relevance; callers chunk ``targets`` to bound
+        the intermediates' memory).
+        """
+        if prepared is None:
+            prepared = self.prepare(cache)
+        batch, n_series, window = cache.output.shape
+        for target in targets:
+            if not (0 <= target < n_series):
+                raise IndexError(
+                    f"target series {target} out of range [0, {n_series})")
+        n_targets = len(targets)
+        diag = np.arange(n_series)
+
+        relevance_output = np.zeros((n_targets, batch, n_series, window))
+        for index, target in enumerate(targets):
+            relevance_output[index, :, target, :] = 1.0
+
+        model = self.model
+        # Output layer → feed-forward second linear → (pass-through leaky
+        # ReLU) → feed-forward first linear (Eq. 15/17).
+        relevance_ffn_out = cache.ffn_output * (
+            (relevance_output / prepared.d_output)
+            @ model.output_layer.weight.data.T)
+        relevance_activated = cache.ffn_activated * (
+            (relevance_ffn_out / prepared.d_ffn_output)
+            @ model.feed_forward.w2.data.T)
+        relevance_attention_combined = cache.attention_combined * (
+            (relevance_activated / prepared.d_hidden)
+            @ model.feed_forward.w1.data.T)
+
+        values = cache.values
+        per_head_attention: List[np.ndarray] = []
+        per_head_values: List[Optional[np.ndarray]] = []
+        per_head_kernel: List[np.ndarray] = []
         for head_index, head_cache in enumerate(cache.head_caches):
-            head_output = head_cache.head_output_data
-            relevance_head = (head_output * w_output[head_index]
+            # Head concatenation: combined = Σ_h W_O[h] · head_output_h.
+            relevance_head = (prepared.weighted_heads[head_index]
                               * relevance_attention_combined
-                              / stabilize(combined, self.epsilon))
+                              / prepared.d_combined)
 
             # Attention application (two-operand rule, Eq. 18):
             #   head_output[b, i, t] = Σ_j attention[b, i, j] · values[b, j, i, t]
             attention = head_cache.attention_data
-            values = cache.values
-            ratio = relevance_head / stabilize(head_output, self.epsilon)
-            relevance_attention = attention * np.einsum("bjit,bit->bij", values, ratio)
-            relevance_values = np.einsum("bij,bjit,bit->bjit", attention, values, ratio)
+            ratio = relevance_head / prepared.d_heads[head_index]
+            relevance_attention = attention * np.einsum(
+                "bjit,gbit->gbij", values, ratio)
+            relevance_values = np.einsum(
+                "bij,bjit,gbit->gbjit", attention, values, ratio)
 
             # Undo the diagonal right-shift before touching the kernel: the
             # post-shift value at slot t+1 came from the pre-shift value at t.
             relevance_pre_shift = relevance_values.copy()
-            n_series = values.shape[1]
-            diag = np.arange(n_series)
-            relevance_pre_shift[:, diag, diag, :-1] = relevance_values[:, diag, diag, 1:]
-            relevance_pre_shift[:, diag, diag, -1] = 0.0
+            relevance_pre_shift[:, :, diag, diag, :-1] = \
+                relevance_values[:, :, diag, diag, 1:]
+            relevance_pre_shift[:, :, diag, diag, -1] = 0.0
 
             # Convolution (two-operand rule): values_pre[b, i, j, t] =
             #   Σ_τ kernel[i, j, τ] · windows[b, i, t, τ] / (t + 1)
-            ratio_values = relevance_pre_shift / stabilize(cache.values_pre_shift, self.epsilon)
-            relevance_kernel = kernel * np.einsum("bitk,bijt->ijk", scaled_windows, ratio_values)
+            ratio_values = relevance_pre_shift / prepared.d_values_pre
+            relevance_kernel = prepared.kernel * np.einsum(
+                "bitk,gbijt->gijk", prepared.scaled_windows, ratio_values)
 
-            head_relevances.append(HeadRelevance(
-                attention=relevance_attention,
-                values=relevance_values,
-                kernel=relevance_kernel,
-            ))
+            per_head_attention.append(relevance_attention)
+            per_head_values.append(relevance_values if include_values else None)
+            per_head_kernel.append(relevance_kernel)
 
-        return RelevanceResult(target=target, heads=head_relevances,
-                               output_relevance=relevance_output)
+        results: List[RelevanceResult] = []
+        for index, target in enumerate(targets):
+            heads = [
+                HeadRelevance(
+                    attention=per_head_attention[head_index][index],
+                    values=(per_head_values[head_index][index]
+                            if include_values else None),
+                    kernel=per_head_kernel[head_index][index],
+                )
+                for head_index in range(len(cache.head_caches))
+            ]
+            results.append(RelevanceResult(
+                target=target, heads=heads,
+                output_relevance=relevance_output[index]))
+        return results
 
     # ------------------------------------------------------------------ #
     # Diagnostics used by tests

@@ -33,6 +33,24 @@ class TrainingHistory:
         return len(self.train_loss)
 
 
+def split_windows(windows: np.ndarray, rng: np.random.Generator,
+                  config: CausalFormerConfig):
+    """Shuffle-split windows into (train, validation) per the config.
+
+    Shared by :class:`Trainer` and the stacked trainer
+    (:mod:`repro.core.batched`) — the batched path's bit-identity contract
+    requires both to draw exactly the same split from the same rng stream.
+    """
+    n_windows = windows.shape[0]
+    indices = rng.permutation(n_windows)
+    n_validation = int(round(n_windows * config.validation_fraction))
+    n_validation = min(max(n_validation, 1 if n_windows > 1 else 0),
+                       n_windows - 1)
+    validation_idx = indices[:n_validation]
+    train_idx = indices[n_validation:]
+    return windows[train_idx], windows[validation_idx] if n_validation else None
+
+
 class Trainer:
     """Adam + early stopping over sliding windows of one dataset."""
 
@@ -44,6 +62,10 @@ class Trainer:
         self.optimizer = Adam(self._parameters, lr=self.config.learning_rate,
                               clip_norm=self.config.grad_clip)
         self.history = TrainingHistory()
+        # The model's fused no-autograd engine runs the validation passes;
+        # sharing it (rather than building a private one) means predict()
+        # and the stacked trainer reuse the same scratch arena.
+        self._inference = model.inference_engine()
 
     # ------------------------------------------------------------------ #
     # Data preparation
@@ -55,13 +77,7 @@ class Trainer:
         return sliding_windows(values, self.config.window, self.config.window_stride)
 
     def _split(self, windows: np.ndarray, rng: np.random.Generator):
-        n_windows = windows.shape[0]
-        indices = rng.permutation(n_windows)
-        n_validation = int(round(n_windows * self.config.validation_fraction))
-        n_validation = min(max(n_validation, 1 if n_windows > 1 else 0), n_windows - 1)
-        validation_idx = indices[:n_validation]
-        train_idx = indices[n_validation:]
-        return windows[train_idx], windows[validation_idx] if n_validation else None
+        return split_windows(windows, rng, self.config)
 
     # ------------------------------------------------------------------ #
     # Training
@@ -136,17 +152,10 @@ class Trainer:
         window contributes the same number of loss elements and the L1
         penalties are constant across chunks, so the window-weighted mean of
         the chunk losses equals the single-shot loss exactly.
-        """
-        from repro.nn.tensor import no_grad
 
-        batch_size = self.config.batch_size
-        total = 0.0
-        count = 0
-        with no_grad():
-            for start in range(0, windows.shape[0], batch_size):
-                chunk = Tensor(windows[start:start + batch_size])
-                prediction, _ = self.model(chunk)
-                loss = self.model.loss(prediction, chunk)
-                total += float(loss.data) * len(chunk)
-                count += len(chunk)
-        return total / count if count else float("nan")
+        The pass runs on the fused no-autograd inference engine: the same
+        operation sequence as the autograd fast path (losses are
+        bit-identical), but with every intermediate written into a reusable
+        scratch arena instead of fresh graph nodes and temporaries.
+        """
+        return self._inference.evaluate(windows, self.config.batch_size)

@@ -22,6 +22,7 @@ from repro.core.embedding import TimeSeriesEmbedding
 from repro.core.feedforward import FeedForward, OutputLayer
 from repro.nn import functional as F
 from repro.nn import init
+from repro.nn.inference import InferenceEngine
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
 
@@ -61,6 +62,7 @@ class CausalityAwareTransformer(Module):
             n, config.d_model, config.d_qk, config.n_heads, config.temperature, rng=rng)
         self.feed_forward = FeedForward(t, config.d_ffn, rng=rng)
         self.output_layer = OutputLayer(t, rng=rng)
+        self._inference: Optional[InferenceEngine] = None
 
     # ------------------------------------------------------------------ #
     # Forward
@@ -148,13 +150,19 @@ class CausalityAwareTransformer(Module):
             )
         return prediction, cache
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Numpy-in / numpy-out prediction without building the autograd graph."""
-        from repro.nn.tensor import no_grad
+    def inference_engine(self) -> InferenceEngine:
+        """The model's fused no-autograd inference engine (lazily built)."""
+        if self._inference is None:
+            self._inference = InferenceEngine(self)
+        return self._inference
 
-        with no_grad():
-            prediction, _ = self.forward(Tensor(np.asarray(x, dtype=float)))
-        return prediction.data
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out prediction without building the autograd graph.
+
+        Runs on the fused inference engine — bit-identical to the previous
+        ``no_grad()`` autograd forward, with zero steady-state allocation.
+        """
+        return self.inference_engine().predict(x)
 
     # ------------------------------------------------------------------ #
     # Loss (paper Eq. 9)

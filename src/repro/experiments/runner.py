@@ -103,19 +103,21 @@ def run_method_on_dataset(method, dataset: TimeSeriesDataset,
 
 def make_executor(executor: Optional[JobExecutor] = None,
                   max_workers: Optional[int] = None,
-                  cache=None) -> Optional[JobExecutor]:
+                  cache=None,
+                  batch_jobs: bool = False) -> Optional[JobExecutor]:
     """Resolve the executor the table/figure runners should dispatch through.
 
     An explicit ``executor`` wins; otherwise one is built when parallelism
-    (``max_workers`` ≠ 1) or caching is requested; otherwise ``None`` (the
-    caller runs serially in-process).
+    (``max_workers`` ≠ 1), caching or job batching is requested; otherwise
+    ``None`` (the caller runs serially in-process).
     """
     if executor is not None:
         return executor
-    if (max_workers is not None and max_workers != 1) or cache is not None:
+    if (max_workers is not None and max_workers != 1) or cache is not None \
+            or batch_jobs:
         # Invalid worker counts (e.g. 0) surface as JobExecutor's ValueError.
         return JobExecutor(max_workers=1 if max_workers is None else max_workers,
-                           cache=cache)
+                           cache=cache, batch_jobs=batch_jobs)
     return None
 
 
@@ -127,16 +129,20 @@ def evaluate_methods(experiments: Sequence[ExperimentSpec],
                      verbose: bool = False,
                      executor: Optional[JobExecutor] = None,
                      max_workers: Optional[int] = None,
-                     cache=None) -> ResultTable:
+                     cache=None,
+                     batch_jobs: bool = False) -> ResultTable:
     """Run every method on every experiment/seed; aggregate one metric.
 
-    With ``executor`` (or ``max_workers`` / ``cache``), registry-addressable
-    method specs are dispatched as discovery jobs — in parallel when the
-    executor has workers, answered from its cache when warm.  Factory-based
-    specs always run serially in-process.  A job that crashed raises, naming
-    the offending cell, so a sweep cannot silently lose values.
+    With ``executor`` (or ``max_workers`` / ``cache`` / ``batch_jobs``),
+    registry-addressable method specs are dispatched as discovery jobs — in
+    parallel when the executor has workers, same-shape CausalFormer cells
+    stacked into one training pass when batching is on, answered from its
+    cache when warm.  Factory-based specs always run serially in-process.
+    A job that crashed raises, naming the offending cell, so a sweep cannot
+    silently lose values.
     """
-    executor = make_executor(executor, max_workers=max_workers, cache=cache)
+    executor = make_executor(executor, max_workers=max_workers, cache=cache,
+                             batch_jobs=batch_jobs)
     table = ResultTable(title, metric=metric)
 
     def record(experiment_name: str, seed: int, method_spec: MethodSpec, value) -> None:

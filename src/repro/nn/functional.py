@@ -56,6 +56,28 @@ import threading as _threading
 
 _pad_buffers = _threading.local()
 
+_backward_arenas = _threading.local()
+
+
+def _backward_arena():
+    """Per-thread scratch arena for backward-pass temporaries.
+
+    The fused training nodes' backward closures allocate several large
+    temporaries (contiguous transposes, products, GEMM outputs) every
+    training step; steady-state steps reuse these buffers instead.  Only
+    arrays that never escape the closure — or that are routed to *leaf*
+    tensors, which :meth:`Tensor._accumulate` copies or adds out of
+    immediately — may live in the arena; gradients routed to interior graph
+    nodes are referenced until a later closure consumes them and keep fresh
+    allocations.
+    """
+    from repro.nn.inference import ScratchArena
+
+    arena = getattr(_backward_arenas, "arena", None)
+    if arena is None:
+        arena = _backward_arenas.arena = ScratchArena()
+    return arena
+
 
 def _causal_window_view(data: np.ndarray, window: int, reuse_buffer: bool = False):
     """Left-zero-pad ``data`` and return its causal windows as a strided view.
@@ -89,15 +111,23 @@ def _causal_window_view(data: np.ndarray, window: int, reuse_buffer: bool = Fals
 
 
 def _scatter_window_grad(grad_windows: np.ndarray, window: int,
-                         padded_shape, dtype) -> np.ndarray:
+                         padded_shape, dtype, arena=None) -> np.ndarray:
     """Backward of the causal window view: scatter-add onto the padded axis.
 
     ``grad_windows[..., t, τ]`` contributes to ``padded[..., t+1+τ]``; the
     window axis is moved to be contiguous first so each of the ``window``
-    vectorized adds streams over contiguous memory.
+    vectorized adds streams over contiguous memory.  ``arena`` (a scratch
+    arena) hosts the internal contiguous transpose; the returned array is
+    always freshly allocated — it is routed into the graph.
     """
     length = grad_windows.shape[-2]
-    by_offset = np.ascontiguousarray(np.swapaxes(grad_windows, -1, -2))
+    swapped = np.swapaxes(grad_windows, -1, -2)
+    if arena is None:
+        by_offset = np.ascontiguousarray(swapped)
+    else:
+        by_offset = arena.take("scatter.by_offset", swapped.shape,
+                               grad_windows.dtype)
+        np.copyto(by_offset, swapped)
     grad_padded = np.zeros(padded_shape, dtype=dtype)
     for tau in range(window):
         grad_padded[..., 1 + tau:1 + tau + length] += by_offset[..., tau, :]
@@ -165,26 +195,48 @@ def causal_conv(x: Tensor, kernel: Tensor, scale: np.ndarray,
         padded_shape = padded.shape
         dtype = x.data.dtype
 
+        k_out = kernel_data.shape[1]
+
         def backward(grad, route):
+            arena = _backward_arena()
             if right_shift:
                 # Undo the shift: the gradient of the diagonal entry at slot
                 # t+1 flows to the pre-shift entry at slot t.
-                grad = grad.copy()
-                diagonal = grad[:, diag, diag, :]
-                grad[:, diag, diag, :-1] = diagonal[:, :, 1:]
-                grad[:, diag, diag, -1] = 0.0
-            grad_scaled = grad * scale                    # (B, i, j, t)
+                shifted = arena.take("conv.bwd.grad", grad.shape, grad.dtype)
+                np.copyto(shifted, grad)
+                diagonal = shifted[:, diag, diag, :]
+                shifted[:, diag, diag, :-1] = diagonal[:, :, 1:]
+                shifted[:, diag, diag, -1] = 0.0
+                grad = shifted
+            grad_scaled = arena.take("conv.bwd.scaled", grad.shape, grad.dtype)
+            np.multiply(grad, scale, out=grad_scaled)     # (B, i, j, t)
             if kernel.requires_grad:
-                flat = np.ascontiguousarray(grad_scaled.transpose(1, 2, 0, 3)) \
-                    .reshape(n_series, -1, batch * length)
-                route(kernel, flat @ windows_flat)        # (N, N, K)
+                flat = arena.take("conv.bwd.flat_k",
+                                  (n_series, k_out, batch * length), grad.dtype)
+                np.copyto(flat.reshape(n_series, k_out, batch, length),
+                          grad_scaled.transpose(1, 2, 0, 3))
+                if kernel.is_leaf:
+                    kernel_grad = arena.take("conv.bwd.kgrad",
+                                             (n_series, k_out, window),
+                                             grad.dtype)
+                    np.matmul(flat, windows_flat, out=kernel_grad)
+                    route(kernel, kernel_grad)            # (N, N, K)
+                else:
+                    route(kernel, flat @ windows_flat)
             if x.requires_grad:
-                flat = np.ascontiguousarray(grad_scaled.transpose(1, 0, 3, 2)) \
-                    .reshape(n_series, batch * length, -1)
-                grad_windows = (flat @ kernel_data) \
+                flat = arena.take("conv.bwd.flat_x",
+                                  (n_series, batch * length, k_out), grad.dtype)
+                np.copyto(flat.reshape(n_series, batch, length, k_out),
+                          grad_scaled.transpose(1, 0, 3, 2))
+                grad_windows = arena.take("conv.bwd.gwin",
+                                          (n_series, batch * length, window),
+                                          grad.dtype)
+                np.matmul(flat, kernel_data, out=grad_windows)
+                grad_windows = grad_windows \
                     .reshape(n_series, batch, length, window).transpose(1, 0, 2, 3)
                 route(x, _scatter_window_grad(grad_windows, window,
-                                              padded_shape, dtype))
+                                              padded_shape, dtype,
+                                              arena=arena))
 
         out._backward = backward
     return out
@@ -308,15 +360,29 @@ def causal_attention_probs(inputs: Tensor, w_query: List[Tensor],
         parents += [embed_weight, embed_bias]
     out = T._make_op(probabilities, tuple(parents))
     if out.requires_grad:
+        params_leaf = all(parameter.is_leaf for parameter in weights) \
+            and all(parameter.is_leaf for parameter in biases)
+
         def backward(grad, route):
-            dot = (grad * probabilities).sum(axis=-1, keepdims=True)
-            grad_masked = probabilities * (grad - dot)
-            grad_raw = grad_masked * modulation
-            grad_qk = np.empty_like(qk)
+            arena = _backward_arena()
+            product = arena.take("attn.bwd.prod", probabilities.shape,
+                                 probabilities.dtype)
+            np.multiply(grad, probabilities, out=product)
+            dot = product.sum(axis=-1, keepdims=True)
+            grad_masked = arena.take("attn.bwd.masked", probabilities.shape,
+                                     probabilities.dtype)
+            np.subtract(grad, dot, out=grad_masked)
+            np.multiply(probabilities, grad_masked, out=grad_masked)
+            grad_raw = arena.take("attn.bwd.raw", probabilities.shape,
+                                  probabilities.dtype)
+            np.multiply(grad_masked, modulation, out=grad_raw)
+            grad_qk = arena.take("attn.bwd.qk", qk.shape, qk.dtype)
             np.matmul(grad_raw, k_data, out=grad_qk[:n_heads])
             np.matmul(grad_raw.transpose(0, 1, 3, 2), q_data, out=grad_qk[n_heads:])
-            grad_2d = np.ascontiguousarray(grad_qk.transpose(1, 2, 0, 3)) \
-                .reshape(batch * n, 2 * n_heads * d_qk)
+            grad_2d = arena.take("attn.bwd.2d",
+                                 (batch * n, 2 * n_heads * d_qk), qk.dtype)
+            np.copyto(grad_2d.reshape(batch, n, 2 * n_heads, d_qk),
+                      grad_qk.transpose(1, 2, 0, 3))
             need_emb_grad = (embed_weight is not None
                              and (embed_weight.requires_grad
                                   or embed_bias.requires_grad
@@ -334,7 +400,14 @@ def causal_attention_probs(inputs: Tensor, w_query: List[Tensor],
                     if inputs.requires_grad:
                         route(inputs, (grad_emb @ embed_weight.data.T)
                               .reshape(inputs.data.shape))
-            grad_weight = emb2d.T @ grad_2d
+            if params_leaf:
+                # Routed slices land on leaf parameters, which copy/add out
+                # of the arena buffer immediately.
+                grad_weight = arena.take("attn.bwd.gw", weight_flat.shape,
+                                         qk.dtype)
+                np.matmul(emb2d.T, grad_2d, out=grad_weight)
+            else:
+                grad_weight = emb2d.T @ grad_2d
             grad_bias = grad_2d.sum(axis=0)
             for index, (weight, bias) in enumerate(zip(weights, biases)):
                 columns = slice(index * d_qk, (index + 1) * d_qk)
@@ -342,7 +415,8 @@ def causal_attention_probs(inputs: Tensor, w_query: List[Tensor],
                     route(weight, grad_weight[:, columns])
                 if bias.requires_grad:
                     route(bias, grad_bias[columns])
-            grad_masks = (grad_masked * raw).sum(axis=1) * scale      # (h, N, N)
+            np.multiply(grad_masked, raw, out=product)
+            grad_masks = product.sum(axis=1) * scale                  # (h, N, N)
             for index, mask in enumerate(masks):
                 if mask.requires_grad:
                     route(mask, grad_masks[index])
@@ -368,8 +442,12 @@ def attention_combine(attention: Tensor, values: Tensor,
     out = T._make_op(out_data, (attention, values, w_output))
     if out.requires_grad:
         def backward(grad, route):
+            arena = _backward_arena()
             # grad (B, i, t): expand back over heads first.
-            grad_heads = grad[:, :, None, :] * w_data[None, None, :, None]
+            grad_heads = arena.take("comb.bwd.heads", head_outputs.shape,
+                                    np.result_type(grad, w_data))
+            np.multiply(grad[:, :, None, :], w_data[None, None, :, None],
+                        out=grad_heads)
             if attention.requires_grad:
                 grad_a = grad_heads @ v_bijt.transpose(0, 1, 3, 2)    # (B, i, h, j)
                 route(attention, grad_a.transpose(2, 0, 1, 3))
@@ -407,17 +485,20 @@ def mlp_chain(x: Tensor, w1: Tensor, b1: Tensor, w2: Tensor, b2: Tensor,
                      (x, w1, b1, w2, b2, w3, b3))
     if out.requires_grad:
         def backward(grad, route):
+            arena = _backward_arena()
             grad2d = grad.reshape(-1, grad.shape[-1])
             if w3.requires_grad:
                 route(w3, ffn.T @ grad2d)
             if b3.requires_grad:
                 route(b3, grad2d.sum(axis=0))
-            grad_ffn = grad2d @ w3.data.T
+            grad_ffn = arena.take("mlp.bwd.ffn", ffn.shape, grad.dtype)
+            np.matmul(grad2d, w3.data.T, out=grad_ffn)
             if w2.requires_grad:
                 route(w2, hidden.T @ grad_ffn)
             if b2.requires_grad:
                 route(b2, grad_ffn.sum(axis=0))
-            grad_hidden = grad_ffn @ w2.data.T
+            grad_hidden = arena.take("mlp.bwd.hidden", hidden.shape, grad.dtype)
+            np.matmul(grad_ffn, w2.data.T, out=grad_hidden)
             grad_hidden *= slope
             if w1.requires_grad:
                 route(w1, x2d.T @ grad_hidden)

@@ -1,0 +1,798 @@
+"""Fused no-autograd inference engine for the CausalFormer pipeline.
+
+Every non-gradient pass of this reproduction — ``Trainer._evaluate``
+validation scoring, experiment-table evaluation, ``predict`` and the
+causality detector's interpretation forward — used to walk the full autograd
+:class:`~repro.nn.tensor.Tensor` machinery under ``no_grad()``, allocating
+fresh node objects and temporaries for every window chunk.  This module
+evaluates the same pipeline — causal convolution (stride-trick windows +
+batched GEMM with the Eq. 4 right-shift folded in), embedding + Q/K
+projection + masked tempered softmax (Eq. 5), attention combination
+(Eq. 6–7), the MLP tail (Eq. 8) and the Eq. 9 loss — in pure numpy, writing
+every intermediate into a reusable :class:`ScratchArena` so steady-state
+evaluation performs no per-call heap allocation of large temporaries.
+
+Numerical contract: for a given model the fused forward replays the *exact*
+operation sequence of the autograd fast path (same GEMM shapes, same
+reduction orders), so its results are bit-for-bit identical in float64 and
+within BLAS noise in float32.  The detector-facing
+:meth:`InferenceEngine.interpretation_forward` instead replays the autograd
+*cache* path (per-head outputs, 3-D linears, einsum head combination),
+whose operation sequence differs slightly from the fast path, and
+:meth:`InferenceEngine.interpretation_gradients` hand-evaluates the exact
+backward of that graph for a batch of target series at once — the detector
+no longer needs the autograd graph at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ScratchSpace:
+    """One namespace of scratch buffers and derived views.
+
+    A space belongs to a fixed workload shape (one ``(B, N, T, dtype)``
+    combination), so buffer names map to stable arrays and the strided
+    views derived from them (window views, transposes, reshapes) can be
+    constructed once and replayed — view construction is pure Python
+    overhead on a hot path this small.
+    """
+
+    __slots__ = ("_buffers", "_views")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._views: Dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = self._buffers[name] = np.zeros(shape, dtype=dtype)
+            self._views.clear()
+        return buffer
+
+    def view(self, name: str, factory) -> np.ndarray:
+        """A cached derived view (``factory`` builds it on first use)."""
+        cached = self._views.get(name)
+        if cached is None:
+            cached = self._views[name] = factory()
+        return cached
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def buffers(self):
+        return self._buffers.values()
+
+
+class ScratchArena:
+    """A pool of reusable scratch buffers, grouped into namespaces.
+
+    ``take`` serves one-off keys; ``space`` returns a :class:`ScratchSpace`
+    for a workload shape, where buffers *and* their derived strided views
+    are cached.  Buffers are allocated zero-filled and are dirty afterwards
+    — each call site owns its keys and fully overwrites what it reads —
+    with one deliberate exception: left-padding buffers rely on the
+    allocation zero-fill and the call site never writing the pad region, so
+    the zeros persist across reuses.
+    """
+
+    __slots__ = ("_buffers", "_spaces")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+        self._spaces: Dict[tuple, ScratchSpace] = {}
+
+    def take(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        key = (name, shape)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.dtype != dtype:
+            buffer = self._buffers[key] = np.zeros(shape, dtype=dtype)
+        return buffer
+
+    def space(self, key: tuple) -> ScratchSpace:
+        space = self._spaces.get(key)
+        if space is None:
+            space = self._spaces[key] = ScratchSpace()
+        return space
+
+    def __len__(self) -> int:
+        return len(self._buffers) + sum(
+            len(space._buffers) for space in self._spaces.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values()) + \
+            sum(space.nbytes for space in self._spaces.values())
+
+    def buffer_ids(self) -> Tuple[int, ...]:
+        """Identities of the held buffers (tests assert steady-state reuse)."""
+        identifiers = [id(buffer) for buffer in self._buffers.values()]
+        for space in self._spaces.values():
+            identifiers.extend(id(buffer) for buffer in space.buffers())
+        return tuple(sorted(identifiers))
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self._spaces.clear()
+
+
+@dataclass
+class InterpretationForward:
+    """Everything the causality detector needs from one fused cache forward.
+
+    ``cache`` is a :class:`~repro.core.transformer.TransformerCache`-shaped
+    object consumed by regression relevance propagation; the remaining
+    fields are the forward internals the hand-derived multi-target backward
+    (:meth:`InferenceEngine.interpretation_gradients`) reads.  All arrays
+    are views into the engine's arena — valid until the next engine call.
+    """
+
+    cache: object
+    attention_probs: np.ndarray        # (h, B, N, N)
+    slope: np.ndarray                  # (B, N, d_ffn) leaky-ReLU slopes
+    a_bihj: np.ndarray                 # (B, i, h, j) attention, GEMM layout
+    v_bijt: np.ndarray                 # (B, i, j, t) values, GEMM layout
+    windows_flat: np.ndarray           # (N, B·T, K) causal windows, GEMM layout
+    batch: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+def max_last_keepdims(values: np.ndarray,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Last-axis max (keepdims) — chained over columns for short rows.
+
+    The maximum is exact whichever way it is reduced, so short rows use one
+    vectorised ``np.maximum`` per column instead of numpy's per-row
+    reduction machinery (~6× faster at this project's row lengths), with
+    bit-identical output.  Shared by the inference softmax and the stacked
+    trainer so the threshold lives in exactly one place.
+    """
+    n = values.shape[-1]
+    if out is None:
+        out = np.empty(values.shape[:-1] + (1,), dtype=values.dtype)
+    if 1 < n <= 16:
+        flat = out[..., 0]
+        np.maximum(values[..., 0], values[..., 1], out=flat)
+        for column in range(2, n):
+            np.maximum(flat, values[..., column], out=flat)
+    else:
+        np.max(values, axis=-1, keepdims=True, out=out)
+    return out
+
+
+def sum_last_keepdims(values: np.ndarray,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Last-axis sum (keepdims) matching numpy's summation order bit for bit.
+
+    numpy reduces rows of fewer than eight elements sequentially, which a
+    left-to-right chained ``np.add`` over the columns replicates exactly;
+    from eight elements on it switches to pairwise blocking, so longer rows
+    keep ``np.sum``.  If a numpy release ever moves that threshold, this is
+    the single place to track it.
+    """
+    n = values.shape[-1]
+    if out is None:
+        out = np.empty(values.shape[:-1] + (1,), dtype=values.dtype)
+    if 1 < n < 8:
+        flat = out[..., 0]
+        np.add(values[..., 0], values[..., 1], out=flat)
+        for column in range(2, n):
+            np.add(flat, values[..., column], out=flat)
+    else:
+        np.sum(values, axis=-1, keepdims=True, out=out)
+    return out
+
+
+def _leaky_slope(space: ScratchSpace, name: str, pre_activation: np.ndarray,
+                 negative_slope: float) -> np.ndarray:
+    """``np.where(x > 0, 1, negative_slope)`` without temporaries.
+
+    The constants are written exactly (``copyto`` with a mask), matching the
+    autograd path's ``np.where`` selection bit for bit.
+    """
+    dtype = pre_activation.dtype
+    slope = space.take(name, pre_activation.shape, dtype)
+    mask = space.take(name + ".mask", pre_activation.shape, np.bool_)
+    np.greater(pre_activation, 0, out=mask)
+    slope.fill(dtype.type(negative_slope))
+    np.copyto(slope, dtype.type(1.0), where=mask)
+    return slope
+
+
+class InferenceEngine:
+    """Forward-only CausalFormer evaluator over a scratch-buffer arena.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.transformer.CausalityAwareTransformer` (or any
+        object with the same ``embedding`` / ``convolution`` / ``attention``
+        / ``feed_forward`` / ``output_layer`` / ``config`` attributes).
+    arena:
+        Optional shared :class:`ScratchArena`; a private one is created when
+        omitted.
+
+    The engine re-reads the model's parameters on every public call (they
+    change between validation passes during training), staging the fused
+    weight layouts (concatenated Q/K projections, scaled mask modulation,
+    broadcast single-kernel) into arena buffers.
+    """
+
+    def __init__(self, model, arena: Optional[ScratchArena] = None) -> None:
+        self.model = model
+        self.arena = arena if arena is not None else ScratchArena()
+
+    # ------------------------------------------------------------------ #
+    # Weight staging
+    # ------------------------------------------------------------------ #
+    @property
+    def dtype(self):
+        return self.model.embedding.weight.data.dtype
+
+    def _stage(self) -> dict:
+        """Stage the fused weight layouts for the current parameter values."""
+        model = self.model
+        arena = self.arena
+        attention = model.attention
+        dtype = self.dtype
+        n_heads = attention.n_heads
+        d_qk = attention.query_weights[0].data.shape[-1]
+        d_model = model.embedding.weight.data.shape[-1]
+
+        weights = attention.query_weights + attention.key_weights
+        biases = attention.query_biases + attention.key_biases
+        weight_flat = arena.take("stage.weight_flat",
+                                 (d_model, 2 * n_heads * d_qk), dtype)
+        bias_flat = arena.take("stage.bias_flat", (2 * n_heads * d_qk,), dtype)
+        for index, (weight, bias) in enumerate(zip(weights, biases)):
+            columns = slice(index * d_qk, (index + 1) * d_qk)
+            weight_flat[:, columns] = weight.data
+            bias_flat[columns] = bias.data
+
+        # ``scale`` is a float64 numpy scalar, so the autograd path's
+        # ``mask_stack * scale`` promotes the modulation — and everything
+        # downstream of the attention scores — to float64 even under the
+        # float32 engine.  Replicate that promotion exactly.
+        scale = 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        n = model.convolution.n_series
+        modulation = arena.take("stage.modulation", (n_heads, 1, n, n),
+                                np.float64)
+        for index, mask in enumerate(attention.mask_parameters):
+            modulation[index, 0] = mask.data
+        modulation *= scale
+
+        convolution = model.convolution
+        if convolution.single_kernel:
+            kernel_eff = arena.take("stage.kernel",
+                                    (n, n, convolution.window), dtype)
+            np.multiply(convolution.kernel.data, convolution._ones_broadcast.data,
+                        out=kernel_eff)
+        else:
+            kernel_eff = convolution.kernel.data
+
+        return {
+            "dtype": dtype,
+            "n_heads": n_heads,
+            "d_qk": d_qk,
+            "weight_flat": weight_flat,
+            "bias_flat": bias_flat,
+            "modulation": modulation,
+            "kernel_eff": kernel_eff,
+            "scale_array": convolution._scale_array,
+            "embed_weight": model.embedding.weight.data,
+            "embed_bias": model.embedding.bias.data,
+            "w1": model.feed_forward.w1.data, "b1": model.feed_forward.b1.data,
+            "w2": model.feed_forward.w2.data, "b2": model.feed_forward.b2.data,
+            "w3": model.output_layer.weight.data, "b3": model.output_layer.bias.data,
+            "negative_slope": model.feed_forward.negative_slope,
+            "w_output": attention.w_output.data,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Fused building blocks (fast-path operation order)
+    # ------------------------------------------------------------------ #
+    def _causal_windows(self, space: ScratchSpace, x: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Left-zero-pad ``x`` and return ``(padded, windows_flat)``.
+
+        ``windows_flat`` is the ``(N, B·T, K)`` contiguous GEMM layout of
+        the causal window view (the exact array the fused autograd
+        ``causal_conv`` builds).
+        """
+        batch, n, window = x.shape
+        padded = space.take("conv.pad", (batch, n, 2 * window), x.dtype)
+        padded[..., window:] = x
+        flat = space.take("conv.windows_flat", (n, batch * window, window),
+                          x.dtype)
+        source = space.view("conv.window_view", lambda: np.lib.stride_tricks
+                            .sliding_window_view(padded, window, axis=-1)
+                            [..., 1:, :].transpose(1, 0, 2, 3))
+        target = space.view("conv.windows_flat.4d",
+                            lambda: flat.reshape(n, batch, window, window))
+        np.copyto(target, source)
+        return padded, flat
+
+    def _convolution(self, space: ScratchSpace, x: np.ndarray, stage: dict,
+                     legacy_layout: bool = False
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused causal convolution with the Eq. 4 right-shift (fast path).
+
+        Returns ``(values, windows_flat)`` — the convolution output and the
+        ``(N, B·T, K)`` window layout (reused by the detector backward).
+
+        ``legacy_layout`` allocates the output in the autograd conv's memory
+        order (source-major — its ``transposed_view * scale`` inherits the
+        view's layout), which einsum summation order — hence detector
+        bit-identity — depends on.  The evaluation path only ever reads the
+        values through contiguous re-layouts, so it uses a C-ordered buffer.
+        """
+        batch, n, window = x.shape
+        kernel = stage["kernel_eff"]
+        cdtype = np.result_type(x.dtype, kernel.dtype)
+        _padded, flat = self._causal_windows(space, x)
+        k_out = kernel.shape[1]
+        raw = space.take("conv.raw", (n, batch * window, k_out), cdtype)
+        np.matmul(flat, kernel.transpose(0, 2, 1), out=raw)
+        if legacy_layout:
+            buffer = space.take("conv.values", (n, batch, window, k_out),
+                                cdtype)
+            values = space.view("conv.values.t",
+                                lambda: buffer.transpose(1, 0, 3, 2))
+        else:
+            values = space.take("conv.values", (batch, n, k_out, window),
+                                cdtype)
+        raw_t = space.view("conv.raw.t",
+                           lambda: raw.reshape(n, batch, window, k_out)
+                           .transpose(1, 0, 3, 2))
+        np.multiply(raw_t, stage["scale_array"], out=values)
+        # Diagonal right-shift (Eq. 4), matching diagonal-copy-then-assign.
+        shift = space.take("conv.shift", (batch, window), cdtype)
+        for index in range(n):
+            np.copyto(shift, values[:, index, index, :])
+            values[:, index, index, 1:] = shift[:, :-1]
+            values[:, index, index, 0] = 0.0
+        return values, flat
+
+    def _attention_probs(self, space: ScratchSpace, x: np.ndarray, stage: dict,
+                         keep_scores: bool = False
+                         ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Embedding → all-head Q/K projection → masked tempered softmax.
+
+        Returns ``(probabilities, embedding_2d, scores)`` where ``scores``
+        (the pre-softmax masked scores) is only materialised when
+        ``keep_scores`` — the detector cache wants them, the fast path does
+        not.
+        """
+        batch, n, window = x.shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        d_model = stage["embed_weight"].shape[-1]
+        cdtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
+        x2d = x.reshape(batch * n, window)
+        emb = space.take("att.emb", (batch * n, d_model), cdtype)
+        np.matmul(x2d, stage["embed_weight"], out=emb)
+        emb += stage["embed_bias"]
+        proj = space.take("att.proj", (batch * n, 2 * n_heads * d_qk), cdtype)
+        np.matmul(emb, stage["weight_flat"], out=proj)
+        proj += stage["bias_flat"]
+        qk = space.take("att.qk", (2 * n_heads, batch, n, d_qk), cdtype)
+        np.copyto(qk, space.view("att.proj.t",
+                                 lambda: proj.reshape(batch, n, 2 * n_heads,
+                                                      d_qk)
+                                 .transpose(2, 0, 1, 3)))
+        raw = space.take("att.raw", (n_heads, batch, n, n), cdtype)
+        np.matmul(qk[:n_heads],
+                  space.view("att.k.t",
+                             lambda: qk[n_heads:].transpose(0, 1, 3, 2)),
+                  out=raw)
+        # float64 from here on (see the modulation note in ``_stage``).
+        probs = space.take("att.probs", (n_heads, batch, n, n), np.float64)
+        np.multiply(raw, stage["modulation"], out=probs)
+        scores = None
+        if keep_scores:
+            scores = space.take("att.scores", (n_heads, batch, n, n),
+                                np.float64)
+            np.copyto(scores, probs)
+        self._softmax_inplace(space, probs)
+        return probs, emb, scores
+
+    def _softmax_inplace(self, space: ScratchSpace, probs: np.ndarray) -> None:
+        """Tempered-softmax normalisation along the last axis, in place.
+
+        Bit-identical to ``x -= x.max(…); exp; x /= x.sum(…)`` — see
+        :func:`max_last_keepdims` / :func:`sum_last_keepdims` for why the
+        chained reductions are exact replicas.
+        """
+        extreme = space.take("att.max", probs.shape[:-1] + (1,), probs.dtype)
+        probs -= max_last_keepdims(probs, out=extreme)
+        np.exp(probs, out=probs)
+        total = space.take("att.sum", probs.shape[:-1] + (1,), probs.dtype)
+        probs /= sum_last_keepdims(probs, out=total)
+
+    def _combine_layout(self, space: ScratchSpace, probs: np.ndarray,
+                        values: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Contiguous GEMM layouts + per-head application (Eq. 6)."""
+        n_heads, batch, n, _ = probs.shape
+        window = values.shape[-1]
+        out_dtype = np.result_type(probs.dtype, values.dtype)
+        a_bihj = space.take("comb.a", (batch, n, n_heads, n), probs.dtype)
+        np.copyto(a_bihj, space.view("comb.probs.t",
+                                     lambda: probs.transpose(1, 2, 0, 3)))
+        # The autograd path multiplies float64 attention with model-dtype
+        # values, which numpy resolves by casting the values up internally
+        # on every call; staging the cast copy once is bit-identical and
+        # skips the hidden per-call buffer.
+        v_bijt = space.take("comb.v", (batch, n, n, window), out_dtype)
+        np.copyto(v_bijt, space.view("comb.values.t",
+                                     lambda: values.transpose(0, 2, 1, 3)))
+        head_outputs = space.take("comb.ho", (batch, n, n_heads, window),
+                                  out_dtype)
+        np.matmul(a_bihj, v_bijt, out=head_outputs)
+        return a_bihj, v_bijt, head_outputs
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Fused forward pass; returns the ``(B, N, T)`` prediction buffer.
+
+        ``x`` must already be C-contiguous in the model dtype.  The returned
+        array is an arena view, valid until the next engine call.
+        """
+        stage = self._stage()
+        return self._forward(x, stage)
+
+    def _forward(self, x: np.ndarray, stage: dict) -> np.ndarray:
+        batch, n, window = x.shape
+        space = self.arena.space(("eval", x.shape, x.dtype.str))
+        values, _flat = self._convolution(space, x, stage)
+        probs, _emb, _scores = self._attention_probs(space, x, stage)
+        _a, _v, head_outputs = self._combine_layout(space, probs, values)
+        # Head combination replays np.tensordot(head_outputs, w_output,
+        # axes=([2], [0])): transpose-copy to (B·N·T, h), then one GEMV-dot.
+        n_heads = stage["n_heads"]
+        dtype = head_outputs.dtype
+        at = space.take("comb.at", (batch, n, window, n_heads), dtype)
+        np.copyto(at, space.view("comb.ho.t",
+                                 lambda: head_outputs.transpose(0, 1, 3, 2)))
+        combined = space.take("comb.out", (batch * n * window, 1), dtype)
+        np.dot(space.view("comb.at.2d", lambda: at.reshape(-1, n_heads)),
+               stage["w_output"].reshape(n_heads, 1).astype(dtype, copy=False),
+               out=combined)
+        # Fused MLP tail (Eq. 8 + output layer), fast-path 2-D layout.
+        x2d = space.view("comb.out.2d",
+                         lambda: combined.reshape(batch * n, window))
+        d_ffn = stage["w1"].shape[-1]
+        hidden = space.take("mlp.hidden", (batch * n, d_ffn), dtype)
+        np.matmul(x2d, stage["w1"], out=hidden)
+        hidden += stage["b1"]
+        slope = _leaky_slope(space, "mlp.slope", hidden, stage["negative_slope"])
+        hidden *= slope
+        ffn = space.take("mlp.ffn", (batch * n, window), dtype)
+        np.matmul(hidden, stage["w2"], out=ffn)
+        ffn += stage["b2"]
+        out2d = space.take("mlp.out", (batch * n, window), dtype)
+        np.matmul(ffn, stage["w3"], out=out2d)
+        out2d += stage["b3"]
+        return space.view("mlp.out.3d",
+                          lambda: out2d.reshape(batch, n, window))
+
+    # ------------------------------------------------------------------ #
+    # Loss (paper Eq. 9) and evaluation
+    # ------------------------------------------------------------------ #
+    def _penalty_terms(self) -> List[float]:
+        """The loss's L1 penalty contributions, one float per coefficient group.
+
+        Groups equal-coefficient penalties exactly like the autograd loss
+        node (insertion order: kernel first, then the per-head masks), so
+        adding the returned floats in order reproduces its accumulation
+        sequence bit for bit.
+        """
+        arena = self.arena
+        config = self.model.config
+        pairs = []
+        if config.lambda_kernel > 0:
+            pairs.append((config.lambda_kernel, self.model.convolution.kernel))
+        if config.lambda_mask > 0:
+            pairs.extend((config.lambda_mask, head.mask)
+                         for head in self.model.attention.heads)
+        groups: Dict[float, List[np.ndarray]] = {}
+        for coefficient, tensor in pairs:
+            groups.setdefault(coefficient, []).append(tensor.data.ravel())
+        terms: List[float] = []
+        for group_index, (coefficient, arrays) in enumerate(groups.items()):
+            if len(arrays) == 1:
+                flat = arrays[0]
+            else:
+                total = sum(array.size for array in arrays)
+                flat = arena.take(f"loss.penalty{group_index}", (total,),
+                                  arrays[0].dtype)
+                offset = 0
+                for array in arrays:
+                    flat[offset:offset + array.size] = array
+                    offset += array.size
+            magnitude = arena.take(f"loss.abs{group_index}", flat.shape,
+                                   flat.dtype)
+            np.abs(flat, out=magnitude)
+            terms.append(coefficient * float(magnitude.sum()))
+        return terms
+
+    def _windowed_diff(self, prediction: np.ndarray, target: np.ndarray,
+                       start_slot: int = 1) -> np.ndarray:
+        diff_shape = prediction.shape[:-1] + (prediction.shape[-1] - start_slot,)
+        diff = self.arena.take("loss.diff", diff_shape, prediction.dtype)
+        np.subtract(prediction[..., start_slot:], target[..., start_slot:],
+                    out=diff)
+        return diff
+
+    @staticmethod
+    def _mse_plus_penalties(diff: np.ndarray, penalties: List[float]) -> float:
+        flat = diff.reshape(-1)
+        value = np.dot(flat, flat) / diff.size
+        for term in penalties:
+            value = value + term
+        return float(np.asarray(value, dtype=diff.dtype))
+
+    def _loss_value(self, prediction: np.ndarray, target: np.ndarray,
+                    start_slot: int = 1) -> float:
+        """Windowed MSE + grouped L1 penalties, replaying the fused loss node."""
+        diff = self._windowed_diff(prediction, target, start_slot)
+        return self._mse_plus_penalties(diff, self._penalty_terms())
+
+    def _as_model_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Replay the Tensor-construction casts of the autograd path.
+
+        The autograd forward first builds ``Tensor(x)`` (casting to the
+        *engine default* dtype), then — when that differs from the model
+        dtype — rebuilds ``Tensor(x.astype(model_dtype))``, whose
+        constructor casts **back** to the default dtype.  Net effect: the
+        batch always carries the default dtype, with values rounded through
+        the model dtype when that is the narrower type.  The fused ops then
+        run in ``result_type(batch, parameter)`` like numpy's promotion
+        does; replicating the exact chain keeps mixed-dtype configurations
+        (e.g. a float32 model probed under a float64 session) bit-identical.
+        """
+        from repro.nn import tensor as T
+
+        default = T.get_default_dtype()
+        arr = np.asarray(windows, dtype=default)
+        dtype = self.dtype
+        if arr.dtype != dtype:
+            arr = np.asarray(arr.astype(dtype), dtype=default)
+        if arr.ndim == 2:
+            arr = arr[None, :, :]
+        return np.ascontiguousarray(arr)
+
+    def loss(self, windows: np.ndarray) -> float:
+        """Eq. 9 training loss of the model on a batch of windows."""
+        stage = self._stage()
+        batch = self._as_model_batch(windows)
+        return self._loss_value(self._forward(batch, stage), batch)
+
+    #: largest ``B·N²·T`` intermediate (elements) evaluated as one batch;
+    #: larger window sets fall back to the chunk-by-chunk loop to keep peak
+    #: memory proportional to the batch size.
+    FULL_BATCH_ELEMENT_LIMIT = 4_000_000
+
+    def evaluate(self, windows: np.ndarray, batch_size: int) -> float:
+        """Window-weighted mean loss over ``batch_size`` chunks.
+
+        Bit-for-bit equivalent to the chunked autograd ``Trainer._evaluate``
+        it replaces, at zero steady-state allocation.  When the ``(B, N, N,
+        T)`` convolution intermediate fits the memory budget, the whole
+        window set runs as one forward pass — identical rows, one GEMM
+        dispatch instead of one per chunk — and the chunk losses are then
+        read off slices of the shared windowed-difference buffer, preserving
+        the chunk-weighted mean exactly.
+        """
+        stage = self._stage()
+        windows = np.asarray(windows)
+        if windows.ndim == 3 and windows.shape[0] and (
+                windows.shape[0] * windows.shape[1] ** 2 * windows.shape[2]
+                <= self.FULL_BATCH_ELEMENT_LIMIT):
+            batch = self._as_model_batch(windows)
+            diff = self._windowed_diff(self._forward(batch, stage), batch)
+            penalties = self._penalty_terms()
+            total = 0.0
+            count = 0
+            for start in range(0, len(batch), batch_size):
+                chunk = diff[start:start + batch_size]
+                total += self._mse_plus_penalties(chunk, penalties) * len(chunk)
+                count += len(chunk)
+            return total / count
+        total = 0.0
+        count = 0
+        for start in range(0, windows.shape[0], batch_size):
+            chunk = self._as_model_batch(windows[start:start + batch_size])
+            loss = self._loss_value(self._forward(chunk, stage), chunk)
+            total += loss * len(chunk)
+            count += len(chunk)
+        return total / count if count else float("nan")
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out prediction (returns an owned copy)."""
+        stage = self._stage()
+        squeeze = np.ndim(windows) == 2
+        batch = self._as_model_batch(np.asarray(windows, dtype=float))
+        prediction = self._forward(batch, stage)
+        return prediction[0].copy() if squeeze else prediction.copy()
+
+    # ------------------------------------------------------------------ #
+    # Detector support: cache-path forward + hand-derived backward
+    # ------------------------------------------------------------------ #
+    def interpretation_forward(self, windows: np.ndarray) -> InterpretationForward:
+        """One fused forward replaying the autograd *cache* path exactly.
+
+        Fills a :class:`~repro.core.transformer.TransformerCache` for
+        relevance propagation plus the internals the multi-target backward
+        needs.  Shared by every target series — the detector used to rerun
+        this once per target.
+        """
+        from repro.core.attention import AttentionHeadCache
+        from repro.core.transformer import TransformerCache
+
+        arena = self.arena
+        stage = self._stage()
+        x = self._as_model_batch(windows)
+        batch, n, window = x.shape
+        n_heads = stage["n_heads"]
+        space = arena.space(("cache", x.shape, x.dtype.str))
+
+        values, windows_flat = self._convolution(space, x, stage,
+                                                 legacy_layout=True)
+        cdtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
+        # Cache path embedding: 3-D linear (B, N, T) @ (T, d) + bias.
+        emb3d = arena.take("cache.emb", (batch, n, stage["embed_weight"].shape[-1]),
+                           cdtype)
+        np.matmul(x, stage["embed_weight"], out=emb3d)
+        emb3d += stage["embed_bias"]
+        # Q/K projection + masked scores + softmax, keeping the pre-softmax
+        # scores for the cache.  The projection input is the embedding here
+        # (cache path), not the raw windows.
+        proj = arena.take("att.proj", (batch * n, 2 * n_heads * stage["d_qk"]),
+                          cdtype)
+        np.matmul(emb3d.reshape(batch * n, -1), stage["weight_flat"], out=proj)
+        proj += stage["bias_flat"]
+        qk = arena.take("att.qk", (2 * n_heads, batch, n, stage["d_qk"]), cdtype)
+        np.copyto(qk, proj.reshape(batch, n, 2 * n_heads, stage["d_qk"])
+                  .transpose(2, 0, 1, 3))
+        q_data, k_data = qk[:n_heads], qk[n_heads:]
+        raw = arena.take("att.raw", (n_heads, batch, n, n), cdtype)
+        np.matmul(q_data, k_data.transpose(0, 1, 3, 2), out=raw)
+        # float64 from the modulation on (see ``_stage``), as in autograd.
+        probs = arena.take("att.probs", (n_heads, batch, n, n), np.float64)
+        np.multiply(raw, stage["modulation"], out=probs)
+        scores = arena.take("att.scores", (n_heads, batch, n, n), np.float64)
+        np.copyto(scores, probs)
+        self._softmax_inplace(space, probs)
+
+        a_bihj, v_bijt, head_outputs = self._combine_layout(space, probs,
+                                                            values)
+        dtype = head_outputs.dtype
+        ho_hbit = arena.take("cache.ho", (n_heads, batch, n, window), dtype)
+        np.copyto(ho_hbit, head_outputs.transpose(2, 0, 1, 3))
+        combined = arena.take("cache.combined", (batch, n, window), dtype)
+        np.einsum("hbit,h->bit", ho_hbit,
+                  stage["w_output"].astype(dtype, copy=False), out=combined)
+
+        # Cache-path MLP: 3-D linears with explicit intermediates.
+        d_ffn = stage["w1"].shape[-1]
+        hidden = arena.take("cache.hidden", (batch, n, d_ffn), dtype)
+        np.matmul(combined, stage["w1"], out=hidden)
+        hidden += stage["b1"]
+        slope = _leaky_slope(space, "cache.slope", hidden,
+                             stage["negative_slope"])
+        activated = arena.take("cache.activated", (batch, n, d_ffn), dtype)
+        np.multiply(hidden, slope, out=activated)
+        ffn_output = arena.take("cache.ffn", (batch, n, window), dtype)
+        np.matmul(activated, stage["w2"], out=ffn_output)
+        ffn_output += stage["b2"]
+        prediction = arena.take("cache.out", (batch, n, window), dtype)
+        np.matmul(ffn_output, stage["w3"], out=prediction)
+        prediction += stage["b3"]
+
+        # Pre-shift convolution values for relevance propagation (the cache
+        # path recomputes them in float64 via einsum, independent of dtype).
+        x64 = np.asarray(x, dtype=float)
+        padded64 = arena.take("cache.pad64", (batch, n, 2 * window), np.float64)
+        padded64[..., window:] = x64
+        view64 = np.lib.stride_tricks.sliding_window_view(
+            padded64, window, axis=-1)[..., 1:, :]                  # (B,N,T,K)
+        values_pre = arena.take("cache.values_pre", (batch, n, n, window),
+                                np.result_type(np.float64, x.dtype))
+        np.einsum("bitk,ijk->bijt", view64, stage["kernel_eff"], out=values_pre)
+        values_pre *= stage["scale_array"]
+
+        head_caches = [
+            AttentionHeadCache(
+                attention=None, head_output=None,
+                attention_data=probs[index],
+                head_output_data=ho_hbit[index],
+                scores_data=scores[index],
+            )
+            for index in range(n_heads)
+        ]
+        cache = TransformerCache(
+            inputs=x,
+            embedding=emb3d,
+            values_pre_shift=values_pre,
+            values=values,
+            conv_windows=view64,
+            head_caches=head_caches,
+            attention_combined=combined,
+            ffn_hidden=hidden,
+            ffn_activated=activated,
+            ffn_output=ffn_output,
+            output=prediction,
+            values_tensor=None,
+        )
+        return InterpretationForward(
+            cache=cache, attention_probs=probs, slope=slope,
+            a_bihj=a_bihj, v_bijt=v_bijt, windows_flat=windows_flat,
+            batch=batch, extras={"stage": stage},
+        )
+
+    def interpretation_gradients(self, forward: InterpretationForward,
+                                 targets: Sequence[int]
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gradients of ``Σ_t prediction[:, target, :]`` for several targets.
+
+        Hand-evaluates the exact backward pass of the cache-path graph — the
+        one the detector used to obtain via one autograd ``backward()`` per
+        target — batched over ``targets`` with the same per-slice GEMMs, so
+        the returned gradients are bit-identical to the autograd ones.
+
+        Returns ``(attention_grads, kernel_grads)`` of shapes
+        ``(G, h, B, N, N)`` and ``(G, N, N, K)`` (``(G, 1, 1, K)`` for the
+        single-kernel ablation).
+        """
+        stage = forward.extras["stage"]
+        cache = forward.cache
+        batch, n, window = cache.output.shape
+        n_targets = len(targets)
+        dtype = cache.output.dtype
+        diag = np.arange(n)
+
+        # Output one-hot seed → back through the three cache-path linears.
+        grad_pred = np.zeros((n_targets, batch, n, window), dtype=dtype)
+        for index, target in enumerate(targets):
+            grad_pred[index, :, target, :] = 1.0
+        grad_ffn = grad_pred @ stage["w3"].T
+        grad_hidden = grad_ffn @ stage["w2"].T
+        grad_hidden *= forward.slope
+        grad_combined = grad_hidden @ stage["w1"].T                # (G,B,N,T)
+
+        # Head-combination einsum backward: grad per head = grad ⊗ w_output.
+        grad_heads = np.einsum("gbit,h->ghbit", grad_combined, stage["w_output"])
+        grad_biht = np.ascontiguousarray(grad_heads.transpose(0, 2, 3, 1, 4))
+        # Attention application backward (Eq. 6).
+        grad_a = grad_biht @ forward.v_bijt.transpose(0, 1, 3, 2)  # (G,B,i,h,j)
+        attention_grads = grad_a.transpose(0, 3, 1, 2, 4)          # (G,h,B,i,j)
+        grad_v = forward.a_bihj.transpose(0, 1, 3, 2) @ grad_biht  # (G,B,i,j,t)
+        grad_values = grad_v.transpose(0, 1, 3, 2, 4)              # (G,B,j,i,t)
+
+        # Causal convolution backward: undo the Eq. 4 right-shift, rescale,
+        # contract against the causal windows.  The autograd engine casts the
+        # routed gradient to the values tensor's dtype at the node boundary,
+        # and the final accumulation casts to the kernel parameter's dtype —
+        # replicate both.
+        grad_values = np.ascontiguousarray(grad_values,
+                                           dtype=cache.values.dtype)
+        diagonal = grad_values[:, :, diag, diag, :]
+        grad_values[:, :, diag, diag, :-1] = diagonal[..., 1:]
+        grad_values[:, :, diag, diag, -1] = 0.0
+        grad_values = grad_values * stage["scale_array"]
+        flat = np.ascontiguousarray(grad_values.transpose(0, 2, 3, 1, 4)) \
+            .reshape(n_targets, n, n, batch * window)
+        kernel_grads = flat @ forward.windows_flat                 # (G,N,N,K)
+        kernel_dtype = self.model.convolution.kernel.data.dtype
+        if kernel_grads.dtype != kernel_dtype:
+            # The node-boundary cast happens before the single-kernel
+            # unbroadcast sum in the autograd graph; keep that order.
+            kernel_grads = np.asarray(kernel_grads, dtype=kernel_dtype)
+        if self.model.convolution.single_kernel:
+            kernel_grads = kernel_grads.sum(axis=(1, 2), keepdims=True)
+        return attention_grads, kernel_grads

@@ -61,11 +61,18 @@ class SGD(Optimizer):
             parameter.data -= self.lr * grad
 
 
+#: Adam defaults, shared with the stacked trainer's fused replica
+#: (:mod:`repro.core.batched`) so both updates stay bit-identical.
+ADAM_BETAS = (0.9, 0.999)
+ADAM_EPS = 1e-8
+ADAM_CLIP_FUZZ = 1e-12
+
+
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba, 2015)."""
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
-                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 betas: tuple = ADAM_BETAS, eps: float = ADAM_EPS,
                  weight_decay: float = 0.0,
                  clip_norm: Optional[float] = None) -> None:
         super().__init__(parameters)
@@ -166,7 +173,7 @@ class Adam(Optimizer):
         if self.clip_norm is not None:
             total = float(np.sqrt(np.dot(grad, grad)))
             if total > self.clip_norm:
-                grad *= self.clip_norm / (total + 1e-12)
+                grad *= self.clip_norm / (total + ADAM_CLIP_FUZZ)
         if self.weight_decay:
             for parameter, view_slice, _shape in self._flat_views:
                 grad[view_slice] += self.weight_decay * parameter.data.ravel()

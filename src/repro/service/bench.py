@@ -6,13 +6,18 @@ The suite times the layers the training loop actually exercises —
 * ``convolution``   — multi-kernel causal convolution forward + backward,
 * ``attention``     — multi-variate causal attention forward + backward,
 * ``train_epoch``   — one epoch of :class:`repro.core.training.Trainer`,
-* ``fit_small``     — a full small ``Trainer.fit`` on a VAR fork dataset —
+* ``fit_small``     — a full small ``Trainer.fit`` on a VAR fork dataset,
+* ``evaluate``      — ``Trainer._evaluate`` (the no-grad validation pass),
+* ``detector_interpret`` — the causality detector's full interpretation,
+* ``sweep_batched`` — four same-shape discovery jobs through the executor —
 
-and writes the wall-clock results to ``BENCH_nn.json`` together with the
-committed pre-optimisation baseline (``benchmarks/perf/baseline.json``), so
-every PR can defend its perf trajectory.  The payload definitions are frozen:
-the baseline file was produced by this module running against the pre-PR
-engine, and re-running ``python -m repro bench`` compares the current tree
+and writes the wall-clock results to the next free ``BENCH_nn.json`` slot
+(``BENCH_01.json``, ``BENCH_02.json``, …) together with the committed
+pre-optimisation baseline (``benchmarks/perf/baseline.json``), so every PR
+appends to the perf trajectory instead of overwriting it.  The payload
+definitions are frozen: each baseline entry was produced by this module
+running against the engine as it stood *before* the optimisation the entry
+tracks, and re-running ``python -m repro bench`` compares the current tree
 against it.
 
 ``run_suite(smoke=True)`` is the CI entry point: fewer repeats, and the
@@ -25,9 +30,10 @@ from __future__ import annotations
 import json
 import os
 import platform
+import re
 import statistics
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,10 +42,44 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.dirname(os.path.abspath(__file__)))))
 
 BASELINE_PATH = os.path.join(_ROOT, "benchmarks", "perf", "baseline.json")
-DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_nn.json")
 
-#: benchmark used by the CI regression gate
+#: pattern of the numbered trajectory reports in the repository root
+_REPORT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: benchmark gated by the CI regression check (kept for compatibility)
 REGRESSION_KEY = "train_epoch"
+
+#: benchmarks gated by the CI regression check by default
+REGRESSION_KEYS = ("train_epoch", "evaluate")
+
+
+def _numbered_reports(root: Optional[str] = None) -> List[Tuple[int, str]]:
+    """Existing ``BENCH_nn.json`` trajectory files, sorted by number."""
+    root = root if root is not None else _ROOT
+    found: List[Tuple[int, str]] = []
+    for name in os.listdir(root):
+        match = _REPORT_PATTERN.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(root, name)))
+    return sorted(found)
+
+
+def latest_report_path(root: Optional[str] = None) -> Optional[str]:
+    """The most recent committed trajectory report (``None`` when empty)."""
+    reports = _numbered_reports(root)
+    return reports[-1][1] if reports else None
+
+
+def next_output_path(root: Optional[str] = None) -> str:
+    """The next free trajectory slot: ``BENCH_01.json``, ``BENCH_02.json``, …
+
+    Successive ``python -m repro bench`` runs append to the trajectory
+    instead of overwriting the previous report.
+    """
+    reports = _numbered_reports(root)
+    next_number = (reports[-1][0] + 1) if reports else 1
+    root = root if root is not None else _ROOT
+    return os.path.join(root, f"BENCH_{next_number:02d}.json")
 
 
 # ---------------------------------------------------------------------- #
@@ -153,6 +193,75 @@ def _payload_fit_small() -> Callable[[], None]:
     return run
 
 
+def _payload_evaluate() -> Callable[[], None]:
+    """``Trainer._evaluate`` on the epoch fixture's full window set.
+
+    This is the no-gradient forward pass the training loop runs once per
+    epoch (and the experiment harness runs per table cell) — the target of
+    the fused inference engine.
+    """
+    trainer, windows = _epoch_fixture()
+
+    def run() -> None:
+        trainer._evaluate(windows)
+
+    return run
+
+
+def _payload_detector_interpret() -> Callable[[], None]:
+    """Full detector interpretation (gradients + RRP) on the small fork data."""
+    from repro.core.config import CausalFormerConfig
+    from repro.core.detector import DecompositionCausalityDetector
+    from repro.core.transformer import CausalityAwareTransformer
+    from repro.data import fork_dataset
+    from repro.data.windows import sliding_windows, zscore_normalize
+
+    values = zscore_normalize(fork_dataset(seed=0, length=160).values)
+    config = CausalFormerConfig(
+        n_series=values.shape[0], window=16, d_model=24, d_qk=24, d_ffn=24,
+        n_heads=4, seed=0)
+    model = CausalityAwareTransformer(config)
+    detector = DecompositionCausalityDetector(model, config)
+    windows = sliding_windows(values, config.window, 2)[:8]
+
+    def run() -> None:
+        detector.compute_scores(windows)
+
+    return run
+
+
+def _sweep_pairs():
+    """Four same-shape CausalFormer discovery jobs on fork datasets."""
+    from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+    from repro.service.registry import build_dataset
+
+    config = {
+        "window": 16, "d_model": 24, "d_qk": 24, "d_ffn": 24, "n_heads": 4,
+        "batch_size": 32, "window_stride": 2, "max_epochs": 8,
+        "patience": 1000, "max_detector_windows": 8,
+    }
+    pairs = []
+    for seed in range(4):
+        dataset = build_dataset("fork", seed=seed, length=240)
+        pairs.append((DiscoveryJob(
+            method="causalformer", config=dict(config), dataset="fork",
+            dataset_fingerprint=fingerprint_dataset(dataset), seed=seed), dataset))
+    return pairs
+
+
+def _payload_sweep_batched() -> Callable[[], None]:
+    """Four same-shape discovery jobs through the executor in one pass."""
+    from repro.service.executor import JobExecutor
+
+    pairs = _sweep_pairs()
+    executor = JobExecutor(max_workers=1, cache=None, batch_jobs=True)
+
+    def run() -> None:
+        executor.run(pairs)
+
+    return run
+
+
 #: name -> (builder, full-mode repeats, smoke-mode repeats)
 PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "tensor_ops": (_payload_tensor_ops, 20, 5),
@@ -160,6 +269,9 @@ PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "attention": (_payload_attention, 20, 5),
     "train_epoch": (_payload_train_epoch, 9, 3),
     "fit_small": (_payload_fit_small, 7, 1),
+    "evaluate": (_payload_evaluate, 20, 5),
+    "detector_interpret": (_payload_detector_interpret, 9, 3),
+    "sweep_batched": (_payload_sweep_batched, 5, 1),
 }
 
 
@@ -284,7 +396,30 @@ def check_regression(report: Dict, max_regression: float = 0.25,
     return None
 
 
-def write_report(report: Dict, path: str = DEFAULT_OUTPUT) -> str:
+def check_regressions(report: Dict, max_regression: float = 0.25,
+                      keys: Optional[Sequence[str]] = None,
+                      reference: Optional[Dict] = None,
+                      normalize_by: Optional[str] = None) -> List[str]:
+    """Run :func:`check_regression` for several benchmarks; collect failures.
+
+    Keys absent from the reference (e.g. a benchmark added after the
+    reference was written) are skipped, so extending the gate never breaks
+    comparisons against older trajectory reports.
+    """
+    messages = []
+    for key in (keys if keys is not None else REGRESSION_KEYS):
+        message = check_regression(report, max_regression, key=key,
+                                   reference=reference,
+                                   normalize_by=normalize_by)
+        if message:
+            messages.append(message)
+    return messages
+
+
+def write_report(report: Dict, path: Optional[str] = None) -> str:
+    """Write ``report``; ``None`` picks the next free ``BENCH_nn.json`` slot."""
+    if path is None:
+        path = next_output_path()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

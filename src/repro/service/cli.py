@@ -13,8 +13,10 @@ Subcommands
     Show the registered method and dataset names.
 ``bench``
     Run the perf microbenchmarks (tensor ops, convolution, attention, one
-    training epoch, a small end-to-end fit) and write ``BENCH_nn.json``
-    with speedups against the committed pre-optimization baseline.
+    training epoch, a small end-to-end fit, inference, detector
+    interpretation, batched sweep) and append the next numbered
+    ``BENCH_nn.json`` (``BENCH_01.json``, ``BENCH_02.json``, …) with
+    speedups against the committed pre-optimization baseline.
 
 Every run-producing subcommand shares the executor flags ``--workers``,
 ``--cache-dir`` / ``--no-cache`` and ``--run-dir`` (artifact persistence).
@@ -161,7 +163,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
                 pairs.append((job, dataset))
 
-    executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args))
+    executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args),
+                           batch_jobs=args.batch_jobs)
     results = executor.run(pairs)
     run_path = _persist(args, results, {"subcommand": "sweep", "metric": args.metric})
 
@@ -209,6 +212,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     names = _split_csv(args.only) if args.only else None
     print(f"running {'smoke' if args.smoke else 'full'} microbenchmarks "
           f"({', '.join(names or bench.PAYLOADS)}):")
+    # Resolve the reference before writing the report, so ``latest`` never
+    # points at the report this very run is about to produce.  Only resolved
+    # when the gate will actually use it — a bad --reference must not stop
+    # a plain bench run from writing its report.
+    reference = None
+    if args.check_regression:
+        if args.reference == "latest":
+            reference_path = bench.latest_report_path()
+            if reference_path is not None:
+                with open(reference_path, "r", encoding="utf-8") as handle:
+                    reference = json.load(handle)
+        elif args.reference:
+            with open(args.reference, "r", encoding="utf-8") as handle:
+                reference = json.load(handle)
     report = bench.run_suite(smoke=args.smoke, names=names)
     speedups = report.get("speedup_vs_baseline")
     if speedups:
@@ -217,19 +234,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     path = bench.write_report(report, args.output)
     print(f"report written to {path}")
     if args.check_regression:
-        reference = None
-        if args.reference:
-            with open(args.reference, "r", encoding="utf-8") as handle:
-                reference = json.load(handle)
-        message = bench.check_regression(report, args.max_regression,
-                                         reference=reference,
-                                         normalize_by=args.normalize_by)
-        if message:
-            print(f"REGRESSION: {message}", file=sys.stderr)
+        keys = _split_csv(args.regression_keys) if args.regression_keys \
+            else list(bench.REGRESSION_KEYS)
+        unknown = [key for key in keys if key not in report.get("timings", {})]
+        if unknown:
+            print(f"error: regression keys not measured in this run: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
             return 1
+        resolved = reference if reference is not None else report.get("baseline", {})
+        reference_timings = (resolved or {}).get("timings", {})
+        checked = [key for key in keys if key in reference_timings]
+        skipped = [key for key in keys if key not in reference_timings]
+        messages = bench.check_regressions(report, args.max_regression,
+                                           keys=checked, reference=reference,
+                                           normalize_by=args.normalize_by)
+        if messages:
+            for message in messages:
+                print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        if skipped:
+            print(f"regression check skipped for {', '.join(skipped)} "
+                  f"(absent from the reference report)")
         normalized = f" (normalized by {args.normalize_by})" if args.normalize_by else ""
-        print(f"regression check passed ({bench.REGRESSION_KEY} within "
-              f"{args.max_regression:.0%} of reference{normalized})")
+        if checked:
+            print(f"regression check passed ({', '.join(checked)} within "
+                  f"{args.max_regression:.0%} of reference{normalized})")
+        else:
+            print("regression check ran against no comparable benchmarks")
     return 0
 
 
@@ -285,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="configuration overrides for --config-method")
     sweep.add_argument("--config-method", default="causalformer",
                        help="method that receives the --config overrides")
+    sweep.add_argument("--batch-jobs", action="store_true",
+                       help="pack same-shape causalformer jobs into stacked "
+                            "training passes (identical results, faster)")
     _add_executor_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -296,21 +330,24 @@ def build_parser() -> argparse.ArgumentParser:
     listing = commands.add_parser("list", help="list registered methods and datasets")
     listing.set_defaults(handler=_cmd_list)
 
-    from repro.service.bench import DEFAULT_OUTPUT
-
     bench = commands.add_parser(
-        "bench", help="run perf microbenchmarks and write BENCH_nn.json")
+        "bench", help="run perf microbenchmarks and append the next BENCH_nn.json")
     bench.add_argument("--smoke", action="store_true",
                        help="fewer repeats (CI mode)")
     bench.add_argument("--only", default=None,
                        help="comma-separated benchmark names (default: all)")
-    bench.add_argument("--output", default=DEFAULT_OUTPUT,
-                       help="report path (default: %(default)s)")
+    bench.add_argument("--output", default=None,
+                       help="report path (default: the next free BENCH_nn.json "
+                            "slot, so successive runs append to the trajectory)")
     bench.add_argument("--check-regression", action="store_true",
-                       help="fail when the epoch benchmark regresses vs the reference")
+                       help="fail when a gated benchmark regresses vs the reference")
     bench.add_argument("--reference", default=None,
-                       help="reference report for the regression check "
+                       help="reference report for the regression check; "
+                            "'latest' uses the newest committed BENCH_nn.json "
                             "(default: the embedded pre-optimization baseline)")
+    bench.add_argument("--regression-keys", default=None,
+                       help="comma-separated benchmarks to gate "
+                            "(default: train_epoch,evaluate)")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed slowdown fraction (default: %(default)s)")
     bench.add_argument("--normalize-by", default=None, metavar="BENCHMARK",

@@ -12,6 +12,11 @@ returns one :class:`~repro.service.jobs.JobResult` per pair, in order:
    ``JobResult`` with a formatted traceback instead of killing the sweep;
 4. fresh successful results are written back to the cache.
 
+With ``batch_jobs=True``, same-shape CausalFormer jobs are additionally
+packed into stacked training passes (:mod:`repro.service.batched`): each
+group runs as one unit — in-process or as a single pool task — with
+bit-identical results to per-job dispatch.
+
 The worker entry point :func:`execute_job` is a module-level function (so the
 pool can pickle it by reference) and rebuilds the method inside the worker
 from the registry, so only plain data crosses the process boundary.
@@ -84,10 +89,16 @@ class JobExecutor:
         ``None`` disables caching; a path creates a
         :class:`~repro.service.cache.ResultCache` there; an existing cache
         instance is used as-is.
+    batch_jobs:
+        Pack same-shape CausalFormer jobs into stacked training passes (see
+        :mod:`repro.service.batched`).  Each group runs as one unit — one
+        in-process pass, or one pool task when workers are available — and
+        returns the same results as per-job dispatch, faster.
     """
 
     def __init__(self, max_workers: Optional[int] = 1,
-                 cache: CacheLike = None) -> None:
+                 cache: CacheLike = None,
+                 batch_jobs: bool = False) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None for cpu_count)")
         if max_workers is None:
@@ -96,6 +107,7 @@ class JobExecutor:
             max_workers = os.cpu_count() or 1
         self.max_workers = max_workers
         self.cache = _coerce_cache(cache)
+        self.batch_jobs = batch_jobs
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -114,11 +126,7 @@ class JobExecutor:
                 pending.append((index, (job, dataset)))
 
         if pending:
-            if self.max_workers > 1 and len(pending) > 1:
-                fresh = self._run_pool([pair for _idx, pair in pending])
-            else:
-                fresh = [execute_job(job, dataset) for _idx, (job, dataset) in pending]
-            for (index, _pair), result in zip(pending, fresh):
+            for index, result in self._dispatch(pending).items():
                 results[index] = result
                 self._store(result)
 
@@ -130,26 +138,69 @@ class JobExecutor:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _run_pool(self, pairs: List[JobPair]) -> List[JobResult]:
-        from repro.nn.tensor import get_default_dtype
+    def _dispatch(self, pending: List[Tuple[int, JobPair]]) -> dict:
+        """Run the uncached jobs; returns ``{original index: result}``.
 
-        dtype = str(get_default_dtype())
-        try:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(execute_job_with_dtype, job, dataset, dtype)
-                           for job, dataset in pairs]
-                results = []
-                for future, (job, _dataset) in zip(futures, pairs):
-                    try:
-                        results.append(future.result())
-                    except Exception:
-                        # The worker died (or the result failed to unpickle);
-                        # degrade to a per-job error instead of aborting.
-                        results.append(JobResult(job=job, error=traceback.format_exc()))
+        Work is split into *units*: stacked groups of same-shape jobs (only
+        when ``batch_jobs`` is on) plus per-job leftovers.  Every unit runs
+        either on the process pool (one submit per unit, each wrapped so a
+        dying worker degrades to per-job error results) or inline — the
+        inline path also serves as the fallback when the pool cannot be
+        created (e.g. sandboxes without working semaphores).
+        """
+        from repro.service.batched import (execute_batched_jobs,
+                                           execute_batched_jobs_with_dtype,
+                                           group_batchable)
+
+        if self.batch_jobs:
+            groups, singles = group_batchable(pending)
+        else:
+            groups, singles = [], list(pending)
+        results: dict = {}
+        if self.max_workers > 1 and len(groups) + len(singles) > 1:
+            from repro.nn.tensor import get_default_dtype
+
+            dtype = str(get_default_dtype())
+            try:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    group_futures = [
+                        (members,
+                         pool.submit(execute_batched_jobs_with_dtype,
+                                     [pair for _idx, pair in members], dtype))
+                        for members in groups]
+                    single_futures = [
+                        (index, job,
+                         pool.submit(execute_job_with_dtype, job, dataset, dtype))
+                        for index, (job, dataset) in singles]
+                    for members, future in group_futures:
+                        try:
+                            fresh = future.result()
+                        except Exception:
+                            # The worker died (or the result failed to
+                            # unpickle); degrade to per-job errors instead
+                            # of aborting the sweep.
+                            error = traceback.format_exc()
+                            fresh = [JobResult(job=job, error=error)
+                                     for _idx, (job, _ds) in members]
+                        for (index, _pair), result in zip(members, fresh):
+                            results[index] = result
+                    for index, job, future in single_futures:
+                        try:
+                            results[index] = future.result()
+                        except Exception:
+                            results[index] = JobResult(
+                                job=job, error=traceback.format_exc())
                 return results
-        except (OSError, PermissionError):
-            # No usable multiprocessing primitives — run in-process instead.
-            return [execute_job(job, dataset) for job, dataset in pairs]
+            except (OSError, PermissionError):
+                # No usable multiprocessing primitives — run inline instead.
+                results.clear()
+        for members in groups:
+            fresh = execute_batched_jobs([pair for _idx, pair in members])
+            for (index, _pair), result in zip(members, fresh):
+                results[index] = result
+        for index, (job, dataset) in singles:
+            results[index] = execute_job(job, dataset)
+        return results
 
     def _lookup(self, job: DiscoveryJob) -> Optional[JobResult]:
         if self.cache is None:
@@ -170,4 +221,5 @@ class JobExecutor:
         self.cache.put(result.job.cache_key(), result.to_dict())
 
     def __repr__(self) -> str:
-        return f"JobExecutor(max_workers={self.max_workers}, cache={self.cache!r})"
+        return (f"JobExecutor(max_workers={self.max_workers}, "
+                f"cache={self.cache!r}, batch_jobs={self.batch_jobs})")

@@ -1,0 +1,122 @@
+"""Stacked lockstep training must be bit-identical to sequential training."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.batched import StackedCausalFormerTrainer, stackable_config
+from repro.core.config import CausalFormerConfig
+from repro.core.training import Trainer
+from repro.core.transformer import CausalityAwareTransformer
+
+
+def base_config(**overrides):
+    payload = dict(
+        window=12, d_model=18, d_qk=18, d_ffn=18, n_heads=3, batch_size=16,
+        window_stride=2, max_epochs=5, patience=2, n_series=None)
+    payload.update(overrides)
+    return CausalFormerConfig(**payload)
+
+
+def make_series(seed, n_series=4, length=150):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n_series, length)).cumsum(axis=1)
+    values -= values.mean(axis=1, keepdims=True)
+    values /= values.std(axis=1, keepdims=True) + 1e-9
+    return values
+
+
+@pytest.fixture(scope="module")
+def trained_pair():
+    """Three models trained sequentially and stacked on the same data."""
+    values_list = [make_series(seed) for seed in range(3)]
+    configs = [replace(base_config(), n_series=v.shape[0], seed=seed)
+               for seed, v in enumerate(values_list)]
+    sequential = [CausalityAwareTransformer(config) for config in configs]
+    sequential_histories = [
+        Trainer(model, config).fit(values)
+        for model, config, values in zip(sequential, configs, values_list)]
+    stacked = [CausalityAwareTransformer(config) for config in configs]
+    stacked_histories = StackedCausalFormerTrainer(stacked).fit(values_list)
+    return sequential, sequential_histories, stacked, stacked_histories
+
+
+class TestBitIdentity:
+    def test_final_parameters_identical(self, trained_pair):
+        sequential, _sh, stacked, _bh = trained_pair
+        for model_a, model_b in zip(sequential, stacked):
+            for (name, param_a), (_n, param_b) in zip(
+                    model_a.named_parameters(), model_b.named_parameters()):
+                assert np.array_equal(param_a.data, param_b.data), name
+
+    def test_histories_identical(self, trained_pair):
+        _seq, sequential_histories, _stacked, stacked_histories = trained_pair
+        for history_a, history_b in zip(sequential_histories,
+                                        stacked_histories):
+            assert history_a.train_loss == history_b.train_loss
+            assert history_a.validation_loss == history_b.validation_loss
+            assert history_a.best_epoch == history_b.best_epoch
+            assert history_a.best_validation_loss == history_b.best_validation_loss
+            assert history_a.stopped_early == history_b.stopped_early
+
+    def test_models_usable_after_stacked_training(self, trained_pair):
+        _seq, _sh, stacked, _bh = trained_pair
+        for model in stacked:
+            windows = make_series(9)[:, :model.config.window][None]
+            prediction = model.predict(windows)
+            assert np.isfinite(prediction).all()
+
+
+class TestHeterogeneousStopping:
+    def test_models_may_stop_at_different_epochs(self):
+        """Lockstep training honours each model's own early stop."""
+        values_list = [make_series(seed + 20) for seed in range(2)]
+        configs = [replace(base_config(max_epochs=8, patience=1),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+        stacked = [CausalityAwareTransformer(config) for config in configs]
+        histories = StackedCausalFormerTrainer(stacked).fit(values_list)
+        reference = [
+            Trainer(CausalityAwareTransformer(config), config).fit(values)
+            for config, values in zip(configs, values_list)]
+        for history, expected in zip(histories, reference):
+            assert history.n_epochs == expected.n_epochs
+            assert history.train_loss == expected.train_loss
+
+
+class TestValidation:
+    def test_rejects_mismatched_configs(self):
+        config_a = replace(base_config(), n_series=4, seed=0)
+        config_b = replace(base_config(d_model=24), n_series=4, seed=1)
+        models = [CausalityAwareTransformer(config_a),
+                  CausalityAwareTransformer(config_b)]
+        with pytest.raises(ValueError, match="identical configs"):
+            StackedCausalFormerTrainer(models)
+
+    def test_rejects_single_kernel(self):
+        config = replace(base_config(single_kernel=True), n_series=4)
+        assert not stackable_config(config)
+        models = [CausalityAwareTransformer(config),
+                  CausalityAwareTransformer(replace(config, seed=1))]
+        with pytest.raises(ValueError, match="single-kernel"):
+            StackedCausalFormerTrainer(models)
+
+    def test_rejects_empty_model_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StackedCausalFormerTrainer([])
+
+    def test_rejects_mismatched_dataset_count(self):
+        config = replace(base_config(), n_series=4)
+        models = [CausalityAwareTransformer(config),
+                  CausalityAwareTransformer(replace(config, seed=1))]
+        with pytest.raises(ValueError, match="one dataset per model"):
+            StackedCausalFormerTrainer(models).fit([make_series(0)])
+
+    def test_rejects_different_window_counts(self):
+        config = replace(base_config(), n_series=4)
+        models = [CausalityAwareTransformer(config),
+                  CausalityAwareTransformer(replace(config, seed=1))]
+        with pytest.raises(ValueError, match="same-shape"):
+            StackedCausalFormerTrainer(models).fit(
+                [make_series(0), make_series(1, length=120)])

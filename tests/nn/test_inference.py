@@ -1,0 +1,267 @@
+"""Parity and arena-reuse tests for the fused no-autograd inference engine.
+
+The engine's contract is strict: in float64 it must reproduce the autograd
+paths bit for bit (same operation sequence), and in float32 it must agree
+within tolerance; the detector-facing cache forward and hand-derived
+multi-target gradients must be bit-identical in both dtypes (the detector
+always interprets through the float64 twin, and the gradient transcription
+replays the exact autograd ops).  Steady-state evaluation must reuse its
+scratch buffers instead of allocating.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CausalFormerConfig
+from repro.core.training import Trainer
+from repro.core.transformer import CausalityAwareTransformer
+from repro.nn.inference import InferenceEngine, ScratchArena
+from repro.nn.tensor import Tensor, default_dtype, no_grad
+
+
+def build(dtype, n_series=5, window=12, n_heads=3, seed=0, **overrides):
+    with default_dtype(dtype):
+        config = CausalFormerConfig(
+            n_series=n_series, window=window, d_model=18, d_qk=18, d_ffn=18,
+            n_heads=n_heads, batch_size=4, seed=seed, **overrides)
+        model = CausalityAwareTransformer(config)
+    return model, config
+
+
+def window_batch(model, batch=7, seed=1):
+    config = model.config
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(batch, config.n_series, config.window))
+    return np.ascontiguousarray(data, dtype=model.embedding.weight.data.dtype)
+
+
+class TestScratchArena:
+    def test_take_reuses_buffer(self):
+        arena = ScratchArena()
+        first = arena.take("x", (4, 4), np.float64)
+        second = arena.take("x", (4, 4), np.float64)
+        assert first is second
+
+    def test_take_reallocates_on_shape_change(self):
+        arena = ScratchArena()
+        first = arena.take("x", (4, 4), np.float64)
+        second = arena.take("x", (2, 4), np.float64)
+        assert first is not second
+        assert second.shape == (2, 4)
+
+    def test_buffers_zero_filled_on_allocation(self):
+        arena = ScratchArena()
+        assert not arena.take("x", (8,), np.float64).any()
+
+    def test_space_caches_views(self):
+        arena = ScratchArena()
+        space = arena.space(("test", (3,)))
+        buffer = space.take("b", (6,), np.float64)
+        view = space.view("b2", lambda: buffer.reshape(2, 3))
+        assert space.view("b2", lambda: None) is view
+        assert arena.space(("test", (3,))) is space
+
+    def test_nbytes_counts_spaces(self):
+        arena = ScratchArena()
+        arena.take("a", (8,), np.float64)
+        arena.space(("s",)).take("b", (8,), np.float64)
+        assert arena.nbytes == 2 * 8 * 8
+        assert len(arena) == 2
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_forward_matches_autograd_fast_path(self, dtype):
+        model, _config = build(dtype)
+        x = window_batch(model)
+        with no_grad():
+            reference, _ = model(Tensor(x.copy()))
+        prediction = InferenceEngine(model).forward(x)
+        if dtype is np.float64:
+            assert np.array_equal(reference.data, prediction)
+        else:
+            np.testing.assert_allclose(reference.data, prediction,
+                                       rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_loss_matches_autograd(self, dtype):
+        model, _config = build(dtype)
+        x = window_batch(model)
+        with no_grad():
+            prediction, _ = model(Tensor(x.copy()))
+            reference = float(model.loss(prediction, Tensor(x.copy())).data)
+        value = InferenceEngine(model).loss(x)
+        if dtype is np.float64:
+            assert value == reference
+        else:
+            assert value == pytest.approx(reference, rel=1e-5)
+
+    def test_convolution_matches_fused_op(self):
+        from repro.nn import functional as F
+
+        model, _config = build(np.float64)
+        x = window_batch(model)
+        engine = InferenceEngine(model)
+        stage = engine._stage()
+        space = engine.arena.space(("test", x.shape))
+        values, _flat = engine._convolution(space, x, stage)
+        with no_grad():
+            reference = F.causal_conv(Tensor(x.copy()),
+                                      model.convolution.effective_kernel(),
+                                      model.convolution._scale_array,
+                                      right_shift=True)
+        assert np.array_equal(reference.data, values)
+
+    def test_attention_probs_match_fused_op(self):
+        from repro.nn import functional as F
+
+        model, _config = build(np.float64)
+        attention = model.attention
+        x = window_batch(model)
+        engine = InferenceEngine(model)
+        stage = engine._stage()
+        space = engine.arena.space(("test", x.shape))
+        probs, _emb, _scores = engine._attention_probs(space, x, stage)
+        scale = 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        with no_grad():
+            reference = F.causal_attention_probs(
+                Tensor(x.copy()), attention.query_weights,
+                attention.query_biases, attention.key_weights,
+                attention.key_biases, attention.mask_parameters, scale,
+                embed_weight=model.embedding.weight,
+                embed_bias=model.embedding.bias)
+        assert np.array_equal(reference.data, probs)
+
+    def test_mlp_tail_matches_fused_op(self):
+        """Conv+attention already verified; the end-to-end equality of
+        ``forward`` on top of them pins the combine + MLP + output tail."""
+        model, _config = build(np.float64, n_heads=1)
+        x = window_batch(model, batch=3)
+        with no_grad():
+            reference, _ = model(Tensor(x.copy()))
+        assert np.array_equal(reference.data, InferenceEngine(model).forward(x))
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_evaluate_matches_chunked_autograd(self, dtype):
+        """Bit-for-bit against the historical chunked no_grad validation."""
+        model, config = build(dtype, window=10)
+        trainer = Trainer(model, config)
+        windows = np.ascontiguousarray(
+            np.random.default_rng(2).normal(size=(23, config.n_series, 10)),
+            dtype=dtype)
+
+        total = 0.0
+        count = 0
+        with no_grad():
+            for start in range(0, windows.shape[0], config.batch_size):
+                chunk = Tensor(windows[start:start + config.batch_size])
+                prediction, _ = model(chunk)
+                total += float(model.loss(prediction, chunk).data) * len(chunk)
+                count += len(chunk)
+        reference = total / count
+        assert trainer._evaluate(windows) == reference
+
+    def test_evaluate_chunked_fallback_matches_full_batch(self):
+        model, config = build(np.float64, window=10)
+        engine = InferenceEngine(model)
+        windows = np.random.default_rng(3).normal(size=(17, config.n_series, 10))
+        full = engine.evaluate(windows, config.batch_size)
+        engine.FULL_BATCH_ELEMENT_LIMIT = 1   # force the chunk loop
+        try:
+            assert engine.evaluate(windows, config.batch_size) == full
+        finally:
+            del engine.FULL_BATCH_ELEMENT_LIMIT
+
+    def test_predict_matches_forward_and_owns_result(self):
+        model, _config = build(np.float64)
+        x = window_batch(model, batch=2)
+        first = model.predict(x)
+        second = model.predict(np.zeros_like(x))
+        assert not np.array_equal(first, second)   # no buffer aliasing
+        with no_grad():
+            reference, _ = model(Tensor(x.copy()))
+        assert np.array_equal(model.predict(x), reference.data)
+
+    def test_predict_accepts_2d_window(self):
+        model, config = build(np.float64)
+        x = window_batch(model, batch=1)
+        assert model.predict(x[0]).shape == (config.n_series, config.window)
+
+
+class TestCachePathParity:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_interpretation_forward_matches_cache_path(self, dtype):
+        model, _config = build(dtype)
+        x = window_batch(model)
+        with no_grad():
+            _prediction, reference = model(Tensor(x.copy()), return_cache=True)
+        forward = InferenceEngine(model).interpretation_forward(x)
+        cache = forward.cache
+        for field in ("inputs", "embedding", "values", "values_pre_shift",
+                      "conv_windows", "attention_combined", "ffn_hidden",
+                      "ffn_activated", "ffn_output", "output"):
+            assert np.array_equal(np.asarray(getattr(reference, field)),
+                                  np.asarray(getattr(cache, field))), field
+        for head_ref, head in zip(reference.head_caches, cache.head_caches):
+            assert np.array_equal(head_ref.attention_data, head.attention_data)
+            assert np.array_equal(head_ref.head_output_data,
+                                  head.head_output_data)
+            assert np.array_equal(head_ref.scores_data, head.scores_data)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("single_kernel", [False, True])
+    def test_interpretation_gradients_match_autograd(self, dtype, single_kernel):
+        model, config = build(dtype, single_kernel=single_kernel)
+        x = window_batch(model, batch=4)
+        engine = InferenceEngine(model)
+        forward = engine.interpretation_forward(x)
+        targets = list(range(config.n_series))
+        attention_grads, kernel_grads = engine.interpretation_gradients(
+            forward, targets)
+        for index, target in enumerate(targets):
+            model.zero_grad()
+            prediction, cache = model(Tensor(x.copy()), return_cache=True)
+            one_hot = np.zeros_like(prediction.data)
+            one_hot[:, target, :] = 1.0
+            (prediction * Tensor(one_hot)).sum().backward()
+            for head, head_cache in enumerate(cache.head_caches):
+                assert np.array_equal(head_cache.attention.grad,
+                                      attention_grads[index, head])
+            assert np.array_equal(model.convolution.kernel.grad,
+                                  kernel_grads[index])
+
+
+class TestSteadyStateReuse:
+    def test_evaluate_allocates_no_new_buffers_after_warmup(self):
+        model, config = build(np.float64)
+        engine = InferenceEngine(model)
+        windows = np.random.default_rng(4).normal(
+            size=(13, config.n_series, config.window))
+        engine.evaluate(windows, config.batch_size)
+        identifiers = engine.arena.buffer_ids()
+        for _ in range(3):
+            engine.evaluate(windows, config.batch_size)
+        assert engine.arena.buffer_ids() == identifiers
+
+    def test_interpretation_forward_reuses_buffers(self):
+        model, config = build(np.float64)
+        engine = InferenceEngine(model)
+        windows = np.random.default_rng(5).normal(
+            size=(4, config.n_series, config.window))
+        engine.interpretation_forward(windows)
+        identifiers = engine.arena.buffer_ids()
+        engine.interpretation_forward(windows)
+        assert engine.arena.buffer_ids() == identifiers
+
+    def test_training_backward_arena_reused_across_steps(self):
+        from repro.nn.functional import _backward_arena
+
+        model, config = build(np.float32, window=10)
+        trainer = Trainer(model, config)
+        values = np.random.default_rng(6).normal(size=(config.n_series, 120))
+        windows = np.ascontiguousarray(trainer.make_windows(values),
+                                       dtype=np.float32)
+        trainer._run_epoch(windows, np.random.default_rng(0))
+        identifiers = _backward_arena().buffer_ids()
+        trainer._run_epoch(windows, np.random.default_rng(1))
+        assert _backward_arena().buffer_ids() == identifiers

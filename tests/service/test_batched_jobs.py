@@ -1,0 +1,140 @@
+"""Batched sweep execution: grouping, result identity, fallback, caching."""
+
+import pytest
+
+from repro.service.batched import (batch_signature, execute_batched_jobs,
+                                   group_batchable)
+from repro.service.cache import ResultCache
+from repro.service.executor import JobExecutor
+from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+from repro.service.registry import build_dataset
+
+CONFIG = {
+    "window": 12, "d_model": 16, "d_qk": 16, "d_ffn": 16, "n_heads": 2,
+    "batch_size": 16, "window_stride": 2, "max_epochs": 3, "patience": 1000,
+    "max_detector_windows": 4,
+}
+
+
+def causalformer_pair(seed, length=160, dataset="fork", config=None):
+    data = build_dataset(dataset, seed=seed, length=length)
+    job = DiscoveryJob(method="causalformer", config=dict(config or CONFIG),
+                       dataset=dataset, dataset_fingerprint=fingerprint_dataset(data),
+                       seed=seed)
+    return job, data
+
+
+@pytest.fixture(scope="module")
+def four_pairs():
+    return [causalformer_pair(seed) for seed in range(4)]
+
+
+class TestGrouping:
+    def test_same_shape_jobs_share_signature(self, four_pairs):
+        signatures = {batch_signature(job, data) for job, data in four_pairs}
+        assert len(signatures) == 1
+
+    def test_non_causalformer_not_batchable(self):
+        data = build_dataset("fork", seed=0, length=160)
+        job = DiscoveryJob(method="var_granger", dataset="fork",
+                           dataset_fingerprint=fingerprint_dataset(data))
+        assert batch_signature(job, data) is None
+
+    def test_single_kernel_not_batchable(self):
+        config = dict(CONFIG, single_kernel=True)
+        job, data = causalformer_pair(0, config=config)
+        assert batch_signature(job, data) is None
+
+    def test_different_shapes_do_not_group(self, four_pairs):
+        other = causalformer_pair(9, length=200)
+        indexed = list(enumerate(four_pairs + [other]))
+        groups, singles = group_batchable(indexed)
+        assert len(groups) == 1 and len(groups[0]) == 4
+        assert [index for index, _pair in singles] == [4]
+
+    def test_lone_batchable_job_stays_single(self, four_pairs):
+        indexed = [(0, four_pairs[0])]
+        groups, singles = group_batchable(indexed)
+        assert groups == [] and len(singles) == 1
+
+
+class TestExecutionIdentity:
+    @pytest.fixture(scope="class")
+    def results(self, four_pairs):
+        data = build_dataset("fork", seed=11, length=160)
+        extra = (DiscoveryJob(method="var_granger", dataset="fork",
+                              dataset_fingerprint=fingerprint_dataset(data)),
+                 data)
+        pairs = list(four_pairs) + [extra]
+        sequential = JobExecutor(max_workers=1, cache=None).run(pairs)
+        batched = JobExecutor(max_workers=1, cache=None,
+                              batch_jobs=True).run(pairs)
+        return sequential, batched
+
+    def test_all_jobs_succeed(self, results):
+        sequential, batched = results
+        assert all(result.ok for result in sequential)
+        assert all(result.ok for result in batched)
+
+    def test_graphs_identical(self, results):
+        sequential, batched = results
+        for result_a, result_b in zip(sequential, batched):
+            edges_a = sorted(edge.as_tuple() for edge in result_a.graph.edges)
+            edges_b = sorted(edge.as_tuple() for edge in result_b.graph.edges)
+            assert edges_a == edges_b
+
+    def test_scores_identical(self, results):
+        sequential, batched = results
+        for result_a, result_b in zip(sequential, batched):
+            assert result_a.scores.precision == result_b.scores.precision
+            assert result_a.scores.recall == result_b.scores.recall
+            assert result_a.scores.f1 == result_b.scores.f1
+
+    def test_results_keep_request_order(self, results):
+        _sequential, batched = results
+        seeds = [result.job.seed for result in batched[:4]]
+        assert seeds == [0, 1, 2, 3]
+        assert batched[4].job.method == "var_granger"
+
+
+class TestFallback:
+    def test_stacked_failure_falls_back_to_sequential(self, four_pairs,
+                                                      monkeypatch):
+        import repro.core.batched as core_batched
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("stacked training unavailable")
+
+        monkeypatch.setattr(core_batched.StackedCausalFormerTrainer,
+                            "__init__", explode)
+        results = execute_batched_jobs(four_pairs)
+        assert len(results) == 4
+        assert all(result.ok for result in results)
+
+    def test_per_job_interpretation_failure_is_captured(self, four_pairs,
+                                                        monkeypatch):
+        from repro.core.discovery import CausalFormer
+
+        def explode(self):
+            raise RuntimeError("interpretation failed")
+
+        monkeypatch.setattr(CausalFormer, "interpret", explode)
+        results = execute_batched_jobs(four_pairs)
+        assert len(results) == 4
+        assert all(not result.ok for result in results)
+        assert all("interpretation failed" in result.error
+                   for result in results)
+        assert [result.job.seed for result in results] == [0, 1, 2, 3]
+
+
+class TestCaching:
+    def test_batched_results_cached(self, four_pairs, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        executor = JobExecutor(max_workers=1, cache=cache, batch_jobs=True)
+        first = executor.run(four_pairs)
+        assert all(not result.cached for result in first)
+        second = executor.run(four_pairs)
+        assert all(result.cached for result in second)
+        for result_a, result_b in zip(first, second):
+            assert sorted(edge.as_tuple() for edge in result_a.graph.edges) \
+                == sorted(edge.as_tuple() for edge in result_b.graph.edges)

@@ -1,0 +1,72 @@
+"""Bench report naming (trajectory slots) and the multi-key regression gate."""
+
+import json
+
+import pytest
+
+from repro.service import bench
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload))
+
+
+class TestTrajectoryNaming:
+    def test_first_slot_is_01(self, tmp_path):
+        assert bench.next_output_path(str(tmp_path)).endswith("BENCH_01.json")
+        assert bench.latest_report_path(str(tmp_path)) is None
+
+    def test_successive_runs_append_instead_of_overwriting(self, tmp_path):
+        write(tmp_path / "BENCH_01.json", {"schema": 1})
+        write(tmp_path / "BENCH_02.json", {"schema": 1})
+        assert bench.next_output_path(str(tmp_path)).endswith("BENCH_03.json")
+        assert bench.latest_report_path(str(tmp_path)).endswith("BENCH_02.json")
+
+    def test_non_trajectory_files_ignored(self, tmp_path):
+        write(tmp_path / "BENCH_ci.json", {"schema": 1})
+        write(tmp_path / "BENCH_nn.json", {"schema": 1})
+        assert bench.next_output_path(str(tmp_path)).endswith("BENCH_01.json")
+
+    def test_write_report_defaults_to_next_slot(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "_ROOT", str(tmp_path))
+        first = bench.write_report({"schema": 1})
+        second = bench.write_report({"schema": 1})
+        assert first.endswith("BENCH_01.json")
+        assert second.endswith("BENCH_02.json")
+
+
+def report_with(timings):
+    return {"timings": {name: {"seconds": seconds}
+                        for name, seconds in timings.items()}}
+
+
+class TestRegressionGate:
+    def test_multiple_keys_checked(self):
+        reference = report_with({"train_epoch": 1.0, "evaluate": 1.0,
+                                 "tensor_ops": 1.0})
+        current = report_with({"train_epoch": 1.0, "evaluate": 2.0,
+                               "tensor_ops": 1.0})
+        messages = bench.check_regressions(current, reference=reference,
+                                           keys=("train_epoch", "evaluate"))
+        assert len(messages) == 1
+        assert "evaluate" in messages[0]
+
+    def test_missing_key_in_reference_is_skipped(self):
+        reference = report_with({"train_epoch": 1.0})
+        current = report_with({"train_epoch": 1.0, "evaluate": 99.0})
+        assert bench.check_regressions(current, reference=reference) == []
+
+    def test_normalized_gate_ignores_machine_speed(self):
+        reference = report_with({"train_epoch": 1.0, "tensor_ops": 0.1})
+        current = report_with({"train_epoch": 3.0, "tensor_ops": 0.3})
+        assert bench.check_regressions(current, reference=reference,
+                                       keys=("train_epoch",),
+                                       normalize_by="tensor_ops") == []
+
+    def test_default_keys_gate_inference(self):
+        assert "evaluate" in bench.REGRESSION_KEYS
+        assert "train_epoch" in bench.REGRESSION_KEYS
+
+    def test_payloads_include_new_benchmarks(self):
+        for name in ("evaluate", "detector_interpret", "sweep_batched"):
+            assert name in bench.PAYLOADS
