@@ -20,9 +20,14 @@ and the loop ends when every model has stopped or ``max_epochs`` is
 reached.
 
 The per-model parameter tensors are re-pointed at views of the stacked
-``(K, P)`` parameter matrix, so the models — and their fused inference
-engines, which run the validation passes — stay live during training with
-zero copying.
+``(K, P)`` parameter matrix, so the models — and the stacked inference
+engine that runs every validation pass in one set of stacked GEMMs
+(:class:`repro.nn.inference.StackedInferenceEngine`) — stay live during
+training with zero copying; best-state restoration copies *into* those
+views so the stack stays authoritative after ``fit`` returns.  The
+single-kernel ablation stacks too: its shared ``(1, 1, T)`` kernel is
+broadcast through the same constant-ones multiply as the autograd
+``effective_kernel`` node, with the matching unbroadcast-sum backward.
 """
 
 from __future__ import annotations
@@ -32,16 +37,14 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import CausalFormerConfig
-from repro.core.training import TrainingHistory, split_windows
+from repro.core.training import TrainingHistory, losses_diverged, split_windows
 from repro.core.transformer import CausalityAwareTransformer
 from repro.data.windows import sliding_windows
-from repro.nn.inference import max_last_keepdims, sum_last_keepdims
+from repro.nn.inference import (StackedInferenceEngine, max_last_keepdims,
+                                sum_last_keepdims)
 from repro.nn.optim import ADAM_BETAS, ADAM_CLIP_FUZZ, ADAM_EPS
 
 
-def stackable_config(config: CausalFormerConfig) -> bool:
-    """Whether a model with this config can join a stacked training pass."""
-    return not config.single_kernel
 
 
 class StackedCausalFormerTrainer:
@@ -63,8 +66,6 @@ class StackedCausalFormerTrainer:
             if not self._compatible(reference, model.config):
                 raise ValueError(
                     "stacked training requires identical configs up to the seed")
-        if not stackable_config(reference):
-            raise ValueError("single-kernel models cannot be stacked")
         self.config = reference
         self.histories = [TrainingHistory() for _ in self.models]
         self._build_parameter_stack()
@@ -151,11 +152,23 @@ class StackedCausalFormerTrainer:
             train, validation = self._split(windows, rng, model.config)
             train_sets.append(train)
             validation_sets.append(validation)
-        counts = {train.shape for train in train_sets}
-        if len(counts) != 1:
+        # The validation shapes must match too: equal *training* shapes do
+        # not imply it (round() on the validation fraction can split 105 and
+        # 106 windows into 95 + 10 and 95 + 11).  Reject up front, before
+        # any training work is spent.
+        train_shapes = {train.shape for train in train_sets}
+        validation_shapes = {None if validation is None else validation.shape
+                             for validation in validation_sets}
+        if len(train_shapes) != 1 or len(validation_shapes) != 1:
             raise ValueError("stacked training requires same-shape window sets")
 
-        engines = [model.inference_engine() for model in self.models]
+        # Every model's validation pass runs through one stacked engine
+        # (per-model results bit-identical to the per-model engines this
+        # loop used to build) — the sweep stays stacked from the first
+        # training step to the last validation score.
+        engine = StackedInferenceEngine(self.models)
+        has_validation = validation_sets[0] is not None \
+            and len(validation_sets[0])
         n_train = train_sets[0].shape[0]
         batch_size = config.batch_size
         active = [True] * k
@@ -175,6 +188,9 @@ class StackedCausalFormerTrainer:
                 for row, loss in enumerate(losses):
                     batch_losses[row].append(loss)
 
+            if has_validation:
+                validation_losses = engine.evaluate(validation_sets,
+                                                    batch_size)
             for row in range(k):
                 if not active[row]:
                     continue
@@ -182,13 +198,26 @@ class StackedCausalFormerTrainer:
                 epoch_loss = float(np.mean(batch_losses[row])) \
                     if batch_losses[row] else float("nan")
                 history.train_loss.append(epoch_loss)
-                validation = validation_sets[row]
-                if validation is not None and len(validation):
-                    validation_loss = engines[row].evaluate(validation,
-                                                            batch_size)
-                else:
-                    validation_loss = epoch_loss
+                validation_loss = validation_losses[row] if has_validation \
+                    else epoch_loss
                 history.validation_loss.append(validation_loss)
+                if losses_diverged(epoch_loss, validation_loss):
+                    # Same rule as the sequential trainer: a NaN/inf loss
+                    # stops this model immediately (it would otherwise ride
+                    # the whole patience window without ever improving); its
+                    # last finite best state is restored below.  A row that
+                    # diverged before ever improving has no best snapshot,
+                    # but still rides the remaining stacked steps — freeze
+                    # its current weights so the final restore hands back
+                    # exactly what the sequential trainer's break leaves
+                    # (the post-diverged-epoch parameters).
+                    history.diverged = True
+                    active[row] = False
+                    if best_states[row] is None:
+                        best_states[row] = [
+                            parameter.data.copy()
+                            for parameter in self._parameters[row]]
+                    continue
                 if validation_loss < history.best_validation_loss - config.min_delta:
                     history.best_validation_loss = validation_loss
                     history.best_epoch = history.n_epochs - 1
@@ -206,8 +235,12 @@ class StackedCausalFormerTrainer:
 
         for row, saved in enumerate(best_states):
             if saved is not None:
+                # In-place copy (not a .data re-point): the parameters must
+                # keep backing the stacked (K, P) matrix so the shared
+                # inference engines and any later stacked pass keep observing
+                # the restored best-epoch weights.
                 for parameter, data in zip(self._parameters[row], saved):
-                    parameter.data = data
+                    parameter.data[...] = data
         return self.histories
 
     # The split must match the sequential trainer draw for draw.
@@ -239,8 +272,18 @@ class StackedCausalFormerTrainer:
         diag = np.arange(n)
         s = self.stacked
 
-        kernel = s("convolution.kernel")                       # (K, N, N, T)
+        kernel = s("convolution.kernel")             # (K,N,N,T) / (K,1,1,T)
         scale_array = model.convolution._scale_array
+        single_kernel = config.single_kernel
+        if single_kernel:
+            # The single-kernel ablation broadcasts its shared (1, 1, T)
+            # kernel to every series pair through a constant-ones multiply
+            # (an exact ×1.0, replicating the autograd ``effective_kernel``
+            # node); its backward is the matching unbroadcast sum below.
+            ones_broadcast = model.convolution._ones_broadcast.data
+            kernel_eff = kernel * ones_broadcast               # (K, N, N, T)
+        else:
+            kernel_eff = kernel
 
         # --- causal convolution (Eq. 3 + folded Eq. 4 shift) ----------- #
         padded = np.zeros((k, batch, n, 2 * window), dtype=dtype)
@@ -249,7 +292,7 @@ class StackedCausalFormerTrainer:
             padded, window, axis=-1)[..., 1:, :]               # (K,B,N,T,τ)
         windows_flat = np.ascontiguousarray(view.transpose(0, 2, 1, 3, 4)) \
             .reshape(k, n, batch * window, window)
-        raw = windows_flat @ kernel.transpose(0, 1, 3, 2)      # (K,N,B·T,N)
+        raw = windows_flat @ kernel_eff.transpose(0, 1, 3, 2)  # (K,N,B·T,N)
         values = raw.reshape(k, n, batch, window, n) \
             .transpose(0, 2, 1, 4, 3) * scale_array            # (K,B,i,j,t)
         diagonal = values[:, :, diag, diag, :]
@@ -429,7 +472,14 @@ class StackedCausalFormerTrainer:
         grad_scaled = grad_values * scale_array
         flat = np.ascontiguousarray(grad_scaled.transpose(0, 2, 3, 1, 4)) \
             .reshape(k, n, n, batch * window)
-        kernel_grad += flat @ windows_flat
+        if single_kernel:
+            # Broadcast-multiply backward: grad · ones (exact), then the
+            # autograd engine's unbroadcast sum down to (1, 1, T).
+            grad_eff = flat @ windows_flat                     # (K, N, N, T)
+            grad_eff *= ones_broadcast
+            kernel_grad += grad_eff.sum(axis=(1, 2), keepdims=True)
+        else:
+            kernel_grad += flat @ windows_flat
         return losses, grads
 
     def _adam_step(self) -> None:

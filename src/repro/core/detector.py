@@ -22,16 +22,18 @@ bias term from the RRP denominators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.clustering import select_top_scores
 from repro.core.config import CausalFormerConfig
-from repro.core.relevance import RegressionRelevancePropagation
+from repro.core.relevance import (RegressionRelevancePropagation,
+                                  StackedRelevancePropagation)
 from repro.core.transformer import CausalityAwareTransformer
 from repro.graph.causal_graph import TemporalCausalGraph
-from repro.nn.inference import InferenceEngine, InterpretationForward
+from repro.nn.inference import (InferenceEngine, InterpretationForward,
+                                StackedInferenceEngine)
 
 
 @dataclass
@@ -264,3 +266,107 @@ class DecompositionCausalityDetector:
         scores = self.compute_scores(windows)
         graph = self.build_graph(scores, series_names=series_names)
         return graph, scores
+
+
+def compute_scores_group(detectors: Sequence[DecompositionCausalityDetector],
+                         windows_list: Sequence[np.ndarray]
+                         ) -> List[CausalScores]:
+    """Causal scores for a whole group of same-architecture detectors at once.
+
+    The stacked analogue of :meth:`DecompositionCausalityDetector
+    .compute_scores` for a batched sweep group: one stacked cache forward
+    shared by every model *and* target, one stacked multi-target backward,
+    and one model-axis relevance propagation — instead of one full
+    interpretation per job.  Every returned :class:`CausalScores` is
+    **bit-identical** to calling ``detectors[m].compute_scores
+    (windows_list[m])`` alone, across all Table 3 ablations (the detectors
+    must share their ablation flags and configuration; the window sets must
+    share one shape).
+    """
+    detectors = list(detectors)
+    if not detectors:
+        raise ValueError("need at least one detector")
+    if len(detectors) != len(windows_list):
+        raise ValueError("one window set per detector required")
+    first = detectors[0]
+    flags = (first.use_interpretation, first.use_relevance,
+             first.use_gradient, first.use_bias)
+    for detector in detectors[1:]:
+        if (detector.use_interpretation, detector.use_relevance,
+                detector.use_gradient, detector.use_bias) != flags:
+            raise ValueError(
+                "grouped interpretation requires identical detector flags")
+        # The stabiliser is read from the first detector only; a silent
+        # mismatch would compute every other detector's relevance with the
+        # wrong epsilon (non-bit-identical to its own compute_scores).
+        if detector.config.relevance_epsilon \
+                != first.config.relevance_epsilon:
+            raise ValueError(
+                "grouped interpretation requires one relevance_epsilon")
+
+    prepared_windows: List[np.ndarray] = []
+    for detector, windows in zip(detectors, windows_list):
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 2:
+            windows = windows[None, :, :]
+        n_series, window = windows.shape[1], windows.shape[2]
+        if n_series != detector.config.n_series \
+                or window != detector.config.window:
+            raise ValueError(
+                f"windows of shape {windows.shape[1:]} do not match the model "
+                f"({detector.config.n_series} series, window "
+                f"{detector.config.window})")
+        prepared_windows.append(windows)
+    if len({windows.shape for windows in prepared_windows}) != 1:
+        raise ValueError(
+            "grouped interpretation requires same-shape window sets")
+
+    for detector in detectors:
+        detector._sync_interpretation_model()
+    models = [detector.model for detector in detectors]
+    engine = StackedInferenceEngine(models)
+    forward = engine.interpretation_forward(prepared_windows)
+    if not first.use_interpretation:
+        return [detector._raw_weight_scores(model_forward)
+                for detector, model_forward in zip(detectors,
+                                                   forward.forwards)]
+
+    m = len(detectors)
+    batch, n_series, window = prepared_windows[0].shape
+    propagation = StackedRelevancePropagation(
+        models, use_bias=first.use_bias,
+        epsilon=first.config.relevance_epsilon) if first.use_relevance \
+        else None
+    prepared = propagation.prepare(forward) if propagation is not None \
+        else None
+    attention_scores = np.zeros((m, n_series, n_series))
+    kernel_scores = np.zeros((m, n_series, n_series, window))
+    per_target = max(m * batch * n_series * n_series * window, 1)
+    chunk_size = max(1,
+                     DecompositionCausalityDetector.TARGET_CHUNK_ELEMENTS
+                     // per_target)
+    for start in range(0, n_series, chunk_size):
+        targets = list(range(start, min(start + chunk_size, n_series)))
+        if first.use_gradient:
+            attention_grads, kernel_grads = \
+                engine.interpretation_gradients(forward, targets)
+        else:
+            attention_grads = kernel_grads = None
+        if first.use_relevance:
+            relevances = propagation.propagate_targets(
+                forward, targets, prepared=prepared, include_values=False)
+        else:
+            relevances = None
+        for row, detector in enumerate(detectors):
+            for index, target in enumerate(targets):
+                score_row, kernel_slab = detector._combine_target(
+                    forward.forwards[row].cache, target,
+                    None if attention_grads is None
+                    else attention_grads[row, index],
+                    None if kernel_grads is None
+                    else kernel_grads[row, index],
+                    None if relevances is None else relevances[row][index])
+                attention_scores[row, target] = score_row
+                kernel_scores[row, target] = kernel_slab
+    return [CausalScores(attention=attention_scores[row],
+                         kernel=kernel_scores[row]) for row in range(m)]

@@ -142,18 +142,42 @@ class CausalFormer:
         trainer = Trainer(self.model_, self.config)
         return self.finalize_fit(values, trainer.fit(values, verbose=verbose))
 
-    def interpret(self) -> TemporalCausalGraph:
-        """Run the causality detector on the trained model."""
+    def build_detector(self) -> DecompositionCausalityDetector:
+        """The causality detector for the trained model (ablation flags applied).
+
+        Split out of :meth:`interpret` so the batched sweep runner
+        (:mod:`repro.service.batched`) can interpret a whole group of
+        trained models in one stacked pass
+        (:func:`repro.core.detector.compute_scores_group`).
+        """
         if self.model_ is None:
             raise RuntimeError("call fit() before interpret()")
-        detector = DecompositionCausalityDetector(
+        return DecompositionCausalityDetector(
             self.model_, self.config,
             use_interpretation=self.use_interpretation,
             use_relevance=self.use_relevance,
             use_gradient=self.use_gradient,
             use_bias=self.use_bias,
         )
-        windows = self._detector_windows(self._fitted_values)
+
+    def detector_windows(self) -> np.ndarray:
+        """The bounded window subset interpretation runs on (post ``fit``)."""
+        if self._fitted_values is None:
+            raise RuntimeError("call fit() before interpret()")
+        return self._detector_windows(self._fitted_values)
+
+    def adopt_interpretation(self, detector: DecompositionCausalityDetector,
+                             scores: CausalScores) -> TemporalCausalGraph:
+        """Adopt externally computed causal scores (batched interpretation)."""
+        self.scores_ = scores
+        self.graph_ = detector.build_graph(scores,
+                                           series_names=self._series_names)
+        return self.graph_
+
+    def interpret(self) -> TemporalCausalGraph:
+        """Run the causality detector on the trained model."""
+        detector = self.build_detector()
+        windows = self.detector_windows()
         self.graph_, self.scores_ = detector.detect(windows, series_names=self._series_names)
         return self.graph_
 

@@ -271,3 +271,173 @@ class RegressionRelevancePropagation:
         if total_out == 0:
             return 0.0
         return abs(total_out - total_attention) / abs(total_out)
+
+
+@dataclass
+class PreparedStackedPropagation:
+    """Target-independent precomputation for a *stack* of models.
+
+    The model-axis analogue of :class:`PreparedPropagation`: every array
+    gains a leading ``M`` (model) axis, and the per-head lists collapse into
+    one stacked array with the head axis second.  Stabilisation is
+    elementwise, so each row is bit-identical to preparing that model alone.
+    """
+
+    d_output: np.ndarray            # (M, B, N, T)
+    d_ffn_output: np.ndarray        # (M, B, N, T)
+    d_hidden: np.ndarray            # (M, B, N, d_ffn)
+    d_combined: np.ndarray          # (M, B, N, T)
+    d_heads: np.ndarray             # (M, h, B, N, T)
+    d_values_pre: np.ndarray        # (M, B, N, N, T)
+    weighted_heads: np.ndarray      # (M, h, B, N, T)
+    kernel: np.ndarray              # (M, N, N, T)
+    scaled_windows: np.ndarray      # (M, B, N, T, K)
+    w_output: np.ndarray            # (M, T, T)   output-layer weights
+    w2: np.ndarray                  # (M, d_ffn, T)
+    w1: np.ndarray                  # (M, T, d_ffn)
+
+
+class StackedRelevancePropagation:
+    """RRP with a leading model axis over a stacked interpretation forward.
+
+    Propagates relevance for ``M`` same-architecture models (a batched
+    sweep group) and ``G`` target series in one vectorised pass.  Every
+    between-layer matmul and Eq. 18 einsum simply gains a leading model
+    subscript; batched matmuls dispatch the same per-slice GEMMs and einsum
+    keeps its per-element contraction order, so row ``m`` of every result is
+    **bit-identical** to :class:`RegressionRelevancePropagation` on model
+    ``m`` alone (the stacked-interpretation tests assert exactly this,
+    across all Table 3 ablations).
+    """
+
+    def __init__(self, models: Sequence[CausalityAwareTransformer],
+                 use_bias: bool = True, epsilon: float = 1e-9) -> None:
+        if not models:
+            raise ValueError("need at least one model")
+        self.models = list(models)
+        self.use_bias = use_bias
+        self.epsilon = epsilon
+
+    def prepare(self, forward) -> PreparedStackedPropagation:
+        """Precompute everything that does not depend on the target series.
+
+        ``forward`` is a
+        :class:`~repro.nn.inference.StackedInterpretationForward`.
+        """
+        models = self.models
+        window = models[0].config.window
+        scale = 1.0 / np.arange(1, window + 1, dtype=float)
+
+        def denominator(outputs: np.ndarray, biases: np.ndarray,
+                        expand) -> np.ndarray:
+            base = outputs if self.use_bias else outputs - biases[expand]
+            return stabilize(base, self.epsilon)
+
+        output_bias = np.stack([model.output_layer.bias.data
+                                for model in models])
+        b2 = np.stack([model.feed_forward.b2.data for model in models])
+        b1 = np.stack([model.feed_forward.b1.data for model in models])
+        w_out = np.stack([model.attention.w_output.data for model in models])
+        channel = (slice(None), None, None, slice(None))
+        return PreparedStackedPropagation(
+            d_output=denominator(forward.output, output_bias, channel),
+            d_ffn_output=denominator(forward.ffn_output, b2, channel),
+            d_hidden=denominator(forward.hidden, b1, channel),
+            d_combined=stabilize(forward.combined, self.epsilon),
+            d_heads=stabilize(forward.head_outputs, self.epsilon),
+            d_values_pre=stabilize(forward.values_pre, self.epsilon),
+            weighted_heads=forward.head_outputs
+            * w_out[:, :, None, None, None],
+            kernel=np.stack([model.convolution.effective_kernel().data
+                             for model in models]),
+            scaled_windows=forward.conv_windows
+            * scale[None, None, None, :, None],
+            w_output=np.stack([model.output_layer.weight.data
+                               for model in models]),
+            w2=np.stack([model.feed_forward.w2.data for model in models]),
+            w1=np.stack([model.feed_forward.w1.data for model in models]),
+        )
+
+    def propagate_targets(self, forward, targets: Sequence[int],
+                          prepared: Optional[PreparedStackedPropagation] = None,
+                          include_values: bool = False
+                          ) -> List[List[RelevanceResult]]:
+        """Propagate several targets for every model in one stacked pass.
+
+        Returns ``results[m][g]`` — one :class:`RelevanceResult` per
+        (model, target), bit-identical to the per-model propagation.
+        """
+        if prepared is None:
+            prepared = self.prepare(forward)
+        m, batch, n_series, window = forward.output.shape
+        for target in targets:
+            if not (0 <= target < n_series):
+                raise IndexError(
+                    f"target series {target} out of range [0, {n_series})")
+        n_targets = len(targets)
+        diag = np.arange(n_series)
+        n_heads = forward.attention_probs.shape[1]
+
+        relevance_output = np.zeros((m, n_targets, batch, n_series, window))
+        for index, target in enumerate(targets):
+            relevance_output[:, index, :, target, :] = 1.0
+
+        # Output layer → feed-forward second linear → (pass-through leaky
+        # ReLU) → feed-forward first linear (Eq. 15/17), model axis leading.
+        relevance_ffn_out = forward.ffn_output[:, None] * (
+            (relevance_output / prepared.d_output[:, None])
+            @ prepared.w_output.transpose(0, 2, 1)[:, None, None])
+        relevance_activated = forward.activated[:, None] * (
+            (relevance_ffn_out / prepared.d_ffn_output[:, None])
+            @ prepared.w2.transpose(0, 2, 1)[:, None, None])
+        relevance_attention_combined = forward.combined[:, None] * (
+            (relevance_activated / prepared.d_hidden[:, None])
+            @ prepared.w1.transpose(0, 2, 1)[:, None, None])
+
+        values = forward.values
+        per_head_attention: List[np.ndarray] = []
+        per_head_values: List[Optional[np.ndarray]] = []
+        per_head_kernel: List[np.ndarray] = []
+        for head_index in range(n_heads):
+            relevance_head = (prepared.weighted_heads[:, head_index, None]
+                              * relevance_attention_combined
+                              / prepared.d_combined[:, None])
+
+            attention = forward.attention_probs[:, head_index]
+            ratio = relevance_head / prepared.d_heads[:, head_index, None]
+            relevance_attention = attention[:, None] * np.einsum(
+                "mbjit,mgbit->mgbij", values, ratio)
+            relevance_values = np.einsum(
+                "mbij,mbjit,mgbit->mgbjit", attention, values, ratio)
+
+            relevance_pre_shift = relevance_values.copy()
+            relevance_pre_shift[:, :, :, diag, diag, :-1] = \
+                relevance_values[:, :, :, diag, diag, 1:]
+            relevance_pre_shift[:, :, :, diag, diag, -1] = 0.0
+
+            ratio_values = relevance_pre_shift / prepared.d_values_pre[:, None]
+            relevance_kernel = prepared.kernel[:, None] * np.einsum(
+                "mbitk,mgbijt->mgijk", prepared.scaled_windows, ratio_values)
+
+            per_head_attention.append(relevance_attention)
+            per_head_values.append(relevance_values if include_values else None)
+            per_head_kernel.append(relevance_kernel)
+
+        results: List[List[RelevanceResult]] = []
+        for row in range(m):
+            model_results: List[RelevanceResult] = []
+            for index, target in enumerate(targets):
+                heads = [
+                    HeadRelevance(
+                        attention=per_head_attention[head_index][row, index],
+                        values=(per_head_values[head_index][row, index]
+                                if include_values else None),
+                        kernel=per_head_kernel[head_index][row, index],
+                    )
+                    for head_index in range(n_heads)
+                ]
+                model_results.append(RelevanceResult(
+                    target=target, heads=heads,
+                    output_relevance=relevance_output[row, index]))
+            results.append(model_results)
+        return results

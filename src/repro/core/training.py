@@ -27,10 +27,25 @@ class TrainingHistory:
     best_epoch: int = -1
     best_validation_loss: float = float("inf")
     stopped_early: bool = False
+    #: training produced a NaN/inf epoch or validation loss and was aborted.
+    #: A non-finite loss can never improve ``best_validation_loss``, so
+    #: without this flag a diverged run would silently burn the whole
+    #: patience window and hand back garbage weights with ``best_epoch == -1``.
+    diverged: bool = False
 
     @property
     def n_epochs(self) -> int:
         return len(self.train_loss)
+
+
+def losses_diverged(epoch_loss: float, validation_loss: float) -> bool:
+    """Whether a (train, validation) loss pair signals divergence.
+
+    Shared by :class:`Trainer` and the stacked trainer so both stop on the
+    exact same condition (the batched path's identity contract includes the
+    divergence bookkeeping).
+    """
+    return not (np.isfinite(epoch_loss) and np.isfinite(validation_loss))
 
 
 def split_windows(windows: np.ndarray, rng: np.random.Generator,
@@ -108,6 +123,13 @@ class Trainer:
             if verbose:
                 print(f"epoch {epoch:3d}  train {epoch_loss:.5f}  val {validation_loss:.5f}")
 
+            if losses_diverged(epoch_loss, validation_loss):
+                # A non-finite loss never improves and never errors out of
+                # the patience window: stop immediately and flag the run,
+                # restoring the last finite best state below (if any).
+                self.history.diverged = True
+                break
+
             if validation_loss < self.history.best_validation_loss - self.config.min_delta:
                 self.history.best_validation_loss = validation_loss
                 self.history.best_epoch = epoch
@@ -123,8 +145,13 @@ class Trainer:
                     break
 
         if best_state is not None:
+            # Copy in place rather than re-pointing ``parameter.data`` at the
+            # snapshot arrays: the fused Adam's flat parameter buffer, the
+            # shared inference engine and the stacked trainer's (K, P) views
+            # are all bound to the current storage — re-pointing would detach
+            # every one of them from the restored weights.
             for parameter, saved in zip(self._parameters, best_state):
-                parameter.data = saved
+                parameter.data[...] = saved
         return self.history
 
     def _run_epoch(self, windows: np.ndarray, rng: np.random.Generator) -> float:

@@ -205,6 +205,43 @@ def _leaky_slope(space: ScratchSpace, name: str, pre_activation: np.ndarray,
     return slope
 
 
+def _loss_penalty_terms(model, arena: ScratchArena,
+                        prefix: str = "") -> List[float]:
+    """One model's Eq. 9 L1 penalty contributions (see ``_penalty_terms``).
+
+    ``prefix`` namespaces the arena keys so several models (the stacked
+    engine evaluates ``K`` of them against one arena) never share penalty
+    scratch buffers of coincidentally equal size.
+    """
+    config = model.config
+    pairs = []
+    if config.lambda_kernel > 0:
+        pairs.append((config.lambda_kernel, model.convolution.kernel))
+    if config.lambda_mask > 0:
+        pairs.extend((config.lambda_mask, head.mask)
+                     for head in model.attention.heads)
+    groups: Dict[float, List[np.ndarray]] = {}
+    for coefficient, tensor in pairs:
+        groups.setdefault(coefficient, []).append(tensor.data.ravel())
+    terms: List[float] = []
+    for group_index, (coefficient, arrays) in enumerate(groups.items()):
+        if len(arrays) == 1:
+            flat = arrays[0]
+        else:
+            total = sum(array.size for array in arrays)
+            flat = arena.take(f"{prefix}loss.penalty{group_index}", (total,),
+                              arrays[0].dtype)
+            offset = 0
+            for array in arrays:
+                flat[offset:offset + array.size] = array
+                offset += array.size
+        magnitude = arena.take(f"{prefix}loss.abs{group_index}", flat.shape,
+                               flat.dtype)
+        np.abs(flat, out=magnitude)
+        terms.append(coefficient * float(magnitude.sum()))
+    return terms
+
+
 class InferenceEngine:
     """Forward-only CausalFormer evaluator over a scratch-buffer arena.
 
@@ -491,34 +528,7 @@ class InferenceEngine:
         adding the returned floats in order reproduces its accumulation
         sequence bit for bit.
         """
-        arena = self.arena
-        config = self.model.config
-        pairs = []
-        if config.lambda_kernel > 0:
-            pairs.append((config.lambda_kernel, self.model.convolution.kernel))
-        if config.lambda_mask > 0:
-            pairs.extend((config.lambda_mask, head.mask)
-                         for head in self.model.attention.heads)
-        groups: Dict[float, List[np.ndarray]] = {}
-        for coefficient, tensor in pairs:
-            groups.setdefault(coefficient, []).append(tensor.data.ravel())
-        terms: List[float] = []
-        for group_index, (coefficient, arrays) in enumerate(groups.items()):
-            if len(arrays) == 1:
-                flat = arrays[0]
-            else:
-                total = sum(array.size for array in arrays)
-                flat = arena.take(f"loss.penalty{group_index}", (total,),
-                                  arrays[0].dtype)
-                offset = 0
-                for array in arrays:
-                    flat[offset:offset + array.size] = array
-                    offset += array.size
-            magnitude = arena.take(f"loss.abs{group_index}", flat.shape,
-                                   flat.dtype)
-            np.abs(flat, out=magnitude)
-            terms.append(coefficient * float(magnitude.sum()))
-        return terms
+        return _loss_penalty_terms(self.model, self.arena)
 
     def _windowed_diff(self, prediction: np.ndarray, target: np.ndarray,
                        start_slot: int = 1) -> np.ndarray:
@@ -795,4 +805,572 @@ class InferenceEngine:
             kernel_grads = np.asarray(kernel_grads, dtype=kernel_dtype)
         if self.model.convolution.single_kernel:
             kernel_grads = kernel_grads.sum(axis=(1, 2), keepdims=True)
+        return attention_grads, kernel_grads
+
+
+@dataclass
+class StackedInterpretationForward:
+    """One fused cache forward for ``M`` same-architecture models at once.
+
+    ``forwards[m]`` is an ordinary :class:`InterpretationForward` whose cache
+    arrays are row-``m`` views of the stacked buffers below, so every
+    per-model consumer (gradient modulation, raw-weight ablation, graph
+    construction) runs unchanged on bit-identical data.  The stacked arrays
+    feed the model-axis gradient backward and relevance propagation.  All
+    arrays are arena views — valid until the next engine call.
+    """
+
+    forwards: List[InterpretationForward]
+    inputs: np.ndarray                 # (M, B, N, T)
+    output: np.ndarray                 # (M, B, N, T)
+    values: np.ndarray                 # (M, B, N, N, T) legacy (source-major) layout
+    values_pre: np.ndarray             # (M, B, N, N, T) pre-shift, float64
+    conv_windows: np.ndarray           # (M, B, N, T, K) strided float64 view
+    attention_probs: np.ndarray        # (M, h, B, N, N)
+    head_outputs: np.ndarray           # (M, h, B, N, T)
+    combined: np.ndarray               # (M, B, N, T)
+    hidden: np.ndarray                 # (M, B, N, d_ffn) pre-activation
+    activated: np.ndarray              # (M, B, N, d_ffn)
+    ffn_output: np.ndarray             # (M, B, N, T)
+    slope: np.ndarray                  # (M, B, N, d_ffn)
+    a_bihj: np.ndarray                 # (M, B, i, h, j)
+    v_bijt: np.ndarray                 # (M, B, i, j, t)
+    windows_flat: np.ndarray           # (M, N, B·T, K)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_models(self) -> int:
+        return len(self.forwards)
+
+
+class StackedInferenceEngine:
+    """Forward-only evaluator for ``M`` same-architecture models at once.
+
+    A batched sweep trains ``K`` same-shape models in lockstep
+    (:class:`repro.core.batched.StackedCausalFormerTrainer`), but validation
+    passes and detector interpretation used to drop back to one
+    :class:`InferenceEngine` call per model.  This engine adds a leading
+    model axis to every stacked buffer so the whole fleet's evaluation (and
+    its interpretation forward/backward) runs through one set of numpy
+    calls.
+
+    Numerical contract: batched matmuls dispatch one GEMM per 2-D slice and
+    every reduction keeps its per-model order (per-row ``np.dot`` for the
+    head combination, per-model loss accumulation), so each model's results
+    are **bit-identical** to running it alone through
+    :class:`InferenceEngine` — in float64 and float32 alike.  The stacked
+    buffers replicate the single-model engine's memory layouts exactly
+    (including the legacy source-major convolution layout), because einsum
+    summation order — hence detector bit-identity — depends on operand
+    strides.
+    """
+
+    def __init__(self, models: Sequence, arena: Optional[ScratchArena] = None) -> None:
+        if not models:
+            raise ValueError("need at least one model")
+        self.models = list(models)
+        reference = [(name, parameter.data.shape, parameter.data.dtype)
+                     for name, parameter in self.models[0].named_parameters()]
+        for model in self.models[1:]:
+            shapes = [(name, parameter.data.shape, parameter.data.dtype)
+                      for name, parameter in model.named_parameters()]
+            if shapes != reference:
+                raise ValueError(
+                    "stacked inference requires same-architecture models "
+                    "(matching parameter names, shapes and dtypes)")
+            if model.convolution.single_kernel != \
+                    self.models[0].convolution.single_kernel:
+                raise ValueError("models disagree on single_kernel")
+            # The staging below reads these scalars from the first model
+            # only — a silent mismatch would misprice every other model.
+            if model.attention.temperature != \
+                    self.models[0].attention.temperature:
+                raise ValueError("models disagree on attention temperature")
+            if model.feed_forward.negative_slope != \
+                    self.models[0].feed_forward.negative_slope:
+                raise ValueError("models disagree on the leaky-ReLU slope")
+        self.arena = arena if arena is not None else ScratchArena()
+
+    @property
+    def dtype(self):
+        return self.models[0].embedding.weight.data.dtype
+
+    # ------------------------------------------------------------------ #
+    # Weight staging (stacked replica of InferenceEngine._stage)
+    # ------------------------------------------------------------------ #
+    def _stage(self) -> dict:
+        arena = self.arena
+        models = self.models
+        m = len(models)
+        first = models[0]
+        attention = first.attention
+        dtype = self.dtype
+        n_heads = attention.n_heads
+        d_qk = attention.query_weights[0].data.shape[-1]
+        d_model = first.embedding.weight.data.shape[-1]
+        n = first.convolution.n_series
+        window = first.convolution.window
+
+        weight_flat = arena.take("stack.weight_flat",
+                                 (m, d_model, 2 * n_heads * d_qk), dtype)
+        bias_flat = arena.take("stack.bias_flat", (m, 2 * n_heads * d_qk), dtype)
+        for row, model in enumerate(models):
+            weights = model.attention.query_weights + model.attention.key_weights
+            biases = model.attention.query_biases + model.attention.key_biases
+            for index, (weight, bias) in enumerate(zip(weights, biases)):
+                columns = slice(index * d_qk, (index + 1) * d_qk)
+                weight_flat[row, :, columns] = weight.data
+                bias_flat[row, columns] = bias.data
+
+        # float64 modulation — see the promotion note in
+        # ``InferenceEngine._stage`` (replicated per model, exactly).
+        scale = 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        modulation = arena.take("stack.modulation", (m, n_heads, 1, n, n),
+                                np.float64)
+        for row, model in enumerate(models):
+            for index, mask in enumerate(model.attention.mask_parameters):
+                modulation[row, index, 0] = mask.data
+        modulation *= scale
+
+        kernel_eff = arena.take("stack.kernel", (m, n, n, window), dtype)
+        for row, model in enumerate(models):
+            convolution = model.convolution
+            if convolution.single_kernel:
+                np.multiply(convolution.kernel.data,
+                            convolution._ones_broadcast.data,
+                            out=kernel_eff[row])
+            else:
+                kernel_eff[row] = convolution.kernel.data
+
+        def stacked_copy(name: str, arrays: List[np.ndarray]) -> np.ndarray:
+            buffer = arena.take(name, (m,) + arrays[0].shape, arrays[0].dtype)
+            for row, array in enumerate(arrays):
+                buffer[row] = array
+            return buffer
+
+        return {
+            "dtype": dtype,
+            "n_heads": n_heads,
+            "d_qk": d_qk,
+            "weight_flat": weight_flat,
+            "bias_flat": bias_flat,
+            "modulation": modulation,
+            "kernel_eff": kernel_eff,
+            "scale_array": first.convolution._scale_array,
+            "embed_weight": stacked_copy(
+                "stack.embed_w", [model.embedding.weight.data for model in models]),
+            "embed_bias": stacked_copy(
+                "stack.embed_b", [model.embedding.bias.data for model in models]),
+            "w1": stacked_copy("stack.w1", [model.feed_forward.w1.data for model in models]),
+            "b1": stacked_copy("stack.b1", [model.feed_forward.b1.data for model in models]),
+            "w2": stacked_copy("stack.w2", [model.feed_forward.w2.data for model in models]),
+            "b2": stacked_copy("stack.b2", [model.feed_forward.b2.data for model in models]),
+            "w3": stacked_copy("stack.w3", [model.output_layer.weight.data for model in models]),
+            "b3": stacked_copy("stack.b3", [model.output_layer.bias.data for model in models]),
+            "negative_slope": first.feed_forward.negative_slope,
+            "w_output": stacked_copy(
+                "stack.w_out", [model.attention.w_output.data for model in models]),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Fused building blocks (leading model axis, same per-slice ops)
+    # ------------------------------------------------------------------ #
+    def _causal_windows(self, space: ScratchSpace, x: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        m, batch, n, window = x.shape
+        padded = space.take("conv.pad", (m, batch, n, 2 * window), x.dtype)
+        padded[..., window:] = x
+        flat = space.take("conv.windows_flat",
+                          (m, n, batch * window, window), x.dtype)
+        source = space.view("conv.window_view", lambda: np.lib.stride_tricks
+                            .sliding_window_view(padded, window, axis=-1)
+                            [..., 1:, :].transpose(0, 2, 1, 3, 4))
+        target = space.view("conv.windows_flat.5d",
+                            lambda: flat.reshape(m, n, batch, window, window))
+        np.copyto(target, source)
+        return padded, flat
+
+    def _convolution(self, space: ScratchSpace, x: np.ndarray, stage: dict,
+                     legacy_layout: bool = False
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        m, batch, n, window = x.shape
+        kernel = stage["kernel_eff"]
+        cdtype = np.result_type(x.dtype, kernel.dtype)
+        _padded, flat = self._causal_windows(space, x)
+        k_out = kernel.shape[2]
+        raw = space.take("conv.raw", (m, n, batch * window, k_out), cdtype)
+        np.matmul(flat, kernel.transpose(0, 1, 3, 2), out=raw)
+        if legacy_layout:
+            buffer = space.take("conv.values", (m, n, batch, window, k_out),
+                                cdtype)
+            values = space.view("conv.values.t",
+                                lambda: buffer.transpose(0, 2, 1, 4, 3))
+        else:
+            values = space.take("conv.values", (m, batch, n, k_out, window),
+                                cdtype)
+        raw_t = space.view("conv.raw.t",
+                           lambda: raw.reshape(m, n, batch, window, k_out)
+                           .transpose(0, 2, 1, 4, 3))
+        np.multiply(raw_t, stage["scale_array"], out=values)
+        shift = space.take("conv.shift", (m, batch, window), cdtype)
+        for index in range(n):
+            np.copyto(shift, values[:, :, index, index, :])
+            values[:, :, index, index, 1:] = shift[..., :-1]
+            values[:, :, index, index, 0] = 0.0
+        return values, flat
+
+    def _softmax_inplace(self, space: ScratchSpace, probs: np.ndarray) -> None:
+        extreme = space.take("att.max", probs.shape[:-1] + (1,), probs.dtype)
+        probs -= max_last_keepdims(probs, out=extreme)
+        np.exp(probs, out=probs)
+        total = space.take("att.sum", probs.shape[:-1] + (1,), probs.dtype)
+        probs /= sum_last_keepdims(probs, out=total)
+
+    def _attention_probs(self, space: ScratchSpace, x: np.ndarray, stage: dict
+                         ) -> np.ndarray:
+        m, batch, n, window = x.shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        d_model = stage["embed_weight"].shape[-1]
+        cdtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
+        x2d = x.reshape(m, batch * n, window)
+        emb = space.take("att.emb", (m, batch * n, d_model), cdtype)
+        np.matmul(x2d, stage["embed_weight"], out=emb)
+        emb += stage["embed_bias"][:, None, :]
+        proj = space.take("att.proj", (m, batch * n, 2 * n_heads * d_qk), cdtype)
+        np.matmul(emb, stage["weight_flat"], out=proj)
+        proj += stage["bias_flat"][:, None, :]
+        qk = space.take("att.qk", (m, 2 * n_heads, batch, n, d_qk), cdtype)
+        np.copyto(qk, space.view("att.proj.t",
+                                 lambda: proj.reshape(m, batch, n, 2 * n_heads,
+                                                      d_qk)
+                                 .transpose(0, 3, 1, 2, 4)))
+        raw = space.take("att.raw", (m, n_heads, batch, n, n), cdtype)
+        np.matmul(qk[:, :n_heads],
+                  space.view("att.k.t",
+                             lambda: qk[:, n_heads:].transpose(0, 1, 2, 4, 3)),
+                  out=raw)
+        probs = space.take("att.probs", (m, n_heads, batch, n, n), np.float64)
+        np.multiply(raw, stage["modulation"], out=probs)
+        self._softmax_inplace(space, probs)
+        return probs
+
+    def _combine_layout(self, space: ScratchSpace, probs: np.ndarray,
+                        values: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        m, n_heads, batch, n, _ = probs.shape
+        window = values.shape[-1]
+        out_dtype = np.result_type(probs.dtype, values.dtype)
+        a_bihj = space.take("comb.a", (m, batch, n, n_heads, n), probs.dtype)
+        np.copyto(a_bihj, space.view("comb.probs.t",
+                                     lambda: probs.transpose(0, 2, 3, 1, 4)))
+        v_bijt = space.take("comb.v", (m, batch, n, n, window), out_dtype)
+        np.copyto(v_bijt, space.view("comb.values.t",
+                                     lambda: values.transpose(0, 1, 3, 2, 4)))
+        head_outputs = space.take("comb.ho", (m, batch, n, n_heads, window),
+                                  out_dtype)
+        np.matmul(a_bihj, v_bijt, out=head_outputs)
+        return a_bihj, v_bijt, head_outputs
+
+    def _forward(self, x: np.ndarray, stage: dict) -> np.ndarray:
+        m, batch, n, window = x.shape
+        space = self.arena.space(("stack.eval", x.shape, x.dtype.str))
+        values, _flat = self._convolution(space, x, stage)
+        probs = self._attention_probs(space, x, stage)
+        _a, _v, head_outputs = self._combine_layout(space, probs, values)
+        n_heads = stage["n_heads"]
+        dtype = head_outputs.dtype
+        at = space.take("comb.at", (m, batch, n, window, n_heads), dtype)
+        np.copyto(at, space.view("comb.ho.t",
+                                 lambda: head_outputs.transpose(0, 1, 2, 4, 3)))
+        combined = space.take("comb.out", (m, batch * n * window, 1), dtype)
+        at2d = space.view("comb.at.2d",
+                          lambda: at.reshape(m, batch * n * window, n_heads))
+        # Per-row np.dot, replicating the single engine's GEMV-dot exactly.
+        for row in range(m):
+            np.dot(at2d[row],
+                   stage["w_output"][row].reshape(n_heads, 1)
+                   .astype(dtype, copy=False),
+                   out=combined[row])
+        x2d = space.view("comb.out.2d",
+                         lambda: combined.reshape(m, batch * n, window))
+        d_ffn = stage["w1"].shape[-1]
+        hidden = space.take("mlp.hidden", (m, batch * n, d_ffn), dtype)
+        np.matmul(x2d, stage["w1"], out=hidden)
+        hidden += stage["b1"][:, None, :]
+        slope = _leaky_slope(space, "mlp.slope", hidden, stage["negative_slope"])
+        hidden *= slope
+        ffn = space.take("mlp.ffn", (m, batch * n, window), dtype)
+        np.matmul(hidden, stage["w2"], out=ffn)
+        ffn += stage["b2"][:, None, :]
+        out2d = space.take("mlp.out", (m, batch * n, window), dtype)
+        np.matmul(ffn, stage["w3"], out=out2d)
+        out2d += stage["b3"][:, None, :]
+        return space.view("mlp.out.4d",
+                          lambda: out2d.reshape(m, batch, n, window))
+
+    # ------------------------------------------------------------------ #
+    # Batch staging and evaluation
+    # ------------------------------------------------------------------ #
+    def _as_model_batch(self, windows_list: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack ``M`` window sets, replaying ``InferenceEngine._as_model_batch``
+        per model (identical Tensor-construction cast chain, then one
+        contiguous ``(M, B, N, T)`` arena buffer)."""
+        from repro.nn import tensor as T
+
+        default = np.dtype(T.get_default_dtype())
+        dtype = self.dtype
+        cast: List[np.ndarray] = []
+        for windows in windows_list:
+            arr = np.asarray(windows, dtype=default)
+            if arr.dtype != dtype:
+                arr = np.asarray(arr.astype(dtype), dtype=default)
+            if arr.ndim == 2:
+                arr = arr[None, :, :]
+            cast.append(arr)
+        shapes = {arr.shape for arr in cast}
+        if len(shapes) != 1:
+            raise ValueError("stacked evaluation requires same-shape window sets")
+        batch = self.arena.take("stack.batch", (len(cast),) + cast[0].shape,
+                                default)
+        for row, arr in enumerate(cast):
+            batch[row] = arr
+        return batch
+
+    def _windowed_diff(self, prediction: np.ndarray, target: np.ndarray,
+                       start_slot: int = 1) -> np.ndarray:
+        diff_shape = prediction.shape[:-1] + (prediction.shape[-1] - start_slot,)
+        diff = self.arena.take("stack.loss.diff", diff_shape, prediction.dtype)
+        np.subtract(prediction[..., start_slot:], target[..., start_slot:],
+                    out=diff)
+        return diff
+
+    def forward(self, windows_list: Sequence[np.ndarray]) -> np.ndarray:
+        """Stacked fused forward; returns the ``(M, B, N, T)`` prediction view."""
+        stage = self._stage()
+        return self._forward(self._as_model_batch(windows_list), stage)
+
+    def evaluate(self, windows_list: Sequence[np.ndarray],
+                 batch_size: int) -> List[float]:
+        """Per-model window-weighted mean losses, one stacked pass per chunk.
+
+        Returns one float per model, each bit-identical to
+        ``InferenceEngine.evaluate`` on that model's window set alone (same
+        full-batch-vs-chunked branch, same chunk-weighted accumulation).
+        """
+        stage = self._stage()
+        arrays = [np.asarray(windows) for windows in windows_list]
+        if len(arrays) != len(self.models):
+            raise ValueError("one window set per model required")
+        shapes = {arr.shape for arr in arrays}
+        if len(shapes) != 1:
+            raise ValueError("stacked evaluation requires same-shape window sets")
+        shape = arrays[0].shape
+        m = len(self.models)
+        penalties = [_loss_penalty_terms(model, self.arena, prefix=f"m{row}.")
+                     for row, model in enumerate(self.models)]
+        # The element budget bounds the *total* scratch footprint, and the
+        # stacked buffers carry a leading model axis — so each model's share
+        # is the per-model limit divided by the fleet size.  The full-batch
+        # and chunked paths are bit-identical per model, so this only moves
+        # the memory/speed trade-off, never the results.
+        if len(shape) == 3 and shape[0] and (
+                shape[0] * shape[1] ** 2 * shape[2]
+                <= InferenceEngine.FULL_BATCH_ELEMENT_LIMIT // m):
+            batch = self._as_model_batch(arrays)
+            diff = self._windowed_diff(self._forward(batch, stage), batch)
+            results: List[float] = []
+            for row in range(m):
+                total = 0.0
+                count = 0
+                for start in range(0, shape[0], batch_size):
+                    chunk = diff[row, start:start + batch_size]
+                    total += InferenceEngine._mse_plus_penalties(
+                        chunk, penalties[row]) * len(chunk)
+                    count += len(chunk)
+                results.append(total / count)
+            return results
+        totals = [0.0] * m
+        count = 0
+        for start in range(0, shape[0], batch_size):
+            chunk = self._as_model_batch(
+                [arr[start:start + batch_size] for arr in arrays])
+            diff = self._windowed_diff(self._forward(chunk, stage), chunk)
+            for row in range(m):
+                totals[row] += InferenceEngine._mse_plus_penalties(
+                    diff[row], penalties[row]) * chunk.shape[1]
+            count += chunk.shape[1]
+        return [total / count if count else float("nan") for total in totals]
+
+    # ------------------------------------------------------------------ #
+    # Detector support: stacked cache forward + multi-target backward
+    # ------------------------------------------------------------------ #
+    def interpretation_forward(self, windows_list: Sequence[np.ndarray]
+                               ) -> StackedInterpretationForward:
+        """One stacked cache-path forward shared by every model and target."""
+        from repro.core.attention import AttentionHeadCache
+        from repro.core.transformer import TransformerCache
+
+        arena = self.arena
+        stage = self._stage()
+        x = self._as_model_batch([np.asarray(w, dtype=float)
+                                  for w in windows_list])
+        m, batch, n, window = x.shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        space = arena.space(("stack.cache", x.shape, x.dtype.str))
+
+        values, windows_flat = self._convolution(space, x, stage,
+                                                 legacy_layout=True)
+        cdtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
+        d_model = stage["embed_weight"].shape[-1]
+        emb3d = arena.take("stack.cache.emb", (m, batch, n, d_model), cdtype)
+        np.matmul(x, stage["embed_weight"][:, None], out=emb3d)
+        emb3d += stage["embed_bias"][:, None, None, :]
+        proj = arena.take("stack.att.proj", (m, batch * n, 2 * n_heads * d_qk),
+                          cdtype)
+        np.matmul(emb3d.reshape(m, batch * n, d_model), stage["weight_flat"],
+                  out=proj)
+        proj += stage["bias_flat"][:, None, :]
+        qk = arena.take("stack.att.qk", (m, 2 * n_heads, batch, n, d_qk), cdtype)
+        np.copyto(qk, proj.reshape(m, batch, n, 2 * n_heads, d_qk)
+                  .transpose(0, 3, 1, 2, 4))
+        q_data, k_data = qk[:, :n_heads], qk[:, n_heads:]
+        raw = arena.take("stack.att.raw", (m, n_heads, batch, n, n), cdtype)
+        np.matmul(q_data, k_data.transpose(0, 1, 2, 4, 3), out=raw)
+        probs = arena.take("stack.att.probs", (m, n_heads, batch, n, n),
+                           np.float64)
+        np.multiply(raw, stage["modulation"], out=probs)
+        scores = arena.take("stack.att.scores", (m, n_heads, batch, n, n),
+                            np.float64)
+        np.copyto(scores, probs)
+        self._softmax_inplace(space, probs)
+
+        a_bihj, v_bijt, head_outputs = self._combine_layout(space, probs,
+                                                            values)
+        dtype = head_outputs.dtype
+        ho_hbit = arena.take("stack.cache.ho", (m, n_heads, batch, n, window),
+                             dtype)
+        np.copyto(ho_hbit, head_outputs.transpose(0, 3, 1, 2, 4))
+        combined = arena.take("stack.cache.combined", (m, batch, n, window),
+                              dtype)
+        np.einsum("mhbit,mh->mbit", ho_hbit,
+                  stage["w_output"].astype(dtype, copy=False), out=combined)
+
+        d_ffn = stage["w1"].shape[-1]
+        hidden = arena.take("stack.cache.hidden", (m, batch, n, d_ffn), dtype)
+        np.matmul(combined, stage["w1"][:, None], out=hidden)
+        hidden += stage["b1"][:, None, None, :]
+        slope = _leaky_slope(space, "cache.slope", hidden,
+                             stage["negative_slope"])
+        activated = arena.take("stack.cache.activated", (m, batch, n, d_ffn),
+                               dtype)
+        np.multiply(hidden, slope, out=activated)
+        ffn_output = arena.take("stack.cache.ffn", (m, batch, n, window), dtype)
+        np.matmul(activated, stage["w2"][:, None], out=ffn_output)
+        ffn_output += stage["b2"][:, None, None, :]
+        prediction = arena.take("stack.cache.out", (m, batch, n, window), dtype)
+        np.matmul(ffn_output, stage["w3"][:, None], out=prediction)
+        prediction += stage["b3"][:, None, None, :]
+
+        x64 = np.asarray(x, dtype=float)
+        padded64 = arena.take("stack.cache.pad64", (m, batch, n, 2 * window),
+                              np.float64)
+        padded64[..., window:] = x64
+        view64 = np.lib.stride_tricks.sliding_window_view(
+            padded64, window, axis=-1)[..., 1:, :]         # (M, B, N, T, K)
+        values_pre = arena.take("stack.cache.values_pre",
+                                (m, batch, n, n, window),
+                                np.result_type(np.float64, x.dtype))
+        np.einsum("mbitk,mijk->mbijt", view64, stage["kernel_eff"],
+                  out=values_pre)
+        values_pre *= stage["scale_array"]
+
+        forwards: List[InterpretationForward] = []
+        for row in range(m):
+            head_caches = [
+                AttentionHeadCache(
+                    attention=None, head_output=None,
+                    attention_data=probs[row, index],
+                    head_output_data=ho_hbit[row, index],
+                    scores_data=scores[row, index],
+                )
+                for index in range(n_heads)
+            ]
+            cache = TransformerCache(
+                inputs=x[row],
+                embedding=emb3d[row],
+                values_pre_shift=values_pre[row],
+                values=values[row],
+                conv_windows=view64[row],
+                head_caches=head_caches,
+                attention_combined=combined[row],
+                ffn_hidden=hidden[row],
+                ffn_activated=activated[row],
+                ffn_output=ffn_output[row],
+                output=prediction[row],
+                values_tensor=None,
+            )
+            forwards.append(InterpretationForward(
+                cache=cache, attention_probs=probs[row], slope=slope[row],
+                a_bihj=a_bihj[row], v_bijt=v_bijt[row],
+                windows_flat=windows_flat[row], batch=batch,
+                extras={"stage": stage, "row": row},
+            ))
+        return StackedInterpretationForward(
+            forwards=forwards, inputs=x, output=prediction, values=values,
+            values_pre=values_pre, conv_windows=view64,
+            attention_probs=probs, head_outputs=ho_hbit, combined=combined,
+            hidden=hidden, activated=activated, ffn_output=ffn_output,
+            slope=slope, a_bihj=a_bihj, v_bijt=v_bijt,
+            windows_flat=windows_flat, extras={"stage": stage},
+        )
+
+    def interpretation_gradients(self, forward: StackedInterpretationForward,
+                                 targets: Sequence[int]
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gradients of ``Σ_t prediction[:, target, :]``, stacked over models.
+
+        Returns ``(attention_grads, kernel_grads)`` of shapes
+        ``(M, G, h, B, N, N)`` and ``(M, G, N, N, K)`` (``(M, G, 1, 1, K)``
+        for the single-kernel ablation) — row ``m`` bit-identical to
+        ``InferenceEngine.interpretation_gradients`` on model ``m`` alone.
+        """
+        stage = forward.extras["stage"]
+        m, batch, n, window = forward.output.shape
+        n_targets = len(targets)
+        dtype = forward.output.dtype
+        diag = np.arange(n)
+
+        grad_pred = np.zeros((m, n_targets, batch, n, window), dtype=dtype)
+        for index, target in enumerate(targets):
+            grad_pred[:, index, :, target, :] = 1.0
+        grad_ffn = grad_pred @ stage["w3"].transpose(0, 2, 1)[:, None, None]
+        grad_hidden = grad_ffn @ stage["w2"].transpose(0, 2, 1)[:, None, None]
+        grad_hidden *= forward.slope[:, None]
+        grad_combined = grad_hidden \
+            @ stage["w1"].transpose(0, 2, 1)[:, None, None]    # (M,G,B,N,T)
+
+        grad_heads = np.einsum("mgbit,mh->mghbit", grad_combined,
+                               stage["w_output"])
+        grad_biht = np.ascontiguousarray(grad_heads.transpose(0, 1, 3, 4, 2, 5))
+        grad_a = grad_biht \
+            @ forward.v_bijt.transpose(0, 1, 2, 4, 3)[:, None]  # (M,G,B,i,h,j)
+        attention_grads = grad_a.transpose(0, 1, 4, 2, 3, 5)    # (M,G,h,B,i,j)
+        grad_v = forward.a_bihj.transpose(0, 1, 2, 4, 3)[:, None] \
+            @ grad_biht                                         # (M,G,B,i,j,t)
+        grad_values = grad_v.transpose(0, 1, 2, 4, 3, 5)        # (M,G,B,j,i,t)
+
+        grad_values = np.ascontiguousarray(grad_values,
+                                           dtype=forward.values.dtype)
+        diagonal = grad_values[:, :, :, diag, diag, :]
+        grad_values[:, :, :, diag, diag, :-1] = diagonal[..., 1:]
+        grad_values[:, :, :, diag, diag, -1] = 0.0
+        grad_values = grad_values * stage["scale_array"]
+        flat = np.ascontiguousarray(grad_values.transpose(0, 1, 3, 4, 2, 5)) \
+            .reshape(m, n_targets, n, n, batch * window)
+        kernel_grads = flat @ forward.windows_flat[:, None]     # (M,G,N,N,K)
+        kernel_dtype = self.models[0].convolution.kernel.data.dtype
+        if kernel_grads.dtype != kernel_dtype:
+            kernel_grads = np.asarray(kernel_grads, dtype=kernel_dtype)
+        if self.models[0].convolution.single_kernel:
+            kernel_grads = kernel_grads.sum(axis=(2, 3), keepdims=True)
         return attention_grads, kernel_grads

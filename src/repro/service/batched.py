@@ -4,19 +4,23 @@ A sweep frequently schedules the *same* CausalFormer configuration over
 several datasets and seeds.  Dispatching each as its own job repeats the
 whole per-model numpy call sequence — at sweep model sizes the dispatch
 overhead dominates the arithmetic.  This module packs compatible jobs into
-one process pass: the models train together through
-:class:`repro.core.batched.StackedCausalFormerTrainer` (stacked GEMMs, one
-set of numpy calls for the whole group), then each job's detector
-interpretation and scoring runs exactly as it would alone.
+one process pass that stays stacked end to end: the models train together
+through :class:`repro.core.batched.StackedCausalFormerTrainer` (stacked
+GEMMs for every step *and* every validation pass), then the whole group's
+detector interpretation runs as one stacked pass
+(:func:`repro.core.detector.compute_scores_group`) instead of one
+interpretation per job; only graph construction and scoring stay per job.
 
-Batching is numerics-preserving: the stacked trainer's per-model steps are
-bit-identical to sequential training, so a batched sweep returns the same
-graphs and scores as per-job dispatch — the correctness tests assert this.
+Batching is numerics-preserving: the stacked trainer's per-model steps and
+the stacked interpretation's per-model scores are bit-identical to the
+sequential paths, so a batched sweep returns the same graphs and scores as
+per-job dispatch — the correctness tests assert this.
 
 Jobs are batchable together when they name the ``causalformer`` method with
-identical configuration (up to the seed) on identically shaped datasets;
-everything else — baselines, single-kernel ablations, odd-shaped cells —
-falls through to the ordinary per-job path.
+identical configuration (up to the seed) on identically shaped datasets —
+including the single-kernel ablation, whose shared ``(1, 1, T)`` kernel
+stacks like any other parameter; everything else — baselines, odd-shaped
+cells — falls through to the ordinary per-job path.
 """
 
 from __future__ import annotations
@@ -36,10 +40,13 @@ MIN_GROUP = 2
 
 
 def batch_signature(job: DiscoveryJob, dataset: TimeSeriesDataset):
-    """Grouping key for stackable jobs (``None`` when not batchable)."""
+    """Grouping key for stackable jobs (``None`` when not batchable).
+
+    The configuration (minus the seed) is part of the key, so the
+    single-kernel ablation groups with other single-kernel jobs and never
+    with multi-kernel ones.
+    """
     if job.method != "causalformer":
-        return None
-    if job.config.get("single_kernel"):
         return None
     config = {key: value for key, value in job.config.items() if key != "seed"}
     try:
@@ -72,11 +79,13 @@ def group_batchable(pairs: Sequence[Tuple[int, JobPair]]
 
 
 def execute_batched_jobs(pairs: Sequence[JobPair]) -> List[JobResult]:
-    """Run one group of stackable jobs in a single stacked training pass.
+    """Run one group of stackable jobs as one stacked train + interpret pass.
 
-    Per-job failures during interpretation/scoring are captured into their
-    own :class:`JobResult`; a failure of the *shared* stacked training falls
-    back to sequential per-job execution, so batching never loses a sweep.
+    Per-job failures during graph construction/scoring are captured into
+    their own :class:`JobResult`; a failure of the *shared* stacked training
+    falls back to sequential per-job execution, and a failure of the shared
+    stacked interpretation falls back to per-job interpretation — batching
+    never loses a sweep.
     """
     from repro.core.batched import StackedCausalFormerTrainer
     from repro.service.executor import execute_job
@@ -92,19 +101,43 @@ def execute_batched_jobs(pairs: Sequence[JobPair]) -> List[JobResult]:
         trainer = StackedCausalFormerTrainer(
             [method.model_ for method in methods])
         histories = trainer.fit(values_list)
+        # finalize_fit is two attribute assignments; it lives in the shared
+        # block because the group interpretation below needs every method
+        # finalized before it can collect the detector windows.
+        for method, values, history in zip(methods, values_list, histories):
+            method.finalize_fit(values, history)
         shared = (time.perf_counter() - start) / len(pairs)
     except Exception:
         # The stacked pass itself failed (incompatible shapes slipping past
         # the signature, resource limits, …): degrade to per-job execution.
         return [execute_job(job, dataset) for job, dataset in pairs]
 
+    # Stacked detector interpretation: one cache forward, multi-target
+    # backward and relevance propagation for the whole group (bit-identical
+    # per-model scores).  Any failure degrades to per-job interpretation.
+    detectors = None
+    scores_list = None
+    try:
+        from repro.core.detector import compute_scores_group
+
+        interpret_start = time.perf_counter()
+        detectors = [method.build_detector() for method in methods]
+        windows_list = [method.detector_windows() for method in methods]
+        scores_list = compute_scores_group(detectors, windows_list)
+        shared += (time.perf_counter() - interpret_start) / len(pairs)
+    except Exception:
+        detectors = None
+        scores_list = None
+
     results: List[JobResult] = []
-    for method, values, history, (job, dataset) in zip(
-            methods, values_list, histories, pairs):
+    for index, (method, (job, dataset)) in enumerate(zip(methods, pairs)):
         own = time.perf_counter()
         try:
-            method.finalize_fit(values, history)
-            graph = method.interpret()
+            if scores_list is None:
+                graph = method.interpret()
+            else:
+                graph = method.adopt_interpretation(detectors[index],
+                                                    scores_list[index])
             scores = None
             if dataset.graph is not None:
                 from repro.graph.metrics import evaluate_discovery

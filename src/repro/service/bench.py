@@ -9,7 +9,11 @@ The suite times the layers the training loop actually exercises —
 * ``fit_small``     — a full small ``Trainer.fit`` on a VAR fork dataset,
 * ``evaluate``      — ``Trainer._evaluate`` (the no-grad validation pass),
 * ``detector_interpret`` — the causality detector's full interpretation,
-* ``sweep_batched`` — four same-shape discovery jobs through the executor —
+* ``sweep_batched`` — four same-shape discovery jobs through the executor,
+* ``evaluate_stacked``  — four models' validation sets through the stacked
+  inference engine (what a batched sweep runs every epoch),
+* ``interpret_batched`` — group detector interpretation of four models in
+  one stacked pass —
 
 and writes the wall-clock results to the next free ``BENCH_nn.json`` slot
 (``BENCH_01.json``, ``BENCH_02.json``, …) together with the committed
@@ -49,8 +53,11 @@ _REPORT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 #: benchmark gated by the CI regression check (kept for compatibility)
 REGRESSION_KEY = "train_epoch"
 
-#: benchmarks gated by the CI regression check by default
-REGRESSION_KEYS = ("train_epoch", "evaluate")
+#: benchmarks gated by the CI regression check by default; keys absent from
+#: the reference report are skipped, so extending this set never breaks
+#: comparisons against older trajectory reports
+REGRESSION_KEYS = ("train_epoch", "evaluate", "detector_interpret",
+                   "evaluate_stacked")
 
 
 def _numbered_reports(root: Optional[str] = None) -> List[Tuple[int, str]]:
@@ -262,6 +269,74 @@ def _payload_sweep_batched() -> Callable[[], None]:
     return run
 
 
+def _stacked_models(n_models: int = 4):
+    """Four same-architecture models + per-model window sets (sweep shapes)."""
+    from dataclasses import replace
+
+    from repro.core.config import CausalFormerConfig
+    from repro.core.transformer import CausalityAwareTransformer
+    from repro.data.windows import sliding_windows
+
+    config = CausalFormerConfig(
+        n_series=5, window=16, d_model=24, d_qk=24, d_ffn=24, n_heads=4,
+        batch_size=32, window_stride=2, seed=0)
+    rng = np.random.default_rng(6)
+    models, window_sets = [], []
+    for seed in range(n_models):
+        model = CausalityAwareTransformer(replace(config, seed=seed))
+        windows = sliding_windows(rng.normal(size=(5, 400)), config.window,
+                                  config.window_stride)
+        models.append(model)
+        window_sets.append(np.ascontiguousarray(
+            windows, dtype=model.embedding.weight.data.dtype))
+    return models, window_sets, config
+
+
+def _payload_evaluate_stacked() -> Callable[[], None]:
+    """Four models' validation sets through one stacked inference pass.
+
+    This is the per-epoch validation workload of a batched 4-job sweep —
+    previously one ``InferenceEngine.evaluate`` call per model.
+    """
+    from repro.nn.inference import StackedInferenceEngine
+
+    models, window_sets, config = _stacked_models()
+    engine = StackedInferenceEngine(models)
+
+    def run() -> None:
+        engine.evaluate(window_sets, config.batch_size)
+
+    return run
+
+
+def _payload_interpret_batched() -> Callable[[], None]:
+    """Group detector interpretation of four models in one stacked pass.
+
+    Previously one full ``compute_scores`` interpretation per job.
+    """
+    from repro.core.config import CausalFormerConfig
+    from repro.core.detector import (DecompositionCausalityDetector,
+                                     compute_scores_group)
+    from repro.core.transformer import CausalityAwareTransformer
+    from repro.data import fork_dataset
+    from repro.data.windows import sliding_windows, zscore_normalize
+
+    detectors, window_sets = [], []
+    for seed in range(4):
+        values = zscore_normalize(fork_dataset(seed=seed, length=160).values)
+        config = CausalFormerConfig(
+            n_series=values.shape[0], window=16, d_model=24, d_qk=24,
+            d_ffn=24, n_heads=4, seed=seed)
+        model = CausalityAwareTransformer(config)
+        detectors.append(DecompositionCausalityDetector(model, config))
+        window_sets.append(sliding_windows(values, config.window, 2)[:8])
+
+    def run() -> None:
+        compute_scores_group(detectors, window_sets)
+
+    return run
+
+
 #: name -> (builder, full-mode repeats, smoke-mode repeats)
 PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "tensor_ops": (_payload_tensor_ops, 20, 5),
@@ -272,6 +347,8 @@ PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "evaluate": (_payload_evaluate, 20, 5),
     "detector_interpret": (_payload_detector_interpret, 9, 3),
     "sweep_batched": (_payload_sweep_batched, 5, 1),
+    "evaluate_stacked": (_payload_evaluate_stacked, 20, 5),
+    "interpret_batched": (_payload_interpret_batched, 9, 3),
 }
 
 

@@ -100,6 +100,10 @@ class ResultCache:
         return path
 
     def __contains__(self, key: str) -> bool:
+        """Pure existence probe — deliberately does *not* touch the hit/miss
+        counters.  ``get`` is the single counting lookup, so the common
+        ``key in cache`` + ``get(key)`` pattern records exactly one hit (or
+        one miss), never two."""
         return os.path.exists(self.path_for(key))
 
     # ------------------------------------------------------------------ #
@@ -117,7 +121,12 @@ class ResultCache:
                     yield entry[:-len(".json")]
 
     def clear(self) -> int:
-        """Remove every entry; returns the number of entries removed."""
+        """Remove every entry; returns the number of entries removed.
+
+        Also prunes what emptying leaves behind: stale ``.tmp`` files from
+        interrupted writes and the then-empty shard directories (which used
+        to accumulate forever, one per touched key prefix).
+        """
         removed = 0
         for key in list(self.keys()):
             try:
@@ -125,6 +134,22 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        if os.path.isdir(self.directory):
+            for shard in os.listdir(self.directory):
+                shard_path = os.path.join(self.directory, shard)
+                if not os.path.isdir(shard_path):
+                    continue
+                for entry in os.listdir(shard_path):
+                    if entry.endswith(".tmp"):
+                        try:
+                            os.unlink(os.path.join(shard_path, entry))
+                        except OSError:
+                            pass
+                try:
+                    os.rmdir(shard_path)
+                except OSError:
+                    # Shard still holds foreign files — leave it alone.
+                    pass
         return removed
 
     def stats(self) -> CacheStats:

@@ -5,7 +5,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.core.batched import StackedCausalFormerTrainer, stackable_config
+from repro.core.batched import StackedCausalFormerTrainer
 from repro.core.config import CausalFormerConfig
 from repro.core.training import Trainer
 from repro.core.transformer import CausalityAwareTransformer
@@ -94,13 +94,24 @@ class TestValidation:
         with pytest.raises(ValueError, match="identical configs"):
             StackedCausalFormerTrainer(models)
 
-    def test_rejects_single_kernel(self):
+    def test_single_kernel_is_stackable(self):
         config = replace(base_config(single_kernel=True), n_series=4)
-        assert not stackable_config(config)
         models = [CausalityAwareTransformer(config),
                   CausalityAwareTransformer(replace(config, seed=1))]
-        with pytest.raises(ValueError, match="single-kernel"):
-            StackedCausalFormerTrainer(models)
+        trainer = StackedCausalFormerTrainer(models)
+        assert trainer.config.single_kernel
+
+    def test_rejects_unequal_validation_counts(self):
+        """Equal training shapes with unequal validation shapes (a round()
+        artefact of the validation fraction) must be rejected up front."""
+        config = replace(base_config(validation_fraction=0.1), n_series=4)
+        models = [CausalityAwareTransformer(config),
+                  CausalityAwareTransformer(replace(config, seed=1))]
+        # window=12, stride=2: lengths 220 and 222 give 105 and 106 windows,
+        # which split into 95 + 10 and 95 + 11 under a 0.1 fraction.
+        with pytest.raises(ValueError, match="same-shape"):
+            StackedCausalFormerTrainer(models).fit(
+                [make_series(0, length=220), make_series(1, length=222)])
 
     def test_rejects_empty_model_list(self):
         with pytest.raises(ValueError, match="at least one"):
@@ -120,3 +131,131 @@ class TestValidation:
         with pytest.raises(ValueError, match="same-shape"):
             StackedCausalFormerTrainer(models).fit(
                 [make_series(0), make_series(1, length=120)])
+
+
+class TestSingleKernelBitIdentity:
+    """The single-kernel ablation trains in the stack like any other config."""
+
+    @pytest.fixture(scope="class")
+    def trained_single_kernel(self):
+        values_list = [make_series(seed + 40) for seed in range(2)]
+        configs = [replace(base_config(single_kernel=True),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+        sequential = [CausalityAwareTransformer(config) for config in configs]
+        sequential_histories = [
+            Trainer(model, config).fit(values)
+            for model, config, values in zip(sequential, configs, values_list)]
+        stacked = [CausalityAwareTransformer(config) for config in configs]
+        stacked_histories = StackedCausalFormerTrainer(stacked).fit(values_list)
+        return sequential, sequential_histories, stacked, stacked_histories
+
+    def test_parameters_identical(self, trained_single_kernel):
+        sequential, _sh, stacked, _bh = trained_single_kernel
+        for model_a, model_b in zip(sequential, stacked):
+            for (name, param_a), (_n, param_b) in zip(
+                    model_a.named_parameters(), model_b.named_parameters()):
+                assert np.array_equal(param_a.data, param_b.data), name
+
+    def test_histories_identical(self, trained_single_kernel):
+        _seq, sequential_histories, _stacked, stacked_histories = \
+            trained_single_kernel
+        for history_a, history_b in zip(sequential_histories,
+                                        stacked_histories):
+            assert history_a.train_loss == history_b.train_loss
+            assert history_a.validation_loss == history_b.validation_loss
+            assert history_a.best_epoch == history_b.best_epoch
+
+
+class TestRestoreKeepsStackBacked:
+    def test_best_state_restore_copies_into_stack(self):
+        """Restoring best states must write *into* the (K, P) stack, not
+        re-point parameters at the snapshot arrays (which detaches every
+        engine and stacked view bound to the shared storage)."""
+        values_list = [make_series(seed + 60) for seed in range(2)]
+        configs = [replace(base_config(max_epochs=8, patience=1,
+                                       min_delta=10.0),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+        models = [CausalityAwareTransformer(config) for config in configs]
+        trainer = StackedCausalFormerTrainer(models)
+        histories = trainer.fit(values_list)
+        assert any(history.stopped_early for history in histories)
+        for row in range(len(models)):
+            for parameter in trainer._parameters[row]:
+                assert np.shares_memory(parameter.data, trainer.params)
+
+
+class TestDivergenceStopsRow:
+    def test_non_finite_loss_flags_and_stops(self, monkeypatch):
+        """A NaN loss in one model stops that row immediately and flags its
+        history, without derailing the other rows."""
+        values_list = [make_series(seed + 80) for seed in range(2)]
+        configs = [replace(base_config(max_epochs=6, patience=1000),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+        models = [CausalityAwareTransformer(config) for config in configs]
+        trainer = StackedCausalFormerTrainer(models)
+
+        original = StackedCausalFormerTrainer._forward_backward
+        state = {"epoch_batches": 0}
+
+        def poisoned(self, xb):
+            losses, grads = original(self, xb)
+            state["epoch_batches"] += 1
+            if state["epoch_batches"] > 12:   # poison row 0 later epochs
+                losses[0] = float("nan")
+            return losses, grads
+
+        monkeypatch.setattr(StackedCausalFormerTrainer, "_forward_backward",
+                            poisoned)
+        histories = trainer.fit(values_list)
+        assert histories[0].diverged
+        assert not histories[1].diverged
+        assert histories[0].n_epochs <= histories[1].n_epochs
+        assert histories[1].n_epochs == 6
+
+    def test_divergence_without_best_state_matches_sequential(self,
+                                                              monkeypatch):
+        """A row that diverges before ever improving must end with the same
+        weights as the sequential trainer's immediate break — not keep
+        riding the remaining stacked Adam steps."""
+        values_list = [make_series(seed + 90) for seed in range(2)]
+        configs = [replace(base_config(max_epochs=6, patience=1000),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+
+        stacked_models = [CausalityAwareTransformer(config)
+                          for config in configs]
+        trainer = StackedCausalFormerTrainer(stacked_models)
+        original_stacked = StackedCausalFormerTrainer._forward_backward
+
+        def poison_row0(self, xb):
+            losses, grads = original_stacked(self, xb)
+            losses[0] = float("nan")   # row 0 never sees a finite loss
+            return losses, grads
+
+        monkeypatch.setattr(StackedCausalFormerTrainer, "_forward_backward",
+                            poison_row0)
+        histories = trainer.fit(values_list)
+        assert histories[0].diverged and histories[0].best_epoch == -1
+        assert not histories[1].diverged
+
+        # Sequential reference for row 0: same data, every reported epoch
+        # loss NaN, real steps still taken — breaks after epoch 0.
+        sequential = CausalityAwareTransformer(configs[0])
+        sequential_trainer = Trainer(sequential, configs[0])
+        original_epoch = Trainer._run_epoch
+
+        def poison_epoch(self, windows, rng):
+            original_epoch(self, windows, rng)
+            return float("nan")
+
+        monkeypatch.setattr(Trainer, "_run_epoch", poison_epoch)
+        sequential_history = sequential_trainer.fit(values_list[0])
+        assert sequential_history.diverged
+
+        for (name, param_a), (_n, param_b) in zip(
+                sequential.named_parameters(),
+                stacked_models[0].named_parameters()):
+            assert np.array_equal(param_a.data, param_b.data), name

@@ -70,3 +70,80 @@ class TestTrainer:
         a, b = run(), run()
         for key in a:
             np.testing.assert_allclose(a[key], b[key])
+
+
+class TestBestStateRestoreStorage:
+    """Best-state restoration copies in place, keeping every consumer of the
+    parameter storage (fused Adam flat buffer, shared inference engine)
+    bound to the restored best-epoch weights."""
+
+    def _early_stopped(self, training_values):
+        config = make_config(max_epochs=30, patience=1, min_delta=10.0)
+        model = CausalityAwareTransformer(config)
+        trainer = Trainer(model, config)
+        # Warm the shared engine before fit so it is live across the restore.
+        model.predict(trainer.make_windows(training_values)[:1])
+        history = trainer.fit(training_values)
+        assert history.stopped_early
+        assert 0 <= history.best_epoch < history.n_epochs - 1
+        return config, model, trainer, history
+
+    def test_restore_keeps_optimizer_fusion_live(self, training_values):
+        _config, _model, trainer, _history = self._early_stopped(training_values)
+        flat = trainer.optimizer._flat_data
+        assert flat is not None
+        for parameter in trainer._parameters:
+            assert np.shares_memory(parameter.data, flat)
+
+    def test_predict_uses_best_epoch_weights_through_shared_engine(
+            self, training_values):
+        config, model, trainer, history = self._early_stopped(training_values)
+        # Reproduce the best-epoch weights independently: the rng stream is
+        # seeded per fit, so training a twin for exactly best_epoch + 1
+        # epochs lands on the same (best) parameters.
+        twin_config = make_config(max_epochs=history.best_epoch + 1,
+                                  patience=1000, min_delta=10.0)
+        twin = CausalityAwareTransformer(twin_config)
+        Trainer(twin, twin_config).fit(training_values)
+        windows = trainer.make_windows(training_values)[:2]
+        assert np.array_equal(model.predict(windows), twin.predict(windows))
+
+
+class TestDivergenceDetection:
+    def test_non_finite_loss_stops_and_flags(self, training_values,
+                                             monkeypatch):
+        config = make_config(max_epochs=10, patience=1000)
+        trainer = Trainer(CausalityAwareTransformer(config), config)
+        original = Trainer._run_epoch
+        calls = {"count": 0}
+
+        def poisoned(self, windows, rng):
+            calls["count"] += 1
+            loss = original(self, windows, rng)
+            return float("nan") if calls["count"] >= 3 else loss
+
+        monkeypatch.setattr(Trainer, "_run_epoch", poisoned)
+        history = trainer.fit(training_values)
+        assert history.diverged
+        assert history.n_epochs == 3           # stopped at the NaN epoch
+        assert not history.stopped_early       # divergence, not patience
+        assert len(history.validation_loss) == 3
+        # The finite epochs before the divergence kept a best state, and it
+        # was restored: the model still predicts finite values.
+        assert history.best_epoch >= 0
+        windows = trainer.make_windows(training_values)[:1]
+        assert np.isfinite(trainer.model.predict(windows)).all()
+
+    def test_infinite_validation_loss_also_stops(self, training_values,
+                                                 monkeypatch):
+        config = make_config(max_epochs=10, patience=1000)
+        trainer = Trainer(CausalityAwareTransformer(config), config)
+
+        def infinite(self, windows):
+            return float("inf")
+
+        monkeypatch.setattr(Trainer, "_evaluate", infinite)
+        history = trainer.fit(training_values)
+        assert history.diverged
+        assert history.n_epochs == 1
+        assert history.best_epoch == -1

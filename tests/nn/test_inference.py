@@ -265,3 +265,164 @@ class TestSteadyStateReuse:
         identifiers = _backward_arena().buffer_ids()
         trainer._run_epoch(windows, np.random.default_rng(1))
         assert _backward_arena().buffer_ids() == identifiers
+
+
+class TestStackedEngine:
+    """StackedInferenceEngine: per-model results bit-identical to the
+    single-model engine, in float64 and float32 alike (the stacked buffers
+    dispatch the same per-slice GEMMs and reductions)."""
+
+    def _fleet(self, dtype, n_models=3, **overrides):
+        models = [build(dtype, seed=seed, **overrides)[0]
+                  for seed in range(n_models)]
+        rng = np.random.default_rng(7)
+        window_sets = [np.ascontiguousarray(
+            rng.normal(size=(9,
+                             models[0].config.n_series,
+                             models[0].config.window)),
+            dtype=models[0].embedding.weight.data.dtype)
+            for _ in models]
+        return models, window_sets
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_evaluate_matches_per_model(self, dtype):
+        from repro.nn.inference import StackedInferenceEngine
+
+        models, window_sets = self._fleet(dtype)
+        stacked = StackedInferenceEngine(models).evaluate(window_sets, 4)
+        single = [InferenceEngine(model).evaluate(windows, 4)
+                  for model, windows in zip(models, window_sets)]
+        assert stacked == single
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_chunked_evaluate_matches_per_model(self, dtype, monkeypatch):
+        from repro.nn.inference import StackedInferenceEngine
+
+        monkeypatch.setattr(InferenceEngine, "FULL_BATCH_ELEMENT_LIMIT", 1)
+        models, window_sets = self._fleet(dtype)
+        stacked = StackedInferenceEngine(models).evaluate(window_sets, 4)
+        single = [InferenceEngine(model).evaluate(windows, 4)
+                  for model, windows in zip(models, window_sets)]
+        assert stacked == single
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_forward_matches_per_model(self, dtype):
+        from repro.nn.inference import StackedInferenceEngine
+
+        models, window_sets = self._fleet(dtype)
+        stacked = StackedInferenceEngine(models).forward(window_sets)
+        for row, (model, windows) in enumerate(zip(models, window_sets)):
+            # predict() replays the same Tensor-construction cast chain the
+            # stacked batch staging uses, so the comparison holds whatever
+            # the ambient session dtype is.
+            single = InferenceEngine(model).predict(windows)
+            assert np.array_equal(stacked[row], single)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("single_kernel", [False, True])
+    def test_interpretation_forward_matches_per_model(self, dtype,
+                                                      single_kernel):
+        from repro.nn.inference import StackedInferenceEngine
+
+        models, window_sets = self._fleet(dtype, single_kernel=single_kernel)
+        stacked = StackedInferenceEngine(models)
+        forward = stacked.interpretation_forward(window_sets)
+        for row, (model, windows) in enumerate(zip(models, window_sets)):
+            reference = InferenceEngine(model).interpretation_forward(windows)
+            cache_a, cache_b = reference.cache, forward.forwards[row].cache
+            for name in ("inputs", "embedding", "values_pre_shift", "values",
+                         "conv_windows", "attention_combined", "ffn_hidden",
+                         "ffn_activated", "ffn_output", "output"):
+                assert np.array_equal(getattr(cache_a, name),
+                                      getattr(cache_b, name)), name
+            for head_a, head_b in zip(cache_a.head_caches,
+                                      cache_b.head_caches):
+                assert np.array_equal(head_a.attention_data,
+                                      head_b.attention_data)
+                assert np.array_equal(head_a.head_output_data,
+                                      head_b.head_output_data)
+                assert np.array_equal(head_a.scores_data, head_b.scores_data)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("single_kernel", [False, True])
+    def test_interpretation_gradients_match_per_model(self, dtype,
+                                                      single_kernel):
+        from repro.nn.inference import StackedInferenceEngine
+
+        models, window_sets = self._fleet(dtype, single_kernel=single_kernel)
+        targets = list(range(models[0].config.n_series))
+        stacked = StackedInferenceEngine(models)
+        forward = stacked.interpretation_forward(window_sets)
+        attention_grads, kernel_grads = stacked.interpretation_gradients(
+            forward, targets)
+        for row, (model, windows) in enumerate(zip(models, window_sets)):
+            engine = InferenceEngine(model)
+            reference = engine.interpretation_gradients(
+                engine.interpretation_forward(windows), targets)
+            assert np.array_equal(attention_grads[row], reference[0])
+            assert np.array_equal(kernel_grads[row], reference[1])
+
+    def test_rejects_mismatched_architectures(self):
+        from repro.nn.inference import StackedInferenceEngine
+
+        model_a, _ = build(np.float64)
+        model_b, _ = build(np.float64, window=16)
+        with pytest.raises(ValueError, match="same-architecture"):
+            StackedInferenceEngine([model_a, model_b])
+
+    def test_rejects_mismatched_window_shapes(self):
+        from repro.nn.inference import StackedInferenceEngine
+
+        models, window_sets = self._fleet(np.float64, n_models=2)
+        with pytest.raises(ValueError, match="same-shape"):
+            StackedInferenceEngine(models).evaluate(
+                [window_sets[0], window_sets[1][:4]], 4)
+
+    def test_steady_state_reuses_buffers(self):
+        from repro.nn.inference import StackedInferenceEngine
+
+        models, window_sets = self._fleet(np.float64)
+        engine = StackedInferenceEngine(models)
+        first = engine.evaluate(window_sets, 4)
+        identifiers = engine.arena.buffer_ids()
+        second = engine.evaluate(window_sets, 4)
+        assert engine.arena.buffer_ids() == identifiers
+        assert first == second
+
+
+class TestStackedEngineValidation:
+    def test_rejects_mismatched_temperature(self):
+        from repro.nn.inference import StackedInferenceEngine
+
+        model_a, _ = build(np.float64)
+        model_b, _ = build(np.float64, seed=1)
+        model_b.attention.temperature = 2.0
+        with pytest.raises(ValueError, match="temperature"):
+            StackedInferenceEngine([model_a, model_b])
+
+    def test_full_batch_budget_scales_with_fleet_size(self):
+        """The stacked full-batch branch divides the element budget by the
+        fleet size; whichever branch each side takes, the per-model results
+        stay bit-identical."""
+        from repro.nn.inference import InferenceEngine, StackedInferenceEngine
+
+        models = [build(np.float64, seed=seed)[0] for seed in range(3)]
+        rng = np.random.default_rng(3)
+        window_sets = [np.ascontiguousarray(
+            rng.normal(size=(9, models[0].config.n_series,
+                             models[0].config.window)))
+            for _ in models]
+        per_model_elements = 9 * models[0].config.n_series ** 2 \
+            * models[0].config.window
+        # A limit between the per-model and the stacked footprint: the
+        # single engines run full-batch, the stacked engine chunks.
+        import repro.nn.inference as inference_module
+        original = InferenceEngine.FULL_BATCH_ELEMENT_LIMIT
+        InferenceEngine.FULL_BATCH_ELEMENT_LIMIT = 2 * per_model_elements
+        try:
+            stacked = StackedInferenceEngine(models).evaluate(window_sets, 4)
+            single = [InferenceEngine(model).evaluate(windows, 4)
+                      for model, windows in zip(models, window_sets)]
+        finally:
+            InferenceEngine.FULL_BATCH_ELEMENT_LIMIT = original
+        assert stacked == single

@@ -40,10 +40,17 @@ class TestGrouping:
                            dataset_fingerprint=fingerprint_dataset(data))
         assert batch_signature(job, data) is None
 
-    def test_single_kernel_not_batchable(self):
+    def test_single_kernel_batchable(self):
+        """Single-kernel ablation jobs group among themselves (their (1,1,T)
+        kernel stacks trivially) but never with multi-kernel jobs."""
         config = dict(CONFIG, single_kernel=True)
-        job, data = causalformer_pair(0, config=config)
-        assert batch_signature(job, data) is None
+        single_a = causalformer_pair(0, config=config)
+        single_b = causalformer_pair(1, config=config)
+        multi = causalformer_pair(0)
+        sig_a = batch_signature(*single_a)
+        assert sig_a is not None
+        assert sig_a == batch_signature(*single_b)
+        assert sig_a != batch_signature(*multi)
 
     def test_different_shapes_do_not_group(self, four_pairs):
         other = causalformer_pair(9, length=200)
@@ -111,13 +118,17 @@ class TestFallback:
         assert len(results) == 4
         assert all(result.ok for result in results)
 
-    def test_per_job_interpretation_failure_is_captured(self, four_pairs,
-                                                        monkeypatch):
+    def test_per_job_graph_failure_is_captured(self, four_pairs, monkeypatch):
+        from repro.core.detector import DecompositionCausalityDetector
         from repro.core.discovery import CausalFormer
 
-        def explode(self):
+        def explode(self, *args, **kwargs):
             raise RuntimeError("interpretation failed")
 
+        # Kill both the per-job graph construction (stacked path) and the
+        # per-job fallback so every job's failure is captured individually.
+        monkeypatch.setattr(DecompositionCausalityDetector, "build_graph",
+                            explode)
         monkeypatch.setattr(CausalFormer, "interpret", explode)
         results = execute_batched_jobs(four_pairs)
         assert len(results) == 4
@@ -125,6 +136,18 @@ class TestFallback:
         assert all("interpretation failed" in result.error
                    for result in results)
         assert [result.job.seed for result in results] == [0, 1, 2, 3]
+
+    def test_stacked_interpretation_failure_falls_back_per_job(
+            self, four_pairs, monkeypatch):
+        import repro.core.detector as core_detector
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("stacked interpretation unavailable")
+
+        monkeypatch.setattr(core_detector, "compute_scores_group", explode)
+        results = execute_batched_jobs(four_pairs)
+        assert len(results) == 4
+        assert all(result.ok for result in results)
 
 
 class TestCaching:
@@ -138,3 +161,52 @@ class TestCaching:
         for result_a, result_b in zip(first, second):
             assert sorted(edge.as_tuple() for edge in result_a.graph.edges) \
                 == sorted(edge.as_tuple() for edge in result_b.graph.edges)
+
+
+class TestSingleKernelExecution:
+    """Single-kernel ablation groups run stacked with identical results."""
+
+    def test_single_kernel_group_identical_to_sequential(self):
+        config = dict(CONFIG, single_kernel=True)
+        pairs = [causalformer_pair(seed, config=config) for seed in range(2)]
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed)
+        assert len(groups) == 1 and not singles
+        sequential = JobExecutor(max_workers=1, cache=None).run(pairs)
+        batched = JobExecutor(max_workers=1, cache=None,
+                              batch_jobs=True).run(pairs)
+        for result_a, result_b in zip(sequential, batched):
+            assert result_a.ok and result_b.ok
+            edges_a = sorted(edge.as_tuple() for edge in result_a.graph.edges)
+            edges_b = sorted(edge.as_tuple() for edge in result_b.graph.edges)
+            assert edges_a == edges_b
+            assert result_a.scores.f1 == result_b.scores.f1
+
+
+class TestUnequalWindowCounts:
+    """Same config on different-length datasets must not stack (their window
+    counts differ), and the sweep still completes via the per-job path."""
+
+    def test_unequal_lengths_stay_single_and_succeed(self):
+        pairs = [causalformer_pair(0, length=160),
+                 causalformer_pair(1, length=200)]
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed)
+        assert groups == [] and len(singles) == 2
+        results = JobExecutor(max_workers=1, cache=None,
+                              batch_jobs=True).run(pairs)
+        assert all(result.ok for result in results)
+        assert [result.job.seed for result in results] == [0, 1]
+
+    def test_min_group_minus_one_stays_single(self):
+        """A group of MIN_GROUP - 1 batchable jobs falls back to per-job
+        dispatch (a stacked pass of one model is pure overhead)."""
+        from repro.service.batched import MIN_GROUP
+
+        pairs = [causalformer_pair(seed) for seed in range(MIN_GROUP - 1)]
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed)
+        assert groups == [] and len(singles) == MIN_GROUP - 1
+        results = JobExecutor(max_workers=1, cache=None,
+                              batch_jobs=True).run(pairs)
+        assert all(result.ok for result in results)

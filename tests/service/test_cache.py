@@ -72,6 +72,32 @@ class TestMaintenance:
         assert cache.clear() == 2
         assert list(cache.keys()) == []
 
+    def test_clear_prunes_empty_shards(self, cache):
+        """clear() must not leave behind one empty shard directory per key
+        prefix it ever touched."""
+        cache.put(KEY, {})
+        cache.put(OTHER, {})
+        assert len(os.listdir(cache.directory)) == 2
+        cache.clear()
+        assert os.listdir(cache.directory) == []
+
+    def test_clear_removes_stale_tmp_files(self, cache):
+        cache.put(KEY, {})
+        shard = os.path.dirname(cache.path_for(KEY))
+        with open(os.path.join(shard, "leftover.tmp"), "w") as handle:
+            handle.write("interrupted write")
+        cache.clear()
+        assert not os.path.exists(shard)
+
+    def test_clear_keeps_shards_with_foreign_files(self, cache):
+        cache.put(KEY, {})
+        shard = os.path.dirname(cache.path_for(KEY))
+        foreign = os.path.join(shard, "README")
+        with open(foreign, "w") as handle:
+            handle.write("not a cache entry")
+        cache.clear()
+        assert os.path.exists(foreign)
+
     def test_stats_counts_hits_and_misses(self, cache):
         cache.get(KEY)
         cache.put(KEY, {"payload": "x"})
@@ -81,6 +107,19 @@ class TestMaintenance:
         assert stats.n_entries == 1
         assert stats.total_bytes > 0
         assert json.dumps(stats.as_dict())  # JSON-able for the CLI
+
+    def test_contains_then_get_counts_once(self, cache):
+        """``key in cache`` is a pure probe: the look-before-you-leap
+        pattern must record exactly one hit (or one miss), never two."""
+        if KEY in cache:
+            cache.get(KEY)
+        assert cache.hits == 0 and cache.misses == 0
+        cache.get(KEY)   # the counting lookup
+        assert cache.misses == 1
+        cache.put(KEY, {"payload": "x"})
+        if KEY in cache:
+            cache.get(KEY)
+        assert cache.hits == 1 and cache.misses == 1
 
 
 class TestDefaultDirectory:

@@ -97,3 +97,59 @@ class TestCaching:
         executor = JobExecutor(cache=str(tmp_path))
         results = executor.run(fork_pairs[:2])  # same method, seeds 0 and 1
         assert results[0].job.cache_key() != results[1].job.cache_key()
+
+
+class TestBatchedDtypePropagation:
+    """Batched pool tasks must adopt the submitter's engine dtype, exactly
+    like per-job pool tasks do via ``execute_job_with_dtype``."""
+
+    @pytest.fixture(scope="class")
+    def batchable_pairs(self):
+        from repro.service.jobs import DiscoveryJob as Job
+        from repro.service.jobs import fingerprint_dataset as fingerprint
+
+        config = {"window": 12, "d_model": 16, "d_qk": 16, "d_ffn": 16,
+                  "n_heads": 2, "batch_size": 16, "window_stride": 2,
+                  "max_epochs": 2, "patience": 1000,
+                  "max_detector_windows": 4}
+        pairs = []
+        for seed in (0, 1):
+            dataset = fork_dataset(seed=seed, length=150)
+            pairs.append((Job(method="causalformer", config=dict(config),
+                              dataset="fork",
+                              dataset_fingerprint=fingerprint(dataset),
+                              seed=seed), dataset))
+        return pairs
+
+    def test_batched_worker_entry_adopts_dtype(self, batchable_pairs):
+        import numpy as np
+
+        from repro.nn.tensor import (default_dtype, get_default_dtype,
+                                     set_default_dtype)
+        from repro.service.batched import (execute_batched_jobs,
+                                           execute_batched_jobs_with_dtype)
+
+        with default_dtype(np.float64):
+            expected = _summaries(execute_batched_jobs(batchable_pairs))
+        previous = get_default_dtype()
+        try:
+            # The worker entry point sets the engine dtype itself — calling
+            # it under the (float32) default must reproduce the float64 run.
+            got = _summaries(
+                execute_batched_jobs_with_dtype(batchable_pairs, "float64"))
+        finally:
+            set_default_dtype(previous)
+        assert got == expected
+
+    def test_pooled_batched_group_matches_inline_float64(self, batchable_pairs):
+        import numpy as np
+
+        from repro.nn.tensor import default_dtype
+
+        with default_dtype(np.float64):
+            inline = JobExecutor(max_workers=1, batch_jobs=True) \
+                .run(batchable_pairs)
+            pooled = JobExecutor(max_workers=2, batch_jobs=True) \
+                .run(batchable_pairs)
+        assert all(result.ok for result in pooled)
+        assert _summaries(inline) == _summaries(pooled)
