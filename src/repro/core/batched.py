@@ -7,7 +7,13 @@ costs more than the arithmetic.  :class:`StackedCausalFormerTrainer` trains
 every parameter gains a leading model axis, each training step runs the
 whole fleet through stacked GEMMs (one set of numpy calls for ``K`` models
 instead of ``K`` sets), and a hand-derived backward — transcribed from the
-fused autograd ops' closures — fills a stacked flat Adam state.
+fused autograd ops' closures, evaluated over persistent scratch arenas by
+:class:`repro.nn.training_engine.StackedTrainingEngine` — fills a stacked
+flat Adam state.  Mini-batches are built by one stacked gather (a single
+``np.take`` over the concatenated training sets into a persistent batch
+buffer), not one ``np.take`` per model, and the engine that runs the
+training steps is the same object (same arena) that runs every validation
+pass; its arena is also handed to the group detector interpretation.
 
 Numerical contract: batched matmuls dispatch one GEMM per 2-D slice and
 reductions keep their per-model order, so every model's parameter
@@ -40,9 +46,8 @@ from repro.core.config import CausalFormerConfig
 from repro.core.training import TrainingHistory, losses_diverged, split_windows
 from repro.core.transformer import CausalityAwareTransformer
 from repro.data.windows import sliding_windows
-from repro.nn.inference import (StackedInferenceEngine, max_last_keepdims,
-                                sum_last_keepdims)
 from repro.nn.optim import ADAM_BETAS, ADAM_CLIP_FUZZ, ADAM_EPS
+from repro.nn.training_engine import StackedTrainingEngine
 
 
 
@@ -69,6 +74,13 @@ class StackedCausalFormerTrainer:
         self.config = reference
         self.histories = [TrainingHistory() for _ in self.models]
         self._build_parameter_stack()
+        # One fused engine serves the whole sweep: training steps (its
+        # hand-derived stacked backward writes into self._grads), every
+        # validation pass (it is a StackedInferenceEngine) and — via its
+        # arena, handed to compute_scores_group by the service layer — the
+        # group's detector interpretation.
+        self.engine = StackedTrainingEngine(self.models, self._stacked,
+                                            self._grad_views)
 
     @staticmethod
     def _compatible(a: CausalFormerConfig, b: CausalFormerConfig) -> bool:
@@ -125,10 +137,6 @@ class StackedCausalFormerTrainer:
         self._adam_v = np.zeros((k, offset), dtype=self.dtype)
         self._step_count = 0
 
-    def stacked(self, name: str) -> np.ndarray:
-        """The ``(K, *shape)`` stacked view of one named parameter."""
-        return self._stacked[name]
-
     def _grad_view(self, name: str) -> np.ndarray:
         """The ``(K, *shape)`` stacked view into the flat gradient matrix."""
         return self._grad_views[name]
@@ -162,11 +170,10 @@ class StackedCausalFormerTrainer:
         if len(train_shapes) != 1 or len(validation_shapes) != 1:
             raise ValueError("stacked training requires same-shape window sets")
 
-        # Every model's validation pass runs through one stacked engine
-        # (per-model results bit-identical to the per-model engines this
-        # loop used to build) — the sweep stays stacked from the first
-        # training step to the last validation score.
-        engine = StackedInferenceEngine(self.models)
+        # Training, validation and (via the shared arena) interpretation all
+        # run through self.engine — the sweep stays stacked from the first
+        # training step to the last validation score with one buffer pool.
+        engine = self.engine
         has_validation = validation_sets[0] is not None \
             and len(validation_sets[0])
         n_train = train_sets[0].shape[0]
@@ -175,15 +182,30 @@ class StackedCausalFormerTrainer:
         best_states: List[Optional[List[np.ndarray]]] = [None] * k
         stale_epochs = [0] * k
 
+        # Stacked mini-batch gather: the fleet's training sets concatenate
+        # into one (K·W, N, T) block, so each step's K mini-batches are one
+        # np.take into a persistent batch buffer (the per-row np.take loop
+        # was the last per-model operation in the stacked step).  Row
+        # offsets shift each model's shuffled indices into its own block;
+        # the gathered rows are exactly train_sets[row][order[row][...]].
+        tail_shape = train_sets[0].shape[1:]
+        train_flat = np.ascontiguousarray(np.stack(train_sets)) \
+            .reshape((k * n_train,) + tail_shape)
+        row_offsets = (np.arange(k) * n_train)[:, None]
+        arena = engine.arena
+
         for _epoch in range(config.max_epochs):
             orders = [rng.permutation(n_train) for rng in rngs]
+            order_matrix = np.stack(orders)
+            order_matrix += row_offsets
             batch_losses: List[List[float]] = [[] for _ in range(k)]
             for start in range(0, n_train, batch_size):
                 stop = min(start + batch_size, n_train)
-                batch = np.empty((k, stop - start) + train_sets[0].shape[1:],
-                                 dtype=self.dtype)
-                for row, (train, order) in enumerate(zip(train_sets, orders)):
-                    np.take(train, order[start:stop], axis=0, out=batch[row])
+                batch = arena.take("train.batch",
+                                   (k, stop - start) + tail_shape, self.dtype)
+                np.take(train_flat, order_matrix[:, start:stop].ravel(),
+                        axis=0,
+                        out=batch.reshape((k * (stop - start),) + tail_shape))
                 losses = self._train_step(batch)
                 for row, loss in enumerate(losses):
                     batch_losses[row].append(loss)
@@ -256,231 +278,16 @@ class StackedCausalFormerTrainer:
 
     def _forward_backward(self, xb: np.ndarray
                           ) -> Tuple[List[float], np.ndarray]:
-        """Stacked replica of the training fast path and its backward.
+        """One stacked fused forward + hand-derived backward (no autograd).
 
-        Every operation transcribes the corresponding fused autograd op (or
-        its backward closure) with a leading model axis; batched matmuls run
-        the same per-slice GEMMs, so each model's gradients are bit-identical
+        Delegates to :class:`repro.nn.training_engine.StackedTrainingEngine`,
+        which transcribes the fused autograd ops' closures with a leading
+        model axis over persistent arena buffers and writes every gradient
+        into the stacked flat matrix returned here; batched matmuls run the
+        same per-slice GEMMs, so each model's gradients are bit-identical
         to a solo step.
         """
-        config = self.config
-        k, batch, n, window = xb.shape
-        dtype = self.dtype
-        model = self.models[0]
-        n_heads = model.attention.n_heads
-        d_qk = model.attention.d_qk
-        diag = np.arange(n)
-        s = self.stacked
-
-        kernel = s("convolution.kernel")             # (K,N,N,T) / (K,1,1,T)
-        scale_array = model.convolution._scale_array
-        single_kernel = config.single_kernel
-        if single_kernel:
-            # The single-kernel ablation broadcasts its shared (1, 1, T)
-            # kernel to every series pair through a constant-ones multiply
-            # (an exact ×1.0, replicating the autograd ``effective_kernel``
-            # node); its backward is the matching unbroadcast sum below.
-            ones_broadcast = model.convolution._ones_broadcast.data
-            kernel_eff = kernel * ones_broadcast               # (K, N, N, T)
-        else:
-            kernel_eff = kernel
-
-        # --- causal convolution (Eq. 3 + folded Eq. 4 shift) ----------- #
-        padded = np.zeros((k, batch, n, 2 * window), dtype=dtype)
-        padded[..., window:] = xb
-        view = np.lib.stride_tricks.sliding_window_view(
-            padded, window, axis=-1)[..., 1:, :]               # (K,B,N,T,τ)
-        windows_flat = np.ascontiguousarray(view.transpose(0, 2, 1, 3, 4)) \
-            .reshape(k, n, batch * window, window)
-        raw = windows_flat @ kernel_eff.transpose(0, 1, 3, 2)  # (K,N,B·T,N)
-        values = raw.reshape(k, n, batch, window, n) \
-            .transpose(0, 2, 1, 4, 3) * scale_array            # (K,B,i,j,t)
-        diagonal = values[:, :, diag, diag, :]
-        values[:, :, diag, diag, 1:] = diagonal[..., :-1]
-        values[:, :, diag, diag, 0] = 0.0
-
-        # --- embedding + Q/K projection + masked softmax (Eq. 2, 5) ---- #
-        embed_weight = s("embedding.weight")                   # (K, T, d)
-        embed_bias = s("embedding.bias")
-        head_names = [f"attention.heads.{h}" for h in range(n_heads)]
-        weight_flat = np.concatenate(
-            [s(f"{name}.w_query") for name in head_names]
-            + [s(f"{name}.w_key") for name in head_names], axis=2)
-        bias_flat = np.concatenate(
-            [s(f"{name}.b_query") for name in head_names]
-            + [s(f"{name}.b_key") for name in head_names], axis=1)
-        masks = np.stack([s(f"{name}.mask") for name in head_names], axis=1)
-        scale = 1.0 / (model.attention.temperature * np.sqrt(d_qk))
-        modulation = masks[:, :, None, :, :] * scale           # (K,h,1,N,N) f64
-
-        x2d = xb.reshape(k, batch * n, window)
-        emb2d = x2d @ embed_weight
-        emb2d += embed_bias[:, None, :]
-        projected = emb2d @ weight_flat
-        projected += bias_flat[:, None, :]
-        qk = np.ascontiguousarray(
-            projected.reshape(k, batch, n, 2 * n_heads, d_qk)
-            .transpose(0, 3, 1, 2, 4))                         # (K,2h,B,N,q)
-        q_data, k_data = qk[:, :n_heads], qk[:, n_heads:]
-        raw_scores = q_data @ k_data.transpose(0, 1, 2, 4, 3)  # (K,h,B,N,N)
-        probabilities = raw_scores * modulation
-        probabilities -= max_last_keepdims(probabilities)
-        np.exp(probabilities, out=probabilities)
-        probabilities /= sum_last_keepdims(probabilities)
-
-        # --- attention application + head combination (Eq. 6–7) -------- #
-        w_output = s("attention.w_output")                     # (K, h)
-        a_bihj = np.ascontiguousarray(
-            probabilities.transpose(0, 2, 3, 1, 4))            # (K,B,i,h,j)
-        v_bijt = np.ascontiguousarray(values.transpose(0, 1, 3, 2, 4))
-        head_outputs = a_bihj @ v_bijt                         # (K,B,i,h,t)
-        # Per-model np.tensordot(head_outputs, w_output, ([2], [0])) unrolled
-        # to its internal transpose-reshape-dot (same ops, no axis
-        # bookkeeping per call).
-        at = np.ascontiguousarray(head_outputs.transpose(0, 1, 2, 4, 3)) \
-            .reshape(k, batch * n * window, n_heads)
-        combined = np.stack([
-            np.dot(at[row], w_output[row].reshape(n_heads, 1))
-            .reshape(batch, n, window)
-            for row in range(k)])                              # (K,B,i,t)
-
-        # --- fused MLP tail (Eq. 8 + output layer) --------------------- #
-        w1, b1 = s("feed_forward.w1"), s("feed_forward.b1")
-        w2, b2 = s("feed_forward.w2"), s("feed_forward.b2")
-        w3, b3 = s("output_layer.weight"), s("output_layer.bias")
-        x2d_c = combined.reshape(k, batch * n, window)
-        hidden = x2d_c @ w1
-        hidden += b1[:, None, :]
-        slope = np.where(hidden > 0, hidden.dtype.type(1.0),
-                         hidden.dtype.type(model.feed_forward.negative_slope))
-        hidden *= slope
-        ffn = hidden @ w2
-        ffn += b2[:, None, :]
-        out2d = ffn @ w3
-        out2d += b3[:, None, :]
-        prediction = out2d.reshape(k, batch, n, window)
-
-        # --- loss values (Eq. 9), one per model ------------------------ #
-        diff = prediction[..., 1:] - xb[..., 1:]
-        losses = []
-        for row in range(k):
-            flat = diff[row].ravel()
-            value = np.dot(flat, flat) / flat.size
-            groups = {}
-            if config.lambda_kernel > 0:
-                groups.setdefault(config.lambda_kernel, []).append(
-                    kernel[row].ravel())
-            if config.lambda_mask > 0:
-                for head in range(n_heads):
-                    groups.setdefault(config.lambda_mask, []).append(
-                        masks[row, head].ravel())
-            for coefficient, arrays in groups.items():
-                flat_pen = arrays[0] if len(arrays) == 1 \
-                    else np.concatenate(arrays)
-                value += coefficient * float(np.abs(flat_pen).sum())
-            losses.append(float(np.asarray(value, dtype=diff.dtype)))
-
-        # ================= backward (reverse topo order) =============== #
-        grads = self._grads
-        one = np.float64(1.0)
-
-        # loss node: L1 signs (first accumulation into kernel and masks)
-        # and the windowed-MSE gradient into the prediction.
-        kernel_grad = self._grad_view("convolution.kernel")
-        if config.lambda_kernel > 0:
-            kernel_grad[...] = (config.lambda_kernel * one) * np.sign(kernel)
-        else:
-            kernel_grad[...] = 0.0
-        for head, name in enumerate(head_names):
-            mask_grad = self._grad_view(f"{name}.mask")
-            if config.lambda_mask > 0:
-                mask_grad[...] = (config.lambda_mask * one) \
-                    * np.sign(masks[:, head])
-            else:
-                mask_grad[...] = 0.0
-        loss_scale = 2.0 / diff[0].size
-        grad_pred = np.zeros_like(prediction)
-        grad_pred[..., 1:] = loss_scale * diff
-
-        # mlp_chain backward.
-        grad2d = grad_pred.reshape(k, batch * n, window)
-        self._grad_view("output_layer.weight")[...] = \
-            ffn.transpose(0, 2, 1) @ grad2d
-        self._grad_view("output_layer.bias")[...] = grad2d.sum(axis=1)
-        grad_ffn = grad2d @ w3.transpose(0, 2, 1)
-        self._grad_view("feed_forward.w2")[...] = \
-            hidden.transpose(0, 2, 1) @ grad_ffn
-        self._grad_view("feed_forward.b2")[...] = grad_ffn.sum(axis=1)
-        grad_hidden = grad_ffn @ w2.transpose(0, 2, 1)
-        grad_hidden *= slope
-        self._grad_view("feed_forward.w1")[...] = \
-            x2d_c.transpose(0, 2, 1) @ grad_hidden
-        self._grad_view("feed_forward.b1")[...] = grad_hidden.sum(axis=1)
-        grad_combined = (grad_hidden @ w1.transpose(0, 2, 1)) \
-            .reshape(k, batch, n, window)
-
-        # attention_combine backward.
-        grad_heads = grad_combined[:, :, :, None, :] \
-            * w_output[:, None, None, :, None]                 # (K,B,i,h,t)
-        grad_a = grad_heads @ v_bijt.transpose(0, 1, 2, 4, 3)  # (K,B,i,h,j)
-        grad_probs = grad_a.transpose(0, 3, 1, 2, 4)           # (K,h,B,i,j)
-        grad_v = a_bihj.transpose(0, 1, 2, 4, 3) @ grad_heads  # (K,B,i,j,t)
-        grad_values = np.asarray(grad_v.transpose(0, 1, 3, 2, 4), dtype=dtype)
-        # Per-model np.tensordot(head_outputs, grad_combined, ([0,1,3],
-        # [0,1,2])) unrolled the same way.
-        ho_heads = np.ascontiguousarray(head_outputs.transpose(0, 3, 1, 2, 4)) \
-            .reshape(k, n_heads, batch * n * window)
-        w_output_grad = self._grad_view("attention.w_output")
-        for row in range(k):
-            w_output_grad[row] = np.dot(
-                ho_heads[row],
-                grad_combined[row].reshape(batch * n * window, 1))[:, 0]
-
-        # causal_attention_probs backward (softmax Jacobian included).
-        dot = sum_last_keepdims(grad_probs * probabilities)
-        grad_masked = probabilities * (grad_probs - dot)
-        grad_raw = grad_masked * modulation
-        grad_qk = np.empty_like(qk)
-        np.matmul(grad_raw, k_data, out=grad_qk[:, :n_heads])
-        np.matmul(grad_raw.transpose(0, 1, 2, 4, 3), q_data,
-                  out=grad_qk[:, n_heads:])
-        grad_2d = np.ascontiguousarray(grad_qk.transpose(0, 2, 3, 1, 4)) \
-            .reshape(k, batch * n, 2 * n_heads * d_qk)
-        grad_weight = emb2d.transpose(0, 2, 1) @ grad_2d       # (K,d,2h·q)
-        grad_bias = grad_2d.sum(axis=1)
-        for head, name in enumerate(head_names):
-            query = slice(head * d_qk, (head + 1) * d_qk)
-            key = slice((n_heads + head) * d_qk, (n_heads + head + 1) * d_qk)
-            self._grad_view(f"{name}.w_query")[...] = grad_weight[:, :, query]
-            self._grad_view(f"{name}.b_query")[...] = grad_bias[:, query]
-            self._grad_view(f"{name}.w_key")[...] = grad_weight[:, :, key]
-            self._grad_view(f"{name}.b_key")[...] = grad_bias[:, key]
-        grad_emb = grad_2d @ weight_flat.transpose(0, 2, 1)
-        self._grad_view("embedding.weight")[...] = \
-            x2d.transpose(0, 2, 1) @ grad_emb
-        self._grad_view("embedding.bias")[...] = grad_emb.sum(axis=1)
-        grad_mask_terms = (grad_masked * raw_scores).sum(axis=2) * scale
-        for head, name in enumerate(head_names):
-            self._grad_view(f"{name}.mask")[...] += \
-                np.asarray(grad_mask_terms[:, head], dtype=dtype)
-
-        # causal_conv backward (kernel gradient; inputs carry no grad).
-        grad_values = grad_values.copy()
-        diagonal = grad_values[:, :, diag, diag, :]
-        grad_values[:, :, diag, diag, :-1] = diagonal[..., 1:]
-        grad_values[:, :, diag, diag, -1] = 0.0
-        grad_scaled = grad_values * scale_array
-        flat = np.ascontiguousarray(grad_scaled.transpose(0, 2, 3, 1, 4)) \
-            .reshape(k, n, n, batch * window)
-        if single_kernel:
-            # Broadcast-multiply backward: grad · ones (exact), then the
-            # autograd engine's unbroadcast sum down to (1, 1, T).
-            grad_eff = flat @ windows_flat                     # (K, N, N, T)
-            grad_eff *= ones_broadcast
-            kernel_grad += grad_eff.sum(axis=(1, 2), keepdims=True)
-        else:
-            kernel_grad += flat @ windows_flat
-        return losses, grads
+        return self.engine.train_step(xb), self._grads
 
     def _adam_step(self) -> None:
         """Stacked replica of the fused flat Adam update (one row per model)."""

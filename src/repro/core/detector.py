@@ -269,8 +269,8 @@ class DecompositionCausalityDetector:
 
 
 def compute_scores_group(detectors: Sequence[DecompositionCausalityDetector],
-                         windows_list: Sequence[np.ndarray]
-                         ) -> List[CausalScores]:
+                         windows_list: Sequence[np.ndarray],
+                         arena=None) -> List[CausalScores]:
     """Causal scores for a whole group of same-architecture detectors at once.
 
     The stacked analogue of :meth:`DecompositionCausalityDetector
@@ -282,6 +282,15 @@ def compute_scores_group(detectors: Sequence[DecompositionCausalityDetector],
     (windows_list[m])`` alone, across all Table 3 ablations (the detectors
     must share their ablation flags and configuration; the window sets must
     share one shape).
+
+    ``arena`` optionally hands the stacked engine an existing
+    :class:`~repro.nn.inference.ScratchArena` — the batched sweep passes its
+    trainer's engine arena so training, validation and interpretation share
+    one buffer pool.  Safe because the phases run sequentially and every
+    call site fully overwrites the buffers it reads before reading them
+    (arena buffers are keyed by name and shape; a same-key take with a new
+    dtype replaces the buffer, so interleaving phases mid-call is not
+    supported).
     """
     detectors = list(detectors)
     if not detectors:
@@ -324,7 +333,7 @@ def compute_scores_group(detectors: Sequence[DecompositionCausalityDetector],
     for detector in detectors:
         detector._sync_interpretation_model()
     models = [detector.model for detector in detectors]
-    engine = StackedInferenceEngine(models)
+    engine = StackedInferenceEngine(models, arena=arena)
     forward = engine.interpretation_forward(prepared_windows)
     if not first.use_interpretation:
         return [detector._raw_weight_scores(model_forward)

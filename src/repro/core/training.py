@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.config import CausalFormerConfig
 from repro.core.transformer import CausalityAwareTransformer
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor
+from repro.nn.training_engine import TrainingEngine
 
 
 @dataclass
@@ -81,6 +81,12 @@ class Trainer:
         # sharing it (rather than building a private one) means predict()
         # and the stacked trainer reuse the same scratch arena.
         self._inference = model.inference_engine()
+        # Training steps run on the fused no-autograd training engine
+        # (hand-derived backward, gradients written straight into the flat
+        # Adam buffer), sharing the inference engine's arena so training,
+        # validation and prediction draw from one buffer pool.
+        self._training = TrainingEngine(model, self.optimizer,
+                                        arena=self._inference.arena)
 
     # ------------------------------------------------------------------ #
     # Data preparation
@@ -155,19 +161,29 @@ class Trainer:
         return self.history
 
     def _run_epoch(self, windows: np.ndarray, rng: np.random.Generator) -> float:
+        """One shuffled pass over the training windows.
+
+        Runs on the fused no-autograd :class:`TrainingEngine` — the same
+        forward/backward arithmetic the autograd fast path performed, minus
+        the graph.  Mini-batches are index views: the epoch shuffles indices
+        once and gathers each batch into a persistent arena buffer instead
+        of constructing a fresh ``Tensor(windows[order[...]])`` per step.
+        """
         order = rng.permutation(windows.shape[0])
         batch_size = self.config.batch_size
+        engine = self._training
+        # Replays the per-batch Tensor-construction casts once per epoch
+        # (a no-op when the windows already carry the engine dtype).
+        windows = engine.prepare_windows(windows)
+        arena = engine.arena
+        tail_shape = windows.shape[1:]
         losses = []
         for start in range(0, len(order), batch_size):
-            batch = Tensor(windows[order[start:start + batch_size]])
-            self.optimizer.zero_grad()
-            prediction, _ = self.model(batch)
-            loss = self.model.loss(prediction, batch)
-            loss.backward()
-            # Gradient clipping happens inside the fused optimizer step (one
-            # dot product over the flat gradient vector).
-            self.optimizer.step()
-            losses.append(float(loss.data))
+            indices = order[start:start + batch_size]
+            batch = arena.take("train.batch", (len(indices),) + tail_shape,
+                               windows.dtype)
+            np.take(windows, indices, axis=0, out=batch)
+            losses.append(engine.train_step(batch))
         return float(np.mean(losses)) if losses else float("nan")
 
     def _evaluate(self, windows: np.ndarray) -> float:

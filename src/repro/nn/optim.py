@@ -150,14 +150,8 @@ class Adam(Optimizer):
             parameter.data = self._flat_data[view_slice].reshape(shape)
             self._data_ids.append(id(parameter.data))
 
-    def step(self) -> None:
-        self._step_count += 1
-        t = self._step_count
-        bias_correction1 = 1.0 - self.beta1 ** t
-        bias_correction2 = 1.0 - self.beta2 ** t
-        active = [p for p in self.parameters if p.grad is not None]
-        if not active:
-            return
+    def _ensure_views_current(self, active: List[Parameter]) -> None:
+        """(Re)build the fused flat state for ``active`` if it drifted."""
         if self._flat_key != tuple(id(p) for p in active):
             self._rebuild_flat(active)
         elif self._flat_data is not None:
@@ -168,8 +162,59 @@ class Adam(Optimizer):
                     # re-fuse from the new arrays.
                     self._fuse_parameter_data(self._flat_data.dtype)
                     break
+
+    def ensure_flat(self, parameters: Optional[List[Parameter]] = None
+                    ) -> List[tuple]:
+        """Build (or refresh) the fused flat state and return its views.
+
+        Returns the ``(parameter, slice, shape)`` triples of the flat
+        layout.  Callers that compute gradients *without* the autograd
+        engine (:mod:`repro.nn.training_engine`) write them directly into
+        ``flat_gradient`` views obtained from these triples, then call
+        :meth:`step_flat` — skipping the per-parameter ``.grad`` arrays and
+        the gather entirely.  The layout (hence the update) is identical to
+        what :meth:`step` builds from the same parameter list.
+        """
+        active = list(parameters) if parameters is not None else self.parameters
+        self._ensure_views_current(active)
+        return self._flat_views
+
+    @property
+    def flat_gradient(self) -> Optional[np.ndarray]:
+        """The fused flat gradient buffer (``None`` before the first build)."""
+        return self._flat_grad
+
+    def step_flat(self) -> None:
+        """One Adam update reading the already-filled flat gradient buffer.
+
+        The caller must have obtained the layout via :meth:`ensure_flat`
+        (same step — a parameter-set change in between would misroute the
+        update) and written every parameter's gradient into its
+        ``flat_gradient`` slice.  Performs the exact op sequence of
+        :meth:`step` after its gather, so trajectories are bit-identical.
+        """
+        if self._flat_grad is None:
+            raise RuntimeError("ensure_flat() must run before step_flat()")
+        self._step_count += 1
+        t = self._step_count
+        self._apply_flat_update(1.0 - self.beta1 ** t, 1.0 - self.beta2 ** t)
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias_correction1 = 1.0 - self.beta1 ** t
+        bias_correction2 = 1.0 - self.beta2 ** t
+        active = [p for p in self.parameters if p.grad is not None]
+        if not active:
+            return
+        self._ensure_views_current(active)
         grad = self._flat_grad
         np.concatenate([p.grad.ravel() for p in active], out=grad)
+        self._apply_flat_update(bias_correction1, bias_correction2)
+
+    def _apply_flat_update(self, bias_correction1: float,
+                           bias_correction2: float) -> None:
+        grad = self._flat_grad
         if self.clip_norm is not None:
             total = float(np.sqrt(np.dot(grad, grad)))
             if total > self.clip_norm:

@@ -1,0 +1,706 @@
+"""Autograd-free training step: fused forward + hand-derived backward.
+
+PR 3/4 removed the autograd graph from every *non-gradient* pass of this
+reproduction (validation, prediction, detector interpretation) — but the
+training step itself still built and walked a fresh :class:`~repro.nn.tensor
+.Tensor` graph every mini-batch: node objects, backward closures, a
+topological sort, a gradient dict and a fresh temporary for almost every
+routed gradient.  This module removes that last graph.
+
+:class:`TrainingEngine` replays the training fast path's fused forward (the
+exact :class:`~repro.nn.inference.InferenceEngine` forward: causal
+convolution with the folded Eq. 4 right-shift, embedding + Q/K projection +
+masked tempered softmax, attention combination, the MLP tail and the Eq. 9
+loss with its grouped L1 penalties) and then hand-evaluates the **exact
+backward pass** of that graph — every parameter gradient, written directly
+into the fused flat Adam buffer (:meth:`repro.nn.optim.Adam.ensure_flat`),
+with every temporary drawn from the same scratch arena the forward uses.  A
+steady-state training step performs no heap allocation of large arrays and
+no autograd bookkeeping at all.
+
+Op-for-op parity contract
+-------------------------
+The backward transcribes, line by line, the backward closures of the fused
+autograd training nodes (``causal_conv``, ``causal_attention_probs``,
+``attention_combine``, ``mlp_chain``, ``prediction_loss_with_l1`` in
+:mod:`repro.nn.functional`) **and** the autograd engine's routing semantics:
+
+* each routed gradient is cast to the receiving parameter's dtype *before*
+  accumulation (``Tensor._push``/``_accumulate``), so an L1 sign written
+  first and a main-path term added second round exactly like the autograd
+  accumulation sequence;
+* the single-kernel ablation replays the ``effective_kernel`` broadcast
+  node's backward: gradient × constant ones (an exact ×1.0, elided), the
+  node-boundary cast, then the engine's unbroadcast sum down to
+  ``(1, 1, T)`` — in that order;
+* every GEMM sees operands with the same memory layout (contiguous copies
+  where the closures call ``np.ascontiguousarray``, transpose views where
+  they pass views) and every reduction runs over an identically laid-out
+  array, so results are **bit-identical** to ``loss.backward()`` on the
+  autograd fast path — in float64 exactly, in float32 to the last ulp of
+  the same operation sequence (the correctness tests in
+  ``tests/nn/test_training_engine.py`` assert ``array_equal`` per parameter
+  across the full Table 3 ablation grid, including the single-kernel
+  ablation).
+
+:class:`StackedTrainingEngine` is the ``K``-model lockstep variant used by
+:class:`repro.core.batched.StackedCausalFormerTrainer`: the same fused
+forward and hand-derived backward with a leading model axis (one batched
+GEMM per op for the whole fleet), transcribed from the stacked trainer's
+former per-step implementation onto persistent arena buffers, writing into
+the trainer's stacked ``(K, P)`` gradient matrix.  Because it *is* a
+:class:`~repro.nn.inference.StackedInferenceEngine`, one engine object (and
+one arena) now serves training steps, validation passes and — via the
+shared arena handed to :func:`repro.core.detector.compute_scores_group` —
+the group's detector interpretation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.inference import (InferenceEngine, ScratchArena, ScratchSpace,
+                                StackedInferenceEngine, sum_last_keepdims)
+
+
+def _scaled_sign(destination: np.ndarray, source: np.ndarray,
+                 coefficient: np.float64) -> None:
+    """``destination = coefficient · sign(source)``, autograd-cast-exact.
+
+    The loss node routes ``(coefficient · 1.0) · sign(W)`` — a float64
+    product — which the engine casts to the parameter dtype on
+    accumulation.  Writing the sign first and scaling in place computes the
+    same float64 product per element before the cast (sign values are exact
+    in every float dtype).
+    """
+    np.sign(source, out=destination)
+    destination *= coefficient
+
+
+class TrainingEngine(InferenceEngine):
+    """One model's fused no-autograd training step over a scratch arena.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.transformer.CausalityAwareTransformer`.
+    optimizer:
+        The model's :class:`~repro.nn.optim.Adam`; gradients are written
+        directly into its fused flat buffer and :meth:`train_step` finishes
+        with :meth:`~repro.nn.optim.Adam.step_flat`.
+    arena:
+        Optional shared :class:`~repro.nn.inference.ScratchArena` — the
+        trainer passes its inference engine's arena so training, validation
+        and prediction reuse one buffer pool.
+    """
+
+    def __init__(self, model, optimizer,
+                 arena: Optional[ScratchArena] = None) -> None:
+        super().__init__(model, arena)
+        self.optimizer = optimizer
+        self._grad_views: Dict[str, np.ndarray] = {}
+        self._grad_buffer_id: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Flat-gradient plumbing
+    # ------------------------------------------------------------------ #
+    def _refresh_grad_views(self) -> Dict[str, np.ndarray]:
+        """Per-parameter-name views into the optimizer's flat grad buffer."""
+        flat_views = self.optimizer.ensure_flat()
+        flat = self.optimizer.flat_gradient
+        if id(flat) != self._grad_buffer_id:
+            by_identity = {id(parameter): flat[view_slice].reshape(shape)
+                           for parameter, view_slice, shape in flat_views}
+            self._grad_views = {
+                name: by_identity[id(parameter)]
+                for name, parameter in self.model.named_parameters()}
+            self._grad_buffer_id = id(flat)
+        return self._grad_views
+
+    def prepare_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Replay the per-batch Tensor-construction cast chain once, up front.
+
+        The autograd loop built ``Tensor(windows[order[...]])`` per batch
+        (casting to the engine default dtype) and the model forward re-cast
+        through the model dtype when they differ.  Both casts are
+        elementwise, so applying them to the whole window set once and
+        gathering rows afterwards is bit-identical to gathering first.
+        """
+        from repro.nn import tensor as T
+
+        default = np.dtype(T.get_default_dtype())
+        arr = np.asarray(windows, dtype=default)
+        dtype = self.dtype
+        if arr.dtype != dtype:
+            arr = np.asarray(arr.astype(dtype), dtype=default)
+        return np.ascontiguousarray(arr)
+
+    # ------------------------------------------------------------------ #
+    # The training step
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: np.ndarray) -> float:
+        """One fused forward + backward + Adam update; returns the Eq. 9 loss.
+
+        ``batch`` must be a C-contiguous ``(B, N, T)`` array prepared via
+        :meth:`prepare_windows` (or already in the engine default dtype).
+        """
+        loss = self.forward_backward(batch)
+        self.optimizer.step_flat()
+        return loss
+
+    def forward_backward(self, batch: np.ndarray) -> float:
+        """Fused forward + loss + hand-derived backward into the flat buffer."""
+        # Refresh the flat views first: the first call fuses parameter
+        # .data storage into the optimizer's flat vector, and staging should
+        # read the post-fusion arrays.
+        views = self._refresh_grad_views()
+        stage = self._stage()
+        space = self.arena.space(("eval", batch.shape, batch.dtype.str))
+        prediction = self._forward(batch, stage)
+        diff = self._windowed_diff(prediction, batch)
+        loss = self._mse_plus_penalties(diff, self._penalty_terms())
+        self._backward(space, stage, batch, diff, views)
+        return loss
+
+    def gradients(self, batch: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-parameter gradient copies for one batch (no optimizer step).
+
+        Test hook: the returned dict maps parameter names to owned arrays,
+        directly comparable against autograd ``parameter.grad`` values.
+        """
+        batch = self.prepare_windows(batch)
+        if batch.ndim == 2:
+            batch = batch[None]
+        self.forward_backward(batch)
+        return {name: view.copy() for name, view in self._grad_views.items()}
+
+    # ------------------------------------------------------------------ #
+    # Hand-derived backward (transcribed autograd closures)
+    # ------------------------------------------------------------------ #
+    def _backward(self, space: ScratchSpace, stage: dict, x: np.ndarray,
+                  diff: np.ndarray, views: Dict[str, np.ndarray]) -> None:
+        model = self.model
+        config = model.config
+        batch, n, window = x.shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        d_model = stage["embed_weight"].shape[-1]
+        d_ffn = stage["w1"].shape[-1]
+        bn = batch * n
+        f64 = np.float64
+        one = f64(1.0)
+        cdtype = np.result_type(x.dtype, stage["kernel_eff"].dtype)
+        adtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
+        gdtype = self.optimizer.flat_gradient.dtype
+        mask_names = [f"attention.heads.{h}.mask" for h in range(n_heads)]
+
+        # --- loss node: L1 signs (first accumulation into kernel/masks)
+        # and the windowed-MSE gradient seed into the prediction ---------- #
+        has_l1_kernel = config.lambda_kernel > 0
+        has_l1_mask = config.lambda_mask > 0
+        kernel_view = views["convolution.kernel"]
+        if has_l1_kernel:
+            _scaled_sign(kernel_view, model.convolution.kernel.data,
+                         config.lambda_kernel * one)
+        if has_l1_mask:
+            for name, mask in zip(mask_names,
+                                  model.attention.mask_parameters):
+                _scaled_sign(views[name], mask.data,
+                             config.lambda_mask * one)
+        # Slot 0 of the seed is the padding slot the loss never reads; the
+        # buffer's allocation zero-fill persists there (never written).
+        grad_pred = space.take("bwd.pred", (batch, n, window), f64)
+        np.multiply(diff, (2.0 / diff.size) * one, out=grad_pred[..., 1:])
+
+        # --- mlp_chain backward ----------------------------------------- #
+        ffn = space.take("mlp.ffn", (bn, window), f64)
+        hidden = space.take("mlp.hidden", (bn, d_ffn), f64)      # activated
+        slope = space.take("mlp.slope", (bn, d_ffn), f64)
+        grad2d = grad_pred.reshape(bn, window)
+        w3_tmp = space.take("bwd.w3", (window, window), f64)
+        np.matmul(ffn.T, grad2d, out=w3_tmp)
+        views["output_layer.weight"][...] = w3_tmp
+        b3_tmp = space.take("bwd.b3", (window,), f64)
+        grad2d.sum(axis=0, out=b3_tmp)
+        views["output_layer.bias"][...] = b3_tmp
+        grad_ffn = space.take("bwd.ffn", (bn, window), f64)
+        np.matmul(grad2d, stage["w3"].T, out=grad_ffn)
+        w2_tmp = space.take("bwd.w2", (d_ffn, window), f64)
+        np.matmul(hidden.T, grad_ffn, out=w2_tmp)
+        views["feed_forward.w2"][...] = w2_tmp
+        b2_tmp = space.take("bwd.b2", (window,), f64)
+        grad_ffn.sum(axis=0, out=b2_tmp)
+        views["feed_forward.b2"][...] = b2_tmp
+        grad_hidden = space.take("bwd.hidden", (bn, d_ffn), f64)
+        np.matmul(grad_ffn, stage["w2"].T, out=grad_hidden)
+        grad_hidden *= slope
+        combined2d = space.take("comb.out", (bn * window, 1), f64) \
+            .reshape(bn, window)
+        w1_tmp = space.take("bwd.w1", (window, d_ffn), f64)
+        np.matmul(combined2d.T, grad_hidden, out=w1_tmp)
+        views["feed_forward.w1"][...] = w1_tmp
+        b1_tmp = space.take("bwd.b1", (d_ffn,), f64)
+        grad_hidden.sum(axis=0, out=b1_tmp)
+        views["feed_forward.b1"][...] = b1_tmp
+        grad_combined = space.take("bwd.comb", (bn, window), f64)
+        np.matmul(grad_hidden, stage["w1"].T, out=grad_combined)
+        grad_comb3d = grad_combined.reshape(batch, n, window)
+
+        # --- attention_combine backward --------------------------------- #
+        a_bihj = space.take("comb.a", (batch, n, n_heads, n), f64)
+        v_bijt = space.take("comb.v", (batch, n, n, window), f64)
+        head_outputs = space.take("comb.ho", (batch, n, n_heads, window), f64)
+        grad_heads = space.take("comb.bwd.heads", (batch, n, n_heads, window),
+                                f64)
+        np.multiply(grad_comb3d[:, :, None, :],
+                    stage["w_output"][None, None, :, None], out=grad_heads)
+        grad_a = space.take("bwd.ga", (batch, n, n_heads, n), f64)
+        np.matmul(grad_heads, v_bijt.transpose(0, 1, 3, 2), out=grad_a)
+        grad_probs = grad_a.transpose(2, 0, 1, 3)               # (h, B, i, j)
+        grad_v = space.take("bwd.gv", (batch, n, n, window), f64)
+        np.matmul(a_bihj.transpose(0, 1, 3, 2), grad_heads, out=grad_v)
+        # w_output: np.tensordot(head_outputs, grad, ([0,1,3],[0,1,2]))
+        # unrolled to its internal transpose-copy + dot.
+        ho_flat = space.take("bwd.ho_flat", (n_heads, bn * window), f64)
+        np.copyto(ho_flat.reshape(n_heads, batch, n, window),
+                  head_outputs.transpose(2, 0, 1, 3))
+        wout_tmp = space.take("bwd.wout", (n_heads, 1), f64)
+        np.dot(ho_flat, grad_combined.reshape(bn * window, 1), out=wout_tmp)
+        views["attention.w_output"][...] = wout_tmp[:, 0]
+
+        # --- causal_attention_probs backward (softmax Jacobian) ---------- #
+        probs = space.take("att.probs", (n_heads, batch, n, n), f64)
+        raw = space.take("att.raw", (n_heads, batch, n, n), adtype)
+        qk = space.take("att.qk", (2 * n_heads, batch, n, d_qk), adtype)
+        emb = space.take("att.emb", (bn, d_model), adtype)
+        product = space.take("bwd.att.prod", (n_heads, batch, n, n), f64)
+        np.multiply(grad_probs, probs, out=product)
+        dot = space.take("bwd.att.dot", (n_heads, batch, n, 1), f64)
+        product.sum(axis=-1, keepdims=True, out=dot)
+        grad_masked = space.take("bwd.att.masked", (n_heads, batch, n, n), f64)
+        np.subtract(grad_probs, dot, out=grad_masked)
+        np.multiply(probs, grad_masked, out=grad_masked)
+        grad_raw = space.take("bwd.att.raw", (n_heads, batch, n, n), f64)
+        np.multiply(grad_masked, stage["modulation"], out=grad_raw)
+        grad_qk = space.take("bwd.att.qk", (2 * n_heads, batch, n, d_qk),
+                             adtype)
+        np.matmul(grad_raw, qk[n_heads:], out=grad_qk[:n_heads])
+        np.matmul(grad_raw.transpose(0, 1, 3, 2), qk[:n_heads],
+                  out=grad_qk[n_heads:])
+        grad_2d = space.take("bwd.att.2d", (bn, 2 * n_heads * d_qk), adtype)
+        np.copyto(grad_2d.reshape(batch, n, 2 * n_heads, d_qk),
+                  grad_qk.transpose(1, 2, 0, 3))
+        # Embedding (fused into the same node on the training path).
+        grad_emb = space.take("bwd.att.emb", (bn, d_model), adtype)
+        np.matmul(grad_2d, stage["weight_flat"].T, out=grad_emb)
+        x2d = x.reshape(bn, window)
+        ew_tmp = space.take("bwd.ew", (window, d_model), adtype)
+        np.matmul(x2d.T, grad_emb, out=ew_tmp)
+        views["embedding.weight"][...] = ew_tmp
+        eb_tmp = space.take("bwd.eb", (d_model,), adtype)
+        grad_emb.sum(axis=0, out=eb_tmp)
+        views["embedding.bias"][...] = eb_tmp
+        # Per-head Q/K weights and biases (one GEMM, sliced out per head).
+        gw = space.take("bwd.att.gw", (d_model, 2 * n_heads * d_qk), adtype)
+        np.matmul(emb.T, grad_2d, out=gw)
+        gb = space.take("bwd.att.gb", (2 * n_heads * d_qk,), adtype)
+        grad_2d.sum(axis=0, out=gb)
+        for index in range(n_heads):
+            query = slice(index * d_qk, (index + 1) * d_qk)
+            key = slice((n_heads + index) * d_qk,
+                        (n_heads + index + 1) * d_qk)
+            prefix = f"attention.heads.{index}"
+            views[f"{prefix}.w_query"][...] = gw[:, query]
+            views[f"{prefix}.b_query"][...] = gb[query]
+            views[f"{prefix}.w_key"][...] = gw[:, key]
+            views[f"{prefix}.b_key"][...] = gb[key]
+        # Masks: second accumulation on top of the L1 signs, cast first.
+        np.multiply(grad_masked, raw, out=product)
+        gmask = space.take("bwd.att.gmask", (n_heads, n, n), f64)
+        product.sum(axis=1, out=gmask)
+        attention = model.attention
+        gmask *= 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        mask_cast = space.take("bwd.att.gmask_cast", (n, n), gdtype)
+        for index, name in enumerate(mask_names):
+            if has_l1_mask:
+                np.copyto(mask_cast, gmask[index])
+                views[name] += mask_cast
+            else:
+                views[name][...] = gmask[index]
+
+        # --- causal_conv backward (kernel only; inputs carry no grad) ---- #
+        windows_flat = space.take("conv.windows_flat",
+                                  (n, batch * window, window), x.dtype)
+        shifted = space.take("bwd.conv.grad", (batch, n, n, window), cdtype)
+        # Node-boundary cast to the values dtype, then the routed transpose.
+        np.copyto(shifted, grad_v.transpose(0, 2, 1, 3))
+        # Undo the Eq. 4 right-shift: the diagonal gradient at slot t+1
+        # flows to the pre-shift entry at slot t.
+        shift_buf = space.take("bwd.conv.shift", (batch, window), cdtype)
+        for index in range(n):
+            np.copyto(shift_buf, shifted[:, index, index, :])
+            shifted[:, index, index, :-1] = shift_buf[:, 1:]
+            shifted[:, index, index, -1] = 0.0
+        grad_scaled = space.take("bwd.conv.scaled", (batch, n, n, window),
+                                 cdtype)
+        np.multiply(shifted, stage["scale_array"], out=grad_scaled)
+        flat_k = space.take("bwd.conv.flat_k", (n, n, batch * window), cdtype)
+        np.copyto(flat_k.reshape(n, n, batch, window),
+                  grad_scaled.transpose(1, 2, 0, 3))
+        kgrad = space.take("bwd.conv.kgrad", (n, n, window), cdtype)
+        np.matmul(flat_k, windows_flat, out=kgrad)
+        if model.convolution.single_kernel:
+            # effective_kernel broadcast node: gradient × constant ones (an
+            # exact ×1.0, elided), node-boundary cast, then the engine's
+            # unbroadcast sum down to the (1, 1, T) parameter — the cast
+            # happens before the sum in `Tensor._push`.
+            cast_eff = space.take("bwd.conv.kcast", (n, n, window), gdtype)
+            np.copyto(cast_eff, kgrad)
+            ksum = space.take("bwd.conv.ksum", (1, 1, window), gdtype)
+            cast_eff.sum(axis=(0, 1), keepdims=True, out=ksum)
+            if has_l1_kernel:
+                kernel_view += ksum
+            else:
+                kernel_view[...] = ksum
+        elif has_l1_kernel:
+            if kgrad.dtype == gdtype:
+                kernel_view += kgrad
+            else:
+                kcast = space.take("bwd.conv.kcast", (n, n, window), gdtype)
+                np.copyto(kcast, kgrad)
+                kernel_view += kcast
+        else:
+            kernel_view[...] = kgrad
+
+
+class StackedTrainingEngine(StackedInferenceEngine):
+    """Lockstep fused training step for ``K`` same-architecture models.
+
+    The stacked analogue of :class:`TrainingEngine`, built for
+    :class:`repro.core.batched.StackedCausalFormerTrainer`: one fused
+    forward (the inherited :class:`~repro.nn.inference
+    .StackedInferenceEngine` forward, bit-identical per model to the solo
+    fast path) and one hand-derived backward with a leading model axis,
+    writing every gradient into the trainer's stacked ``(K, *shape)`` views
+    of its flat ``(K, P)`` gradient matrix.  All backward temporaries live
+    in the engine's arena, so steady-state steps allocate nothing.
+
+    Because this *is* a stacked inference engine, the trainer runs its
+    validation passes through the same object — and hands the same arena to
+    the group detector interpretation — so one buffer pool serves all three
+    phases of a batched sweep.
+
+    Parameters
+    ----------
+    models:
+        The fleet (parameters already re-pointed at the trainer's stack).
+    stacked:
+        Name → ``(K, *shape)`` stacked parameter views.
+    grad_views:
+        Name → ``(K, *shape)`` views into the trainer's gradient matrix.
+    """
+
+    def __init__(self, models: Sequence, stacked: Dict[str, np.ndarray],
+                 grad_views: Dict[str, np.ndarray],
+                 arena: Optional[ScratchArena] = None) -> None:
+        super().__init__(models, arena)
+        self._stacked = stacked
+        self._grad_views = grad_views
+
+    def _stage(self) -> dict:
+        """Stage only the genuinely fused layouts; serve the rest as views.
+
+        The base class copies every model's weights into stacked arena
+        buffers because its models are independent objects.  This engine's
+        models are backed by the trainer's ``(K, P)`` matrix, so the plain
+        per-parameter stacks already exist as live views — only the fused
+        layouts (concatenated Q/K projections, the float64 mask modulation,
+        the broadcast single-kernel) still need a per-step copy.  Each
+        stacked view's per-model slice is C-contiguous like the buffer rows
+        it replaces, so every per-slice GEMM is unchanged bit for bit.
+        """
+        arena = self.arena
+        first = self.models[0]
+        attention = first.attention
+        dtype = self.dtype
+        m = len(self.models)
+        n_heads = attention.n_heads
+        d_qk = attention.query_weights[0].data.shape[-1]
+        d_model = first.embedding.weight.data.shape[-1]
+        n = first.convolution.n_series
+        window = first.convolution.window
+        stacked = self._stacked
+        head_names = [f"attention.heads.{h}" for h in range(n_heads)]
+
+        weight_flat = arena.take("stack.weight_flat",
+                                 (m, d_model, 2 * n_heads * d_qk), dtype)
+        bias_flat = arena.take("stack.bias_flat", (m, 2 * n_heads * d_qk),
+                               dtype)
+        stacks = [stacked[f"{name}.w_query"] for name in head_names] \
+            + [stacked[f"{name}.w_key"] for name in head_names]
+        bias_stacks = [stacked[f"{name}.b_query"] for name in head_names] \
+            + [stacked[f"{name}.b_key"] for name in head_names]
+        for index, (weights, biases) in enumerate(zip(stacks, bias_stacks)):
+            columns = slice(index * d_qk, (index + 1) * d_qk)
+            weight_flat[:, :, columns] = weights
+            bias_flat[:, columns] = biases
+
+        scale = 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        modulation = arena.take("stack.modulation", (m, n_heads, 1, n, n),
+                                np.float64)
+        for index, name in enumerate(head_names):
+            modulation[:, index, 0] = stacked[f"{name}.mask"]
+        modulation *= scale
+
+        kernel_stack = stacked["convolution.kernel"]
+        if first.convolution.single_kernel:
+            kernel_eff = arena.take("stack.kernel", (m, n, n, window), dtype)
+            np.multiply(kernel_stack,
+                        first.convolution._ones_broadcast.data,
+                        out=kernel_eff)
+        else:
+            kernel_eff = kernel_stack
+
+        return {
+            "dtype": dtype,
+            "n_heads": n_heads,
+            "d_qk": d_qk,
+            "weight_flat": weight_flat,
+            "bias_flat": bias_flat,
+            "modulation": modulation,
+            "kernel_eff": kernel_eff,
+            "scale_array": first.convolution._scale_array,
+            "embed_weight": stacked["embedding.weight"],
+            "embed_bias": stacked["embedding.bias"],
+            "w1": stacked["feed_forward.w1"],
+            "b1": stacked["feed_forward.b1"],
+            "w2": stacked["feed_forward.w2"],
+            "b2": stacked["feed_forward.b2"],
+            "w3": stacked["output_layer.weight"],
+            "b3": stacked["output_layer.bias"],
+            "negative_slope": first.feed_forward.negative_slope,
+            "w_output": stacked["attention.w_output"],
+        }
+
+    def train_step(self, batch: np.ndarray) -> List[float]:
+        """Fused forward + per-model losses + backward into the grad matrix.
+
+        ``batch`` is the gathered ``(K, B, N, T)`` mini-batch in the model
+        dtype.  Returns one Eq. 9 loss per model; the caller applies the
+        stacked Adam update.
+        """
+        stage = self._stage()
+        space = self.arena.space(("stack.eval", batch.shape, batch.dtype.str))
+        prediction = self._forward(batch, stage)
+        diff = self._windowed_diff(prediction, batch)
+        losses = [
+            InferenceEngine._mse_plus_penalties(
+                diff[row], self._penalty_terms(row))
+            for row in range(len(self.models))]
+        self._backward(space, stage, batch, diff)
+        return losses
+
+    def _penalty_terms(self, row: int) -> List[float]:
+        from repro.nn.inference import _loss_penalty_terms
+
+        return _loss_penalty_terms(self.models[row], self.arena,
+                                   prefix=f"m{row}.")
+
+    # ------------------------------------------------------------------ #
+    # Hand-derived backward (stacked transcription, arena-buffered)
+    # ------------------------------------------------------------------ #
+    def _backward(self, space: ScratchSpace, stage: dict, xb: np.ndarray,
+                  diff: np.ndarray) -> None:
+        model = self.models[0]
+        config = model.config
+        m, batch, n, window = xb.shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        d_model = stage["embed_weight"].shape[-1]
+        d_ffn = stage["w1"].shape[-1]
+        bn = batch * n
+        dtype = self.dtype
+        f64 = np.float64
+        one = f64(1.0)
+        cdtype = np.result_type(xb.dtype, stage["kernel_eff"].dtype)
+        adtype = np.result_type(xb.dtype, stage["embed_weight"].dtype)
+        views = self._grad_views
+        head_names = [f"attention.heads.{h}" for h in range(n_heads)]
+
+        # --- loss node: L1 signs + windowed-MSE seed --------------------- #
+        has_l1_kernel = config.lambda_kernel > 0
+        has_l1_mask = config.lambda_mask > 0
+        kernel_view = views["convolution.kernel"]
+        if has_l1_kernel:
+            _scaled_sign(kernel_view, self._stacked["convolution.kernel"],
+                         config.lambda_kernel * one)
+        if has_l1_mask:
+            for name in head_names:
+                _scaled_sign(views[f"{name}.mask"],
+                             self._stacked[f"{name}.mask"],
+                             config.lambda_mask * one)
+        # Slot 0 is never written; the allocation zero-fill persists there.
+        grad_pred = space.take("bwd.pred", (m, batch, n, window), f64)
+        np.multiply(diff, 2.0 / diff[0].size, out=grad_pred[..., 1:])
+
+        # --- mlp_chain backward ----------------------------------------- #
+        ffn = space.take("mlp.ffn", (m, bn, window), f64)
+        hidden = space.take("mlp.hidden", (m, bn, d_ffn), f64)   # activated
+        slope = space.take("mlp.slope", (m, bn, d_ffn), f64)
+        grad2d = grad_pred.reshape(m, bn, window)
+        w3_tmp = space.take("bwd.w3", (m, window, window), f64)
+        np.matmul(ffn.transpose(0, 2, 1), grad2d, out=w3_tmp)
+        views["output_layer.weight"][...] = w3_tmp
+        b3_tmp = space.take("bwd.b3", (m, window), f64)
+        grad2d.sum(axis=1, out=b3_tmp)
+        views["output_layer.bias"][...] = b3_tmp
+        grad_ffn = space.take("bwd.ffn", (m, bn, window), f64)
+        np.matmul(grad2d, stage["w3"].transpose(0, 2, 1), out=grad_ffn)
+        w2_tmp = space.take("bwd.w2", (m, d_ffn, window), f64)
+        np.matmul(hidden.transpose(0, 2, 1), grad_ffn, out=w2_tmp)
+        views["feed_forward.w2"][...] = w2_tmp
+        b2_tmp = space.take("bwd.b2", (m, window), f64)
+        grad_ffn.sum(axis=1, out=b2_tmp)
+        views["feed_forward.b2"][...] = b2_tmp
+        grad_hidden = space.take("bwd.hidden", (m, bn, d_ffn), f64)
+        np.matmul(grad_ffn, stage["w2"].transpose(0, 2, 1), out=grad_hidden)
+        grad_hidden *= slope
+        combined2d = space.take("comb.out", (m, bn * window, 1), f64) \
+            .reshape(m, bn, window)
+        w1_tmp = space.take("bwd.w1", (m, window, d_ffn), f64)
+        np.matmul(combined2d.transpose(0, 2, 1), grad_hidden, out=w1_tmp)
+        views["feed_forward.w1"][...] = w1_tmp
+        b1_tmp = space.take("bwd.b1", (m, d_ffn), f64)
+        grad_hidden.sum(axis=1, out=b1_tmp)
+        views["feed_forward.b1"][...] = b1_tmp
+        grad_combined = space.take("bwd.comb", (m, bn, window), f64)
+        np.matmul(grad_hidden, stage["w1"].transpose(0, 2, 1),
+                  out=grad_combined)
+        grad_comb4d = grad_combined.reshape(m, batch, n, window)
+
+        # --- attention_combine backward --------------------------------- #
+        a_bihj = space.take("comb.a", (m, batch, n, n_heads, n), f64)
+        v_bijt = space.take("comb.v", (m, batch, n, n, window), f64)
+        head_outputs = space.take("comb.ho", (m, batch, n, n_heads, window),
+                                  f64)
+        grad_heads = space.take("comb.bwd.heads",
+                                (m, batch, n, n_heads, window), f64)
+        np.multiply(grad_comb4d[:, :, :, None, :],
+                    stage["w_output"][:, None, None, :, None],
+                    out=grad_heads)
+        grad_a = space.take("bwd.ga", (m, batch, n, n_heads, n), f64)
+        np.matmul(grad_heads, v_bijt.transpose(0, 1, 2, 4, 3), out=grad_a)
+        grad_probs = grad_a.transpose(0, 3, 1, 2, 4)        # (K, h, B, i, j)
+        grad_v = space.take("bwd.gv", (m, batch, n, n, window), f64)
+        np.matmul(a_bihj.transpose(0, 1, 2, 4, 3), grad_heads, out=grad_v)
+        # Per-model np.tensordot(head_outputs, grad_combined, ([0,1,3],
+        # [0,1,2])) unrolled to its transpose-copy + dot, one row at a time.
+        ho_flat = space.take("bwd.ho_flat", (m, n_heads, bn * window), f64)
+        np.copyto(ho_flat.reshape(m, n_heads, batch, n, window),
+                  head_outputs.transpose(0, 3, 1, 2, 4))
+        wout_tmp = space.take("bwd.wout", (n_heads, 1), f64)
+        w_output_view = views["attention.w_output"]
+        for row in range(m):
+            np.dot(ho_flat[row],
+                   grad_combined[row].reshape(bn * window, 1), out=wout_tmp)
+            w_output_view[row] = wout_tmp[:, 0]
+
+        # --- causal_attention_probs backward ----------------------------- #
+        probs = space.take("att.probs", (m, n_heads, batch, n, n), f64)
+        raw = space.take("att.raw", (m, n_heads, batch, n, n), adtype)
+        qk = space.take("att.qk", (m, 2 * n_heads, batch, n, d_qk), adtype)
+        emb = space.take("att.emb", (m, bn, d_model), adtype)
+        product = space.take("bwd.att.prod", (m, n_heads, batch, n, n), f64)
+        np.multiply(grad_probs, probs, out=product)
+        dot = space.take("bwd.att.dot", (m, n_heads, batch, n, 1), f64)
+        sum_last_keepdims(product, out=dot)
+        grad_masked = space.take("bwd.att.masked", (m, n_heads, batch, n, n),
+                                 f64)
+        np.subtract(grad_probs, dot, out=grad_masked)
+        np.multiply(probs, grad_masked, out=grad_masked)
+        grad_raw = space.take("bwd.att.raw", (m, n_heads, batch, n, n), f64)
+        np.multiply(grad_masked, stage["modulation"], out=grad_raw)
+        grad_qk = space.take("bwd.att.qk", (m, 2 * n_heads, batch, n, d_qk),
+                             adtype)
+        np.matmul(grad_raw, qk[:, n_heads:], out=grad_qk[:, :n_heads])
+        np.matmul(grad_raw.transpose(0, 1, 2, 4, 3), qk[:, :n_heads],
+                  out=grad_qk[:, n_heads:])
+        grad_2d = space.take("bwd.att.2d", (m, bn, 2 * n_heads * d_qk),
+                             adtype)
+        np.copyto(grad_2d.reshape(m, batch, n, 2 * n_heads, d_qk),
+                  grad_qk.transpose(0, 2, 3, 1, 4))
+        gw = space.take("bwd.att.gw", (m, d_model, 2 * n_heads * d_qk),
+                        adtype)
+        np.matmul(emb.transpose(0, 2, 1), grad_2d, out=gw)
+        gb = space.take("bwd.att.gb", (m, 2 * n_heads * d_qk), adtype)
+        grad_2d.sum(axis=1, out=gb)
+        for index, name in enumerate(head_names):
+            query = slice(index * d_qk, (index + 1) * d_qk)
+            key = slice((n_heads + index) * d_qk,
+                        (n_heads + index + 1) * d_qk)
+            views[f"{name}.w_query"][...] = gw[:, :, query]
+            views[f"{name}.b_query"][...] = gb[:, query]
+            views[f"{name}.w_key"][...] = gw[:, :, key]
+            views[f"{name}.b_key"][...] = gb[:, key]
+        grad_emb = space.take("bwd.att.emb", (m, bn, d_model), adtype)
+        np.matmul(grad_2d, stage["weight_flat"].transpose(0, 2, 1),
+                  out=grad_emb)
+        x2d = xb.reshape(m, bn, window)
+        ew_tmp = space.take("bwd.ew", (m, window, d_model), adtype)
+        np.matmul(x2d.transpose(0, 2, 1), grad_emb, out=ew_tmp)
+        views["embedding.weight"][...] = ew_tmp
+        eb_tmp = space.take("bwd.eb", (m, d_model), adtype)
+        grad_emb.sum(axis=1, out=eb_tmp)
+        views["embedding.bias"][...] = eb_tmp
+        # Masks: second accumulation on top of the L1 signs, cast first.
+        np.multiply(grad_masked, raw, out=product)
+        gmask = space.take("bwd.att.gmask", (m, n_heads, n, n), f64)
+        product.sum(axis=2, out=gmask)
+        attention = model.attention
+        gmask *= 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        mask_cast = space.take("bwd.att.gmask_cast", (m, n, n), dtype)
+        for index, name in enumerate(head_names):
+            mask_view = views[f"{name}.mask"]
+            if has_l1_mask:
+                np.copyto(mask_cast, gmask[:, index])
+                mask_view += mask_cast
+            else:
+                mask_view[...] = gmask[:, index]
+
+        # --- causal_conv backward ---------------------------------------- #
+        windows_flat = space.take("conv.windows_flat",
+                                  (m, n, batch * window, window), xb.dtype)
+        shifted = space.take("bwd.conv.grad", (m, batch, n, n, window),
+                             cdtype)
+        np.copyto(shifted, grad_v.transpose(0, 1, 3, 2, 4))
+        shift_buf = space.take("bwd.conv.shift", (m, batch, window), cdtype)
+        for index in range(n):
+            np.copyto(shift_buf, shifted[:, :, index, index, :])
+            shifted[:, :, index, index, :-1] = shift_buf[..., 1:]
+            shifted[:, :, index, index, -1] = 0.0
+        sdtype = np.result_type(cdtype, stage["scale_array"].dtype)
+        grad_scaled = space.take("bwd.conv.scaled",
+                                 (m, batch, n, n, window), sdtype)
+        np.multiply(shifted, stage["scale_array"], out=grad_scaled)
+        flat_k = space.take("bwd.conv.flat_k", (m, n, n, batch * window),
+                            sdtype)
+        np.copyto(flat_k.reshape(m, n, n, batch, window),
+                  grad_scaled.transpose(0, 2, 3, 1, 4))
+        if config.single_kernel:
+            # Broadcast-multiply backward: gradient × constant ones (exact
+            # ×1.0, elided), then the unbroadcast sum down to (K, 1, 1, T).
+            grad_eff = space.take("bwd.conv.geff", (m, n, n, window), sdtype)
+            np.matmul(flat_k, windows_flat, out=grad_eff)
+            ksum = space.take("bwd.conv.ksum", (m, 1, 1, window), sdtype)
+            grad_eff.sum(axis=(1, 2), keepdims=True, out=ksum)
+            if has_l1_kernel:
+                kernel_view += ksum
+            else:
+                kernel_view[...] = ksum
+        else:
+            kgrad = space.take("bwd.conv.kgrad", (m, n, n, window), sdtype)
+            np.matmul(flat_k, windows_flat, out=kgrad)
+            if has_l1_kernel:
+                kernel_view += kgrad
+            else:
+                kernel_view[...] = kgrad

@@ -6,8 +6,9 @@ whole per-model numpy call sequence — at sweep model sizes the dispatch
 overhead dominates the arithmetic.  This module packs compatible jobs into
 one process pass that stays stacked end to end: the models train together
 through :class:`repro.core.batched.StackedCausalFormerTrainer` (stacked
-GEMMs for every step *and* every validation pass), then the whole group's
-detector interpretation runs as one stacked pass
+GEMMs for every step *and* every validation pass, one fused training
+engine + scratch arena serving both), then the whole group's detector
+interpretation runs as one stacked pass reusing that same arena
 (:func:`repro.core.detector.compute_scores_group`) instead of one
 interpretation per job; only graph construction and scoring stay per job.
 
@@ -123,7 +124,11 @@ def execute_batched_jobs(pairs: Sequence[JobPair]) -> List[JobResult]:
         interpret_start = time.perf_counter()
         detectors = [method.build_detector() for method in methods]
         windows_list = [method.detector_windows() for method in methods]
-        scores_list = compute_scores_group(detectors, windows_list)
+        # The trainer's engine arena is reused for the stacked cache
+        # forward/backward — training, validation and interpretation share
+        # one buffer pool for the whole group.
+        scores_list = compute_scores_group(detectors, windows_list,
+                                           arena=trainer.engine.arena)
         shared += (time.perf_counter() - interpret_start) / len(pairs)
     except Exception:
         detectors = None

@@ -5,6 +5,8 @@ The suite times the layers the training loop actually exercises —
 * ``tensor_ops``    — elementwise/matmul autograd round trips,
 * ``convolution``   — multi-kernel causal convolution forward + backward,
 * ``attention``     — multi-variate causal attention forward + backward,
+* ``train_step``    — one mini-batch optimiser step through the trainer's
+  step path (the fused no-autograd training engine),
 * ``train_epoch``   — one epoch of :class:`repro.core.training.Trainer`,
 * ``fit_small``     — a full small ``Trainer.fit`` on a VAR fork dataset,
 * ``evaluate``      — ``Trainer._evaluate`` (the no-grad validation pass),
@@ -53,11 +55,12 @@ _REPORT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 #: benchmark gated by the CI regression check (kept for compatibility)
 REGRESSION_KEY = "train_epoch"
 
-#: benchmarks gated by the CI regression check by default; keys absent from
-#: the reference report are skipped, so extending this set never breaks
-#: comparisons against older trajectory reports
-REGRESSION_KEYS = ("train_epoch", "evaluate", "detector_interpret",
-                   "evaluate_stacked")
+#: benchmarks gated by the CI regression check by default; a gated key
+#: missing from the reference report fails the check loudly (see
+#: :func:`check_regressions`), so the committed trajectory must be
+#: regenerated whenever this set grows
+REGRESSION_KEYS = ("train_epoch", "train_step", "evaluate",
+                   "detector_interpret", "evaluate_stacked")
 
 
 def _numbered_reports(root: Optional[str] = None) -> List[Tuple[int, str]]:
@@ -173,6 +176,23 @@ def _payload_train_epoch() -> Callable[[], None]:
 
     def run() -> None:
         trainer._run_epoch(windows, np.random.default_rng(4))
+
+    return run
+
+
+def _payload_train_step() -> Callable[[], None]:
+    """One mini-batch optimiser step through the trainer's step path.
+
+    Exactly one batch (32 windows at ``batch_size=32``): shuffle, gather,
+    fused forward + backward, Adam update.  The committed baseline was
+    measured against the autograd fast path this payload replaced (graph
+    construction + ``loss.backward()`` + per-parameter gradient gather).
+    """
+    trainer, windows = _epoch_fixture()
+    batch = np.ascontiguousarray(windows[:32])
+
+    def run() -> None:
+        trainer._run_epoch(batch, np.random.default_rng(5))
 
     return run
 
@@ -342,6 +362,7 @@ PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "tensor_ops": (_payload_tensor_ops, 20, 5),
     "convolution": (_payload_convolution, 20, 5),
     "attention": (_payload_attention, 20, 5),
+    "train_step": (_payload_train_step, 20, 5),
     "train_epoch": (_payload_train_epoch, 9, 3),
     "fit_small": (_payload_fit_small, 7, 1),
     "evaluate": (_payload_evaluate, 20, 5),
@@ -476,21 +497,139 @@ def check_regression(report: Dict, max_regression: float = 0.25,
 def check_regressions(report: Dict, max_regression: float = 0.25,
                       keys: Optional[Sequence[str]] = None,
                       reference: Optional[Dict] = None,
-                      normalize_by: Optional[str] = None) -> List[str]:
+                      normalize_by: Optional[str] = None,
+                      allow_missing: bool = False) -> List[str]:
     """Run :func:`check_regression` for several benchmarks; collect failures.
 
-    Keys absent from the reference (e.g. a benchmark added after the
-    reference was written) are skipped, so extending the gate never breaks
-    comparisons against older trajectory reports.
+    A gated key missing from the reference report is a **loud failure**, not
+    a silent skip: a gate that quietly stops comparing is indistinguishable
+    from one that passes, so a stale reference (e.g. a benchmark added
+    without regenerating the committed trajectory report) must surface in
+    CI.  ``allow_missing=True`` restores the old skip behaviour for callers
+    that deliberately compare against historical reports.  When no
+    reference is available at all there is nothing to gate and the check
+    passes vacuously (matching :func:`check_regression`).
     """
+    resolved = reference if reference is not None else report.get("baseline")
+    reference_timings = (resolved or {}).get("timings", {})
     messages = []
+    if normalize_by and resolved:
+        # A missing/zero normalizer makes every ratio comparison vacuous —
+        # surface that once instead of letting all gates pass silently.
+        for side, timings in (("reference report", reference_timings),
+                              ("current report",
+                               report.get("timings", {}))):
+            entry = timings.get(normalize_by)
+            if not entry or entry.get("seconds", 0) <= 0:
+                if not allow_missing:
+                    messages.append(
+                        f"{normalize_by}: normalizer benchmark missing "
+                        f"from the {side} — every gated comparison would "
+                        "be vacuous")
+                return messages
     for key in (keys if keys is not None else REGRESSION_KEYS):
+        if resolved and key not in reference_timings:
+            if not allow_missing:
+                messages.append(
+                    f"{key}: gated benchmark missing from the reference "
+                    "report — regenerate the reference (python -m repro "
+                    "bench) or drop it from --regression-keys")
+            continue
         message = check_regression(report, max_regression, key=key,
                                    reference=reference,
                                    normalize_by=normalize_by)
         if message:
             messages.append(message)
     return messages
+
+
+# ---------------------------------------------------------------------- #
+# Trajectory summary (BENCH_01 → BENCH_NN deltas per payload)
+# ---------------------------------------------------------------------- #
+def load_trajectory(root: Optional[str] = None) -> List[Tuple[str, Dict]]:
+    """Load every committed ``BENCH_nn.json`` report, oldest first."""
+    loaded: List[Tuple[str, Dict]] = []
+    for _number, path in _numbered_reports(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded.append((os.path.splitext(os.path.basename(path))[0],
+                           json.load(handle)))
+    return loaded
+
+
+def trajectory_rows(root: Optional[str] = None,
+                    reports: Optional[List[Tuple[str, Dict]]] = None
+                    ) -> List[Dict[str, object]]:
+    """Per-payload timing trajectory across the committed reports.
+
+    Each row maps ``payload`` to its per-report median milliseconds (``None``
+    where a report predates the payload) plus two speedups for the latest
+    report: ``vs_previous`` (against the nearest earlier report measuring
+    the payload) and ``vs_first`` (against the oldest such report).  Rows
+    follow first-appearance order across the trajectory.  ``reports``
+    accepts an already-loaded :func:`load_trajectory` list so callers that
+    need both the labels and the rows parse each report file once.
+    """
+    if reports is None:
+        reports = load_trajectory(root)
+    names: List[str] = []
+    for _label, report in reports:
+        for payload in report.get("timings", {}):
+            if payload not in names:
+                names.append(payload)
+    rows: List[Dict[str, object]] = []
+    for payload in names:
+        series = [
+            report.get("timings", {}).get(payload, {}).get("seconds")
+            for _label, report in reports
+        ]
+        measured = [value for value in series if value is not None]
+        vs_previous = vs_first = None
+        if series and series[-1] is not None and len(measured) > 1:
+            vs_previous = measured[-2] / series[-1]
+            vs_first = measured[0] / series[-1]
+        rows.append({
+            "payload": payload,
+            "milliseconds": [None if value is None else value * 1000.0
+                             for value in series],
+            "vs_previous": vs_previous,
+            "vs_first": vs_first,
+        })
+    return rows
+
+
+def render_trajectory(root: Optional[str] = None) -> str:
+    """The ``--trajectory`` table: per-payload ms across BENCH_01..NN.
+
+    Columns are the committed trajectory reports in order; the two trailing
+    columns give the latest report's speedup against the previous report
+    and against the first report that measured the payload (``-`` where a
+    payload has fewer than two measurements).
+    """
+    reports = load_trajectory(root)
+    if not reports:
+        return "no committed BENCH_nn.json trajectory reports found"
+    labels = [label for label, _report in reports]
+    rows = trajectory_rows(reports=reports)
+    header = ["payload"] + [f"{label} ms" for label in labels] \
+        + ["vs prev", f"vs {labels[0]}"]
+    table: List[List[str]] = [header]
+    for row in rows:
+        cells = [str(row["payload"])]
+        cells += ["-" if value is None else f"{value:.2f}"
+                  for value in row["milliseconds"]]
+        for speedup in (row["vs_previous"], row["vs_first"]):
+            cells.append("-" if speedup is None else f"{speedup:.2f}x")
+        table.append(cells)
+    widths = [max(len(line[column]) for line in table)
+              for column in range(len(header))]
+    rendered = []
+    for index, line in enumerate(table):
+        rendered.append("  ".join(
+            cell.ljust(width) if column == 0 else cell.rjust(width)
+            for column, (cell, width) in enumerate(zip(line, widths))))
+        if index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    return "\n".join(rendered)
 
 
 def write_report(report: Dict, path: Optional[str] = None) -> str:

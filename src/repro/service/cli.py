@@ -209,6 +209,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.service import bench
 
+    if args.trajectory:
+        # Summarize the committed BENCH_01..NN trajectory (per payload:
+        # ms per report + speedup vs the previous and the first report)
+        # without running any benchmarks.
+        print(bench.render_trajectory())
+        return 0
+
     names = _split_csv(args.only) if args.only else None
     print(f"running {'smoke' if args.smoke else 'full'} microbenchmarks "
           f"({', '.join(names or bench.PAYLOADS)}):")
@@ -241,23 +248,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"error: regression keys not measured in this run: "
                   f"{', '.join(unknown)}", file=sys.stderr)
             return 1
-        resolved = reference if reference is not None else report.get("baseline", {})
-        reference_timings = (resolved or {}).get("timings", {})
-        checked = [key for key in keys if key in reference_timings]
-        skipped = [key for key in keys if key not in reference_timings]
+        # A gated key missing from the reference fails loudly inside
+        # check_regressions — a gate that silently stops comparing is
+        # indistinguishable from one that passes.
         messages = bench.check_regressions(report, args.max_regression,
-                                           keys=checked, reference=reference,
+                                           keys=keys, reference=reference,
                                            normalize_by=args.normalize_by)
         if messages:
             for message in messages:
                 print(f"REGRESSION: {message}", file=sys.stderr)
             return 1
-        if skipped:
-            print(f"regression check skipped for {', '.join(skipped)} "
-                  f"(absent from the reference report)")
         normalized = f" (normalized by {args.normalize_by})" if args.normalize_by else ""
-        if checked:
-            print(f"regression check passed ({', '.join(checked)} within "
+        resolved = reference if reference is not None else report.get("baseline", {})
+        if (resolved or {}).get("timings"):
+            print(f"regression check passed ({', '.join(keys)} within "
                   f"{args.max_regression:.0%} of reference{normalized})")
         else:
             print("regression check ran against no comparable benchmarks")
@@ -345,9 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reference report for the regression check; "
                             "'latest' uses the newest committed BENCH_nn.json "
                             "(default: the embedded pre-optimization baseline)")
+    from repro.service.bench import REGRESSION_KEYS
+
     bench.add_argument("--regression-keys", default=None,
                        help="comma-separated benchmarks to gate "
-                            "(default: train_epoch,evaluate)")
+                            f"(default: {','.join(REGRESSION_KEYS)})")
+    bench.add_argument("--trajectory", action="store_true",
+                       help="print the BENCH_01..NN per-payload timing "
+                            "trajectory (ms + speedups) and exit")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed slowdown fraction (default: %(default)s)")
     bench.add_argument("--normalize-by", default=None, metavar="BENCHMARK",

@@ -51,10 +51,49 @@ class TestRegressionGate:
         assert len(messages) == 1
         assert "evaluate" in messages[0]
 
-    def test_missing_key_in_reference_is_skipped(self):
+    def test_missing_key_in_reference_fails_loudly(self):
+        """A gated key absent from the reference must fail, not skip — a
+        gate that silently stops comparing looks exactly like one that
+        passes."""
         reference = report_with({"train_epoch": 1.0})
         current = report_with({"train_epoch": 1.0, "evaluate": 99.0})
-        assert bench.check_regressions(current, reference=reference) == []
+        messages = bench.check_regressions(current, reference=reference,
+                                           keys=("train_epoch", "evaluate"))
+        assert len(messages) == 1
+        assert "evaluate" in messages[0]
+        assert "missing from the reference" in messages[0]
+
+    def test_missing_key_skippable_when_opted_in(self):
+        reference = report_with({"train_epoch": 1.0})
+        current = report_with({"train_epoch": 1.0, "evaluate": 99.0})
+        assert bench.check_regressions(current, reference=reference,
+                                       keys=("train_epoch", "evaluate"),
+                                       allow_missing=True) == []
+
+    def test_no_reference_at_all_passes_vacuously(self):
+        current = report_with({"train_epoch": 1.0})
+        assert bench.check_regressions(current, reference=None) == []
+
+    def test_missing_normalizer_in_reference_fails_loudly(self):
+        """A reference without the normalize_by benchmark makes every ratio
+        gate vacuous — that must fail, not silently pass."""
+        reference = report_with({"train_epoch": 1.0})
+        current = report_with({"train_epoch": 1.0, "tensor_ops": 0.1})
+        messages = bench.check_regressions(current, reference=reference,
+                                           keys=("train_epoch",),
+                                           normalize_by="tensor_ops")
+        assert len(messages) == 1
+        assert "tensor_ops" in messages[0]
+        assert "vacuous" in messages[0]
+
+    def test_missing_normalizer_in_current_run_fails_loudly(self):
+        reference = report_with({"train_epoch": 1.0, "tensor_ops": 0.1})
+        current = report_with({"train_epoch": 1.0})
+        messages = bench.check_regressions(current, reference=reference,
+                                           keys=("train_epoch",),
+                                           normalize_by="tensor_ops")
+        assert len(messages) == 1
+        assert "current report" in messages[0]
 
     def test_normalized_gate_ignores_machine_speed(self):
         reference = report_with({"train_epoch": 1.0, "tensor_ops": 0.1})
@@ -66,7 +105,71 @@ class TestRegressionGate:
     def test_default_keys_gate_inference(self):
         assert "evaluate" in bench.REGRESSION_KEYS
         assert "train_epoch" in bench.REGRESSION_KEYS
+        assert "train_step" in bench.REGRESSION_KEYS
 
     def test_payloads_include_new_benchmarks(self):
-        for name in ("evaluate", "detector_interpret", "sweep_batched"):
+        for name in ("evaluate", "detector_interpret", "sweep_batched",
+                     "train_step"):
             assert name in bench.PAYLOADS
+
+    def test_train_step_has_committed_baseline(self):
+        baseline = bench.load_baseline()
+        assert baseline is not None
+        assert "train_step" in baseline["timings"]
+
+
+def trajectory_report(**timings):
+    return {"schema": 1,
+            "timings": {name: {"seconds": seconds, "best": seconds,
+                               "repeats": 1, "samples": [seconds]}
+                        for name, seconds in timings.items()}}
+
+
+class TestTrajectory:
+    def setup_reports(self, tmp_path):
+        write(tmp_path / "BENCH_01.json",
+              trajectory_report(train_epoch=0.008, evaluate=0.004))
+        write(tmp_path / "BENCH_02.json",
+              trajectory_report(train_epoch=0.004, evaluate=0.002,
+                                train_step=0.0016))
+        write(tmp_path / "BENCH_03.json",
+              trajectory_report(train_epoch=0.002, evaluate=0.002,
+                                train_step=0.0008))
+
+    def test_rows_carry_ms_and_speedups(self, tmp_path):
+        self.setup_reports(tmp_path)
+        rows = {row["payload"]: row
+                for row in bench.trajectory_rows(str(tmp_path))}
+        epoch = rows["train_epoch"]
+        assert epoch["milliseconds"] == [8.0, 4.0, 2.0]
+        assert epoch["vs_previous"] == pytest.approx(2.0)
+        assert epoch["vs_first"] == pytest.approx(4.0)
+        # A payload added mid-trajectory reports None for earlier slots and
+        # measures its speedups against its own first appearance.
+        step = rows["train_step"]
+        assert step["milliseconds"] == [None, 1.6, 0.8]
+        assert step["vs_previous"] == pytest.approx(2.0)
+        assert step["vs_first"] == pytest.approx(2.0)
+
+    def test_single_measurement_has_no_speedups(self, tmp_path):
+        write(tmp_path / "BENCH_01.json", trajectory_report(evaluate=0.004))
+        (row,) = bench.trajectory_rows(str(tmp_path))
+        assert row["vs_previous"] is None and row["vs_first"] is None
+
+    def test_render_contains_headers_and_values(self, tmp_path):
+        self.setup_reports(tmp_path)
+        table = bench.render_trajectory(str(tmp_path))
+        lines = table.splitlines()
+        assert "BENCH_01 ms" in lines[0]
+        assert "BENCH_03 ms" in lines[0]
+        assert "vs prev" in lines[0] and "vs BENCH_01" in lines[0]
+        epoch_line = next(line for line in lines
+                          if line.startswith("train_epoch"))
+        assert "8.00" in epoch_line and "2.00" in epoch_line
+        assert "4.00x" in epoch_line
+        step_line = next(line for line in lines
+                         if line.startswith("train_step"))
+        assert step_line.split()[1] == "-"   # predates BENCH_02
+
+    def test_render_with_no_reports(self, tmp_path):
+        assert "no committed" in bench.render_trajectory(str(tmp_path))
