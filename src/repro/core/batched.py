@@ -48,6 +48,7 @@ from repro.core.transformer import CausalityAwareTransformer
 from repro.data.windows import sliding_windows
 from repro.nn.optim import ADAM_BETAS, ADAM_CLIP_FUZZ, ADAM_EPS
 from repro.nn.training_engine import StackedTrainingEngine
+from repro.telemetry import get_telemetry
 
 
 
@@ -194,66 +195,92 @@ class StackedCausalFormerTrainer:
         row_offsets = (np.arange(k) * n_train)[:, None]
         arena = engine.arena
 
-        for _epoch in range(config.max_epochs):
-            orders = [rng.permutation(n_train) for rng in rngs]
-            order_matrix = np.stack(orders)
-            order_matrix += row_offsets
-            batch_losses: List[List[float]] = [[] for _ in range(k)]
-            for start in range(0, n_train, batch_size):
-                stop = min(start + batch_size, n_train)
-                batch = arena.take("train.batch",
-                                   (k, stop - start) + tail_shape, self.dtype)
-                np.take(train_flat, order_matrix[:, start:stop].ravel(),
-                        axis=0,
-                        out=batch.reshape((k * (stop - start),) + tail_shape))
-                losses = self._train_step(batch)
-                for row, loss in enumerate(losses):
-                    batch_losses[row].append(loss)
+        telemetry = get_telemetry()
+        if telemetry.engine_profiling:
+            engine.enable_profiling(
+                lambda op, seconds, _t=telemetry:
+                _t.histogram(f"engine.{op}_seconds").observe(seconds))
+        else:
+            engine.disable_profiling()
+        with telemetry.trace("train_fit_stacked", models=k,
+                             n_windows=n_train,
+                             max_epochs=config.max_epochs) as fit_span:
+            for _epoch in range(config.max_epochs):
+                orders = [rng.permutation(n_train) for rng in rngs]
+                order_matrix = np.stack(orders)
+                order_matrix += row_offsets
+                batch_losses: List[List[float]] = [[] for _ in range(k)]
+                for start in range(0, n_train, batch_size):
+                    stop = min(start + batch_size, n_train)
+                    batch = arena.take("train.batch",
+                                       (k, stop - start) + tail_shape, self.dtype)
+                    np.take(train_flat, order_matrix[:, start:stop].ravel(),
+                            axis=0,
+                            out=batch.reshape((k * (stop - start),) + tail_shape))
+                    losses = self._train_step(batch)
+                    for row, loss in enumerate(losses):
+                        batch_losses[row].append(loss)
 
-            if has_validation:
-                validation_losses = engine.evaluate(validation_sets,
-                                                    batch_size)
-            for row in range(k):
-                if not active[row]:
-                    continue
-                history = self.histories[row]
-                epoch_loss = float(np.mean(batch_losses[row])) \
-                    if batch_losses[row] else float("nan")
-                history.train_loss.append(epoch_loss)
-                validation_loss = validation_losses[row] if has_validation \
-                    else epoch_loss
-                history.validation_loss.append(validation_loss)
-                if losses_diverged(epoch_loss, validation_loss):
-                    # Same rule as the sequential trainer: a NaN/inf loss
-                    # stops this model immediately (it would otherwise ride
-                    # the whole patience window without ever improving); its
-                    # last finite best state is restored below.  A row that
-                    # diverged before ever improving has no best snapshot,
-                    # but still rides the remaining stacked steps — freeze
-                    # its current weights so the final restore hands back
-                    # exactly what the sequential trainer's break leaves
-                    # (the post-diverged-epoch parameters).
-                    history.diverged = True
-                    active[row] = False
-                    if best_states[row] is None:
+                if has_validation:
+                    validation_losses = engine.evaluate(validation_sets,
+                                                        batch_size)
+                for row in range(k):
+                    if not active[row]:
+                        continue
+                    history = self.histories[row]
+                    epoch_loss = float(np.mean(batch_losses[row])) \
+                        if batch_losses[row] else float("nan")
+                    history.train_loss.append(epoch_loss)
+                    validation_loss = validation_losses[row] if has_validation \
+                        else epoch_loss
+                    history.validation_loss.append(validation_loss)
+                    if telemetry.enabled:
+                        telemetry.event("train_epoch", model=row, epoch=_epoch,
+                                        loss=epoch_loss,
+                                        validation_loss=validation_loss)
+                    if losses_diverged(epoch_loss, validation_loss):
+                        # Same rule as the sequential trainer: a NaN/inf loss
+                        # stops this model immediately (it would otherwise ride
+                        # the whole patience window without ever improving); its
+                        # last finite best state is restored below.  A row that
+                        # diverged before ever improving has no best snapshot,
+                        # but still rides the remaining stacked steps — freeze
+                        # its current weights so the final restore hands back
+                        # exactly what the sequential trainer's break leaves
+                        # (the post-diverged-epoch parameters).
+                        history.diverged = True
+                        telemetry.event("train_diverged", model=row,
+                                        epoch=_epoch, loss=epoch_loss,
+                                        validation_loss=validation_loss)
+                        active[row] = False
+                        if best_states[row] is None:
+                            best_states[row] = [
+                                parameter.data.copy()
+                                for parameter in self._parameters[row]]
+                        continue
+                    if validation_loss < history.best_validation_loss - config.min_delta:
+                        history.best_validation_loss = validation_loss
+                        history.best_epoch = history.n_epochs - 1
                         best_states[row] = [
                             parameter.data.copy()
                             for parameter in self._parameters[row]]
-                    continue
-                if validation_loss < history.best_validation_loss - config.min_delta:
-                    history.best_validation_loss = validation_loss
-                    history.best_epoch = history.n_epochs - 1
-                    best_states[row] = [
-                        parameter.data.copy()
-                        for parameter in self._parameters[row]]
-                    stale_epochs[row] = 0
-                else:
-                    stale_epochs[row] += 1
-                    if stale_epochs[row] >= config.patience:
-                        history.stopped_early = True
-                        active[row] = False
-            if not any(active):
-                break
+                        stale_epochs[row] = 0
+                    else:
+                        stale_epochs[row] += 1
+                        if stale_epochs[row] >= config.patience:
+                            history.stopped_early = True
+                            telemetry.event("early_stop", model=row,
+                                            epoch=_epoch,
+                                            best_epoch=history.best_epoch)
+                            active[row] = False
+                if not any(active):
+                    break
+            fit_span.set(
+                epochs=max(history.n_epochs for history in self.histories),
+                stopped_early=sum(history.stopped_early
+                                  for history in self.histories),
+                diverged=sum(history.diverged
+                             for history in self.histories))
 
         for row, saved in enumerate(best_states):
             if saved is not None:

@@ -7,6 +7,7 @@ on a held-out validation split of the windows.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -16,6 +17,7 @@ from repro.core.config import CausalFormerConfig
 from repro.core.transformer import CausalityAwareTransformer
 from repro.nn.optim import Adam
 from repro.nn.training_engine import TrainingEngine
+from repro.telemetry import get_telemetry, verbose_telemetry
 
 
 @dataclass
@@ -87,6 +89,27 @@ class Trainer:
         # validation and prediction draw from one buffer pool.
         self._training = TrainingEngine(model, self.optimizer,
                                         arena=self._inference.arena)
+        # Resolved per fit(): the active telemetry runtime, or a transient
+        # stderr one when fit(verbose=True) runs with telemetry off.
+        self._telemetry = None
+
+    def _resolve_telemetry(self, verbose: bool = False):
+        """Pick the runtime for this run and sync the engine profiling hook.
+
+        The fused engines' per-op hook is instance state with zero cost when
+        off; it follows the runtime's ``engine_profiling`` flag so enabling
+        telemetry after the trainer was built still takes effect (and
+        disabling it cleanly unhooks).
+        """
+        telemetry = self._telemetry = verbose_telemetry(verbose)
+        for engine in (self._training, self._inference):
+            if telemetry.engine_profiling:
+                engine.enable_profiling(
+                    lambda op, seconds, _t=telemetry:
+                    _t.histogram(f"engine.{op}_seconds").observe(seconds))
+            else:
+                engine.disable_profiling()
+        return telemetry
 
     # ------------------------------------------------------------------ #
     # Data preparation
@@ -105,6 +128,7 @@ class Trainer:
     # ------------------------------------------------------------------ #
     def fit(self, values: np.ndarray, verbose: bool = False) -> TrainingHistory:
         """Train on an ``(N, T_total)`` array; returns the loss history."""
+        telemetry = self._resolve_telemetry(verbose)
         rng = np.random.default_rng(self.config.seed)
         windows = self.make_windows(values)
         # Cast once to the model's parameter dtype (float32 engine default)
@@ -116,39 +140,54 @@ class Trainer:
         best_state = None
         epochs_without_improvement = 0
 
-        for epoch in range(self.config.max_epochs):
-            epoch_loss = self._run_epoch(train_windows, rng)
-            self.history.train_loss.append(epoch_loss)
+        with telemetry.trace("train_fit", n_windows=windows.shape[0],
+                             max_epochs=self.config.max_epochs,
+                             seed=self.config.seed) as fit_span:
+            for epoch in range(self.config.max_epochs):
+                epoch_loss = self._run_epoch(train_windows, rng)
+                self.history.train_loss.append(epoch_loss)
 
-            if validation_windows is not None and len(validation_windows):
-                validation_loss = self._evaluate(validation_windows)
-            else:
-                validation_loss = epoch_loss
-            self.history.validation_loss.append(validation_loss)
+                if validation_windows is not None and len(validation_windows):
+                    validation_loss = self._evaluate(validation_windows)
+                else:
+                    validation_loss = epoch_loss
+                self.history.validation_loss.append(validation_loss)
 
-            if verbose:
-                print(f"epoch {epoch:3d}  train {epoch_loss:.5f}  val {validation_loss:.5f}")
+                if telemetry.enabled:
+                    telemetry.event("train_epoch", epoch=epoch,
+                                    loss=epoch_loss,
+                                    validation_loss=validation_loss)
 
-            if losses_diverged(epoch_loss, validation_loss):
-                # A non-finite loss never improves and never errors out of
-                # the patience window: stop immediately and flag the run,
-                # restoring the last finite best state below (if any).
-                self.history.diverged = True
-                break
-
-            if validation_loss < self.history.best_validation_loss - self.config.min_delta:
-                self.history.best_validation_loss = validation_loss
-                self.history.best_epoch = epoch
-                # Snapshot parameter values directly — cheaper than a full
-                # state_dict walk, and taken every improving epoch.
-                best_state = [parameter.data.copy()
-                              for parameter in self._parameters]
-                epochs_without_improvement = 0
-            else:
-                epochs_without_improvement += 1
-                if epochs_without_improvement >= self.config.patience:
-                    self.history.stopped_early = True
+                if losses_diverged(epoch_loss, validation_loss):
+                    # A non-finite loss never improves and never errors out
+                    # of the patience window: stop immediately and flag the
+                    # run, restoring the last finite best state below (if
+                    # any).
+                    self.history.diverged = True
+                    telemetry.event("train_diverged", epoch=epoch,
+                                    loss=epoch_loss,
+                                    validation_loss=validation_loss)
                     break
+
+                if validation_loss < self.history.best_validation_loss - self.config.min_delta:
+                    self.history.best_validation_loss = validation_loss
+                    self.history.best_epoch = epoch
+                    # Snapshot parameter values directly — cheaper than a
+                    # full state_dict walk, and taken every improving epoch.
+                    best_state = [parameter.data.copy()
+                                  for parameter in self._parameters]
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= self.config.patience:
+                        self.history.stopped_early = True
+                        telemetry.event("early_stop", epoch=epoch,
+                                        best_epoch=self.history.best_epoch)
+                        break
+            fit_span.set(epochs=self.history.n_epochs,
+                         best_epoch=self.history.best_epoch,
+                         stopped_early=self.history.stopped_early,
+                         diverged=self.history.diverged)
 
         if best_state is not None:
             # Copy in place rather than re-pointing ``parameter.data`` at the
@@ -169,6 +208,8 @@ class Trainer:
         once and gathers each batch into a persistent arena buffer instead
         of constructing a fresh ``Tensor(windows[order[...]])`` per step.
         """
+        telemetry = self._telemetry if self._telemetry is not None \
+            else get_telemetry()
         order = rng.permutation(windows.shape[0])
         batch_size = self.config.batch_size
         engine = self._training
@@ -178,12 +219,26 @@ class Trainer:
         arena = engine.arena
         tail_shape = windows.shape[1:]
         losses = []
+        if not telemetry.enabled:
+            # The instrumented loop below is identical but pays a
+            # perf_counter pair per step; this branch keeps the telemetry-off
+            # path at one attribute check per epoch.
+            for start in range(0, len(order), batch_size):
+                indices = order[start:start + batch_size]
+                batch = arena.take("train.batch",
+                                   (len(indices),) + tail_shape, windows.dtype)
+                np.take(windows, indices, axis=0, out=batch)
+                losses.append(engine.train_step(batch))
+            return float(np.mean(losses)) if losses else float("nan")
+        histogram = telemetry.histogram("train.step_seconds")
         for start in range(0, len(order), batch_size):
             indices = order[start:start + batch_size]
             batch = arena.take("train.batch", (len(indices),) + tail_shape,
                                windows.dtype)
             np.take(windows, indices, axis=0, out=batch)
+            step_start = time.perf_counter()
             losses.append(engine.train_step(batch))
+            histogram.observe(time.perf_counter() - step_start)
         return float(np.mean(losses)) if losses else float("nan")
 
     def _evaluate(self, windows: np.ndarray) -> float:

@@ -19,6 +19,7 @@ from repro.core.discovery import CausalFormer
 from repro.data.sst import SstFieldSpec, current_alignment, edge_direction_labels, sst_dataset
 from repro.graph.causal_graph import TemporalCausalGraph
 from repro.graph.metrics import evaluate_discovery
+from repro.telemetry import verbose_telemetry
 
 
 @dataclass
@@ -67,6 +68,9 @@ def run_figure10(seed: int = 0, fast: bool = True,
         f1_vs_advection_truth=scores.f1,
         graph=predicted,
     )
-    if verbose:
-        print(report.render())
+    telemetry = verbose_telemetry(verbose)
+    if telemetry.enabled:
+        telemetry.event("sst_case_study", n_cells=spec.n_cells,
+                        n_edges=predicted.n_edges, alignment=alignment,
+                        f1_vs_advection_truth=scores.f1)
     return report

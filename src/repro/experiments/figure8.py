@@ -22,6 +22,7 @@ from repro.experiments.table1 import _scale_config
 from repro.graph.metrics import edge_classification
 from repro.service.executor import execute_job
 from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+from repro.telemetry import verbose_telemetry
 
 
 @dataclass
@@ -95,6 +96,7 @@ def run_figure8(seed: int = 0, fast: bool = True, n_nodes: int = 5,
         results = [execute_job(job, data) for job, data in pairs]
 
     report = CaseStudyReport(truth_edges=[edge.as_tuple() for edge in dataset.graph.edges])
+    telemetry = verbose_telemetry(verbose)
     for (job, _data), result in zip(pairs, results):
         if not result.ok:
             raise RuntimeError(f"{job.method} failed on the case study:\n{result.error}")
@@ -108,6 +110,9 @@ def run_figure8(seed: int = 0, fast: bool = True, n_nodes: int = 5,
             false_positive=classified["false_positive"],
             false_negative=classified["false_negative"],
         )
-        if verbose:
-            print(f"{job.method:14s} F1={result.scores.f1:.2f}")
+        if telemetry.enabled:
+            telemetry.event("case_study_result", method=job.method,
+                            f1=result.scores.f1,
+                            precision=result.scores.precision,
+                            recall=result.scores.recall)
     return report

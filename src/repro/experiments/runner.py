@@ -28,6 +28,7 @@ from repro.service.cache import ResultCache
 from repro.service.executor import JobExecutor
 from repro.service.jobs import DiscoveryJob, fingerprint_dataset
 from repro.service.registry import build_method, method_names
+from repro.telemetry import verbose_telemetry
 
 MethodFactory = Callable[[int], object]
 DatasetFactory = Callable[[int], TimeSeriesDataset]
@@ -144,67 +145,78 @@ def evaluate_methods(experiments: Sequence[ExperimentSpec],
     executor = make_executor(executor, max_workers=max_workers, cache=cache,
                              batch_jobs=batch_jobs)
     table = ResultTable(title, metric=metric)
+    # verbose progress flows through telemetry: a configured runtime records
+    # cell_result events alongside everything else; with telemetry off,
+    # verbose=True gets a transient stderr runtime (the old print lines,
+    # now as structured events on stderr).
+    telemetry = verbose_telemetry(verbose)
 
     def record(experiment_name: str, seed: int, method_spec: MethodSpec, value) -> None:
         table.add(experiment_name, method_spec.name, value)
-        if verbose:
-            print(f"{experiment_name:12s} seed={seed} {method_spec.name:14s} "
-                  f"{metric}={value if value is not None else float('nan'):.3f}")
+        if telemetry.enabled:
+            telemetry.event(
+                "cell_result", experiment=experiment_name, seed=seed,
+                method=method_spec.name, metric=metric,
+                value=float(value) if value is not None else None)
 
-    if executor is None:
-        # Serial path: stream one dataset at a time (no sweep-wide
-        # materialization), exactly like the pre-service runner.
+    with telemetry.trace("evaluate_methods", experiments=len(experiments),
+                         methods=len(methods), metric=metric):
+        if executor is None:
+            # Serial path: stream one dataset at a time (no sweep-wide
+            # materialization), exactly like the pre-service runner.
+            for experiment in experiments:
+                for seed, dataset in experiment.datasets():
+                    for method_spec in methods:
+                        method = method_spec.build(seed)
+                        scores = run_method_on_dataset(method, dataset,
+                                                       delay_tolerance=delay_tolerance)
+                        record(experiment.name, seed, method_spec,
+                               getattr(scores, metric))
+            return table
+
+        # Executor path: materialize the cells so jobs can fan out all at once.
+        cells: List[Tuple[str, int, TimeSeriesDataset, MethodSpec]] = []
         for experiment in experiments:
             for seed, dataset in experiment.datasets():
+                if dataset.graph is None:
+                    raise ValueError(f"dataset {dataset.name!r} has no ground-truth "
+                                     f"graph to score against")
                 for method_spec in methods:
-                    method = method_spec.build(seed)
-                    scores = run_method_on_dataset(method, dataset,
-                                                   delay_tolerance=delay_tolerance)
-                    record(experiment.name, seed, method_spec, getattr(scores, metric))
+                    cells.append((experiment.name, seed, dataset, method_spec))
+
+        scheduled = [index for index, cell in enumerate(cells)
+                     if cell[3].is_schedulable]
+        values: Dict[int, Optional[float]] = {}
+
+        if scheduled:
+            fingerprints: Dict[int, str] = {}
+            pairs = []
+            for index in scheduled:
+                experiment_name, seed, dataset, method_spec = cells[index]
+                fingerprint = fingerprints.get(id(dataset))
+                if fingerprint is None:
+                    fingerprint = fingerprint_dataset(dataset)
+                    fingerprints[id(dataset)] = fingerprint
+                pairs.append((method_spec.job_for(experiment_name, fingerprint, seed,
+                                                  delay_tolerance), dataset))
+            for index, result in zip(scheduled, executor.run(pairs)):
+                experiment_name, seed, _dataset, method_spec = cells[index]
+                if not result.ok:
+                    raise RuntimeError(
+                        f"{method_spec.name} on {experiment_name} (seed={seed}) failed:\n"
+                        f"{result.error}")
+                values[index] = result.metric(metric)
+
+        for index, (experiment_name, seed, dataset, method_spec) in enumerate(cells):
+            if index in values:
+                value = values[index]
+            else:
+                method = method_spec.build(seed)
+                scores = run_method_on_dataset(method, dataset,
+                                               delay_tolerance=delay_tolerance)
+                value = getattr(scores, metric)
+            record(experiment_name, seed, method_spec, value)
         return table
-
-    # Executor path: materialize the cells so jobs can fan out all at once.
-    cells: List[Tuple[str, int, TimeSeriesDataset, MethodSpec]] = []
-    for experiment in experiments:
-        for seed, dataset in experiment.datasets():
-            if dataset.graph is None:
-                raise ValueError(f"dataset {dataset.name!r} has no ground-truth "
-                                 f"graph to score against")
-            for method_spec in methods:
-                cells.append((experiment.name, seed, dataset, method_spec))
-
-    scheduled = [index for index, cell in enumerate(cells)
-                 if cell[3].is_schedulable]
-    values: Dict[int, Optional[float]] = {}
-
-    if scheduled:
-        fingerprints: Dict[int, str] = {}
-        pairs = []
-        for index in scheduled:
-            experiment_name, seed, dataset, method_spec = cells[index]
-            fingerprint = fingerprints.get(id(dataset))
-            if fingerprint is None:
-                fingerprint = fingerprint_dataset(dataset)
-                fingerprints[id(dataset)] = fingerprint
-            pairs.append((method_spec.job_for(experiment_name, fingerprint, seed,
-                                              delay_tolerance), dataset))
-        for index, result in zip(scheduled, executor.run(pairs)):
-            experiment_name, seed, _dataset, method_spec = cells[index]
-            if not result.ok:
-                raise RuntimeError(
-                    f"{method_spec.name} on {experiment_name} (seed={seed}) failed:\n"
-                    f"{result.error}")
-            values[index] = result.metric(metric)
-
-    for index, (experiment_name, seed, dataset, method_spec) in enumerate(cells):
-        if index in values:
-            value = values[index]
-        else:
-            method = method_spec.build(seed)
-            scores = run_method_on_dataset(method, dataset, delay_tolerance=delay_tolerance)
-            value = getattr(scores, metric)
-        record(experiment_name, seed, method_spec, value)
-    return table
 
 
 # ---------------------------------------------------------------------- #

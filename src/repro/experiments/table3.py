@@ -28,6 +28,7 @@ from repro.experiments.reporting import ResultTable
 from repro.experiments.runner import causalformer_config_payload, make_executor
 from repro.service.executor import execute_job
 from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+from repro.telemetry import verbose_telemetry
 
 ABLATION_NAMES = (
     "w/o interpretation",
@@ -91,6 +92,7 @@ def run_table3(seeds: Sequence[int] = (0, 1), fast: bool = True,
         results = [execute_job(job, dataset) for _v, _s, job, dataset in pairs]
 
     table = ResultTable("Table 3: fMRI ablations", metric="f1")
+    telemetry = verbose_telemetry(verbose)
     for (variant, seed, _job, _dataset), result in zip(pairs, results):
         if not result.ok:
             raise RuntimeError(f"ablation {variant!r} (seed={seed}) failed:\n{result.error}")
@@ -98,7 +100,8 @@ def run_table3(seeds: Sequence[int] = (0, 1), fast: bool = True,
         table.add(variant, "precision", scores.precision)
         table.add(variant, "recall", scores.recall)
         table.add(variant, "f1", scores.f1)
-        if verbose:
-            print(f"seed={seed} {variant:24s} "
-                  f"P={scores.precision:.2f} R={scores.recall:.2f} F1={scores.f1:.2f}")
+        if telemetry.enabled:
+            telemetry.event("ablation_result", variant=variant, seed=seed,
+                            precision=scores.precision, recall=scores.recall,
+                            f1=scores.f1)
     return table

@@ -26,8 +26,9 @@ no longer needs the autograd graph at all.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -242,7 +243,46 @@ def _loss_penalty_terms(model, arena: ScratchArena,
     return terms
 
 
-class InferenceEngine:
+def _timed_op(op: str, bound: Callable, hook: Callable) -> Callable:
+    """Wrap a bound op method so each call reports its wall time to ``hook``."""
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = bound(*args, **kwargs)
+        hook(op, time.perf_counter() - start)
+        return result
+    return wrapper
+
+
+class ProfilingSeam:
+    """Optional per-op wall-time hook over an engine's fused building blocks.
+
+    ``enable_profiling(hook)`` shadows each method named in ``_PROFILED_OPS``
+    with an instance-attribute wrapper that calls
+    ``hook(op_name, seconds)`` after every invocation;
+    ``disable_profiling()`` pops the shadows so the *class* methods run
+    again.  Because the hook lives entirely in the instance ``__dict__``,
+    an engine that never enables profiling pays nothing — not even an
+    ``if``— on the hot path.
+    """
+
+    _PROFILED_OPS: Tuple[str, ...] = ()
+
+    def enable_profiling(self, hook: Callable[[str, float], None]) -> None:
+        self.disable_profiling()
+        for name in self._PROFILED_OPS:
+            bound = getattr(type(self), name).__get__(self)
+            setattr(self, name, _timed_op(name.lstrip("_"), bound, hook))
+
+    def disable_profiling(self) -> None:
+        for name in self._PROFILED_OPS:
+            self.__dict__.pop(name, None)
+
+    @property
+    def profiling_enabled(self) -> bool:
+        return any(name in self.__dict__ for name in self._PROFILED_OPS)
+
+
+class InferenceEngine(ProfilingSeam):
     """Forward-only CausalFormer evaluator over a scratch-buffer arena.
 
     Parameters
@@ -260,6 +300,9 @@ class InferenceEngine:
     weight layouts (concatenated Q/K projections, scaled mask modulation,
     broadcast single-kernel) into arena buffers.
     """
+
+    _PROFILED_OPS = ("_causal_windows", "_convolution", "_attention_probs",
+                     "_combine_layout")
 
     def __init__(self, model, arena: Optional[ScratchArena] = None) -> None:
         self.model = model
@@ -843,7 +886,7 @@ class StackedInterpretationForward:
         return len(self.forwards)
 
 
-class StackedInferenceEngine:
+class StackedInferenceEngine(ProfilingSeam):
     """Forward-only evaluator for ``M`` same-architecture models at once.
 
     A batched sweep trains ``K`` same-shape models in lockstep
@@ -864,6 +907,9 @@ class StackedInferenceEngine:
     summation order — hence detector bit-identity — depends on operand
     strides.
     """
+
+    _PROFILED_OPS = ("_causal_windows", "_convolution", "_attention_probs",
+                     "_combine_layout")
 
     def __init__(self, models: Sequence, arena: Optional[ScratchArena] = None) -> None:
         if not models:

@@ -96,6 +96,8 @@ class TrainingEngine(InferenceEngine):
         and prediction reuse one buffer pool.
     """
 
+    _PROFILED_OPS = InferenceEngine._PROFILED_OPS + ("_backward",)
+
     def __init__(self, model, optimizer,
                  arena: Optional[ScratchArena] = None) -> None:
         super().__init__(model, arena)
@@ -400,6 +402,8 @@ class StackedTrainingEngine(StackedInferenceEngine):
     grad_views:
         Name → ``(K, *shape)`` views into the trainer's gradient matrix.
     """
+
+    _PROFILED_OPS = StackedInferenceEngine._PROFILED_OPS + ("_backward",)
 
     def __init__(self, models: Sequence, stacked: Dict[str, np.ndarray],
                  grad_views: Dict[str, np.ndarray],

@@ -91,78 +91,112 @@ def execute_batched_jobs(pairs: Sequence[JobPair]) -> List[JobResult]:
     from repro.core.batched import StackedCausalFormerTrainer
     from repro.service.executor import execute_job
     from repro.service.registry import build_method
+    from repro.telemetry import get_telemetry
 
+    telemetry = get_telemetry()
     pairs = list(pairs)
-    try:
-        start = time.perf_counter()
-        methods = [build_method(job.method, job.config, seed=job.seed)
-                   for job, _dataset in pairs]
-        values_list = [method.prepare_fit(dataset)
-                       for method, (_job, dataset) in zip(methods, pairs)]
-        trainer = StackedCausalFormerTrainer(
-            [method.model_ for method in methods])
-        histories = trainer.fit(values_list)
-        # finalize_fit is two attribute assignments; it lives in the shared
-        # block because the group interpretation below needs every method
-        # finalized before it can collect the detector windows.
-        for method, values, history in zip(methods, values_list, histories):
-            method.finalize_fit(values, history)
-        shared = (time.perf_counter() - start) / len(pairs)
-    except Exception:
-        # The stacked pass itself failed (incompatible shapes slipping past
-        # the signature, resource limits, …): degrade to per-job execution.
-        return [execute_job(job, dataset) for job, dataset in pairs]
+    group_span = telemetry.trace(
+        "job_group", jobs=len(pairs),
+        job_id=pairs[0][0].job_id if pairs else None,
+        method=pairs[0][0].method if pairs else None)
+    with group_span as span:
+        try:
+            start = time.perf_counter()
+            with telemetry.trace("group_train", jobs=len(pairs)):
+                methods = [build_method(job.method, job.config, seed=job.seed)
+                           for job, _dataset in pairs]
+                values_list = [method.prepare_fit(dataset)
+                               for method, (_job, dataset) in zip(methods, pairs)]
+                trainer = StackedCausalFormerTrainer(
+                    [method.model_ for method in methods])
+                histories = trainer.fit(values_list)
+                # finalize_fit is two attribute assignments; it lives in the
+                # shared block because the group interpretation below needs
+                # every method finalized before it can collect the detector
+                # windows.
+                for method, values, history in zip(methods, values_list,
+                                                   histories):
+                    method.finalize_fit(values, history)
+            shared = (time.perf_counter() - start) / len(pairs)
+        except Exception:
+            # The stacked pass itself failed (incompatible shapes slipping
+            # past the signature, resource limits, …): degrade to per-job
+            # execution.
+            span.set(fallback="stacked_training")
+            telemetry.counter("batched.train_fallbacks").inc()
+            telemetry.event("stacked_train_fallback", jobs=len(pairs))
+            return [execute_job(job, dataset) for job, dataset in pairs]
 
-    # Stacked detector interpretation: one cache forward, multi-target
-    # backward and relevance propagation for the whole group (bit-identical
-    # per-model scores).  Any failure degrades to per-job interpretation.
-    detectors = None
-    scores_list = None
-    try:
-        from repro.core.detector import compute_scores_group
-
-        interpret_start = time.perf_counter()
-        detectors = [method.build_detector() for method in methods]
-        windows_list = [method.detector_windows() for method in methods]
-        # The trainer's engine arena is reused for the stacked cache
-        # forward/backward — training, validation and interpretation share
-        # one buffer pool for the whole group.
-        scores_list = compute_scores_group(detectors, windows_list,
-                                           arena=trainer.engine.arena)
-        shared += (time.perf_counter() - interpret_start) / len(pairs)
-    except Exception:
+        # Stacked detector interpretation: one cache forward, multi-target
+        # backward and relevance propagation for the whole group
+        # (bit-identical per-model scores).  Any failure degrades to per-job
+        # interpretation.
         detectors = None
         scores_list = None
-
-    results: List[JobResult] = []
-    for index, (method, (job, dataset)) in enumerate(zip(methods, pairs)):
-        own = time.perf_counter()
         try:
-            if scores_list is None:
-                graph = method.interpret()
-            else:
-                graph = method.adopt_interpretation(detectors[index],
-                                                    scores_list[index])
-            scores = None
-            if dataset.graph is not None:
-                from repro.graph.metrics import evaluate_discovery
+            from repro.core.detector import compute_scores_group
 
-                scores = evaluate_discovery(graph, dataset.graph,
-                                            delay_tolerance=job.delay_tolerance)
-            results.append(JobResult(
-                job=job, graph=graph, scores=scores,
-                duration=shared + time.perf_counter() - own))
+            interpret_start = time.perf_counter()
+            with telemetry.trace("group_interpret", jobs=len(pairs)):
+                detectors = [method.build_detector() for method in methods]
+                windows_list = [method.detector_windows() for method in methods]
+                # The trainer's engine arena is reused for the stacked cache
+                # forward/backward — training, validation and interpretation
+                # share one buffer pool for the whole group.
+                scores_list = compute_scores_group(detectors, windows_list,
+                                                   arena=trainer.engine.arena)
+            shared += (time.perf_counter() - interpret_start) / len(pairs)
         except Exception:
-            results.append(JobResult(
-                job=job, error=traceback.format_exc(),
-                duration=shared + time.perf_counter() - own))
+            detectors = None
+            scores_list = None
+            telemetry.counter("batched.interpret_fallbacks").inc()
+            telemetry.event("stacked_interpret_fallback", jobs=len(pairs))
+
+        results: List[JobResult] = []
+        for index, (method, (job, dataset)) in enumerate(zip(methods, pairs)):
+            own = time.perf_counter()
+            try:
+                if scores_list is None:
+                    graph = method.interpret()
+                else:
+                    graph = method.adopt_interpretation(detectors[index],
+                                                        scores_list[index])
+                scores = None
+                if dataset.graph is not None:
+                    from repro.graph.metrics import evaluate_discovery
+
+                    scores = evaluate_discovery(graph, dataset.graph,
+                                                delay_tolerance=job.delay_tolerance)
+                results.append(JobResult(
+                    job=job, graph=graph, scores=scores,
+                    duration=shared + time.perf_counter() - own))
+            except Exception:
+                telemetry.counter("executor.job_errors").inc()
+                telemetry.event("job_error", job_id=job.job_id,
+                                method=job.method)
+                results.append(JobResult(
+                    job=job, error=traceback.format_exc(),
+                    duration=shared + time.perf_counter() - own))
     return results
 
 
-def execute_batched_jobs_with_dtype(pairs: Sequence[JobPair],
-                                    dtype: str) -> List[JobResult]:
-    """Pool worker entry point: adopt the submitter's engine dtype, then run."""
+def execute_batched_jobs_with_dtype(pairs: Sequence[JobPair], dtype: str,
+                                    collect_telemetry: bool = False
+                                    ) -> List[JobResult]:
+    """Pool worker entry point: adopt the submitter's engine dtype, then run.
+
+    With ``collect_telemetry``, the whole group runs under an in-worker
+    buffering runtime whose export ships back on the group's *first* result
+    (the group shares one training pass, so its telemetry is one payload).
+    """
     from repro.nn.tensor import set_default_dtype
+    from repro.telemetry import capture
 
     set_default_dtype(dtype)
-    return execute_batched_jobs(pairs)
+    if not collect_telemetry:
+        return execute_batched_jobs(pairs)
+    with capture() as telemetry:
+        results = execute_batched_jobs(pairs)
+    if results:
+        results[0].telemetry = telemetry.export()
+    return results

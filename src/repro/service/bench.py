@@ -8,6 +8,9 @@ The suite times the layers the training loop actually exercises —
 * ``train_step``    — one mini-batch optimiser step through the trainer's
   step path (the fused no-autograd training engine),
 * ``train_epoch``   — one epoch of :class:`repro.core.training.Trainer`,
+* ``telemetry_overhead`` — the pre-telemetry epoch loop, replayed verbatim
+  (the ``train_epoch``/``telemetry_overhead`` ratio gates the telemetry-off
+  instrumentation cost),
 * ``fit_small``     — a full small ``Trainer.fit`` on a VAR fork dataset,
 * ``evaluate``      — ``Trainer._evaluate`` (the no-grad validation pass),
 * ``detector_interpret`` — the causality detector's full interpretation,
@@ -60,7 +63,8 @@ REGRESSION_KEY = "train_epoch"
 #: :func:`check_regressions`), so the committed trajectory must be
 #: regenerated whenever this set grows
 REGRESSION_KEYS = ("train_epoch", "train_step", "evaluate",
-                   "detector_interpret", "evaluate_stacked")
+                   "detector_interpret", "evaluate_stacked",
+                   "telemetry_overhead")
 
 
 def _numbered_reports(root: Optional[str] = None) -> List[Tuple[int, str]]:
@@ -176,6 +180,38 @@ def _payload_train_epoch() -> Callable[[], None]:
 
     def run() -> None:
         trainer._run_epoch(windows, np.random.default_rng(4))
+
+    return run
+
+
+def _payload_telemetry_overhead() -> Callable[[], None]:
+    """The pre-telemetry training epoch loop, replayed verbatim.
+
+    This is ``Trainer._run_epoch`` exactly as it stood before the telemetry
+    subsystem: shuffle, per-batch arena gather, fused ``train_step`` — no
+    runtime lookup, no ``enabled`` check, no histogram.  Within one report
+    the ``train_epoch`` / ``telemetry_overhead`` timing ratio therefore *is*
+    the telemetry-off instrumentation cost (the README documents the < 2%
+    budget), measured on identical hardware in the same process.
+    """
+    trainer, windows = _epoch_fixture()
+    engine = trainer._training
+    batch_size = trainer.config.batch_size
+
+    def run() -> None:
+        rng = np.random.default_rng(4)
+        order = rng.permutation(windows.shape[0])
+        prepared = engine.prepare_windows(windows)
+        arena = engine.arena
+        tail_shape = prepared.shape[1:]
+        losses = []
+        for start in range(0, len(order), batch_size):
+            indices = order[start:start + batch_size]
+            batch = arena.take("train.batch",
+                               (len(indices),) + tail_shape, prepared.dtype)
+            np.take(prepared, indices, axis=0, out=batch)
+            losses.append(engine.train_step(batch))
+        float(np.mean(losses)) if losses else float("nan")
 
     return run
 
@@ -364,6 +400,7 @@ PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "attention": (_payload_attention, 20, 5),
     "train_step": (_payload_train_step, 20, 5),
     "train_epoch": (_payload_train_epoch, 9, 3),
+    "telemetry_overhead": (_payload_telemetry_overhead, 9, 3),
     "fit_small": (_payload_fit_small, 7, 1),
     "evaluate": (_payload_evaluate, 20, 5),
     "detector_interpret": (_payload_detector_interpret, 9, 3),
@@ -394,6 +431,34 @@ def time_payload(name: str, repeats: int) -> Dict[str, object]:
     }
 
 
+def measure_overhead_ratio(repeats: int = 15) -> float:
+    """Telemetry-off instrumentation cost as a paired-sample median ratio.
+
+    Runs the instrumented epoch (``train_epoch``) and the pre-telemetry
+    replay (``telemetry_overhead``) back to back ``repeats`` times,
+    alternating which member of the pair goes first, and takes the median
+    of the per-pair ratios.  Pairing cancels machine-wide drift (CPU
+    frequency, noisy neighbours) that block medians measured minutes apart
+    cannot — the < 2% budget is far below this container's block-to-block
+    variance.
+    """
+    instrumented = PAYLOADS["train_epoch"][0]()
+    raw = PAYLOADS["telemetry_overhead"][0]()
+    instrumented()
+    raw()
+    samples: Dict[object, List[float]] = {instrumented: [], raw: []}
+    for index in range(repeats):
+        # Alternate which loop goes first so warm-cache advantage for the
+        # second member of a pair cancels across the sample sets.
+        pair = (instrumented, raw) if index % 2 == 0 else (raw, instrumented)
+        for run in pair:
+            start = time.perf_counter()
+            run()
+            samples[run].append(time.perf_counter() - start)
+    return round(statistics.median(samples[instrumented])
+                 / statistics.median(samples[raw]), 4)
+
+
 def _engine_info() -> Dict[str, str]:
     try:
         from repro.nn import tensor as T
@@ -414,9 +479,55 @@ def load_baseline(path: str = BASELINE_PATH) -> Optional[Dict]:
         return json.load(handle)
 
 
+def record_payload_spans(name: str) -> Dict[str, object]:
+    """One extra payload iteration under a capturing telemetry runtime.
+
+    Returns a compact observability summary: per-span-name counts and total
+    wall time (the payload's phase decomposition) plus the counters and
+    histogram totals the instrumented code recorded.  Timed iterations stay
+    untouched — this runs *outside* the measurement, so the published
+    numbers are always telemetry-off numbers.
+    """
+    from repro.telemetry import capture, get_telemetry
+    from repro.telemetry.report import summarize_spans
+
+    builder, _full, _smoke = PAYLOADS[name]
+    run = builder()
+    with capture() as telemetry:
+        with telemetry.trace(f"bench.{name}"):
+            run()
+    records = telemetry.records()
+    snapshot = telemetry.metrics.snapshot()
+    outer = get_telemetry()
+    if outer.enabled:
+        # ``python -m repro bench --telemetry jsonl:...`` ships the payload
+        # span trees in the trace file as well as in the report.
+        outer.absorb({"records": records, "metrics": snapshot})
+    spans = {span_name: {"count": stats["count"],
+                         "total_seconds": round(stats["total_seconds"], 6)}
+             for span_name, stats in summarize_spans(records).items()}
+    summary: Dict[str, object] = {"spans": spans}
+    if snapshot["counters"]:
+        summary["counters"] = snapshot["counters"]
+    if snapshot["histograms"]:
+        summary["histograms"] = {
+            metric: {"count": stats["count"],
+                     "total": round(stats["total"], 6)}
+            for metric, stats in snapshot["histograms"].items()}
+    return summary
+
+
 def run_suite(smoke: bool = False, names: Optional[List[str]] = None,
-              verbose: bool = True) -> Dict:
-    """Run the microbenchmarks; return the report payload (not yet written)."""
+              progress: Optional[Callable[[str], None]] = None,
+              record_spans: bool = True) -> Dict:
+    """Run the microbenchmarks; return the report payload (not yet written).
+
+    ``progress`` receives one human-readable line per finished payload (the
+    CLI passes ``print``).  With ``record_spans`` each payload additionally
+    runs once under a capturing telemetry runtime, attaching its span tree
+    summary to the report — the timed iterations themselves always run with
+    whatever runtime the process had (telemetry-off in CI).
+    """
     selected = names or list(PAYLOADS)
     unknown = [name for name in selected if name not in PAYLOADS]
     if unknown:
@@ -427,9 +538,9 @@ def run_suite(smoke: bool = False, names: Optional[List[str]] = None,
         _builder, full_repeats, smoke_repeats = PAYLOADS[name]
         repeats = smoke_repeats if smoke else full_repeats
         timings[name] = time_payload(name, repeats)
-        if verbose:
-            print(f"  {name:<12} {timings[name]['seconds'] * 1000:10.2f} ms "
-                  f"(median of {repeats})")
+        if progress is not None:
+            progress(f"  {name:<12} {timings[name]['seconds'] * 1000:10.2f} ms "
+                     f"(median of {repeats})")
 
     report = {
         "schema": 1,
@@ -437,6 +548,20 @@ def run_suite(smoke: bool = False, names: Optional[List[str]] = None,
         "engine": _engine_info(),
         "timings": timings,
     }
+
+    if "train_epoch" in timings and "telemetry_overhead" in timings:
+        # The telemetry-off instrumentation cost: paired interleaved runs of
+        # the instrumented loop and the pre-telemetry replay, so machine
+        # drift between the two block measurements above cannot masquerade
+        # as overhead (or hide it).
+        report["telemetry_overhead_ratio"] = measure_overhead_ratio(
+            repeats=5 if smoke else 15)
+
+    if record_spans:
+        observability: Dict[str, Dict] = {}
+        for name in selected:
+            observability[name] = record_payload_spans(name)
+        report["observability"] = observability
 
     baseline = load_baseline()
     if baseline is not None:

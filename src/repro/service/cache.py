@@ -70,18 +70,25 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached payload, or ``None`` on a miss (or a corrupted entry)."""
+        from repro.telemetry import get_telemetry
+
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
             self.misses += 1
+            get_telemetry().counter("cache.misses").inc()
             return None
         self.hits += 1
+        get_telemetry().counter("cache.hits").inc()
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> str:
         """Atomically persist a payload; returns the entry's path."""
+        from repro.telemetry import get_telemetry
+
+        get_telemetry().counter("cache.writes").inc()
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         descriptor, temp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")

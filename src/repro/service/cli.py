@@ -17,9 +17,14 @@ Subcommands
     interpretation, batched sweep) and append the next numbered
     ``BENCH_nn.json`` (``BENCH_01.json``, ``BENCH_02.json``, …) with
     speedups against the committed pre-optimization baseline.
+``report``
+    Render a JSONL telemetry trace (span tree, per-epoch training losses,
+    cache hit/miss counts, metrics) written by ``--telemetry jsonl:PATH``.
 
 Every run-producing subcommand shares the executor flags ``--workers``,
-``--cache-dir`` / ``--no-cache`` and ``--run-dir`` (artifact persistence).
+``--cache-dir`` / ``--no-cache``, ``--run-dir`` (artifact persistence) and
+the telemetry flags ``--telemetry off|stderr|jsonl:PATH`` /
+``--profile-engines`` (per-op engine wall-time histograms).
 """
 
 from __future__ import annotations
@@ -206,6 +211,18 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import render_trace
+
+    try:
+        print(render_trace(args.trace))
+    except OSError as error:
+        print(f"error: cannot read trace {args.trace!r}: {error}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.service import bench
 
@@ -233,11 +250,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif args.reference:
             with open(args.reference, "r", encoding="utf-8") as handle:
                 reference = json.load(handle)
-    report = bench.run_suite(smoke=args.smoke, names=names)
+    report = bench.run_suite(smoke=args.smoke, names=names, progress=print)
     speedups = report.get("speedup_vs_baseline")
     if speedups:
         rendered = "  ".join(f"{name} {value:.2f}x" for name, value in speedups.items())
         print(f"speedup vs pre-optimization baseline: {rendered}")
+    ratio = report.get("telemetry_overhead_ratio")
+    if ratio is not None:
+        print(f"telemetry-off overhead on train_epoch: {(ratio - 1.0):+.1%} "
+              f"(instrumented/raw ratio {ratio:.4f})")
+        if args.max_telemetry_overhead is not None \
+                and ratio > 1.0 + args.max_telemetry_overhead:
+            print(f"REGRESSION: telemetry-off train_epoch overhead "
+                  f"{(ratio - 1.0):.1%} exceeds the "
+                  f"{args.max_telemetry_overhead:.1%} budget", file=sys.stderr)
+            return 1
     path = bench.write_report(report, args.output)
     print(f"report written to {path}")
     if args.check_regression:
@@ -284,6 +311,16 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="slots of slack when scoring causal delays")
     parser.add_argument("--json", action="store_true",
                         help="print machine-readable JSON instead of text")
+    _add_telemetry_flags(parser)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", default=None, metavar="SPEC",
+                        help="telemetry sinks: off, stderr, jsonl:PATH or a "
+                             "comma-separated combination (default: off)")
+    parser.add_argument("--profile-engines", action="store_true",
+                        help="record per-op engine wall-time histograms "
+                             "(requires --telemetry)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,14 +399,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--normalize-by", default=None, metavar="BENCHMARK",
                        help="gate on the ratio vs this same-run benchmark "
                             "(hardware-independent, e.g. tensor_ops)")
+    bench.add_argument("--max-telemetry-overhead", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fail when the telemetry-off train_epoch overhead "
+                            "(train_epoch/telemetry_overhead - 1, same run) "
+                            "exceeds this fraction (e.g. 0.02)")
+    _add_telemetry_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    trace_report = commands.add_parser(
+        "report", help="render a JSONL telemetry trace written by "
+                       "--telemetry jsonl:PATH")
+    trace_report.add_argument("trace", help="path to the .jsonl trace file")
+    trace_report.set_defaults(handler=_cmd_report)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    spec = getattr(args, "telemetry", None)
+    profile = getattr(args, "profile_engines", False)
+    if not spec and not profile:
+        return args.handler(args)
+    from repro.telemetry import configure, reset
+
+    try:
+        configure(spec, engine_profiling=profile)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    try:
+        return args.handler(args)
+    finally:
+        # Flush/close the sinks (emitting the final metrics snapshot) and
+        # restore the null runtime even when the handler raises.
+        reset()
 
 
 if __name__ == "__main__":

@@ -33,42 +33,61 @@ from repro.data.base import TimeSeriesDataset
 from repro.service.cache import ResultCache
 from repro.service.jobs import DiscoveryJob, JobResult
 from repro.service.registry import build_method
+from repro.telemetry import capture, get_telemetry
 
 JobPair = Tuple[DiscoveryJob, TimeSeriesDataset]
 CacheLike = Union[None, str, ResultCache]
 
 
 def execute_job_with_dtype(job: DiscoveryJob, dataset: TimeSeriesDataset,
-                           dtype: str) -> JobResult:
+                           dtype: str,
+                           collect_telemetry: bool = False) -> JobResult:
     """Worker entry point: adopt the submitter's engine dtype, then run.
 
     The engine's default dtype is thread-local state, so a fresh pool worker
     would otherwise silently fall back to float32 even when the submitting
     process opted into float64 (``set_default_dtype``/``default_dtype``).
+
+    With ``collect_telemetry`` (requested when the submitting process has
+    telemetry configured), the job runs under an in-worker buffering
+    runtime and the collected spans/events/metrics ship back attached to
+    the result, for the parent executor to absorb.
     """
     from repro.nn.tensor import set_default_dtype
 
     set_default_dtype(dtype)
-    return execute_job(job, dataset)
+    if not collect_telemetry:
+        return execute_job(job, dataset)
+    with capture() as telemetry:
+        result = execute_job(job, dataset)
+    result.telemetry = telemetry.export()
+    return result
 
 
 def execute_job(job: DiscoveryJob, dataset: TimeSeriesDataset) -> JobResult:
     """Run one job to completion, capturing any exception into the result."""
+    telemetry = get_telemetry()
     start = time.perf_counter()
-    try:
-        method = build_method(job.method, job.config, seed=job.seed)
-        graph = method.discover(dataset)
-        scores = None
-        if dataset.graph is not None:
-            from repro.graph.metrics import evaluate_discovery
+    with telemetry.trace("job", job_id=job.job_id, method=job.method,
+                         dataset=job.dataset, seed=job.seed) as span:
+        try:
+            method = build_method(job.method, job.config, seed=job.seed)
+            graph = method.discover(dataset)
+            scores = None
+            if dataset.graph is not None:
+                from repro.graph.metrics import evaluate_discovery
 
-            scores = evaluate_discovery(graph, dataset.graph,
-                                        delay_tolerance=job.delay_tolerance)
-        return JobResult(job=job, graph=graph, scores=scores,
-                         duration=time.perf_counter() - start)
-    except Exception:
-        return JobResult(job=job, error=traceback.format_exc(),
-                         duration=time.perf_counter() - start)
+                scores = evaluate_discovery(graph, dataset.graph,
+                                            delay_tolerance=job.delay_tolerance)
+            span.set(n_edges=graph.n_edges, ok=True)
+            return JobResult(job=job, graph=graph, scores=scores,
+                             duration=time.perf_counter() - start)
+        except Exception:
+            span.set(ok=False)
+            telemetry.counter("executor.job_errors").inc()
+            telemetry.event("job_error", job_id=job.job_id, method=job.method)
+            return JobResult(job=job, error=traceback.format_exc(),
+                             duration=time.perf_counter() - start)
 
 
 def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
@@ -114,22 +133,39 @@ class JobExecutor:
     # ------------------------------------------------------------------ #
     def run(self, pairs: Sequence[JobPair]) -> List[JobResult]:
         """Execute every ``(job, dataset)`` pair; results come back in order."""
+        telemetry = get_telemetry()
         pairs = list(pairs)
         results: List[Optional[JobResult]] = [None] * len(pairs)
 
-        pending: List[Tuple[int, JobPair]] = []
-        for index, (job, dataset) in enumerate(pairs):
-            cached = self._lookup(job)
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append((index, (job, dataset)))
+        with telemetry.trace("executor.run", jobs=len(pairs),
+                             workers=self.max_workers,
+                             batch_jobs=self.batch_jobs) as span:
+            pending: List[Tuple[int, JobPair]] = []
+            for index, (job, dataset) in enumerate(pairs):
+                cached = self._lookup(job)
+                if cached is not None:
+                    results[index] = cached
+                    telemetry.event("job_cache_hit", job_id=job.job_id,
+                                    lookup_duration=cached.lookup_duration)
+                else:
+                    pending.append((index, (job, dataset)))
 
-        if pending:
-            for index, result in self._dispatch(pending).items():
-                results[index] = result
-                self._store(result)
+            span.set(cache_hits=len(pairs) - len(pending))
+            if pending:
+                for index, result in self._dispatch(pending).items():
+                    results[index] = result
+                    self._store(result)
 
+        unfilled = [pairs[index][0] for index, result in enumerate(results)
+                    if result is None]
+        if unfilled:
+            # A hole here means _dispatch lost a job (a bug, not a job
+            # failure — failures come back as error-carrying results).
+            # Returning a silently shortened list would desynchronise every
+            # caller that zips results against its submissions.
+            raise RuntimeError(
+                "executor dispatch returned no result for: "
+                + ", ".join(job.job_id for job in unfilled))
         return [result for result in results if result is not None]
 
     def run_one(self, job: DiscoveryJob, dataset: TimeSeriesDataset) -> JobResult:
@@ -152,25 +188,33 @@ class JobExecutor:
                                            execute_batched_jobs_with_dtype,
                                            group_batchable)
 
+        telemetry = get_telemetry()
         if self.batch_jobs:
             groups, singles = group_batchable(pending)
         else:
             groups, singles = [], list(pending)
         results: dict = {}
-        if self.max_workers > 1 and len(groups) + len(singles) > 1:
+        use_pool = self.max_workers > 1 and len(groups) + len(singles) > 1
+        telemetry.event("executor.dispatch", pending=len(pending),
+                        groups=len(groups), singles=len(singles),
+                        pool=use_pool, workers=self.max_workers)
+        if use_pool:
             from repro.nn.tensor import get_default_dtype
 
             dtype = str(get_default_dtype())
+            collect = telemetry.enabled
             try:
                 with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                     group_futures = [
                         (members,
                          pool.submit(execute_batched_jobs_with_dtype,
-                                     [pair for _idx, pair in members], dtype))
+                                     [pair for _idx, pair in members], dtype,
+                                     collect))
                         for members in groups]
                     single_futures = [
                         (index, job,
-                         pool.submit(execute_job_with_dtype, job, dataset, dtype))
+                         pool.submit(execute_job_with_dtype, job, dataset,
+                                     dtype, collect))
                         for index, (job, dataset) in singles]
                     for members, future in group_futures:
                         try:
@@ -183,16 +227,20 @@ class JobExecutor:
                             fresh = [JobResult(job=job, error=error)
                                      for _idx, (job, _ds) in members]
                         for (index, _pair), result in zip(members, fresh):
-                            results[index] = result
+                            results[index] = self._absorb(result, telemetry)
                     for index, job, future in single_futures:
                         try:
-                            results[index] = future.result()
+                            results[index] = self._absorb(future.result(),
+                                                          telemetry)
                         except Exception:
                             results[index] = JobResult(
                                 job=job, error=traceback.format_exc())
                 return results
             except (OSError, PermissionError):
                 # No usable multiprocessing primitives — run inline instead.
+                telemetry.counter("executor.pool_fallbacks").inc()
+                telemetry.event("pool_fallback", workers=self.max_workers,
+                                pending=len(pending))
                 results.clear()
         for members in groups:
             fresh = execute_batched_jobs([pair for _idx, pair in members])
@@ -202,9 +250,18 @@ class JobExecutor:
             results[index] = execute_job(job, dataset)
         return results
 
+    @staticmethod
+    def _absorb(result: JobResult, telemetry) -> JobResult:
+        """Fold worker-collected telemetry into this process, then drop it."""
+        if result.telemetry is not None:
+            telemetry.absorb(result.telemetry)
+            result.telemetry = None
+        return result
+
     def _lookup(self, job: DiscoveryJob) -> Optional[JobResult]:
         if self.cache is None:
             return None
+        start = time.perf_counter()
         payload = self.cache.get(job.cache_key())
         if payload is None:
             return None
@@ -213,6 +270,10 @@ class JobExecutor:
         except (KeyError, TypeError, ValueError):
             return None
         result.cached = True
+        # ``duration`` keeps the original run's compute time (restored from
+        # the cached payload); the price actually paid for this result is
+        # the lookup, recorded separately.
+        result.lookup_duration = time.perf_counter() - start
         return result
 
     def _store(self, result: JobResult) -> None:

@@ -141,6 +141,16 @@ class JobResult:
     error: Optional[str] = None
     duration: float = 0.0
     cached: bool = False
+    #: wall time of the cache lookup that served this result.  Kept separate
+    #: from ``duration`` (the original run's *compute* time, preserved
+    #: through the cache round-trip) — conflating the two made cache hits
+    #: look as expensive as the training run they saved.
+    lookup_duration: Optional[float] = None
+    #: telemetry payload collected in a pool worker
+    #: (:meth:`repro.telemetry.Telemetry.export`), shipped back across the
+    #: process boundary for the parent executor to absorb.  Transient: the
+    #: executor clears it after absorption and it is never cached.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -161,6 +171,8 @@ class JobResult:
             "error": self.error,
             "duration": self.duration,
         }
+        if self.lookup_duration is not None:
+            payload["lookup_duration"] = self.lookup_duration
         if self.graph is not None:
             payload["graph"] = self.graph.to_dict()
         if self.scores is not None:
@@ -205,4 +217,6 @@ class JobResult:
             scores=scores,
             error=payload.get("error"),
             duration=float(payload.get("duration", 0.0)),
+            lookup_duration=(None if payload.get("lookup_duration") is None
+                             else float(payload["lookup_duration"])),
         )

@@ -1,0 +1,149 @@
+"""Structured telemetry records and the pluggable sinks they flow into.
+
+Every telemetry emission is one plain dict (a *record*) with a ``kind``:
+
+``event``
+    ``{"kind": "event", "name", "time", "span_id", "attrs"}`` — a point in
+    time with attributes (an epoch finishing, a pool fallback firing).
+``span``
+    ``{"kind": "span", "name", "span_id", "parent_id", "time", "duration",
+    "status", "attrs"}`` — a completed timed region, written when it closes
+    (so children precede their parent in a stream).
+``metrics``
+    ``{"kind": "metrics", "time", "metrics": <registry snapshot>}`` — a
+    registry snapshot, normally emitted once when telemetry shuts down.
+
+Sinks receive finished records.  Three are provided: an in-memory ring
+buffer (worker-side collection and tests), a JSONL file sink (the trace the
+``report`` subcommand renders) and a human-readable stderr sink (verbose
+progress).  Records are JSON-able by construction; the JSONL sink still
+passes ``default=str`` so a stray numpy scalar in an attribute degrades to
+text instead of killing the run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class Sink:
+    """Base class: receives finished records; emit must never raise."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keep the last ``capacity`` records in memory.
+
+    This is both the default in-process collection buffer (``export`` /
+    ``span_tree`` read it) and the worker-side sink whose contents ship back
+    to the parent attached to a job result.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._records: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+
+    def records(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonlSink(Sink):
+    """Append one JSON line per record to a file.
+
+    The file is opened lazily (on the first record) so configuring telemetry
+    never creates an empty trace, and writes are line-buffered under one
+    lock so concurrent threads cannot interleave half-lines.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """One human-readable line per record (stderr sink, report rendering)."""
+    kind = record.get("kind")
+    if kind == "span":
+        duration = record.get("duration") or 0.0
+        text = f"span  {record.get('name')} {duration * 1000.0:.2f}ms"
+        if record.get("status") == "error":
+            text += " [error]"
+    elif kind == "metrics":
+        metrics = record.get("metrics") or {}
+        parts = []
+        for group in ("counters", "gauges", "histograms"):
+            entries = metrics.get(group) or {}
+            if entries:
+                parts.append(f"{len(entries)} {group}")
+        return "metrics " + (", ".join(parts) if parts else "(empty)")
+    else:
+        text = f"event {record.get('name')}"
+    attrs = record.get("attrs") or {}
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        text += f" {key}={value}"
+    return text
+
+
+class StderrSink(Sink):
+    """Human-readable one-line-per-record output (verbose progress)."""
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream
+
+    @property
+    def stream(self):
+        # Resolved per emission so pytest's capture (which swaps
+        # ``sys.stderr``) sees the output.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.stream.write(f"[repro] {format_record(record)}\n")
+
+    def flush(self) -> None:
+        self.stream.flush()

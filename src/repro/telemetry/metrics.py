@@ -1,0 +1,199 @@
+"""Metric primitives: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named collection of metric instances sharing
+one lock, so a ``snapshot()`` taken while worker threads are incrementing is
+internally consistent.  Metrics are plain Python objects — ``inc``/``set``/
+``observe`` acquire the registry lock and mutate scalars — deliberately
+cheap enough to live on hot paths behind the telemetry runtime's enabled
+check.
+
+Snapshots are plain nested dicts (JSON-able as-is) and registries can
+``merge`` a snapshot back in: that is how per-worker telemetry collected in a
+pool process folds into the parent's registry when the
+:class:`~repro.service.jobs.JobResult` ships it across the process boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: default histogram bucket upper bounds (seconds): 100 µs .. 30 s,
+#: roughly ×3 per step — wide enough for a training step and a whole sweep.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can move in both directions (queue depth, arena bytes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with total/count for mean computation.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; one overflow
+    slot counts the rest.  Buckets are fixed at construction — snapshots and
+    merges never have to reconcile layouts beyond an equality check.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, lock: threading.Lock,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self._lock = lock
+        self.buckets: Tuple[float, ...] = tuple(buckets or DEFAULT_BUCKETS)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram {name!r} buckets must be sorted")
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one lock, snapshot-able.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    with a name fixes its kind, and asking for the same name as a different
+    kind raises (a ``cache.hits`` counter silently shadowed by a gauge would
+    corrupt every report downstream).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind}")
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, self._lock), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name, self._lock), "gauge")
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, self._lock, buckets), "histogram")
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict snapshot: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        payload: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for metric in metrics:
+            payload[metric.kind + "s"][metric.name] = metric.snapshot()
+        return payload
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges overwrite.
+
+        This is the parent-process side of cross-process aggregation — a pool
+        worker snapshots its registry into the job result, and the executor
+        merges it here.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            histogram = self.histogram(name, payload.get("buckets"))
+            if list(histogram.buckets) != list(payload.get("buckets") or ()):
+                raise ValueError(
+                    f"histogram {name!r} bucket layouts differ; cannot merge")
+            with self._lock:
+                for index, count in enumerate(payload["bucket_counts"]):
+                    histogram.bucket_counts[index] += count
+                histogram.count += payload["count"]
+                histogram.total += payload["total"]
+                if payload.get("min") is not None:
+                    histogram.minimum = min(histogram.minimum, payload["min"])
+                if payload.get("max") is not None:
+                    histogram.maximum = max(histogram.maximum, payload["max"])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

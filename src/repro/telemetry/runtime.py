@@ -1,0 +1,363 @@
+"""The process-wide telemetry runtime: configure once, instrument everywhere.
+
+Instrumented code asks for the active runtime with :func:`get_telemetry`
+and calls ``tel.event(...)`` / ``with tel.trace(...)`` /
+``tel.counter(name).inc()``.  By default the active runtime is a
+:class:`NullTelemetry` whose every operation is a no-op returning shared
+singletons — hot paths pay one attribute check (``tel.enabled``) and
+nothing else, which is what keeps the training loop within its perf budget
+when observability is off.
+
+:func:`configure` installs a real :class:`Telemetry` (sinks, metrics
+registry, tracer); :func:`telemetry_from_spec` parses the CLI's
+``--telemetry jsonl:PATH|stderr|off`` syntax.  :func:`capture` is the pool
+workers' entry point: it installs a buffering runtime for the duration of a
+job, and ``export()``/``absorb()`` carry the collected records and metric
+snapshots across the process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.events import (JsonlSink, RingBufferSink, Sink,
+                                    StderrSink)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Span, Tracer
+
+
+class _NullMetric:
+    """Counter/gauge/histogram stand-in: every mutation is a no-op."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Reusable no-op ``with`` target; yields a do-nothing span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpanContext":
+        return self
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTelemetry:
+    """The disabled runtime: stateless, allocation-free no-ops throughout."""
+
+    enabled = False
+    engine_profiling = False
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def trace(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def export(self) -> Dict[str, Any]:
+        return {"records": [], "metrics": {}}
+
+    def absorb(self, payload: Optional[Dict[str, Any]]) -> None:
+        pass
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        return []
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class Telemetry:
+    """An enabled runtime: event bus + metrics registry + tracer.
+
+    Parameters
+    ----------
+    sinks:
+        Destinations for every record (JSONL file, stderr, ...).
+    buffer:
+        Ring buffer retaining recent records for ``export()``/``records()``.
+        Defaults to a fresh 4096-slot buffer; pass ``None`` to disable
+        retention (pure streaming).
+    registry:
+        Metrics registry; a fresh one when omitted.
+    engine_profiling:
+        When true, trainers enable the fused engines' per-op profiling hook
+        and feed op wall times into ``engine.<op>_seconds`` histograms.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Sequence[Sink] = (),
+                 buffer: Optional[RingBufferSink] = RingBufferSink,
+                 registry: Optional[MetricsRegistry] = None,
+                 engine_profiling: bool = False) -> None:
+        if buffer is RingBufferSink:  # default sentinel: fresh buffer
+            buffer = RingBufferSink()
+        self.buffer = buffer
+        self.sinks: List[Sink] = list(sinks)
+        if buffer is not None:
+            self.sinks.append(buffer)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(on_finish=self._finish_span)
+        self.engine_profiling = engine_profiling
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def emit(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.emit({
+            "kind": "event",
+            "name": name,
+            "time": time.time(),
+            "span_id": self.tracer.current_id(),
+            "attrs": attrs,
+        })
+
+    def trace(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def _finish_span(self, span: Span) -> None:
+        self.emit(span.record())
+
+    # ------------------------------------------------------------------ #
+    # Metrics passthrough
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, buckets=None):
+        return self.metrics.histogram(name, buckets)
+
+    # ------------------------------------------------------------------ #
+    # Introspection and cross-process aggregation
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[Dict[str, Any]]:
+        return self.buffer.records() if self.buffer is not None else []
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        return self.tracer.span_tree()
+
+    def export(self) -> Dict[str, Any]:
+        """Everything collected so far, as one picklable/JSON-able payload.
+
+        This is what a pool worker attaches to its
+        :class:`~repro.service.jobs.JobResult` so the parent process can
+        :meth:`absorb` it.
+        """
+        return {"records": self.records(), "metrics": self.metrics.snapshot()}
+
+    def absorb(self, payload: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's exported payload into this runtime.
+
+        Metric snapshots merge into the registry; span records are grafted
+        into the tracer's tree under the currently open span (orphan roots
+        re-parented) and every record is re-emitted to this runtime's sinks,
+        so a JSONL trace contains the worker's spans alongside the parent's.
+        """
+        if not payload:
+            return
+        metrics = payload.get("metrics")
+        if metrics:
+            self.metrics.merge(metrics)
+        records = payload.get("records") or []
+        updated = self.tracer.adopt(records, self.tracer.current_id())
+        for record in updated:
+            self.emit(record)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def metrics_record(self) -> Dict[str, Any]:
+        record = {
+            "kind": "metrics",
+            "time": time.time(),
+            "metrics": self.metrics.snapshot(),
+        }
+        self.emit(record)
+        return record
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Emit the final metrics snapshot (if any) and close every sink."""
+        if len(self.metrics):
+            self.metrics_record()
+        for sink in self.sinks:
+            sink.flush()
+            sink.close()
+
+
+NULL_TELEMETRY = NullTelemetry()
+_active: Any = NULL_TELEMETRY
+
+
+def get_telemetry():
+    """The process-wide active runtime (a cheap no-op unless configured)."""
+    return _active
+
+
+def install(telemetry) -> Any:
+    """Swap the active runtime; returns the previous one (for restoration)."""
+    global _active
+    previous = _active
+    _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+def configure(spec: Optional[str] = None,
+              sinks: Optional[Sequence[Sink]] = None,
+              engine_profiling: bool = False,
+              registry: Optional[MetricsRegistry] = None):
+    """Install a configured runtime process-wide and return it.
+
+    ``spec`` uses the CLI syntax (see :func:`telemetry_from_spec`);
+    ``sinks`` adds explicit sink instances on top.  ``configure("off")``
+    with no sinks installs the null runtime.
+    """
+    parsed = telemetry_from_spec(spec) if spec is not None else []
+    all_sinks = list(parsed) + list(sinks or ())
+    if not all_sinks and spec in (None, "", "off") and not engine_profiling:
+        return install_null()
+    telemetry = Telemetry(sinks=all_sinks, registry=registry,
+                          engine_profiling=engine_profiling)
+    install(telemetry)
+    return telemetry
+
+
+def install_null():
+    """Reset to the disabled runtime (does not close the previous one)."""
+    install(NULL_TELEMETRY)
+    return NULL_TELEMETRY
+
+
+def reset(close: bool = True) -> None:
+    """Tear down the active runtime and reinstall the null one."""
+    previous = install(NULL_TELEMETRY)
+    if close and previous is not NULL_TELEMETRY:
+        previous.close()
+
+
+def telemetry_from_spec(spec: Optional[str]) -> List[Sink]:
+    """Parse ``--telemetry`` values into sinks.
+
+    ``off`` / empty
+        No sinks (the null runtime stays active).
+    ``stderr``
+        Human-readable lines on standard error.
+    ``jsonl:PATH``
+        Structured JSONL trace appended to ``PATH``.
+    ``memory``
+        No explicit sink — records are still retained in the ring buffer.
+
+    Comma-separated combinations are allowed (``stderr,jsonl:trace.jsonl``).
+    """
+    if spec is None:
+        return []
+    sinks: List[Sink] = []
+    for part in str(spec).split(","):
+        part = part.strip()
+        if part in ("", "off", "none", "memory"):
+            continue
+        if part == "stderr":
+            sinks.append(StderrSink())
+        elif part.startswith("jsonl:"):
+            path = part[len("jsonl:"):]
+            if not path:
+                raise ValueError("--telemetry jsonl: requires a path "
+                                 "(jsonl:trace.jsonl)")
+            sinks.append(JsonlSink(path))
+        else:
+            raise ValueError(
+                f"unknown telemetry spec {part!r}; expected "
+                "off, stderr, memory or jsonl:PATH")
+    return sinks
+
+
+@contextmanager
+def capture(engine_profiling: bool = False, capacity: int = 4096):
+    """Temporarily install a buffering runtime; yields it.
+
+    The worker-process pattern::
+
+        with capture() as tel:
+            result = execute_job(job, dataset)
+        result.telemetry = tel.export()
+
+    The previous runtime is restored on exit (the captured one is *not*
+    closed — its buffer is about to be exported).
+    """
+    telemetry = Telemetry(buffer=RingBufferSink(capacity),
+                          engine_profiling=engine_profiling)
+    previous = install(telemetry)
+    try:
+        yield telemetry
+    finally:
+        install(previous)
+
+
+def verbose_telemetry(verbose: bool):
+    """The active runtime — or a transient stderr runtime for verbose CLIs.
+
+    Call sites that used to ``print`` progress behind a ``verbose`` flag
+    emit events instead; when nothing is configured, ``verbose=True`` still
+    shows them (human-readably, on stderr) without installing anything
+    process-wide.
+    """
+    telemetry = get_telemetry()
+    if verbose and not telemetry.enabled:
+        return Telemetry(sinks=[StderrSink()], buffer=None)
+    return telemetry

@@ -1,0 +1,235 @@
+"""Span-based tracing: nested timed regions forming a per-run span tree.
+
+``Tracer.span("train_epoch", epoch=3)`` is a context manager: entering
+pushes a :class:`Span` onto a thread-local stack (so concurrent threads
+build independent branches), exiting records the wall time, links the span
+under its parent and hands the finished span to the runtime (which emits a
+``span`` record to the sinks).
+
+The tracer keeps the finished tree in memory — ``span_tree()`` returns it as
+plain dicts — up to ``max_spans`` nodes; past that spans still stream to the
+sinks but are no longer retained, so a long-lived service cannot leak the
+whole run history.  ``adopt()`` grafts span records collected in another
+process (a pool worker) into the local tree, re-parenting their roots under
+the adopting span.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+_IDS = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """Process-unique span id; the pid prefix keeps pool workers distinct."""
+    return f"{os.getpid():x}-{next(_IDS):x}"
+
+
+class Span:
+    """One timed region.  Mutable while open; frozen once ``finish`` runs."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "time", "_start",
+                 "duration", "status", "children")
+
+    def __init__(self, name: str, parent_id: Optional[str] = None,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.attrs = dict(attrs) if attrs else {}
+        self.time = time.time()
+        self._start = time.perf_counter()
+        self.duration: Optional[float] = None
+        self.status = "ok"
+        self.children: List["Span"] = []
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open span (``span.set(loss=0.12)``)."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self) -> None:
+        self.duration = time.perf_counter() - self._start
+
+    def record(self) -> Dict[str, Any]:
+        """The flat ``span`` record emitted to sinks (children not embedded)."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "time": self.time,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Nested dict form (children embedded) for in-memory span trees."""
+        payload = self.record()
+        payload["children"] = [child.as_dict() for child in self.children]
+        return payload
+
+
+class _SpanContext:
+    """The context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self._span.status = "error"
+            self._span.set(error=exc_type.__name__)
+        self._tracer._pop(self._span)
+        return None
+
+
+class Tracer:
+    """Thread-local span stacks plus the retained per-run span tree."""
+
+    def __init__(self, on_finish: Optional[Callable[[Span], None]] = None,
+                 max_spans: int = 10000) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._on_finish = on_finish
+        self._max_spans = max_spans
+        self._retained = 0
+        self.roots: List[Span] = []
+
+    # ------------------------------------------------------------------ #
+    # Span lifecycle
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def current_id(self) -> Optional[str]:
+        span = self.current()
+        return span.span_id if span is not None else None
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        parent = self.current()
+        span = Span(name, parent.span_id if parent else None, attrs)
+        return _SpanContext(self, span)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        span.finish()
+        parent = self.current()
+        with self._lock:
+            if self._retained < self._max_spans:
+                self._retained += 1
+                if parent is not None:
+                    parent.children.append(span)
+                else:
+                    self.roots.append(span)
+        if self._on_finish is not None:
+            self._on_finish(span)
+
+    # ------------------------------------------------------------------ #
+    # Tree access and cross-process adoption
+    # ------------------------------------------------------------------ #
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """The finished root spans (nested dicts).  Open spans are absent."""
+        with self._lock:
+            roots = list(self.roots)
+        return [root.as_dict() for root in roots]
+
+    def adopt(self, records: List[Dict[str, Any]],
+              parent_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Graft foreign span records (from a worker) into the local tree.
+
+        Returns the records with orphan roots re-parented to ``parent_id``
+        (the caller emits them to its own sinks).  The adopted subtree is
+        attached to the retained tree under the currently open span, so
+        in-process ``span_tree()`` views include worker spans too.
+        """
+        adopted = build_span_tree(records)
+        updated: List[Dict[str, Any]] = []
+        for record in records:
+            if record.get("kind") == "span" and not record.get("parent_id"):
+                record = dict(record)
+                record["parent_id"] = parent_id
+            updated.append(record)
+        current = self.current()
+        with self._lock:
+            if self._retained < self._max_spans:
+                target = current.children if current is not None else None
+                for root in adopted:
+                    span = _span_from_dict(root,
+                                           parent_id if current else None)
+                    self._retained += 1
+                    if target is not None:
+                        target.append(span)
+                    else:
+                        self.roots.append(span)
+        return updated
+
+
+def _span_from_dict(payload: Dict[str, Any],
+                    parent_id: Optional[str]) -> Span:
+    span = Span.__new__(Span)
+    span.name = payload.get("name", "?")
+    span.span_id = payload.get("span_id", new_span_id())
+    span.parent_id = parent_id if parent_id is not None \
+        else payload.get("parent_id")
+    span.attrs = dict(payload.get("attrs") or {})
+    span.time = payload.get("time", 0.0)
+    span._start = 0.0
+    span.duration = payload.get("duration")
+    span.status = payload.get("status", "ok")
+    span.children = [_span_from_dict(child, None)
+                     for child in payload.get("children") or ()]
+    return span
+
+
+def build_span_tree(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest flat span records into root trees (shared with the reporter).
+
+    Orphans (parent never seen — e.g. the parent span was still open when
+    the trace was cut) become roots.  Children are ordered by start time.
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    ordered: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        node = dict(record)
+        node["children"] = []
+        spans[node["span_id"]] = node
+        ordered.append(node)
+    roots: List[Dict[str, Any]] = []
+    for node in ordered:
+        parent = spans.get(node.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in ordered:
+        node["children"].sort(key=lambda child: child.get("time", 0.0))
+    roots.sort(key=lambda node: node.get("time", 0.0))
+    return roots

@@ -1,0 +1,11 @@
+"""Telemetry test fixtures: never leak an installed runtime across tests."""
+
+import pytest
+
+from repro.telemetry import reset
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    yield
+    reset(close=False)

@@ -1,0 +1,78 @@
+"""Sinks: ring buffer retention, JSONL round-trip, stderr formatting."""
+
+import io
+import json
+
+from repro.telemetry.events import (JsonlSink, RingBufferSink, StderrSink,
+                                    format_record)
+
+
+class TestRingBufferSink:
+    def test_retains_records_in_order(self):
+        sink = RingBufferSink(capacity=10)
+        for index in range(3):
+            sink.emit({"kind": "event", "name": f"e{index}"})
+        assert [record["name"] for record in sink.records()] == ["e0", "e1", "e2"]
+
+    def test_capacity_drops_oldest_and_counts(self):
+        sink = RingBufferSink(capacity=2)
+        for index in range(5):
+            sink.emit({"kind": "event", "name": f"e{index}"})
+        assert [record["name"] for record in sink.records()] == ["e3", "e4"]
+        assert sink.dropped == 3
+        assert len(sink) == 2
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"kind": "event", "name": "hello", "attrs": {"n": 1}})
+        sink.emit({"kind": "span", "name": "work", "duration": 0.5})
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "hello"
+        assert json.loads(lines[1])["duration"] == 0.5
+
+    def test_lazy_open_creates_no_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.flush()
+        sink.close()
+        assert not path.exists()
+
+    def test_numpy_scalars_degrade_to_text(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"kind": "event", "name": "x",
+                   "attrs": {"value": np.float32(1.5)}})
+        sink.close()
+        assert json.loads(path.read_text())["attrs"]["value"] == "1.5"
+
+
+class TestStderrSink:
+    def test_human_readable_lines(self):
+        stream = io.StringIO()
+        sink = StderrSink(stream=stream)
+        sink.emit({"kind": "event", "name": "train_epoch",
+                   "attrs": {"epoch": 2, "loss": 0.123456789}})
+        line = stream.getvalue()
+        assert line.startswith("[repro] event train_epoch")
+        assert "epoch=2" in line
+        assert "loss=0.123457" in line  # floats shortened to 6 significant digits
+
+
+class TestFormatRecord:
+    def test_span_with_error_status(self):
+        text = format_record({"kind": "span", "name": "job",
+                              "duration": 0.01, "status": "error",
+                              "attrs": {}})
+        assert "span  job 10.00ms [error]" == text
+
+    def test_metrics_record_summarized(self):
+        text = format_record({"kind": "metrics",
+                              "metrics": {"counters": {"a": 1, "b": 2}}})
+        assert text == "metrics 2 counters"

@@ -1,0 +1,123 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshots and merging."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.counter("jobs").value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("jobs").inc(-1)
+
+    def test_same_name_returns_same_counter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_observations_update_stats(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (0.002, 0.02, 0.2):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(0.222)
+        assert histogram.mean == pytest.approx(0.074)
+
+    def test_bucket_placement(self):
+        histogram = MetricsRegistry().histogram("latency",
+                                                buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.005)   # <= 0.01
+        histogram.observe(0.05)    # <= 0.1
+        histogram.observe(0.05)
+        histogram.observe(5.0)     # overflow bucket
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == [0.01, 0.1, 1.0]
+        assert snapshot["bucket_counts"] == [1, 2, 0, 1]
+        assert snapshot["min"] == pytest.approx(0.005)
+        assert snapshot["max"] == pytest.approx(5.0)
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.0001
+        assert DEFAULT_BUCKETS[-1] >= 30.0
+
+
+class TestRegistry:
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.gauge("depth").set(2)
+        registry.histogram("latency").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hits": 1.0}
+        assert snapshot["gauges"] == {"depth": 2.0}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        source = MetricsRegistry()
+        source.counter("hits").inc(2)
+        source.histogram("latency").observe(0.01)
+        source.gauge("depth").set(7)
+        target = MetricsRegistry()
+        target.counter("hits").inc()
+        target.histogram("latency").observe(0.2)
+        target.merge(source.snapshot())
+        assert target.counter("hits").value == 3.0
+        assert target.histogram("latency").count == 2
+        assert target.histogram("latency").total == pytest.approx(0.21)
+        assert target.gauge("depth").value == 7.0
+
+    def test_merge_rejects_bucket_layout_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("latency", buckets=(1.0, 2.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("latency", buckets=(5.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            target.merge(source.snapshot())
+
+    def test_len_and_clear(self):
+        registry = MetricsRegistry()
+        assert len(registry) == 0
+        registry.counter("a")
+        registry.gauge("b")
+        assert len(registry) == 2
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_thread_safety_of_increments(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.counter("n").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == 4000.0

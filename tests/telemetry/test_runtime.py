@@ -1,0 +1,178 @@
+"""Runtime: null no-ops, spec parsing, configure/reset, capture/absorb."""
+
+import pytest
+
+from repro.telemetry.events import JsonlSink, RingBufferSink, StderrSink
+from repro.telemetry.runtime import (NULL_TELEMETRY, Telemetry, capture,
+                                     configure, get_telemetry, install,
+                                     install_null, reset, telemetry_from_spec,
+                                     verbose_telemetry)
+
+
+class TestNullTelemetry:
+    def test_disabled_by_default(self):
+        telemetry = get_telemetry()
+        assert telemetry is NULL_TELEMETRY
+        assert telemetry.enabled is False
+        assert telemetry.engine_profiling is False
+
+    def test_everything_is_a_shared_noop(self):
+        telemetry = NULL_TELEMETRY
+        assert telemetry.counter("a") is telemetry.counter("b")
+        assert telemetry.trace("x") is telemetry.trace("y")
+        with telemetry.trace("x") as span:
+            span.set(loss=1.0)
+        telemetry.event("e", value=1)
+        telemetry.histogram("h").observe(0.1)
+        assert telemetry.records() == []
+        assert telemetry.span_tree() == []
+        assert telemetry.export() == {"records": [], "metrics": {}}
+        telemetry.absorb({"records": [{"kind": "event"}], "metrics": {}})
+        telemetry.flush()
+        telemetry.close()
+
+
+class TestSpecParsing:
+    def test_off_like_specs_yield_no_sinks(self):
+        assert telemetry_from_spec(None) == []
+        assert telemetry_from_spec("") == []
+        assert telemetry_from_spec("off") == []
+        assert telemetry_from_spec("memory") == []
+
+    def test_stderr_and_jsonl(self, tmp_path):
+        sinks = telemetry_from_spec(
+            f"stderr,jsonl:{tmp_path / 'trace.jsonl'}")
+        assert isinstance(sinks[0], StderrSink)
+        assert isinstance(sinks[1], JsonlSink)
+
+    def test_jsonl_without_path_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry_from_spec("jsonl:")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry_from_spec("prometheus")
+
+
+class TestConfigure:
+    def test_off_installs_null_runtime(self):
+        assert configure("off") is NULL_TELEMETRY
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_memory_spec_installs_real_runtime(self):
+        telemetry = configure("memory")
+        assert telemetry.enabled
+        assert get_telemetry() is telemetry
+        telemetry.event("hello")
+        assert telemetry.records()[0]["name"] == "hello"
+
+    def test_engine_profiling_forces_real_runtime(self):
+        telemetry = configure(None, engine_profiling=True)
+        assert telemetry.enabled
+        assert telemetry.engine_profiling
+
+    def test_reset_restores_null(self):
+        configure("memory")
+        reset()
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_reset_closes_previous_runtime(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = configure(f"jsonl:{path}")
+        telemetry.counter("jobs").inc()
+        reset()
+        # close() emitted the final metrics snapshot to the JSONL sink
+        assert "jobs" in path.read_text()
+
+    def test_install_returns_previous(self):
+        telemetry = Telemetry()
+        previous = install(telemetry)
+        assert previous is NULL_TELEMETRY
+        assert get_telemetry() is telemetry
+        install_null()
+        assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestTelemetryRuntime:
+    def test_events_carry_the_open_span_id(self):
+        telemetry = Telemetry()
+        with telemetry.trace("outer") as span:
+            telemetry.event("ping", n=1)
+        records = telemetry.records()
+        event = next(r for r in records if r["kind"] == "event")
+        assert event["span_id"] == span.span_id
+        assert event["attrs"] == {"n": 1}
+
+    def test_span_records_stream_to_sinks(self):
+        sink = RingBufferSink()
+        telemetry = Telemetry(sinks=[sink], buffer=None)
+        with telemetry.trace("work"):
+            pass
+        assert sink.records()[0]["name"] == "work"
+        assert telemetry.records() == []  # retention disabled
+
+    def test_close_emits_metrics_record_once(self):
+        sink = RingBufferSink()
+        telemetry = Telemetry(sinks=[sink], buffer=None)
+        telemetry.counter("jobs").inc()
+        telemetry.close()
+        kinds = [record["kind"] for record in sink.records()]
+        assert kinds == ["metrics"]
+
+    def test_close_without_metrics_emits_nothing(self):
+        sink = RingBufferSink()
+        telemetry = Telemetry(sinks=[sink], buffer=None)
+        telemetry.close()
+        assert sink.records() == []
+
+
+class TestCapture:
+    def test_capture_installs_and_restores(self):
+        before = get_telemetry()
+        with capture() as telemetry:
+            assert get_telemetry() is telemetry
+            telemetry.event("worker_event")
+        assert get_telemetry() is before
+        payload = telemetry.export()
+        assert payload["records"][0]["name"] == "worker_event"
+
+    def test_absorb_merges_metrics_and_reparents_spans(self):
+        with capture() as worker:
+            with worker.trace("job"):
+                worker.counter("cache.hits").inc(2)
+                worker.histogram("train.step_seconds").observe(0.01)
+        payload = worker.export()
+
+        parent = Telemetry()
+        parent.counter("cache.hits").inc()
+        with parent.trace("executor") as outer:
+            parent.absorb(payload)
+        assert parent.counter("cache.hits").value == 3.0
+        assert parent.histogram("train.step_seconds").count == 1
+        tree = parent.span_tree()
+        assert [c["name"] for c in tree[0]["children"]] == ["job"]
+        job = next(r for r in parent.records()
+                   if r.get("kind") == "span" and r["name"] == "job")
+        assert job["parent_id"] == outer.span_id
+
+    def test_absorb_none_is_a_noop(self):
+        telemetry = Telemetry()
+        telemetry.absorb(None)
+        telemetry.absorb({})
+        assert telemetry.records() == []
+
+
+class TestVerboseTelemetry:
+    def test_quiet_and_disabled_stays_null(self):
+        assert verbose_telemetry(False) is NULL_TELEMETRY
+
+    def test_verbose_and_disabled_gets_transient_stderr_runtime(self):
+        telemetry = verbose_telemetry(True)
+        assert telemetry.enabled
+        assert telemetry is not get_telemetry()
+        assert isinstance(telemetry.sinks[0], StderrSink)
+
+    def test_configured_runtime_wins_over_verbose(self):
+        configured = configure("memory")
+        assert verbose_telemetry(True) is configured
+        assert verbose_telemetry(False) is configured

@@ -1,0 +1,128 @@
+"""Tracer: nesting, error status, retention, cross-process adoption."""
+
+from repro.telemetry.tracing import Tracer, build_span_tree, new_span_id
+
+
+def make_tracer(emitted=None):
+    if emitted is None:
+        return Tracer()
+    return Tracer(on_finish=lambda span: emitted.append(span.record()))
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = make_tracer()
+        with tracer.span("outer", run=1):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        tree = tracer.span_tree()
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "outer"
+        assert root["attrs"] == {"run": 1}
+        assert [child["name"] for child in root["children"]] == ["inner", "inner"]
+        assert all(child["parent_id"] == root["span_id"]
+                   for child in root["children"])
+
+    def test_duration_and_status(self):
+        tracer = make_tracer()
+        with tracer.span("work") as span:
+            span.set(items=3)
+        record = tracer.span_tree()[0]
+        assert record["duration"] >= 0.0
+        assert record["status"] == "ok"
+        assert record["attrs"]["items"] == 3
+
+    def test_exception_marks_error(self):
+        tracer = make_tracer()
+        try:
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        record = tracer.span_tree()[0]
+        assert record["status"] == "error"
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_children_emit_before_parents(self):
+        emitted = []
+        tracer = make_tracer(emitted)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [record["name"] for record in emitted] == ["inner", "outer"]
+
+    def test_current_id_tracks_the_open_span(self):
+        tracer = make_tracer()
+        assert tracer.current_id() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_id() == outer.span_id
+        assert tracer.current_id() is None
+
+    def test_retention_cap(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.span_tree()) == 2
+
+    def test_span_ids_unique(self):
+        assert len({new_span_id() for _ in range(100)}) == 100
+
+
+class TestAdoption:
+    def test_adopt_reparents_worker_roots(self):
+        worker = make_tracer()
+        with worker.span("job"):
+            with worker.span("train"):
+                pass
+        worker_records = [root for root in worker.span_tree()]
+        flat = []
+
+        def flatten(node):
+            children = node.pop("children")
+            flat.append(node)
+            for child in children:
+                flatten(child)
+
+        for root in worker_records:
+            flatten(dict(root))
+
+        parent = make_tracer()
+        with parent.span("executor") as outer:
+            updated = parent.adopt(flat, outer.span_id)
+            reparented = [record for record in updated
+                          if record["name"] == "job"]
+            assert reparented[0]["parent_id"] == outer.span_id
+        tree = parent.span_tree()
+        executor = tree[0]
+        assert [child["name"] for child in executor["children"]] == ["job"]
+        assert [grand["name"] for grand
+                in executor["children"][0]["children"]] == ["train"]
+
+
+class TestBuildSpanTree:
+    def test_orphans_become_roots(self):
+        records = [
+            {"kind": "span", "name": "child", "span_id": "c",
+             "parent_id": "missing", "time": 2.0},
+            {"kind": "span", "name": "root", "span_id": "r",
+             "parent_id": None, "time": 1.0},
+            {"kind": "event", "name": "noise"},
+        ]
+        roots = build_span_tree(records)
+        assert [root["name"] for root in roots] == ["root", "child"]
+
+    def test_children_sorted_by_time(self):
+        records = [
+            {"kind": "span", "name": "b", "span_id": "b",
+             "parent_id": "r", "time": 2.0},
+            {"kind": "span", "name": "a", "span_id": "a",
+             "parent_id": "r", "time": 1.0},
+            {"kind": "span", "name": "root", "span_id": "r",
+             "parent_id": None, "time": 0.0},
+        ]
+        roots = build_span_tree(records)
+        assert [child["name"] for child in roots[0]["children"]] == ["a", "b"]
