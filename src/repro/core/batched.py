@@ -43,10 +43,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import CausalFormerConfig
-from repro.core.training import TrainingHistory, losses_diverged, split_windows
+from repro.core.training import (GATHER_ELEMENT_BUDGET, TrainingHistory,
+                                 losses_diverged, split_windows)
 from repro.core.transformer import CausalityAwareTransformer
 from repro.data.windows import sliding_windows
+from repro.nn.inference import profiling_hook
 from repro.nn.optim import ADAM_BETAS, ADAM_CLIP_FUZZ, ADAM_EPS
+from repro.nn.parallel import get_engine_threads
 from repro.nn.training_engine import StackedTrainingEngine
 from repro.telemetry import get_telemetry
 
@@ -189,17 +192,33 @@ class StackedCausalFormerTrainer:
         # was the last per-model operation in the stacked step).  Row
         # offsets shift each model's shuffled indices into its own block;
         # the gathered rows are exactly train_sets[row][order[row][...]].
+        # Full-size steps fuse further: several steps' indices transpose
+        # into one (steps, K, B) layout and gather through a single
+        # np.take, bounded by GATHER_ELEMENT_BUDGET; each step then trains
+        # on a contiguous (K, B) slice of the block — the same rows in the
+        # same order as a per-step gather.
         tail_shape = train_sets[0].shape[1:]
         train_flat = np.ascontiguousarray(np.stack(train_sets)) \
             .reshape((k * n_train,) + tail_shape)
         row_offsets = (np.arange(k) * n_train)[:, None]
         arena = engine.arena
+        row_elements = max(1, int(np.prod(tail_shape)))
+        step_rows = k * batch_size
+        n_full = n_train // batch_size
+        tail_start = n_full * batch_size
+        block_steps = max(1, min(n_full or 1, GATHER_ELEMENT_BUDGET
+                                 // max(1, step_rows * row_elements)))
+        gather = arena.take("train.gather",
+                            (block_steps, k, batch_size) + tail_shape,
+                            self.dtype) if n_full else None
 
+        # The stacked engines thread over the model axis when the fleet is
+        # at least as wide as the pool, otherwise over the batch axis.
+        engine.parallel_model_axis = k >= get_engine_threads()
         telemetry = get_telemetry()
+        telemetry.gauge("engine.threads").set(get_engine_threads())
         if telemetry.engine_profiling:
-            engine.enable_profiling(
-                lambda op, seconds, _t=telemetry:
-                _t.histogram(f"engine.{op}_seconds").observe(seconds))
+            engine.enable_profiling(profiling_hook(telemetry))
         else:
             engine.disable_profiling()
         with telemetry.trace("train_fit_stacked", models=k,
@@ -210,13 +229,29 @@ class StackedCausalFormerTrainer:
                 order_matrix = np.stack(orders)
                 order_matrix += row_offsets
                 batch_losses: List[List[float]] = [[] for _ in range(k)]
-                for start in range(0, n_train, batch_size):
-                    stop = min(start + batch_size, n_train)
+                steps = order_matrix[:, :tail_start] \
+                    .reshape(k, n_full, batch_size)
+                for block_start in range(0, n_full, block_steps):
+                    block_stop = min(block_start + block_steps, n_full)
+                    count = block_stop - block_start
+                    block = gather[:count]
+                    np.take(train_flat,
+                            steps[:, block_start:block_stop]
+                            .transpose(1, 0, 2).ravel(), axis=0,
+                            out=block.reshape((count * step_rows,)
+                                              + tail_shape))
+                    for index in range(count):
+                        losses = self._train_step(block[index])
+                        for row, loss in enumerate(losses):
+                            batch_losses[row].append(loss)
+                if tail_start < n_train:
+                    remainder = n_train - tail_start
                     batch = arena.take("train.batch",
-                                       (k, stop - start) + tail_shape, self.dtype)
-                    np.take(train_flat, order_matrix[:, start:stop].ravel(),
+                                       (k, remainder) + tail_shape,
+                                       self.dtype)
+                    np.take(train_flat, order_matrix[:, tail_start:].ravel(),
                             axis=0,
-                            out=batch.reshape((k * (stop - start),) + tail_shape))
+                            out=batch.reshape((k * remainder,) + tail_shape))
                     losses = self._train_step(batch)
                     for row, loss in enumerate(losses):
                         batch_losses[row].append(loss)

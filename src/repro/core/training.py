@@ -15,9 +15,17 @@ import numpy as np
 
 from repro.core.config import CausalFormerConfig
 from repro.core.transformer import CausalityAwareTransformer
+from repro.nn.inference import profiling_hook
 from repro.nn.optim import Adam
+from repro.nn.parallel import get_engine_threads
 from repro.nn.training_engine import TrainingEngine
 from repro.telemetry import get_telemetry, verbose_telemetry
+
+#: Element budget for the fused multi-step training gather: blocks of
+#: mini-batches are staged through one ``np.take`` into a buffer of at most
+#: this many elements (~32 MB at float64), amortising per-step gather
+#: dispatch without letting wide window sets balloon the arena.
+GATHER_ELEMENT_BUDGET = 4_000_000
 
 
 @dataclass
@@ -99,15 +107,18 @@ class Trainer:
         The fused engines' per-op hook is instance state with zero cost when
         off; it follows the runtime's ``engine_profiling`` flag so enabling
         telemetry after the trainer was built still takes effect (and
-        disabling it cleanly unhooks).
+        disabling it cleanly unhooks).  The hook caches its histograms and
+        the metrics registry locks their updates, so profiled engines stay
+        safe under threaded op execution.
         """
         telemetry = self._telemetry = verbose_telemetry(verbose)
-        for engine in (self._training, self._inference):
-            if telemetry.engine_profiling:
-                engine.enable_profiling(
-                    lambda op, seconds, _t=telemetry:
-                    _t.histogram(f"engine.{op}_seconds").observe(seconds))
-            else:
+        telemetry.gauge("engine.threads").set(get_engine_threads())
+        if telemetry.engine_profiling:
+            hook = profiling_hook(telemetry)
+            for engine in (self._training, self._inference):
+                engine.enable_profiling(hook)
+        else:
+            for engine in (self._training, self._inference):
                 engine.disable_profiling()
         return telemetry
 
@@ -205,8 +216,11 @@ class Trainer:
         Runs on the fused no-autograd :class:`TrainingEngine` — the same
         forward/backward arithmetic the autograd fast path performed, minus
         the graph.  Mini-batches are index views: the epoch shuffles indices
-        once and gathers each batch into a persistent arena buffer instead
-        of constructing a fresh ``Tensor(windows[order[...]])`` per step.
+        once and gathers a *block* of several mini-batches through one
+        stacked ``np.take`` into a persistent arena buffer (bounded by
+        :data:`GATHER_ELEMENT_BUDGET`), then steps over contiguous
+        ``batch_size`` slices of the block — the same rows in the same
+        order as a per-step gather, so losses are bit-identical.
         """
         telemetry = self._telemetry if self._telemetry is not None \
             else get_telemetry()
@@ -218,27 +232,35 @@ class Trainer:
         windows = engine.prepare_windows(windows)
         arena = engine.arena
         tail_shape = windows.shape[1:]
+        row_elements = max(1, int(np.prod(tail_shape)))
+        steps_per_block = max(1, GATHER_ELEMENT_BUDGET
+                              // max(1, row_elements * batch_size))
+        block_rows = min(max(len(order), 1), steps_per_block * batch_size)
+        gather = arena.take("train.gather", (block_rows,) + tail_shape,
+                            windows.dtype)
         losses = []
         if not telemetry.enabled:
             # The instrumented loop below is identical but pays a
             # perf_counter pair per step; this branch keeps the telemetry-off
             # path at one attribute check per epoch.
-            for start in range(0, len(order), batch_size):
-                indices = order[start:start + batch_size]
-                batch = arena.take("train.batch",
-                                   (len(indices),) + tail_shape, windows.dtype)
-                np.take(windows, indices, axis=0, out=batch)
-                losses.append(engine.train_step(batch))
+            for block_start in range(0, len(order), block_rows):
+                block_index = order[block_start:block_start + block_rows]
+                block = gather[:len(block_index)]
+                np.take(windows, block_index, axis=0, out=block)
+                for start in range(0, len(block_index), batch_size):
+                    losses.append(
+                        engine.train_step(block[start:start + batch_size]))
             return float(np.mean(losses)) if losses else float("nan")
         histogram = telemetry.histogram("train.step_seconds")
-        for start in range(0, len(order), batch_size):
-            indices = order[start:start + batch_size]
-            batch = arena.take("train.batch", (len(indices),) + tail_shape,
-                               windows.dtype)
-            np.take(windows, indices, axis=0, out=batch)
-            step_start = time.perf_counter()
-            losses.append(engine.train_step(batch))
-            histogram.observe(time.perf_counter() - step_start)
+        for block_start in range(0, len(order), block_rows):
+            block_index = order[block_start:block_start + block_rows]
+            block = gather[:len(block_index)]
+            np.take(windows, block_index, axis=0, out=block)
+            for start in range(0, len(block_index), batch_size):
+                batch = block[start:start + batch_size]
+                step_start = time.perf_counter()
+                losses.append(engine.train_step(batch))
+                histogram.observe(time.perf_counter() - step_start)
         return float(np.mean(losses)) if losses else float("nan")
 
     def _evaluate(self, windows: np.ndarray) -> float:

@@ -15,7 +15,12 @@ evaluation performs no per-call heap allocation of large temporaries.
 Numerical contract: for a given model the fused forward replays the *exact*
 operation sequence of the autograd fast path (same GEMM shapes, same
 reduction orders), so its results are bit-for-bit identical in float64 and
-within BLAS noise in float32.  The detector-facing
+within BLAS noise in float32.  With ``set_engine_threads(n)`` (see
+:mod:`repro.nn.parallel`) the dominant ops chunk their independent leading
+axes — the ``(b, i)`` convolution/attention batches — across a shared
+worker pool; each chunk performs exactly the per-slice work of the serial
+op on disjoint output slices, so threaded results stay bit-identical in
+both dtypes.  The detector-facing
 :meth:`InferenceEngine.interpretation_forward` instead replays the autograd
 *cache* path (per-head outputs, 3-D linears, einsum head combination),
 whose operation sequence differs slightly from the fast path, and
@@ -31,6 +36,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .parallel import get_engine_threads, parallel_for, slice_axis
 
 
 class ScratchSpace:
@@ -244,13 +251,42 @@ def _loss_penalty_terms(model, arena: ScratchArena,
 
 
 def _timed_op(op: str, bound: Callable, hook: Callable) -> Callable:
-    """Wrap a bound op method so each call reports its wall time to ``hook``."""
+    """Wrap a bound op method so each call reports its wall time to ``hook``.
+
+    The clock runs on the *dispatching* thread: ops that fan work out
+    through :func:`repro.nn.parallel.parallel_for` block the caller until
+    every chunk drains, so the recorded wall time spans the op's full
+    (possibly parallel) execution and per-op timings stay meaningful at any
+    engine thread count.
+    """
     def wrapper(*args, **kwargs):
         start = time.perf_counter()
         result = bound(*args, **kwargs)
         hook(op, time.perf_counter() - start)
         return result
     return wrapper
+
+
+def profiling_hook(telemetry) -> Callable[[str, float], None]:
+    """A per-op wall-time hook recording ``engine.<op>_seconds`` histograms.
+
+    Resolves each op's :class:`~repro.telemetry.metrics.Histogram` once and
+    caches it, so a steady-state observation is one dict probe plus the
+    histogram's own lock-protected update — no per-call f-string
+    formatting or registry round-trip.  Histogram state is guarded by the
+    registry lock, so one hook instance can safely serve several engines
+    and trainer threads concurrently.
+    """
+    cache: Dict[str, object] = {}
+
+    def hook(op: str, seconds: float) -> None:
+        histogram = cache.get(op)
+        if histogram is None:
+            histogram = cache[op] = telemetry.histogram(
+                f"engine.{op}_seconds")
+        histogram.observe(seconds)
+
+    return hook
 
 
 class ProfilingSeam:
@@ -263,6 +299,12 @@ class ProfilingSeam:
     again.  Because the hook lives entirely in the instance ``__dict__``,
     an engine that never enables profiling pays nothing — not even an
     ``if``— on the hot path.
+
+    Hooks must be safe to call from any thread that drives the engine:
+    :func:`profiling_hook` (cached histograms over the lock-protected
+    metrics registry) is the canonical implementation.  Threaded ops are
+    timed on the dispatching thread (see :func:`_timed_op`), so a wrapper
+    never fires concurrently with itself for a single engine instance.
     """
 
     _PROFILED_OPS: Tuple[str, ...] = ()
@@ -395,7 +437,11 @@ class InferenceEngine(ProfilingSeam):
                             [..., 1:, :].transpose(1, 0, 2, 3))
         target = space.view("conv.windows_flat.4d",
                             lambda: flat.reshape(n, batch, window, window))
-        np.copyto(target, source)
+
+        def body(lo: int, hi: int) -> None:
+            np.copyto(target[lo:hi], source[lo:hi])
+
+        parallel_for(body, n, outputs=((target, 0),))
         return padded, flat
 
     def _convolution(self, space: ScratchSpace, x: np.ndarray, stage: dict,
@@ -418,7 +464,12 @@ class InferenceEngine(ProfilingSeam):
         _padded, flat = self._causal_windows(space, x)
         k_out = kernel.shape[1]
         raw = space.take("conv.raw", (n, batch * window, k_out), cdtype)
-        np.matmul(flat, kernel.transpose(0, 2, 1), out=raw)
+        kernel_t = kernel.transpose(0, 2, 1)
+
+        def matmul_body(lo: int, hi: int) -> None:
+            np.matmul(flat[lo:hi], kernel_t[lo:hi], out=raw[lo:hi])
+
+        parallel_for(matmul_body, n, outputs=((raw, 0),))
         if legacy_layout:
             buffer = space.take("conv.values", (n, batch, window, k_out),
                                 cdtype)
@@ -430,7 +481,12 @@ class InferenceEngine(ProfilingSeam):
         raw_t = space.view("conv.raw.t",
                            lambda: raw.reshape(n, batch, window, k_out)
                            .transpose(1, 0, 3, 2))
-        np.multiply(raw_t, stage["scale_array"], out=values)
+        scale_array = stage["scale_array"]
+
+        def scale_body(lo: int, hi: int) -> None:
+            np.multiply(raw_t[lo:hi], scale_array, out=values[lo:hi])
+
+        parallel_for(scale_body, batch, outputs=((values, 0),))
         # Diagonal right-shift (Eq. 4), matching diagonal-copy-then-assign.
         shift = space.take("conv.shift", (batch, window), cdtype)
         for index in range(n):
@@ -461,18 +517,26 @@ class InferenceEngine(ProfilingSeam):
         np.matmul(emb, stage["weight_flat"], out=proj)
         proj += stage["bias_flat"]
         qk = space.take("att.qk", (2 * n_heads, batch, n, d_qk), cdtype)
-        np.copyto(qk, space.view("att.proj.t",
-                                 lambda: proj.reshape(batch, n, 2 * n_heads,
-                                                      d_qk)
-                                 .transpose(2, 0, 1, 3)))
+        proj_t = space.view("att.proj.t",
+                            lambda: proj.reshape(batch, n, 2 * n_heads, d_qk)
+                            .transpose(2, 0, 1, 3))
         raw = space.take("att.raw", (n_heads, batch, n, n), cdtype)
-        np.matmul(qk[:n_heads],
-                  space.view("att.k.t",
-                             lambda: qk[n_heads:].transpose(0, 1, 3, 2)),
-                  out=raw)
+        k_t = space.view("att.k.t",
+                         lambda: qk[n_heads:].transpose(0, 1, 3, 2))
         # float64 from here on (see the modulation note in ``_stage``).
         probs = space.take("att.probs", (n_heads, batch, n, n), np.float64)
-        np.multiply(raw, stage["modulation"], out=probs)
+        query = qk[:n_heads]
+        modulation = stage["modulation"]
+
+        # One round over the batch axis: the layout copy, per-(h, b) score
+        # GEMMs, and the modulation multiply all chunk along axis 1
+        # (``modulation`` broadcasts over it and stays unsliced).
+        def body(lo: int, hi: int) -> None:
+            np.copyto(qk[:, lo:hi], proj_t[:, lo:hi])
+            np.matmul(query[:, lo:hi], k_t[:, lo:hi], out=raw[:, lo:hi])
+            np.multiply(raw[:, lo:hi], modulation, out=probs[:, lo:hi])
+
+        parallel_for(body, batch, outputs=((qk, 1), (raw, 1), (probs, 1)))
         scores = None
         if keep_scores:
             scores = space.take("att.scores", (n_heads, batch, n, n),
@@ -486,13 +550,23 @@ class InferenceEngine(ProfilingSeam):
 
         Bit-identical to ``x -= x.max(…); exp; x /= x.sum(…)`` — see
         :func:`max_last_keepdims` / :func:`sum_last_keepdims` for why the
-        chained reductions are exact replicas.
+        chained reductions are exact replicas.  Normalisation is row-wise,
+        so the leading axes chunk freely: ``probs`` is always a contiguous
+        arena buffer, letting the rows flatten to one parallel axis.
         """
         extreme = space.take("att.max", probs.shape[:-1] + (1,), probs.dtype)
-        probs -= max_last_keepdims(probs, out=extreme)
-        np.exp(probs, out=probs)
         total = space.take("att.sum", probs.shape[:-1] + (1,), probs.dtype)
-        probs /= sum_last_keepdims(probs, out=total)
+        flat = probs.reshape((-1,) + probs.shape[-2:])
+        ext = extreme.reshape((-1,) + extreme.shape[-2:])
+        tot = total.reshape((-1,) + total.shape[-2:])
+
+        def body(lo: int, hi: int) -> None:
+            rows = flat[lo:hi]
+            rows -= max_last_keepdims(rows, out=ext[lo:hi])
+            np.exp(rows, out=rows)
+            rows /= sum_last_keepdims(rows, out=tot[lo:hi])
+
+        parallel_for(body, flat.shape[0], outputs=((flat, 0),))
 
     def _combine_layout(self, space: ScratchSpace, probs: np.ndarray,
                         values: np.ndarray
@@ -502,18 +576,25 @@ class InferenceEngine(ProfilingSeam):
         window = values.shape[-1]
         out_dtype = np.result_type(probs.dtype, values.dtype)
         a_bihj = space.take("comb.a", (batch, n, n_heads, n), probs.dtype)
-        np.copyto(a_bihj, space.view("comb.probs.t",
-                                     lambda: probs.transpose(1, 2, 0, 3)))
+        probs_t = space.view("comb.probs.t",
+                             lambda: probs.transpose(1, 2, 0, 3))
         # The autograd path multiplies float64 attention with model-dtype
         # values, which numpy resolves by casting the values up internally
         # on every call; staging the cast copy once is bit-identical and
         # skips the hidden per-call buffer.
         v_bijt = space.take("comb.v", (batch, n, n, window), out_dtype)
-        np.copyto(v_bijt, space.view("comb.values.t",
-                                     lambda: values.transpose(0, 2, 1, 3)))
+        values_t = space.view("comb.values.t",
+                              lambda: values.transpose(0, 2, 1, 3))
         head_outputs = space.take("comb.ho", (batch, n, n_heads, window),
                                   out_dtype)
-        np.matmul(a_bihj, v_bijt, out=head_outputs)
+
+        def body(lo: int, hi: int) -> None:
+            np.copyto(a_bihj[lo:hi], probs_t[lo:hi])
+            np.copyto(v_bijt[lo:hi], values_t[lo:hi])
+            np.matmul(a_bihj[lo:hi], v_bijt[lo:hi], out=head_outputs[lo:hi])
+
+        parallel_for(body, batch,
+                     outputs=((a_bihj, 0), (v_bijt, 0), (head_outputs, 0)))
         return a_bihj, v_bijt, head_outputs
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -536,8 +617,10 @@ class InferenceEngine(ProfilingSeam):
         n_heads = stage["n_heads"]
         dtype = head_outputs.dtype
         at = space.take("comb.at", (batch, n, window, n_heads), dtype)
-        np.copyto(at, space.view("comb.ho.t",
-                                 lambda: head_outputs.transpose(0, 1, 3, 2)))
+        ho_t = space.view("comb.ho.t",
+                          lambda: head_outputs.transpose(0, 1, 3, 2))
+        parallel_for(lambda lo, hi: np.copyto(at[lo:hi], ho_t[lo:hi]), batch,
+                     outputs=((at, 0),))
         combined = space.take("comb.out", (batch * n * window, 1), dtype)
         np.dot(space.view("comb.at.2d", lambda: at.reshape(-1, n_heads)),
                stage["w_output"].reshape(n_heads, 1).astype(dtype, copy=False),
@@ -911,6 +994,27 @@ class StackedInferenceEngine(ProfilingSeam):
     _PROFILED_OPS = ("_causal_windows", "_convolution", "_attention_probs",
                      "_combine_layout")
 
+    #: Which axis stacked ops chunk across under ``set_engine_threads``:
+    #: ``True`` → the model axis ``K``, ``False`` → the widest per-model
+    #: inner axis, ``None`` (default) → whichever offers more lanes for the
+    #: configured thread count.  The batching layer
+    #: (:class:`repro.core.batched.StackedCausalFormerTrainer`) sets this
+    #: per group.  Either choice is bit-identical — chunking any leading
+    #: axis of a batched matmul / element-wise op preserves the per-slice
+    #: work exactly — so this is purely a load-balance knob.
+    parallel_model_axis: Optional[bool] = None
+
+    def _model_axis_first(self, m: int, inner: int) -> bool:
+        """Chunk over the model axis (True) or the inner axis (False)?"""
+        if inner <= 1:
+            return True
+        if m <= 1:
+            return False
+        prefer = self.parallel_model_axis
+        if prefer is None:
+            prefer = m >= get_engine_threads() or m >= inner
+        return bool(prefer)
+
     def __init__(self, models: Sequence, arena: Optional[ScratchArena] = None) -> None:
         if not models:
             raise ValueError("need at least one model")
@@ -1033,7 +1137,13 @@ class StackedInferenceEngine(ProfilingSeam):
                             [..., 1:, :].transpose(0, 2, 1, 3, 4))
         target = space.view("conv.windows_flat.5d",
                             lambda: flat.reshape(m, n, batch, window, window))
-        np.copyto(target, source)
+        axis = 0 if self._model_axis_first(m, n) else 1
+
+        def body(lo: int, hi: int) -> None:
+            np.copyto(slice_axis(target, axis, lo, hi),
+                      slice_axis(source, axis, lo, hi))
+
+        parallel_for(body, target.shape[axis], outputs=((target, axis),))
         return padded, flat
 
     def _convolution(self, space: ScratchSpace, x: np.ndarray, stage: dict,
@@ -1045,7 +1155,15 @@ class StackedInferenceEngine(ProfilingSeam):
         _padded, flat = self._causal_windows(space, x)
         k_out = kernel.shape[2]
         raw = space.take("conv.raw", (m, n, batch * window, k_out), cdtype)
-        np.matmul(flat, kernel.transpose(0, 1, 3, 2), out=raw)
+        kernel_t = kernel.transpose(0, 1, 3, 2)
+        axis = 0 if self._model_axis_first(m, n) else 1
+
+        def matmul_body(lo: int, hi: int) -> None:
+            np.matmul(slice_axis(flat, axis, lo, hi),
+                      slice_axis(kernel_t, axis, lo, hi),
+                      out=slice_axis(raw, axis, lo, hi))
+
+        parallel_for(matmul_body, raw.shape[axis], outputs=((raw, axis),))
         if legacy_layout:
             buffer = space.take("conv.values", (m, n, batch, window, k_out),
                                 cdtype)
@@ -1057,7 +1175,15 @@ class StackedInferenceEngine(ProfilingSeam):
         raw_t = space.view("conv.raw.t",
                            lambda: raw.reshape(m, n, batch, window, k_out)
                            .transpose(0, 2, 1, 4, 3))
-        np.multiply(raw_t, stage["scale_array"], out=values)
+        scale_array = stage["scale_array"]
+        scale_axis = 0 if self._model_axis_first(m, batch) else 1
+
+        def scale_body(lo: int, hi: int) -> None:
+            np.multiply(slice_axis(raw_t, scale_axis, lo, hi), scale_array,
+                        out=slice_axis(values, scale_axis, lo, hi))
+
+        parallel_for(scale_body, values.shape[scale_axis],
+                     outputs=((values, scale_axis),))
         shift = space.take("conv.shift", (m, batch, window), cdtype)
         for index in range(n):
             np.copyto(shift, values[:, :, index, index, :])
@@ -1066,11 +1192,22 @@ class StackedInferenceEngine(ProfilingSeam):
         return values, flat
 
     def _softmax_inplace(self, space: ScratchSpace, probs: np.ndarray) -> None:
+        # Row-wise normalisation over a contiguous arena buffer: flatten the
+        # (model, head, batch) leading axes into one parallel axis — see the
+        # single-engine ``_softmax_inplace`` for the bit-identity argument.
         extreme = space.take("att.max", probs.shape[:-1] + (1,), probs.dtype)
-        probs -= max_last_keepdims(probs, out=extreme)
-        np.exp(probs, out=probs)
         total = space.take("att.sum", probs.shape[:-1] + (1,), probs.dtype)
-        probs /= sum_last_keepdims(probs, out=total)
+        flat = probs.reshape((-1,) + probs.shape[-2:])
+        ext = extreme.reshape((-1,) + extreme.shape[-2:])
+        tot = total.reshape((-1,) + total.shape[-2:])
+
+        def body(lo: int, hi: int) -> None:
+            rows = flat[lo:hi]
+            rows -= max_last_keepdims(rows, out=ext[lo:hi])
+            np.exp(rows, out=rows)
+            rows /= sum_last_keepdims(rows, out=tot[lo:hi])
+
+        parallel_for(body, flat.shape[0], outputs=((flat, 0),))
 
     def _attention_probs(self, space: ScratchSpace, x: np.ndarray, stage: dict
                          ) -> np.ndarray:
@@ -1080,23 +1217,47 @@ class StackedInferenceEngine(ProfilingSeam):
         cdtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
         x2d = x.reshape(m, batch * n, window)
         emb = space.take("att.emb", (m, batch * n, d_model), cdtype)
-        np.matmul(x2d, stage["embed_weight"], out=emb)
-        emb += stage["embed_bias"][:, None, :]
         proj = space.take("att.proj", (m, batch * n, 2 * n_heads * d_qk), cdtype)
-        np.matmul(emb, stage["weight_flat"], out=proj)
-        proj += stage["bias_flat"][:, None, :]
+        embed_weight, embed_bias = stage["embed_weight"], stage["embed_bias"]
+        weight_flat, bias_flat = stage["weight_flat"], stage["bias_flat"]
+
+        # The embedding/projection GEMMs are batched over the model axis
+        # only (per-model weights), so they always chunk across models.
+        def project_body(lo: int, hi: int) -> None:
+            np.matmul(x2d[lo:hi], embed_weight[lo:hi], out=emb[lo:hi])
+            emb[lo:hi] += embed_bias[lo:hi, None, :]
+            np.matmul(emb[lo:hi], weight_flat[lo:hi], out=proj[lo:hi])
+            proj[lo:hi] += bias_flat[lo:hi, None, :]
+
+        parallel_for(project_body, m, outputs=((emb, 0), (proj, 0)))
         qk = space.take("att.qk", (m, 2 * n_heads, batch, n, d_qk), cdtype)
-        np.copyto(qk, space.view("att.proj.t",
-                                 lambda: proj.reshape(m, batch, n, 2 * n_heads,
-                                                      d_qk)
-                                 .transpose(0, 3, 1, 2, 4)))
+        proj_t = space.view("att.proj.t",
+                            lambda: proj.reshape(m, batch, n, 2 * n_heads, d_qk)
+                            .transpose(0, 3, 1, 2, 4))
         raw = space.take("att.raw", (m, n_heads, batch, n, n), cdtype)
-        np.matmul(qk[:, :n_heads],
-                  space.view("att.k.t",
-                             lambda: qk[:, n_heads:].transpose(0, 1, 2, 4, 3)),
-                  out=raw)
+        k_t = space.view("att.k.t",
+                         lambda: qk[:, n_heads:].transpose(0, 1, 2, 4, 3))
         probs = space.take("att.probs", (m, n_heads, batch, n, n), np.float64)
-        np.multiply(raw, stage["modulation"], out=probs)
+        query = qk[:, :n_heads]
+        modulation = stage["modulation"]
+        # Layout copy + per-(m, h, b) score GEMMs + modulation multiply in
+        # one round: the batch axis sits at index 2 of every operand, the
+        # model axis at 0.  ``modulation`` is (m, h, 1, n, n): sliced along
+        # the model axis, broadcast (unsliced) along the batch axis.
+        axis = 0 if self._model_axis_first(m, batch) else 2
+
+        def body(lo: int, hi: int) -> None:
+            np.copyto(slice_axis(qk, axis, lo, hi),
+                      slice_axis(proj_t, axis, lo, hi))
+            np.matmul(slice_axis(query, axis, lo, hi),
+                      slice_axis(k_t, axis, lo, hi),
+                      out=slice_axis(raw, axis, lo, hi))
+            np.multiply(slice_axis(raw, axis, lo, hi),
+                        modulation[lo:hi] if axis == 0 else modulation,
+                        out=slice_axis(probs, axis, lo, hi))
+
+        parallel_for(body, raw.shape[axis],
+                     outputs=((qk, axis), (raw, axis), (probs, axis)))
         self._softmax_inplace(space, probs)
         return probs
 
@@ -1107,14 +1268,27 @@ class StackedInferenceEngine(ProfilingSeam):
         window = values.shape[-1]
         out_dtype = np.result_type(probs.dtype, values.dtype)
         a_bihj = space.take("comb.a", (m, batch, n, n_heads, n), probs.dtype)
-        np.copyto(a_bihj, space.view("comb.probs.t",
-                                     lambda: probs.transpose(0, 2, 3, 1, 4)))
+        probs_t = space.view("comb.probs.t",
+                             lambda: probs.transpose(0, 2, 3, 1, 4))
         v_bijt = space.take("comb.v", (m, batch, n, n, window), out_dtype)
-        np.copyto(v_bijt, space.view("comb.values.t",
-                                     lambda: values.transpose(0, 1, 3, 2, 4)))
+        values_t = space.view("comb.values.t",
+                              lambda: values.transpose(0, 1, 3, 2, 4))
         head_outputs = space.take("comb.ho", (m, batch, n, n_heads, window),
                                   out_dtype)
-        np.matmul(a_bihj, v_bijt, out=head_outputs)
+        axis = 0 if self._model_axis_first(m, batch) else 1
+
+        def body(lo: int, hi: int) -> None:
+            np.copyto(slice_axis(a_bihj, axis, lo, hi),
+                      slice_axis(probs_t, axis, lo, hi))
+            np.copyto(slice_axis(v_bijt, axis, lo, hi),
+                      slice_axis(values_t, axis, lo, hi))
+            np.matmul(slice_axis(a_bihj, axis, lo, hi),
+                      slice_axis(v_bijt, axis, lo, hi),
+                      out=slice_axis(head_outputs, axis, lo, hi))
+
+        parallel_for(body, head_outputs.shape[axis],
+                     outputs=((a_bihj, axis), (v_bijt, axis),
+                              (head_outputs, axis)))
         return a_bihj, v_bijt, head_outputs
 
     def _forward(self, x: np.ndarray, stage: dict) -> np.ndarray:
@@ -1126,31 +1300,63 @@ class StackedInferenceEngine(ProfilingSeam):
         n_heads = stage["n_heads"]
         dtype = head_outputs.dtype
         at = space.take("comb.at", (m, batch, n, window, n_heads), dtype)
-        np.copyto(at, space.view("comb.ho.t",
-                                 lambda: head_outputs.transpose(0, 1, 2, 4, 3)))
+        ho_t = space.view("comb.ho.t",
+                          lambda: head_outputs.transpose(0, 1, 2, 4, 3))
+        at_axis = 0 if self._model_axis_first(m, batch) else 1
+
+        def at_body(lo: int, hi: int) -> None:
+            np.copyto(slice_axis(at, at_axis, lo, hi),
+                      slice_axis(ho_t, at_axis, lo, hi))
+
+        parallel_for(at_body, at.shape[at_axis], outputs=((at, at_axis),))
         combined = space.take("comb.out", (m, batch * n * window, 1), dtype)
         at2d = space.view("comb.at.2d",
                           lambda: at.reshape(m, batch * n * window, n_heads))
-        # Per-row np.dot, replicating the single engine's GEMV-dot exactly.
-        for row in range(m):
-            np.dot(at2d[row],
-                   stage["w_output"][row].reshape(n_heads, 1)
-                   .astype(dtype, copy=False),
-                   out=combined[row])
+        w_output = stage["w_output"]
+
+        # Per-row np.dot, replicating the single engine's GEMV-dot exactly;
+        # each row writes only its own ``combined[row]``, so the row loop
+        # chunks across models.
+        def dot_body(lo: int, hi: int) -> None:
+            for row in range(lo, hi):
+                np.dot(at2d[row],
+                       w_output[row].reshape(n_heads, 1)
+                       .astype(dtype, copy=False),
+                       out=combined[row])
+
+        parallel_for(dot_body, m, outputs=((combined, 0),))
         x2d = space.view("comb.out.2d",
                          lambda: combined.reshape(m, batch * n, window))
         d_ffn = stage["w1"].shape[-1]
         hidden = space.take("mlp.hidden", (m, batch * n, d_ffn), dtype)
-        np.matmul(x2d, stage["w1"], out=hidden)
-        hidden += stage["b1"][:, None, :]
-        slope = _leaky_slope(space, "mlp.slope", hidden, stage["negative_slope"])
-        hidden *= slope
         ffn = space.take("mlp.ffn", (m, batch * n, window), dtype)
-        np.matmul(hidden, stage["w2"], out=ffn)
-        ffn += stage["b2"][:, None, :]
         out2d = space.take("mlp.out", (m, batch * n, window), dtype)
-        np.matmul(ffn, stage["w3"], out=out2d)
-        out2d += stage["b3"][:, None, :]
+        slope = space.take("mlp.slope", hidden.shape, dtype)
+        mask = space.take("mlp.slope.mask", hidden.shape, np.bool_)
+        w1, b1 = stage["w1"], stage["b1"]
+        w2, b2 = stage["w2"], stage["b2"]
+        w3, b3 = stage["w3"], stage["b3"]
+        low = dtype.type(stage["negative_slope"])
+        one = dtype.type(1.0)
+
+        # The MLP tail's GEMMs are batched over the model axis (per-model
+        # weights), so the whole tail — including the inlined
+        # ``_leaky_slope`` selection, same buffers, same ops — chunks
+        # across models.
+        def mlp_body(lo: int, hi: int) -> None:
+            np.matmul(x2d[lo:hi], w1[lo:hi], out=hidden[lo:hi])
+            hidden[lo:hi] += b1[lo:hi, None, :]
+            np.greater(hidden[lo:hi], 0, out=mask[lo:hi])
+            slope[lo:hi].fill(low)
+            np.copyto(slope[lo:hi], one, where=mask[lo:hi])
+            hidden[lo:hi] *= slope[lo:hi]
+            np.matmul(hidden[lo:hi], w2[lo:hi], out=ffn[lo:hi])
+            ffn[lo:hi] += b2[lo:hi, None, :]
+            np.matmul(ffn[lo:hi], w3[lo:hi], out=out2d[lo:hi])
+            out2d[lo:hi] += b3[lo:hi, None, :]
+
+        parallel_for(mlp_body, m,
+                     outputs=((hidden, 0), (ffn, 0), (out2d, 0), (slope, 0)))
         return space.view("mlp.out.4d",
                           lambda: out2d.reshape(m, batch, n, window))
 

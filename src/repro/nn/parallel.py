@@ -1,0 +1,375 @@
+"""Intra-engine parallel execution: a persistent worker pool + static chunking.
+
+The fused engines in :mod:`repro.nn.inference` and
+:mod:`repro.nn.training_engine` are sequences of batched matmuls,
+element-wise kernels, and per-row reductions over pre-allocated arena
+buffers.  Along their leading (batch / series / model) axes those ops are
+embarrassingly parallel: numpy dispatches one 2-D GEMM per leading-axis
+slice of a stacked ``matmul``, and element-wise / last-axis-reduction ops
+touch each row independently.  Chunking such an op over its leading axis
+and running the chunks on worker threads therefore produces *bit-identical*
+results to the serial op — each chunk performs exactly the per-slice work
+the serial call would, writing disjoint slices of the same output buffer.
+
+This module provides the execution seam the engines thread through:
+
+``parallel_for(body, n_items)``
+    Run ``body(lo, hi)`` over static contiguous chunks of ``range(n_items)``.
+    With the configured thread count at 1 (the default) or ``n_items <= 1``
+    it degenerates to ``body(0, n_items)`` on the calling thread — full-range
+    ``[0:n]`` slices, i.e. exactly the serial op.  numpy releases the GIL
+    inside its kernels, so chunks genuinely overlap on multi-core hosts.
+
+``set_engine_threads(n)`` / ``get_engine_threads()`` / ``engine_threads(n)``
+    Process-wide thread-count configuration, seeded from the
+    ``REPRO_ENGINE_THREADS`` environment variable (default 1).
+
+``EngineThreadPool``
+    The lazily-started, process-wide pool behind ``parallel_for``.  It is a
+    plain task queue with per-call completion latches, so *concurrent*
+    ``parallel_for`` callers (e.g. several trainers on different Python
+    threads) share one set of workers safely.
+
+Two guard rails ride along:
+
+* When engine threads are enabled (> 1), BLAS threading is pinned to 1
+  (environment variables + a best-effort runtime call into the loaded
+  OpenBLAS) so our chunk threads do not oversubscribe against BLAS's own
+  pool.
+* Under ``REPRO_PARALLEL_DEBUG`` (or :func:`set_parallel_debug`), call
+  sites may declare their output arrays and the audit asserts via
+  ``np.shares_memory`` that no two chunk views alias overlapping memory —
+  future op authors cannot silently introduce a data race.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import queue
+import threading
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EngineThreadPool",
+    "engine_threads",
+    "get_engine_pool",
+    "get_engine_threads",
+    "limit_blas_threads",
+    "parallel_for",
+    "set_engine_threads",
+    "set_parallel_debug",
+    "slice_axis",
+]
+
+#: Environment variables consulted by the common BLAS/threading runtimes.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+#: Runtime entry points for capping an already-loaded OpenBLAS.  numpy >= 2
+#: bundles scipy-openblas with prefixed symbols; plain OpenBLAS exports the
+#: unprefixed names.
+_OPENBLAS_SYMBOLS = (
+    "scipy_openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "openblas_set_num_threads",
+    "goto_set_num_threads",
+)
+
+
+def _parse_env_threads() -> int:
+    raw = os.environ.get("REPRO_ENGINE_THREADS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+def _parse_env_debug() -> bool:
+    raw = os.environ.get("REPRO_PARALLEL_DEBUG", "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
+_engine_threads: int = _parse_env_threads()
+_parallel_debug: bool = _parse_env_debug()
+_blas_limited: bool = False
+_config_lock = threading.Lock()
+
+
+def limit_blas_threads() -> None:
+    """Pin BLAS to a single thread (idempotent, best effort).
+
+    Engine threads and BLAS threads multiply: 4 chunk threads each fanning
+    a GEMM across 4 BLAS threads oversubscribes a 4-core host 4x.  The
+    engines own the outer parallelism, so BLAS is capped at 1.
+
+    Environment variables only matter for libraries loaded *after* this
+    call (e.g. spawned pool workers importing numpy fresh); for the BLAS
+    already linked into this process we additionally call
+    ``openblas_set_num_threads(1)`` on the loaded shared object.
+    """
+    global _blas_limited
+    with _config_lock:
+        if _blas_limited:
+            return
+        _blas_limited = True
+    for var in _BLAS_ENV_VARS:
+        os.environ[var] = "1"
+    try:
+        with open("/proc/self/maps") as handle:
+            paths = sorted(
+                {
+                    line.split()[-1]
+                    for line in handle
+                    if "blas" in line.lower() and line.rstrip().endswith(".so")
+                }
+            )
+    except OSError:
+        paths = []
+    for path in paths:
+        try:
+            library = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for symbol in _OPENBLAS_SYMBOLS:
+            setter = getattr(library, symbol, None)
+            if setter is not None:
+                try:
+                    setter(1)
+                except (ctypes.ArgumentError, OSError):  # pragma: no cover
+                    continue
+                break
+
+
+def get_engine_threads() -> int:
+    """The number of threads engine ops chunk across (1 = serial)."""
+    return _engine_threads
+
+
+def set_engine_threads(n: Optional[int] = None) -> int:
+    """Set the process-wide engine thread count and return it.
+
+    ``None`` re-reads ``REPRO_ENGINE_THREADS`` (default 1).  Enabling more
+    than one thread pins BLAS to a single thread (see
+    :func:`limit_blas_threads`); the pool itself starts lazily on the first
+    parallel call.
+    """
+    global _engine_threads
+    count = _parse_env_threads() if n is None else int(n)
+    if count < 1:
+        raise ValueError(f"engine threads must be >= 1, got {count}")
+    _engine_threads = count
+    if count > 1:
+        limit_blas_threads()
+    return count
+
+
+@contextmanager
+def engine_threads(n: int):
+    """Temporarily run with ``n`` engine threads (tests, benchmarks)."""
+    previous = get_engine_threads()
+    set_engine_threads(n)
+    try:
+        yield
+    finally:
+        set_engine_threads(previous)
+
+
+def set_parallel_debug(enabled: bool) -> None:
+    """Toggle the chunk-aliasing audit (also: ``REPRO_PARALLEL_DEBUG``)."""
+    global _parallel_debug
+    _parallel_debug = bool(enabled)
+
+
+def parallel_debug_enabled() -> bool:
+    return _parallel_debug
+
+
+def _chunk_bounds(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Static contiguous chunking of ``range(n_items)`` into ``n_chunks``."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    bounds = []
+    lo = 0
+    for index in range(n_chunks):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def slice_axis(array: np.ndarray, axis: int, lo: int, hi: int) -> np.ndarray:
+    """``array[..., lo:hi, ...]`` along ``axis`` (a view, never a copy)."""
+    if axis == 0:
+        return array[lo:hi]
+    if axis == 1:
+        return array[:, lo:hi]
+    index = (slice(None),) * axis + (slice(lo, hi),)
+    return array[index]
+
+
+def _audit_outputs(outputs: Sequence[Tuple[np.ndarray, int]],
+                   bounds: Sequence[Tuple[int, int]]) -> None:
+    """Assert no two chunk views of any declared output overlap in memory.
+
+    The bit-exactness contract of threaded ops rests on chunks writing
+    disjoint slices.  A transposed or broadcast output view could break
+    that silently; this audit (debug flag only — it is O(chunks^2) per
+    output) turns such a mistake into a loud error at the call site.
+    """
+    for array, axis in outputs:
+        views = [slice_axis(array, axis, lo, hi) for lo, hi in bounds]
+        for i in range(len(views)):
+            if views[i].size == 0:
+                continue
+            for j in range(i + 1, len(views)):
+                if views[j].size == 0:
+                    continue
+                if np.shares_memory(views[i], views[j]):
+                    raise RuntimeError(
+                        "parallel_for output chunks alias overlapping memory "
+                        f"(axis {axis}, chunks {i} and {j}); threaded writes "
+                        "to this array would race"
+                    )
+
+
+class _Round:
+    """One ``parallel_for`` invocation: a latch over its pending chunks."""
+
+    __slots__ = ("body", "pending", "error", "lock", "done")
+
+    def __init__(self, body: Callable[[int, int], None], n_chunks: int) -> None:
+        self.body = body
+        self.pending = n_chunks
+        self.error: Optional[BaseException] = None
+        self.lock = threading.Lock()
+        self.done = threading.Event()
+
+    def run_chunk(self, lo: int, hi: int) -> None:
+        try:
+            self.body(lo, hi)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in the caller
+            with self.lock:
+                if self.error is None:
+                    self.error = exc
+        finally:
+            with self.lock:
+                self.pending -= 1
+                finished = self.pending == 0
+            if finished:
+                self.done.set()
+
+
+class EngineThreadPool:
+    """A lazily-started pool of daemon workers draining one task queue.
+
+    Tasks are ``(round, lo, hi)`` chunk assignments.  Because the queue is
+    shared and each round carries its own completion latch, any number of
+    threads may submit rounds concurrently — the pool never assumes a
+    single driver.  The submitting thread always executes the first chunk
+    inline, so a round over ``n`` chunks occupies the caller plus at most
+    ``n - 1`` workers and the pool needs no reserved capacity per caller.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._workers: List[threading.Thread] = []
+        self._lock = threading.Lock()
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def _worker_loop(self) -> None:
+        while True:
+            round_, lo, hi = self._tasks.get()
+            round_.run_chunk(lo, hi)
+
+    def ensure_workers(self, count: int) -> None:
+        """Grow the pool to at least ``count`` worker threads."""
+        with self._lock:
+            while len(self._workers) < count:
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-engine-{len(self._workers)}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+
+    def run(self, body: Callable[[int, int], None],
+            bounds: Sequence[Tuple[int, int]]) -> None:
+        """Execute ``body`` over ``bounds``; chunk 0 runs on this thread."""
+        round_ = _Round(body, len(bounds))
+        if len(bounds) > 1:
+            self.ensure_workers(len(bounds) - 1)
+            for lo, hi in bounds[1:]:
+                self._tasks.put((round_, lo, hi))
+        round_.run_chunk(*bounds[0])
+        round_.done.wait()
+        if round_.error is not None:
+            raise round_.error
+
+
+_pool: Optional[EngineThreadPool] = None
+_pool_lock = threading.Lock()
+
+
+def get_engine_pool() -> EngineThreadPool:
+    """The process-wide pool (created on first use, workers started lazily)."""
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                _pool = EngineThreadPool()
+    return _pool
+
+
+def _reset_pool_after_fork() -> None:
+    # Worker threads do not survive fork(); a child inheriting a "started"
+    # pool would enqueue chunks nobody drains.  Rebuild lazily in the child.
+    global _pool
+    _pool = None
+
+
+os.register_at_fork(after_in_child=_reset_pool_after_fork)
+
+
+def parallel_for(body: Callable[[int, int], None], n_items: int,
+                 outputs: Optional[Sequence[Tuple[np.ndarray, int]]] = None) -> None:
+    """Run ``body(lo, hi)`` over static contiguous chunks of ``range(n_items)``.
+
+    With ``get_engine_threads() <= 1`` or ``n_items <= 1`` this is exactly
+    ``body(0, n_items)`` on the calling thread — the serial path, since
+    ``array[0:n]`` slices are full-range views.  Otherwise the range is cut
+    into ``min(threads, n_items)`` chunks executed by the shared pool (the
+    caller runs chunk 0 inline).  Exceptions raised by any chunk re-raise
+    here after the round drains.
+
+    ``outputs`` optionally declares ``(array, chunk_axis)`` pairs written by
+    the body; under the parallel-debug flag the chunk views are audited for
+    memory overlap before running (see :func:`set_parallel_debug`).
+    """
+    threads = get_engine_threads()
+    if threads <= 1 or n_items <= 1:
+        body(0, n_items)
+        return
+    # Covers the env-seeded path (``REPRO_ENGINE_THREADS`` at import skips
+    # ``set_engine_threads``); idempotent after the first call.
+    limit_blas_threads()
+    bounds = _chunk_bounds(n_items, threads)
+    if _parallel_debug and outputs:
+        _audit_outputs(outputs, bounds)
+    get_engine_pool().run(body, bounds)

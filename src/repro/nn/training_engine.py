@@ -18,6 +18,33 @@ with every temporary drawn from the same scratch arena the forward uses.  A
 steady-state training step performs no heap allocation of large arrays and
 no autograd bookkeeping at all.
 
+Buffer-handle plans
+-------------------
+A steady-state backward used to spend ~60 ``space.take`` probes and grad-view
+dict lookups per step on buffers whose identity never changes for a fixed
+``(batch shape, dtype, flat-gradient buffer)`` workload.  Each engine now
+builds a backward *plan* per workload key — one object holding every scratch
+handle, derived transpose/reshape view and gradient view — and revalidates
+it with a handful of identity checks per step (the scratch space, the flat
+gradient buffer and the derived dtypes).  A plan never outlives any of the
+arrays it caches: space buffers are keyed by name+shape+dtype inside the
+validated space, and the gradient views are invalidated with the flat
+buffer's identity.
+
+Threaded execution
+------------------
+The dominant backward ops run through :func:`repro.nn.parallel.parallel_for`
+across the batch axis (solo engine) or the model/batch axis picked by
+:meth:`~repro.nn.inference.StackedInferenceEngine._model_axis_first`
+(stacked engine).  Chunking is bit-exact by construction: numpy dispatches
+batched (3D+) matmuls as one 2-D GEMM per leading-axes slice, elementwise
+ops and last-axis reductions are per-row, and every chunk writes a disjoint
+slice of a pre-allocated arena buffer.  The 2-D GEMMs of the solo MLP chain
+and every cross-row weight-gradient reduction (``ffn.T @ grad2d`` style,
+``.sum(axis=0)``) stay serial — row-splitting a 2-D GEMM may change BLAS
+kernel selection and therefore summation order.  At ``engine threads = 1``
+every ``body(0, n)`` call is the exact serial path.
+
 Op-for-op parity contract
 -------------------------
 The backward transcribes, line by line, the backward closures of the fused
@@ -63,6 +90,7 @@ import numpy as np
 
 from repro.nn.inference import (InferenceEngine, ScratchArena, ScratchSpace,
                                 StackedInferenceEngine, sum_last_keepdims)
+from repro.nn.parallel import parallel_for, slice_axis
 
 
 def _scaled_sign(destination: np.ndarray, source: np.ndarray,
@@ -77,6 +105,138 @@ def _scaled_sign(destination: np.ndarray, source: np.ndarray,
     """
     np.sign(source, out=destination)
     destination *= coefficient
+
+
+class _SoloBackwardPlan:
+    """Every solo-backward scratch handle, derived view and gradient view.
+
+    Built once per ``(batch shape, dtype)`` workload key; the engine
+    revalidates it per step against the scratch-space identity, the flat
+    gradient buffer identity and the derived-dtype signature.  All takes use
+    the exact ``(name, shape, dtype)`` of the former per-step calls, so the
+    buffers (and the forward's writes into the shared ones) are unchanged.
+    """
+
+    def __init__(self, space: ScratchSpace, stage: dict, model,
+                 x_shape, x_dtype, views: Dict[str, np.ndarray],
+                 gdtype, adtype, cdtype) -> None:
+        config = model.config
+        batch, n, window = x_shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        d_model = stage["embed_weight"].shape[-1]
+        d_ffn = stage["w1"].shape[-1]
+        bn = batch * n
+        f64 = np.float64
+
+        self.space = space
+        self.grad_id: Optional[int] = None
+        self.signature = (gdtype.str, np.dtype(adtype).str,
+                          np.dtype(cdtype).str)
+        self.has_l1_kernel = config.lambda_kernel > 0
+        self.has_l1_mask = config.lambda_mask > 0
+        self.single_kernel = model.convolution.single_kernel
+
+        self.kernel_view = views["convolution.kernel"]
+        self.mask_views = [views[f"attention.heads.{h}.mask"]
+                           for h in range(n_heads)]
+        self.w3_view = views["output_layer.weight"]
+        self.b3_view = views["output_layer.bias"]
+        self.w2_view = views["feed_forward.w2"]
+        self.b2_view = views["feed_forward.b2"]
+        self.w1_view = views["feed_forward.w1"]
+        self.b1_view = views["feed_forward.b1"]
+        self.wout_view = views["attention.w_output"]
+        self.ew_view = views["embedding.weight"]
+        self.eb_view = views["embedding.bias"]
+        self.head_views = []
+        for index in range(n_heads):
+            query = slice(index * d_qk, (index + 1) * d_qk)
+            key = slice((n_heads + index) * d_qk,
+                        (n_heads + index + 1) * d_qk)
+            prefix = f"attention.heads.{index}"
+            self.head_views.append(
+                (views[f"{prefix}.w_query"], views[f"{prefix}.b_query"],
+                 views[f"{prefix}.w_key"], views[f"{prefix}.b_key"],
+                 query, key))
+
+        take = space.take
+        self.grad_pred = take("bwd.pred", (batch, n, window), f64)
+        self.grad2d = self.grad_pred.reshape(bn, window)
+        self.ffn = take("mlp.ffn", (bn, window), f64)
+        self.hidden = take("mlp.hidden", (bn, d_ffn), f64)       # activated
+        self.slope = take("mlp.slope", (bn, d_ffn), f64)
+        self.w3_tmp = take("bwd.w3", (window, window), f64)
+        self.b3_tmp = take("bwd.b3", (window,), f64)
+        self.grad_ffn = take("bwd.ffn", (bn, window), f64)
+        self.w2_tmp = take("bwd.w2", (d_ffn, window), f64)
+        self.b2_tmp = take("bwd.b2", (window,), f64)
+        self.grad_hidden = take("bwd.hidden", (bn, d_ffn), f64)
+        self.combined2d = take("comb.out", (bn * window, 1), f64) \
+            .reshape(bn, window)
+        self.w1_tmp = take("bwd.w1", (window, d_ffn), f64)
+        self.b1_tmp = take("bwd.b1", (d_ffn,), f64)
+        self.grad_combined = take("bwd.comb", (bn, window), f64)
+        self.grad_comb3d = self.grad_combined.reshape(batch, n, window)
+        self.grad_combined_col = self.grad_combined.reshape(bn * window, 1)
+
+        self.a_bihj = take("comb.a", (batch, n, n_heads, n), f64)
+        self.v_bijt = take("comb.v", (batch, n, n, window), f64)
+        self.head_outputs = take("comb.ho", (batch, n, n_heads, window), f64)
+        self.grad_heads = take("comb.bwd.heads",
+                               (batch, n, n_heads, window), f64)
+        self.grad_a = take("bwd.ga", (batch, n, n_heads, n), f64)
+        self.grad_probs = self.grad_a.transpose(2, 0, 1, 3)     # (h, B, i, j)
+        self.grad_v = take("bwd.gv", (batch, n, n, window), f64)
+        self.v_t = self.v_bijt.transpose(0, 1, 3, 2)
+        self.a_t = self.a_bihj.transpose(0, 1, 3, 2)
+        self.ho_flat = take("bwd.ho_flat", (n_heads, bn * window), f64)
+        self.ho_flat_r = self.ho_flat.reshape(n_heads, batch, n, window)
+        self.ho_src = self.head_outputs.transpose(2, 0, 1, 3)
+        self.wout_tmp = take("bwd.wout", (n_heads, 1), f64)
+
+        self.probs = take("att.probs", (n_heads, batch, n, n), f64)
+        self.raw = take("att.raw", (n_heads, batch, n, n), adtype)
+        self.qk = take("att.qk", (2 * n_heads, batch, n, d_qk), adtype)
+        self.emb = take("att.emb", (bn, d_model), adtype)
+        self.product = take("bwd.att.prod", (n_heads, batch, n, n), f64)
+        self.dot = take("bwd.att.dot", (n_heads, batch, n, 1), f64)
+        self.grad_masked = take("bwd.att.masked", (n_heads, batch, n, n), f64)
+        self.grad_raw = take("bwd.att.raw", (n_heads, batch, n, n), f64)
+        self.grad_raw_t = self.grad_raw.transpose(0, 1, 3, 2)
+        self.grad_qk = take("bwd.att.qk", (2 * n_heads, batch, n, d_qk),
+                            adtype)
+        self.gq = self.grad_qk[:n_heads]
+        self.gk = self.grad_qk[n_heads:]
+        self.query_half = self.qk[:n_heads]
+        self.key_half = self.qk[n_heads:]
+        self.grad_2d = take("bwd.att.2d", (bn, 2 * n_heads * d_qk), adtype)
+        self.grad_2d_r = self.grad_2d.reshape(batch, n, 2 * n_heads, d_qk)
+        self.grad_qk_src = self.grad_qk.transpose(1, 2, 0, 3)
+        self.grad_emb = take("bwd.att.emb", (bn, d_model), adtype)
+        self.ew_tmp = take("bwd.ew", (window, d_model), adtype)
+        self.eb_tmp = take("bwd.eb", (d_model,), adtype)
+        self.gw = take("bwd.att.gw", (d_model, 2 * n_heads * d_qk), adtype)
+        self.gb = take("bwd.att.gb", (2 * n_heads * d_qk,), adtype)
+        self.gmask = take("bwd.att.gmask", (n_heads, n, n), f64)
+        self.mask_cast = take("bwd.att.gmask_cast", (n, n), gdtype)
+
+        self.windows_flat = take("conv.windows_flat",
+                                 (n, batch * window, window), x_dtype)
+        self.shifted = take("bwd.conv.grad", (batch, n, n, window), cdtype)
+        self.grad_v_t = self.grad_v.transpose(0, 2, 1, 3)
+        self.shift_buf = take("bwd.conv.shift", (batch, window), cdtype)
+        self.grad_scaled = take("bwd.conv.scaled", (batch, n, n, window),
+                                cdtype)
+        self.grad_scaled_t = self.grad_scaled.transpose(1, 2, 0, 3)
+        self.flat_k = take("bwd.conv.flat_k", (n, n, batch * window), cdtype)
+        self.flat_k_r = self.flat_k.reshape(n, n, batch, window)
+        self.kgrad = take("bwd.conv.kgrad", (n, n, window), cdtype)
+        self.cast_eff = self.ksum = self.kcast = None
+        if self.single_kernel:
+            self.cast_eff = take("bwd.conv.kcast", (n, n, window), gdtype)
+            self.ksum = take("bwd.conv.ksum", (1, 1, window), gdtype)
+        elif self.has_l1_kernel and self.kgrad.dtype != gdtype:
+            self.kcast = take("bwd.conv.kcast", (n, n, window), gdtype)
 
 
 class TrainingEngine(InferenceEngine):
@@ -104,6 +264,7 @@ class TrainingEngine(InferenceEngine):
         self.optimizer = optimizer
         self._grad_views: Dict[str, np.ndarray] = {}
         self._grad_buffer_id: Optional[int] = None
+        self._backward_plans: Dict[tuple, _SoloBackwardPlan] = {}
 
     # ------------------------------------------------------------------ #
     # Flat-gradient plumbing
@@ -178,202 +339,349 @@ class TrainingEngine(InferenceEngine):
         self.forward_backward(batch)
         return {name: view.copy() for name, view in self._grad_views.items()}
 
+    def _backward_plan(self, space: ScratchSpace, stage: dict,
+                       x: np.ndarray,
+                       views: Dict[str, np.ndarray]) -> _SoloBackwardPlan:
+        """The cached handle plan for this workload, rebuilt when stale."""
+        gdtype = self.optimizer.flat_gradient.dtype
+        cdtype = np.result_type(x.dtype, stage["kernel_eff"].dtype)
+        adtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
+        signature = (gdtype.str, adtype.str, cdtype.str)
+        key = (x.shape, x.dtype.str)
+        plan = self._backward_plans.get(key)
+        if plan is None or plan.space is not space \
+                or plan.grad_id != self._grad_buffer_id \
+                or plan.signature != signature:
+            plan = _SoloBackwardPlan(space, stage, self.model, x.shape,
+                                     x.dtype, views, gdtype, adtype, cdtype)
+            plan.grad_id = self._grad_buffer_id
+            self._backward_plans[key] = plan
+        return plan
+
     # ------------------------------------------------------------------ #
     # Hand-derived backward (transcribed autograd closures)
     # ------------------------------------------------------------------ #
     def _backward(self, space: ScratchSpace, stage: dict, x: np.ndarray,
                   diff: np.ndarray, views: Dict[str, np.ndarray]) -> None:
+        p = self._backward_plan(space, stage, x, views)
         model = self.model
         config = model.config
         batch, n, window = x.shape
-        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
-        d_model = stage["embed_weight"].shape[-1]
-        d_ffn = stage["w1"].shape[-1]
-        bn = batch * n
         f64 = np.float64
         one = f64(1.0)
-        cdtype = np.result_type(x.dtype, stage["kernel_eff"].dtype)
-        adtype = np.result_type(x.dtype, stage["embed_weight"].dtype)
-        gdtype = self.optimizer.flat_gradient.dtype
-        mask_names = [f"attention.heads.{h}.mask" for h in range(n_heads)]
 
         # --- loss node: L1 signs (first accumulation into kernel/masks)
         # and the windowed-MSE gradient seed into the prediction ---------- #
-        has_l1_kernel = config.lambda_kernel > 0
-        has_l1_mask = config.lambda_mask > 0
-        kernel_view = views["convolution.kernel"]
-        if has_l1_kernel:
-            _scaled_sign(kernel_view, model.convolution.kernel.data,
+        if p.has_l1_kernel:
+            _scaled_sign(p.kernel_view, model.convolution.kernel.data,
                          config.lambda_kernel * one)
-        if has_l1_mask:
-            for name, mask in zip(mask_names,
+        if p.has_l1_mask:
+            for view, mask in zip(p.mask_views,
                                   model.attention.mask_parameters):
-                _scaled_sign(views[name], mask.data,
-                             config.lambda_mask * one)
+                _scaled_sign(view, mask.data, config.lambda_mask * one)
         # Slot 0 of the seed is the padding slot the loss never reads; the
         # buffer's allocation zero-fill persists there (never written).
-        grad_pred = space.take("bwd.pred", (batch, n, window), f64)
-        np.multiply(diff, (2.0 / diff.size) * one, out=grad_pred[..., 1:])
+        np.multiply(diff, (2.0 / diff.size) * one, out=p.grad_pred[..., 1:])
 
-        # --- mlp_chain backward ----------------------------------------- #
-        ffn = space.take("mlp.ffn", (bn, window), f64)
-        hidden = space.take("mlp.hidden", (bn, d_ffn), f64)      # activated
-        slope = space.take("mlp.slope", (bn, d_ffn), f64)
-        grad2d = grad_pred.reshape(bn, window)
-        w3_tmp = space.take("bwd.w3", (window, window), f64)
-        np.matmul(ffn.T, grad2d, out=w3_tmp)
-        views["output_layer.weight"][...] = w3_tmp
-        b3_tmp = space.take("bwd.b3", (window,), f64)
-        grad2d.sum(axis=0, out=b3_tmp)
-        views["output_layer.bias"][...] = b3_tmp
-        grad_ffn = space.take("bwd.ffn", (bn, window), f64)
-        np.matmul(grad2d, stage["w3"].T, out=grad_ffn)
-        w2_tmp = space.take("bwd.w2", (d_ffn, window), f64)
-        np.matmul(hidden.T, grad_ffn, out=w2_tmp)
-        views["feed_forward.w2"][...] = w2_tmp
-        b2_tmp = space.take("bwd.b2", (window,), f64)
-        grad_ffn.sum(axis=0, out=b2_tmp)
-        views["feed_forward.b2"][...] = b2_tmp
-        grad_hidden = space.take("bwd.hidden", (bn, d_ffn), f64)
-        np.matmul(grad_ffn, stage["w2"].T, out=grad_hidden)
-        grad_hidden *= slope
-        combined2d = space.take("comb.out", (bn * window, 1), f64) \
-            .reshape(bn, window)
-        w1_tmp = space.take("bwd.w1", (window, d_ffn), f64)
-        np.matmul(combined2d.T, grad_hidden, out=w1_tmp)
-        views["feed_forward.w1"][...] = w1_tmp
-        b1_tmp = space.take("bwd.b1", (d_ffn,), f64)
-        grad_hidden.sum(axis=0, out=b1_tmp)
-        views["feed_forward.b1"][...] = b1_tmp
-        grad_combined = space.take("bwd.comb", (bn, window), f64)
-        np.matmul(grad_hidden, stage["w1"].T, out=grad_combined)
-        grad_comb3d = grad_combined.reshape(batch, n, window)
+        # --- mlp_chain backward (2-D GEMMs and cross-row reductions stay
+        # serial: row-splitting them could change BLAS summation order) -- #
+        np.matmul(p.ffn.T, p.grad2d, out=p.w3_tmp)
+        p.w3_view[...] = p.w3_tmp
+        p.grad2d.sum(axis=0, out=p.b3_tmp)
+        p.b3_view[...] = p.b3_tmp
+        np.matmul(p.grad2d, stage["w3"].T, out=p.grad_ffn)
+        np.matmul(p.hidden.T, p.grad_ffn, out=p.w2_tmp)
+        p.w2_view[...] = p.w2_tmp
+        p.grad_ffn.sum(axis=0, out=p.b2_tmp)
+        p.b2_view[...] = p.b2_tmp
+        np.matmul(p.grad_ffn, stage["w2"].T, out=p.grad_hidden)
+        p.grad_hidden *= p.slope
+        np.matmul(p.combined2d.T, p.grad_hidden, out=p.w1_tmp)
+        p.w1_view[...] = p.w1_tmp
+        p.grad_hidden.sum(axis=0, out=p.b1_tmp)
+        p.b1_view[...] = p.b1_tmp
+        np.matmul(p.grad_hidden, stage["w1"].T, out=p.grad_combined)
 
-        # --- attention_combine backward --------------------------------- #
-        a_bihj = space.take("comb.a", (batch, n, n_heads, n), f64)
-        v_bijt = space.take("comb.v", (batch, n, n, window), f64)
-        head_outputs = space.take("comb.ho", (batch, n, n_heads, window), f64)
-        grad_heads = space.take("comb.bwd.heads", (batch, n, n_heads, window),
-                                f64)
-        np.multiply(grad_comb3d[:, :, None, :],
-                    stage["w_output"][None, None, :, None], out=grad_heads)
-        grad_a = space.take("bwd.ga", (batch, n, n_heads, n), f64)
-        np.matmul(grad_heads, v_bijt.transpose(0, 1, 3, 2), out=grad_a)
-        grad_probs = grad_a.transpose(2, 0, 1, 3)               # (h, B, i, j)
-        grad_v = space.take("bwd.gv", (batch, n, n, window), f64)
-        np.matmul(a_bihj.transpose(0, 1, 3, 2), grad_heads, out=grad_v)
+        # --- attention_combine backward (threaded over the batch axis) --- #
+        w_out_col = stage["w_output"][None, None, :, None]
+
+        def combine_body(lo, hi):
+            np.multiply(p.grad_comb3d[lo:hi, :, None, :], w_out_col,
+                        out=p.grad_heads[lo:hi])
+            np.matmul(p.grad_heads[lo:hi], p.v_t[lo:hi], out=p.grad_a[lo:hi])
+            np.matmul(p.a_t[lo:hi], p.grad_heads[lo:hi], out=p.grad_v[lo:hi])
+
+        parallel_for(combine_body, batch,
+                     outputs=((p.grad_heads, 0), (p.grad_a, 0),
+                              (p.grad_v, 0)))
         # w_output: np.tensordot(head_outputs, grad, ([0,1,3],[0,1,2]))
         # unrolled to its internal transpose-copy + dot.
-        ho_flat = space.take("bwd.ho_flat", (n_heads, bn * window), f64)
-        np.copyto(ho_flat.reshape(n_heads, batch, n, window),
-                  head_outputs.transpose(2, 0, 1, 3))
-        wout_tmp = space.take("bwd.wout", (n_heads, 1), f64)
-        np.dot(ho_flat, grad_combined.reshape(bn * window, 1), out=wout_tmp)
-        views["attention.w_output"][...] = wout_tmp[:, 0]
 
-        # --- causal_attention_probs backward (softmax Jacobian) ---------- #
-        probs = space.take("att.probs", (n_heads, batch, n, n), f64)
-        raw = space.take("att.raw", (n_heads, batch, n, n), adtype)
-        qk = space.take("att.qk", (2 * n_heads, batch, n, d_qk), adtype)
-        emb = space.take("att.emb", (bn, d_model), adtype)
-        product = space.take("bwd.att.prod", (n_heads, batch, n, n), f64)
-        np.multiply(grad_probs, probs, out=product)
-        dot = space.take("bwd.att.dot", (n_heads, batch, n, 1), f64)
-        product.sum(axis=-1, keepdims=True, out=dot)
-        grad_masked = space.take("bwd.att.masked", (n_heads, batch, n, n), f64)
-        np.subtract(grad_probs, dot, out=grad_masked)
-        np.multiply(probs, grad_masked, out=grad_masked)
-        grad_raw = space.take("bwd.att.raw", (n_heads, batch, n, n), f64)
-        np.multiply(grad_masked, stage["modulation"], out=grad_raw)
-        grad_qk = space.take("bwd.att.qk", (2 * n_heads, batch, n, d_qk),
-                             adtype)
-        np.matmul(grad_raw, qk[n_heads:], out=grad_qk[:n_heads])
-        np.matmul(grad_raw.transpose(0, 1, 3, 2), qk[:n_heads],
-                  out=grad_qk[n_heads:])
-        grad_2d = space.take("bwd.att.2d", (bn, 2 * n_heads * d_qk), adtype)
-        np.copyto(grad_2d.reshape(batch, n, 2 * n_heads, d_qk),
-                  grad_qk.transpose(1, 2, 0, 3))
-        # Embedding (fused into the same node on the training path).
-        grad_emb = space.take("bwd.att.emb", (bn, d_model), adtype)
-        np.matmul(grad_2d, stage["weight_flat"].T, out=grad_emb)
-        x2d = x.reshape(bn, window)
-        ew_tmp = space.take("bwd.ew", (window, d_model), adtype)
-        np.matmul(x2d.T, grad_emb, out=ew_tmp)
-        views["embedding.weight"][...] = ew_tmp
-        eb_tmp = space.take("bwd.eb", (d_model,), adtype)
-        grad_emb.sum(axis=0, out=eb_tmp)
-        views["embedding.bias"][...] = eb_tmp
+        def ho_body(lo, hi):
+            np.copyto(p.ho_flat_r[:, lo:hi], p.ho_src[:, lo:hi])
+
+        parallel_for(ho_body, batch, outputs=((p.ho_flat_r, 1),))
+        np.dot(p.ho_flat, p.grad_combined_col, out=p.wout_tmp)
+        p.wout_view[...] = p.wout_tmp[:, 0]
+
+        # --- causal_attention_probs backward (softmax Jacobian, threaded
+        # over the batch axis; modulation broadcasts and is never sliced) - #
+        modulation = stage["modulation"]
+
+        def attention_body(lo, hi):
+            np.multiply(p.grad_probs[:, lo:hi], p.probs[:, lo:hi],
+                        out=p.product[:, lo:hi])
+            p.product[:, lo:hi].sum(axis=-1, keepdims=True,
+                                    out=p.dot[:, lo:hi])
+            np.subtract(p.grad_probs[:, lo:hi], p.dot[:, lo:hi],
+                        out=p.grad_masked[:, lo:hi])
+            np.multiply(p.probs[:, lo:hi], p.grad_masked[:, lo:hi],
+                        out=p.grad_masked[:, lo:hi])
+            np.multiply(p.grad_masked[:, lo:hi], modulation,
+                        out=p.grad_raw[:, lo:hi])
+            np.matmul(p.grad_raw[:, lo:hi], p.key_half[:, lo:hi],
+                      out=p.gq[:, lo:hi])
+            np.matmul(p.grad_raw_t[:, lo:hi], p.query_half[:, lo:hi],
+                      out=p.gk[:, lo:hi])
+
+        parallel_for(attention_body, batch,
+                     outputs=((p.product, 1), (p.dot, 1),
+                              (p.grad_masked, 1), (p.grad_raw, 1),
+                              (p.gq, 1), (p.gk, 1)))
+
+        def grad2d_body(lo, hi):
+            np.copyto(p.grad_2d_r[lo:hi], p.grad_qk_src[lo:hi])
+
+        parallel_for(grad2d_body, batch, outputs=((p.grad_2d_r, 0),))
+        # Embedding (fused into the same node on the training path); the
+        # weight-gradient GEMMs reduce across rows, so they stay serial.
+        np.matmul(p.grad_2d, stage["weight_flat"].T, out=p.grad_emb)
+        x2d = x.reshape(batch * n, window)
+        np.matmul(x2d.T, p.grad_emb, out=p.ew_tmp)
+        p.ew_view[...] = p.ew_tmp
+        p.grad_emb.sum(axis=0, out=p.eb_tmp)
+        p.eb_view[...] = p.eb_tmp
         # Per-head Q/K weights and biases (one GEMM, sliced out per head).
-        gw = space.take("bwd.att.gw", (d_model, 2 * n_heads * d_qk), adtype)
-        np.matmul(emb.T, grad_2d, out=gw)
-        gb = space.take("bwd.att.gb", (2 * n_heads * d_qk,), adtype)
-        grad_2d.sum(axis=0, out=gb)
-        for index in range(n_heads):
-            query = slice(index * d_qk, (index + 1) * d_qk)
-            key = slice((n_heads + index) * d_qk,
-                        (n_heads + index + 1) * d_qk)
-            prefix = f"attention.heads.{index}"
-            views[f"{prefix}.w_query"][...] = gw[:, query]
-            views[f"{prefix}.b_query"][...] = gb[query]
-            views[f"{prefix}.w_key"][...] = gw[:, key]
-            views[f"{prefix}.b_key"][...] = gb[key]
+        np.matmul(p.emb.T, p.grad_2d, out=p.gw)
+        p.grad_2d.sum(axis=0, out=p.gb)
+        for wq_view, bq_view, wk_view, bk_view, query, key in p.head_views:
+            wq_view[...] = p.gw[:, query]
+            bq_view[...] = p.gb[query]
+            wk_view[...] = p.gw[:, key]
+            bk_view[...] = p.gb[key]
         # Masks: second accumulation on top of the L1 signs, cast first.
-        np.multiply(grad_masked, raw, out=product)
-        gmask = space.take("bwd.att.gmask", (n_heads, n, n), f64)
-        product.sum(axis=1, out=gmask)
+        # The product is per-element (threaded); the cross-batch sum is a
+        # reduction over the chunked axis and stays serial.
+
+        def mask_prod_body(lo, hi):
+            np.multiply(p.grad_masked[:, lo:hi], p.raw[:, lo:hi],
+                        out=p.product[:, lo:hi])
+
+        parallel_for(mask_prod_body, batch, outputs=((p.product, 1),))
+        p.product.sum(axis=1, out=p.gmask)
         attention = model.attention
-        gmask *= 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
-        mask_cast = space.take("bwd.att.gmask_cast", (n, n), gdtype)
-        for index, name in enumerate(mask_names):
-            if has_l1_mask:
-                np.copyto(mask_cast, gmask[index])
-                views[name] += mask_cast
+        p.gmask *= 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+        for index, mask_view in enumerate(p.mask_views):
+            if p.has_l1_mask:
+                np.copyto(p.mask_cast, p.gmask[index])
+                mask_view += p.mask_cast
             else:
-                views[name][...] = gmask[index]
+                mask_view[...] = p.gmask[index]
 
         # --- causal_conv backward (kernel only; inputs carry no grad) ---- #
-        windows_flat = space.take("conv.windows_flat",
-                                  (n, batch * window, window), x.dtype)
-        shifted = space.take("bwd.conv.grad", (batch, n, n, window), cdtype)
         # Node-boundary cast to the values dtype, then the routed transpose.
-        np.copyto(shifted, grad_v.transpose(0, 2, 1, 3))
+
+        def shifted_body(lo, hi):
+            np.copyto(p.shifted[lo:hi], p.grad_v_t[lo:hi])
+
+        parallel_for(shifted_body, batch, outputs=((p.shifted, 0),))
         # Undo the Eq. 4 right-shift: the diagonal gradient at slot t+1
         # flows to the pre-shift entry at slot t.
-        shift_buf = space.take("bwd.conv.shift", (batch, window), cdtype)
         for index in range(n):
-            np.copyto(shift_buf, shifted[:, index, index, :])
-            shifted[:, index, index, :-1] = shift_buf[:, 1:]
-            shifted[:, index, index, -1] = 0.0
-        grad_scaled = space.take("bwd.conv.scaled", (batch, n, n, window),
-                                 cdtype)
-        np.multiply(shifted, stage["scale_array"], out=grad_scaled)
-        flat_k = space.take("bwd.conv.flat_k", (n, n, batch * window), cdtype)
-        np.copyto(flat_k.reshape(n, n, batch, window),
-                  grad_scaled.transpose(1, 2, 0, 3))
-        kgrad = space.take("bwd.conv.kgrad", (n, n, window), cdtype)
-        np.matmul(flat_k, windows_flat, out=kgrad)
-        if model.convolution.single_kernel:
+            np.copyto(p.shift_buf, p.shifted[:, index, index, :])
+            p.shifted[:, index, index, :-1] = p.shift_buf[:, 1:]
+            p.shifted[:, index, index, -1] = 0.0
+        scale_array = stage["scale_array"]
+
+        def scaled_body(lo, hi):
+            np.multiply(p.shifted[lo:hi], scale_array,
+                        out=p.grad_scaled[lo:hi])
+
+        parallel_for(scaled_body, batch, outputs=((p.grad_scaled, 0),))
+
+        def kernel_body(lo, hi):
+            np.copyto(p.flat_k_r[lo:hi], p.grad_scaled_t[lo:hi])
+            np.matmul(p.flat_k[lo:hi], p.windows_flat[lo:hi],
+                      out=p.kgrad[lo:hi])
+
+        parallel_for(kernel_body, n,
+                     outputs=((p.flat_k_r, 0), (p.kgrad, 0)))
+        if p.single_kernel:
             # effective_kernel broadcast node: gradient × constant ones (an
             # exact ×1.0, elided), node-boundary cast, then the engine's
             # unbroadcast sum down to the (1, 1, T) parameter — the cast
             # happens before the sum in `Tensor._push`.
-            cast_eff = space.take("bwd.conv.kcast", (n, n, window), gdtype)
-            np.copyto(cast_eff, kgrad)
-            ksum = space.take("bwd.conv.ksum", (1, 1, window), gdtype)
-            cast_eff.sum(axis=(0, 1), keepdims=True, out=ksum)
-            if has_l1_kernel:
-                kernel_view += ksum
+            np.copyto(p.cast_eff, p.kgrad)
+            p.cast_eff.sum(axis=(0, 1), keepdims=True, out=p.ksum)
+            if p.has_l1_kernel:
+                p.kernel_view += p.ksum
             else:
-                kernel_view[...] = ksum
-        elif has_l1_kernel:
-            if kgrad.dtype == gdtype:
-                kernel_view += kgrad
+                p.kernel_view[...] = p.ksum
+        elif p.has_l1_kernel:
+            if p.kcast is None:
+                p.kernel_view += p.kgrad
             else:
-                kcast = space.take("bwd.conv.kcast", (n, n, window), gdtype)
-                np.copyto(kcast, kgrad)
-                kernel_view += kcast
+                np.copyto(p.kcast, p.kgrad)
+                p.kernel_view += p.kcast
         else:
-            kernel_view[...] = kgrad
+            p.kernel_view[...] = p.kgrad
+
+
+class _StackedBackwardPlan:
+    """Every stacked-backward scratch handle, derived view and grad view.
+
+    The stacked gradient views are fixed at trainer construction (they view
+    the trainer's ``(K, P)`` matrix), so the per-step validation only needs
+    the scratch-space identity and the derived-dtype signature.
+    """
+
+    def __init__(self, space: ScratchSpace, stage: dict, engine,
+                 xb_shape, xb_dtype) -> None:
+        model = engine.models[0]
+        config = model.config
+        views = engine._grad_views
+        stacked = engine._stacked
+        m, batch, n, window = xb_shape
+        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
+        d_model = stage["embed_weight"].shape[-1]
+        d_ffn = stage["w1"].shape[-1]
+        bn = batch * n
+        dtype = engine.dtype
+        f64 = np.float64
+        cdtype = np.result_type(xb_dtype, stage["kernel_eff"].dtype)
+        adtype = np.result_type(xb_dtype, stage["embed_weight"].dtype)
+        sdtype = np.result_type(cdtype, stage["scale_array"].dtype)
+
+        self.space = space
+        self.signature = (np.dtype(adtype).str, np.dtype(cdtype).str,
+                          np.dtype(sdtype).str)
+        self.has_l1_kernel = config.lambda_kernel > 0
+        self.has_l1_mask = config.lambda_mask > 0
+        self.single_kernel = config.single_kernel
+
+        head_names = [f"attention.heads.{h}" for h in range(n_heads)]
+        self.kernel_view = views["convolution.kernel"]
+        self.kernel_src = stacked["convolution.kernel"]
+        self.mask_views = [views[f"{name}.mask"] for name in head_names]
+        self.mask_srcs = [stacked[f"{name}.mask"] for name in head_names]
+        self.w3_view = views["output_layer.weight"]
+        self.b3_view = views["output_layer.bias"]
+        self.w2_view = views["feed_forward.w2"]
+        self.b2_view = views["feed_forward.b2"]
+        self.w1_view = views["feed_forward.w1"]
+        self.b1_view = views["feed_forward.b1"]
+        self.wout_view = views["attention.w_output"]
+        self.ew_view = views["embedding.weight"]
+        self.eb_view = views["embedding.bias"]
+        self.head_views = []
+        for index, name in enumerate(head_names):
+            query = slice(index * d_qk, (index + 1) * d_qk)
+            key = slice((n_heads + index) * d_qk,
+                        (n_heads + index + 1) * d_qk)
+            self.head_views.append(
+                (views[f"{name}.w_query"], views[f"{name}.b_query"],
+                 views[f"{name}.w_key"], views[f"{name}.b_key"],
+                 query, key))
+
+        take = space.take
+        self.grad_pred = take("bwd.pred", (m, batch, n, window), f64)
+        self.grad2d = self.grad_pred.reshape(m, bn, window)
+        self.ffn = take("mlp.ffn", (m, bn, window), f64)
+        self.ffn_t = self.ffn.transpose(0, 2, 1)
+        self.hidden = take("mlp.hidden", (m, bn, d_ffn), f64)    # activated
+        self.hidden_t = self.hidden.transpose(0, 2, 1)
+        self.slope = take("mlp.slope", (m, bn, d_ffn), f64)
+        self.w3_tmp = take("bwd.w3", (m, window, window), f64)
+        self.b3_tmp = take("bwd.b3", (m, window), f64)
+        self.grad_ffn = take("bwd.ffn", (m, bn, window), f64)
+        self.w2_tmp = take("bwd.w2", (m, d_ffn, window), f64)
+        self.b2_tmp = take("bwd.b2", (m, window), f64)
+        self.grad_hidden = take("bwd.hidden", (m, bn, d_ffn), f64)
+        self.combined2d = take("comb.out", (m, bn * window, 1), f64) \
+            .reshape(m, bn, window)
+        self.combined2d_t = self.combined2d.transpose(0, 2, 1)
+        self.w1_tmp = take("bwd.w1", (m, window, d_ffn), f64)
+        self.b1_tmp = take("bwd.b1", (m, d_ffn), f64)
+        self.grad_combined = take("bwd.comb", (m, bn, window), f64)
+        self.grad_comb4d = self.grad_combined.reshape(m, batch, n, window)
+        self.gc5 = self.grad_comb4d[:, :, :, None, :]
+
+        self.a_bihj = take("comb.a", (m, batch, n, n_heads, n), f64)
+        self.v_bijt = take("comb.v", (m, batch, n, n, window), f64)
+        self.head_outputs = take("comb.ho", (m, batch, n, n_heads, window),
+                                 f64)
+        self.grad_heads = take("comb.bwd.heads",
+                               (m, batch, n, n_heads, window), f64)
+        self.grad_a = take("bwd.ga", (m, batch, n, n_heads, n), f64)
+        self.grad_probs = self.grad_a.transpose(0, 3, 1, 2, 4)
+        self.grad_v = take("bwd.gv", (m, batch, n, n, window), f64)
+        self.v_t = self.v_bijt.transpose(0, 1, 2, 4, 3)
+        self.a_t = self.a_bihj.transpose(0, 1, 2, 4, 3)
+        self.ho_flat = take("bwd.ho_flat", (m, n_heads, bn * window), f64)
+        self.ho_flat_r = self.ho_flat.reshape(m, n_heads, batch, n, window)
+        self.ho_src = self.head_outputs.transpose(0, 3, 1, 2, 4)
+        # One (n_heads, 1) slice per model so the per-row GEMV outputs are
+        # disjoint under model-axis threading (formerly one shared buffer).
+        self.wout_tmp = take("bwd.wout", (m, n_heads, 1), f64)
+
+        self.probs = take("att.probs", (m, n_heads, batch, n, n), f64)
+        self.raw = take("att.raw", (m, n_heads, batch, n, n), adtype)
+        self.qk = take("att.qk", (m, 2 * n_heads, batch, n, d_qk), adtype)
+        self.emb = take("att.emb", (m, bn, d_model), adtype)
+        self.emb_t = self.emb.transpose(0, 2, 1)
+        self.product = take("bwd.att.prod", (m, n_heads, batch, n, n), f64)
+        self.dot = take("bwd.att.dot", (m, n_heads, batch, n, 1), f64)
+        self.grad_masked = take("bwd.att.masked", (m, n_heads, batch, n, n),
+                                f64)
+        self.grad_raw = take("bwd.att.raw", (m, n_heads, batch, n, n), f64)
+        self.grad_raw_t = self.grad_raw.transpose(0, 1, 2, 4, 3)
+        self.grad_qk = take("bwd.att.qk", (m, 2 * n_heads, batch, n, d_qk),
+                            adtype)
+        self.gq = self.grad_qk[:, :n_heads]
+        self.gk = self.grad_qk[:, n_heads:]
+        self.query_half = self.qk[:, :n_heads]
+        self.key_half = self.qk[:, n_heads:]
+        self.grad_2d = take("bwd.att.2d", (m, bn, 2 * n_heads * d_qk),
+                            adtype)
+        self.grad_2d_r = self.grad_2d.reshape(m, batch, n, 2 * n_heads, d_qk)
+        self.grad_qk_src = self.grad_qk.transpose(0, 2, 3, 1, 4)
+        self.grad_emb = take("bwd.att.emb", (m, bn, d_model), adtype)
+        self.ew_tmp = take("bwd.ew", (m, window, d_model), adtype)
+        self.eb_tmp = take("bwd.eb", (m, d_model), adtype)
+        self.gw = take("bwd.att.gw", (m, d_model, 2 * n_heads * d_qk),
+                       adtype)
+        self.gb = take("bwd.att.gb", (m, 2 * n_heads * d_qk), adtype)
+        self.gmask = take("bwd.att.gmask", (m, n_heads, n, n), f64)
+        self.mask_cast = take("bwd.att.gmask_cast", (m, n, n), dtype)
+
+        self.windows_flat = take("conv.windows_flat",
+                                 (m, n, batch * window, window), xb_dtype)
+        self.shifted = take("bwd.conv.grad", (m, batch, n, n, window),
+                            cdtype)
+        self.grad_v_t = self.grad_v.transpose(0, 1, 3, 2, 4)
+        self.shift_buf = take("bwd.conv.shift", (m, batch, window), cdtype)
+        self.grad_scaled = take("bwd.conv.scaled",
+                                (m, batch, n, n, window), sdtype)
+        self.grad_scaled_t = self.grad_scaled.transpose(0, 2, 3, 1, 4)
+        self.flat_k = take("bwd.conv.flat_k", (m, n, n, batch * window),
+                           sdtype)
+        self.flat_k_r = self.flat_k.reshape(m, n, n, batch, window)
+        self.ksum = None
+        if self.single_kernel:
+            self.kgrad = take("bwd.conv.geff", (m, n, n, window), sdtype)
+            self.ksum = take("bwd.conv.ksum", (m, 1, 1, window), sdtype)
+        else:
+            self.kgrad = take("bwd.conv.kgrad", (m, n, n, window), sdtype)
 
 
 class StackedTrainingEngine(StackedInferenceEngine):
@@ -411,6 +719,7 @@ class StackedTrainingEngine(StackedInferenceEngine):
         super().__init__(models, arena)
         self._stacked = stacked
         self._grad_views = grad_views
+        self._backward_plans: Dict[tuple, _StackedBackwardPlan] = {}
 
     def _stage(self) -> dict:
         """Stage only the genuinely fused layouts; serve the rest as views.
@@ -511,200 +820,252 @@ class StackedTrainingEngine(StackedInferenceEngine):
         return _loss_penalty_terms(self.models[row], self.arena,
                                    prefix=f"m{row}.")
 
+    def _backward_plan(self, space: ScratchSpace, stage: dict,
+                       xb: np.ndarray) -> _StackedBackwardPlan:
+        """The cached handle plan for this workload, rebuilt when stale."""
+        cdtype = np.result_type(xb.dtype, stage["kernel_eff"].dtype)
+        adtype = np.result_type(xb.dtype, stage["embed_weight"].dtype)
+        sdtype = np.result_type(cdtype, stage["scale_array"].dtype)
+        signature = (adtype.str, cdtype.str, sdtype.str)
+        key = (xb.shape, xb.dtype.str)
+        plan = self._backward_plans.get(key)
+        if plan is None or plan.space is not space \
+                or plan.signature != signature:
+            plan = _StackedBackwardPlan(space, stage, self, xb.shape,
+                                        xb.dtype)
+            self._backward_plans[key] = plan
+        return plan
+
     # ------------------------------------------------------------------ #
     # Hand-derived backward (stacked transcription, arena-buffered)
     # ------------------------------------------------------------------ #
     def _backward(self, space: ScratchSpace, stage: dict, xb: np.ndarray,
                   diff: np.ndarray) -> None:
+        p = self._backward_plan(space, stage, xb)
         model = self.models[0]
         config = model.config
         m, batch, n, window = xb.shape
-        n_heads, d_qk = stage["n_heads"], stage["d_qk"]
-        d_model = stage["embed_weight"].shape[-1]
-        d_ffn = stage["w1"].shape[-1]
         bn = batch * n
-        dtype = self.dtype
         f64 = np.float64
         one = f64(1.0)
-        cdtype = np.result_type(xb.dtype, stage["kernel_eff"].dtype)
-        adtype = np.result_type(xb.dtype, stage["embed_weight"].dtype)
-        views = self._grad_views
-        head_names = [f"attention.heads.{h}" for h in range(n_heads)]
 
         # --- loss node: L1 signs + windowed-MSE seed --------------------- #
-        has_l1_kernel = config.lambda_kernel > 0
-        has_l1_mask = config.lambda_mask > 0
-        kernel_view = views["convolution.kernel"]
-        if has_l1_kernel:
-            _scaled_sign(kernel_view, self._stacked["convolution.kernel"],
+        if p.has_l1_kernel:
+            _scaled_sign(p.kernel_view, p.kernel_src,
                          config.lambda_kernel * one)
-        if has_l1_mask:
-            for name in head_names:
-                _scaled_sign(views[f"{name}.mask"],
-                             self._stacked[f"{name}.mask"],
-                             config.lambda_mask * one)
+        if p.has_l1_mask:
+            for view, source in zip(p.mask_views, p.mask_srcs):
+                _scaled_sign(view, source, config.lambda_mask * one)
         # Slot 0 is never written; the allocation zero-fill persists there.
-        grad_pred = space.take("bwd.pred", (m, batch, n, window), f64)
-        np.multiply(diff, 2.0 / diff[0].size, out=grad_pred[..., 1:])
+        np.multiply(diff, 2.0 / diff[0].size, out=p.grad_pred[..., 1:])
 
-        # --- mlp_chain backward ----------------------------------------- #
-        ffn = space.take("mlp.ffn", (m, bn, window), f64)
-        hidden = space.take("mlp.hidden", (m, bn, d_ffn), f64)   # activated
-        slope = space.take("mlp.slope", (m, bn, d_ffn), f64)
-        grad2d = grad_pred.reshape(m, bn, window)
-        w3_tmp = space.take("bwd.w3", (m, window, window), f64)
-        np.matmul(ffn.transpose(0, 2, 1), grad2d, out=w3_tmp)
-        views["output_layer.weight"][...] = w3_tmp
-        b3_tmp = space.take("bwd.b3", (m, window), f64)
-        grad2d.sum(axis=1, out=b3_tmp)
-        views["output_layer.bias"][...] = b3_tmp
-        grad_ffn = space.take("bwd.ffn", (m, bn, window), f64)
-        np.matmul(grad2d, stage["w3"].transpose(0, 2, 1), out=grad_ffn)
-        w2_tmp = space.take("bwd.w2", (m, d_ffn, window), f64)
-        np.matmul(hidden.transpose(0, 2, 1), grad_ffn, out=w2_tmp)
-        views["feed_forward.w2"][...] = w2_tmp
-        b2_tmp = space.take("bwd.b2", (m, window), f64)
-        grad_ffn.sum(axis=1, out=b2_tmp)
-        views["feed_forward.b2"][...] = b2_tmp
-        grad_hidden = space.take("bwd.hidden", (m, bn, d_ffn), f64)
-        np.matmul(grad_ffn, stage["w2"].transpose(0, 2, 1), out=grad_hidden)
-        grad_hidden *= slope
-        combined2d = space.take("comb.out", (m, bn * window, 1), f64) \
-            .reshape(m, bn, window)
-        w1_tmp = space.take("bwd.w1", (m, window, d_ffn), f64)
-        np.matmul(combined2d.transpose(0, 2, 1), grad_hidden, out=w1_tmp)
-        views["feed_forward.w1"][...] = w1_tmp
-        b1_tmp = space.take("bwd.b1", (m, d_ffn), f64)
-        grad_hidden.sum(axis=1, out=b1_tmp)
-        views["feed_forward.b1"][...] = b1_tmp
-        grad_combined = space.take("bwd.comb", (m, bn, window), f64)
-        np.matmul(grad_hidden, stage["w1"].transpose(0, 2, 1),
-                  out=grad_combined)
-        grad_comb4d = grad_combined.reshape(m, batch, n, window)
+        # --- mlp_chain backward (threaded over the model axis: each row
+        # is an independent 2-D GEMM / reduction, unchanged per model) --- #
+        w3_t = stage["w3"].transpose(0, 2, 1)
+        w2_t = stage["w2"].transpose(0, 2, 1)
+        w1_t = stage["w1"].transpose(0, 2, 1)
 
-        # --- attention_combine backward --------------------------------- #
-        a_bihj = space.take("comb.a", (m, batch, n, n_heads, n), f64)
-        v_bijt = space.take("comb.v", (m, batch, n, n, window), f64)
-        head_outputs = space.take("comb.ho", (m, batch, n, n_heads, window),
-                                  f64)
-        grad_heads = space.take("comb.bwd.heads",
-                                (m, batch, n, n_heads, window), f64)
-        np.multiply(grad_comb4d[:, :, :, None, :],
-                    stage["w_output"][:, None, None, :, None],
-                    out=grad_heads)
-        grad_a = space.take("bwd.ga", (m, batch, n, n_heads, n), f64)
-        np.matmul(grad_heads, v_bijt.transpose(0, 1, 2, 4, 3), out=grad_a)
-        grad_probs = grad_a.transpose(0, 3, 1, 2, 4)        # (K, h, B, i, j)
-        grad_v = space.take("bwd.gv", (m, batch, n, n, window), f64)
-        np.matmul(a_bihj.transpose(0, 1, 2, 4, 3), grad_heads, out=grad_v)
+        def mlp_body(lo, hi):
+            np.matmul(p.ffn_t[lo:hi], p.grad2d[lo:hi], out=p.w3_tmp[lo:hi])
+            p.w3_view[lo:hi] = p.w3_tmp[lo:hi]
+            p.grad2d[lo:hi].sum(axis=1, out=p.b3_tmp[lo:hi])
+            p.b3_view[lo:hi] = p.b3_tmp[lo:hi]
+            np.matmul(p.grad2d[lo:hi], w3_t[lo:hi], out=p.grad_ffn[lo:hi])
+            np.matmul(p.hidden_t[lo:hi], p.grad_ffn[lo:hi],
+                      out=p.w2_tmp[lo:hi])
+            p.w2_view[lo:hi] = p.w2_tmp[lo:hi]
+            p.grad_ffn[lo:hi].sum(axis=1, out=p.b2_tmp[lo:hi])
+            p.b2_view[lo:hi] = p.b2_tmp[lo:hi]
+            np.matmul(p.grad_ffn[lo:hi], w2_t[lo:hi],
+                      out=p.grad_hidden[lo:hi])
+            p.grad_hidden[lo:hi] *= p.slope[lo:hi]
+            np.matmul(p.combined2d_t[lo:hi], p.grad_hidden[lo:hi],
+                      out=p.w1_tmp[lo:hi])
+            p.w1_view[lo:hi] = p.w1_tmp[lo:hi]
+            p.grad_hidden[lo:hi].sum(axis=1, out=p.b1_tmp[lo:hi])
+            p.b1_view[lo:hi] = p.b1_tmp[lo:hi]
+            np.matmul(p.grad_hidden[lo:hi], w1_t[lo:hi],
+                      out=p.grad_combined[lo:hi])
+
+        parallel_for(mlp_body, m,
+                     outputs=((p.w3_tmp, 0), (p.b3_tmp, 0), (p.grad_ffn, 0),
+                              (p.w2_tmp, 0), (p.b2_tmp, 0),
+                              (p.grad_hidden, 0), (p.w1_tmp, 0),
+                              (p.b1_tmp, 0), (p.grad_combined, 0),
+                              (p.w3_view, 0), (p.b3_view, 0),
+                              (p.w2_view, 0), (p.b2_view, 0),
+                              (p.w1_view, 0), (p.b1_view, 0)))
+
+        # --- attention_combine backward (model or batch axis) ------------ #
+        axis = 0 if self._model_axis_first(m, batch) else 1
+        w_out5 = stage["w_output"][:, None, None, :, None]
+
+        def combine_body(lo, hi):
+            w_out = w_out5[lo:hi] if axis == 0 else w_out5
+            np.multiply(slice_axis(p.gc5, axis, lo, hi), w_out,
+                        out=slice_axis(p.grad_heads, axis, lo, hi))
+            np.matmul(slice_axis(p.grad_heads, axis, lo, hi),
+                      slice_axis(p.v_t, axis, lo, hi),
+                      out=slice_axis(p.grad_a, axis, lo, hi))
+            np.matmul(slice_axis(p.a_t, axis, lo, hi),
+                      slice_axis(p.grad_heads, axis, lo, hi),
+                      out=slice_axis(p.grad_v, axis, lo, hi))
+
+        parallel_for(combine_body, p.grad_heads.shape[axis],
+                     outputs=((p.grad_heads, axis), (p.grad_a, axis),
+                              (p.grad_v, axis)))
         # Per-model np.tensordot(head_outputs, grad_combined, ([0,1,3],
         # [0,1,2])) unrolled to its transpose-copy + dot, one row at a time.
-        ho_flat = space.take("bwd.ho_flat", (m, n_heads, bn * window), f64)
-        np.copyto(ho_flat.reshape(m, n_heads, batch, n, window),
-                  head_outputs.transpose(0, 3, 1, 2, 4))
-        wout_tmp = space.take("bwd.wout", (n_heads, 1), f64)
-        w_output_view = views["attention.w_output"]
-        for row in range(m):
-            np.dot(ho_flat[row],
-                   grad_combined[row].reshape(bn * window, 1), out=wout_tmp)
-            w_output_view[row] = wout_tmp[:, 0]
+        ho_axis = 0 if self._model_axis_first(m, batch) else 2
 
-        # --- causal_attention_probs backward ----------------------------- #
-        probs = space.take("att.probs", (m, n_heads, batch, n, n), f64)
-        raw = space.take("att.raw", (m, n_heads, batch, n, n), adtype)
-        qk = space.take("att.qk", (m, 2 * n_heads, batch, n, d_qk), adtype)
-        emb = space.take("att.emb", (m, bn, d_model), adtype)
-        product = space.take("bwd.att.prod", (m, n_heads, batch, n, n), f64)
-        np.multiply(grad_probs, probs, out=product)
-        dot = space.take("bwd.att.dot", (m, n_heads, batch, n, 1), f64)
-        sum_last_keepdims(product, out=dot)
-        grad_masked = space.take("bwd.att.masked", (m, n_heads, batch, n, n),
-                                 f64)
-        np.subtract(grad_probs, dot, out=grad_masked)
-        np.multiply(probs, grad_masked, out=grad_masked)
-        grad_raw = space.take("bwd.att.raw", (m, n_heads, batch, n, n), f64)
-        np.multiply(grad_masked, stage["modulation"], out=grad_raw)
-        grad_qk = space.take("bwd.att.qk", (m, 2 * n_heads, batch, n, d_qk),
-                             adtype)
-        np.matmul(grad_raw, qk[:, n_heads:], out=grad_qk[:, :n_heads])
-        np.matmul(grad_raw.transpose(0, 1, 2, 4, 3), qk[:, :n_heads],
-                  out=grad_qk[:, n_heads:])
-        grad_2d = space.take("bwd.att.2d", (m, bn, 2 * n_heads * d_qk),
-                             adtype)
-        np.copyto(grad_2d.reshape(m, batch, n, 2 * n_heads, d_qk),
-                  grad_qk.transpose(0, 2, 3, 1, 4))
-        gw = space.take("bwd.att.gw", (m, d_model, 2 * n_heads * d_qk),
-                        adtype)
-        np.matmul(emb.transpose(0, 2, 1), grad_2d, out=gw)
-        gb = space.take("bwd.att.gb", (m, 2 * n_heads * d_qk), adtype)
-        grad_2d.sum(axis=1, out=gb)
-        for index, name in enumerate(head_names):
-            query = slice(index * d_qk, (index + 1) * d_qk)
-            key = slice((n_heads + index) * d_qk,
-                        (n_heads + index + 1) * d_qk)
-            views[f"{name}.w_query"][...] = gw[:, :, query]
-            views[f"{name}.b_query"][...] = gb[:, query]
-            views[f"{name}.w_key"][...] = gw[:, :, key]
-            views[f"{name}.b_key"][...] = gb[:, key]
-        grad_emb = space.take("bwd.att.emb", (m, bn, d_model), adtype)
-        np.matmul(grad_2d, stage["weight_flat"].transpose(0, 2, 1),
-                  out=grad_emb)
+        def ho_body(lo, hi):
+            np.copyto(slice_axis(p.ho_flat_r, ho_axis, lo, hi),
+                      slice_axis(p.ho_src, ho_axis, lo, hi))
+
+        parallel_for(ho_body, p.ho_flat_r.shape[ho_axis],
+                     outputs=((p.ho_flat_r, ho_axis),))
+
+        def wout_body(lo, hi):
+            for row in range(lo, hi):
+                np.dot(p.ho_flat[row],
+                       p.grad_combined[row].reshape(bn * window, 1),
+                       out=p.wout_tmp[row])
+                p.wout_view[row] = p.wout_tmp[row, :, 0]
+
+        parallel_for(wout_body, m,
+                     outputs=((p.wout_tmp, 0), (p.wout_view, 0)))
+
+        # --- causal_attention_probs backward (model or batch axis; the
+        # modulation broadcast axis is only sliced on the model axis) ---- #
+        att_axis = 0 if self._model_axis_first(m, batch) else 2
+        modulation = stage["modulation"]
+
+        def attention_body(lo, hi):
+            grad_probs = slice_axis(p.grad_probs, att_axis, lo, hi)
+            probs = slice_axis(p.probs, att_axis, lo, hi)
+            product = slice_axis(p.product, att_axis, lo, hi)
+            dot = slice_axis(p.dot, att_axis, lo, hi)
+            grad_masked = slice_axis(p.grad_masked, att_axis, lo, hi)
+            np.multiply(grad_probs, probs, out=product)
+            sum_last_keepdims(product, out=dot)
+            np.subtract(grad_probs, dot, out=grad_masked)
+            np.multiply(probs, grad_masked, out=grad_masked)
+            mod = modulation[lo:hi] if att_axis == 0 else modulation
+            np.multiply(grad_masked, mod,
+                        out=slice_axis(p.grad_raw, att_axis, lo, hi))
+            np.matmul(slice_axis(p.grad_raw, att_axis, lo, hi),
+                      slice_axis(p.key_half, att_axis, lo, hi),
+                      out=slice_axis(p.gq, att_axis, lo, hi))
+            np.matmul(slice_axis(p.grad_raw_t, att_axis, lo, hi),
+                      slice_axis(p.query_half, att_axis, lo, hi),
+                      out=slice_axis(p.gk, att_axis, lo, hi))
+
+        parallel_for(attention_body, p.probs.shape[att_axis],
+                     outputs=((p.product, att_axis), (p.dot, att_axis),
+                              (p.grad_masked, att_axis),
+                              (p.grad_raw, att_axis),
+                              (p.gq, att_axis), (p.gk, att_axis)))
+        g2d_axis = 0 if self._model_axis_first(m, batch) else 1
+
+        def grad2d_body(lo, hi):
+            np.copyto(slice_axis(p.grad_2d_r, g2d_axis, lo, hi),
+                      slice_axis(p.grad_qk_src, g2d_axis, lo, hi))
+
+        parallel_for(grad2d_body, p.grad_2d_r.shape[g2d_axis],
+                     outputs=((p.grad_2d_r, g2d_axis),))
+        # Weight gradients: per-model GEMMs + in-model reductions, threaded
+        # over the model axis only (each row's reduction stays whole).
+        weight_flat_t = stage["weight_flat"].transpose(0, 2, 1)
         x2d = xb.reshape(m, bn, window)
-        ew_tmp = space.take("bwd.ew", (m, window, d_model), adtype)
-        np.matmul(x2d.transpose(0, 2, 1), grad_emb, out=ew_tmp)
-        views["embedding.weight"][...] = ew_tmp
-        eb_tmp = space.take("bwd.eb", (m, d_model), adtype)
-        grad_emb.sum(axis=1, out=eb_tmp)
-        views["embedding.bias"][...] = eb_tmp
+        x2d_t = x2d.transpose(0, 2, 1)
+
+        def weights_body(lo, hi):
+            np.matmul(p.emb_t[lo:hi], p.grad_2d[lo:hi], out=p.gw[lo:hi])
+            p.grad_2d[lo:hi].sum(axis=1, out=p.gb[lo:hi])
+            for wq_view, bq_view, wk_view, bk_view, query, key \
+                    in p.head_views:
+                wq_view[lo:hi] = p.gw[lo:hi, :, query]
+                bq_view[lo:hi] = p.gb[lo:hi, query]
+                wk_view[lo:hi] = p.gw[lo:hi, :, key]
+                bk_view[lo:hi] = p.gb[lo:hi, key]
+            np.matmul(p.grad_2d[lo:hi], weight_flat_t[lo:hi],
+                      out=p.grad_emb[lo:hi])
+            np.matmul(x2d_t[lo:hi], p.grad_emb[lo:hi], out=p.ew_tmp[lo:hi])
+            p.ew_view[lo:hi] = p.ew_tmp[lo:hi]
+            p.grad_emb[lo:hi].sum(axis=1, out=p.eb_tmp[lo:hi])
+            p.eb_view[lo:hi] = p.eb_tmp[lo:hi]
+
+        parallel_for(weights_body, m,
+                     outputs=((p.gw, 0), (p.gb, 0), (p.grad_emb, 0),
+                              (p.ew_tmp, 0), (p.eb_tmp, 0),
+                              (p.ew_view, 0), (p.eb_view, 0))
+                     + tuple((view, 0) for head in p.head_views
+                             for view in head[:4]))
         # Masks: second accumulation on top of the L1 signs, cast first.
-        np.multiply(grad_masked, raw, out=product)
-        gmask = space.take("bwd.att.gmask", (m, n_heads, n, n), f64)
-        product.sum(axis=2, out=gmask)
+        # Threaded over the model axis — the cross-batch sum reduces an
+        # in-chunk axis, so each model row's reduction is unchanged.
         attention = model.attention
-        gmask *= 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
-        mask_cast = space.take("bwd.att.gmask_cast", (m, n, n), dtype)
-        for index, name in enumerate(head_names):
-            mask_view = views[f"{name}.mask"]
-            if has_l1_mask:
-                np.copyto(mask_cast, gmask[:, index])
-                mask_view += mask_cast
-            else:
-                mask_view[...] = gmask[:, index]
+        mask_scale = 1.0 / (attention.temperature * np.sqrt(attention.d_qk))
+
+        def mask_body(lo, hi):
+            np.multiply(p.grad_masked[lo:hi], p.raw[lo:hi],
+                        out=p.product[lo:hi])
+            p.product[lo:hi].sum(axis=2, out=p.gmask[lo:hi])
+            p.gmask[lo:hi] *= mask_scale
+            for index, mask_view in enumerate(p.mask_views):
+                if p.has_l1_mask:
+                    np.copyto(p.mask_cast[lo:hi], p.gmask[lo:hi, index])
+                    mask_view[lo:hi] += p.mask_cast[lo:hi]
+                else:
+                    mask_view[lo:hi] = p.gmask[lo:hi, index]
+
+        parallel_for(mask_body, m,
+                     outputs=((p.product, 0), (p.gmask, 0),
+                              (p.mask_cast, 0))
+                     + tuple((view, 0) for view in p.mask_views))
 
         # --- causal_conv backward ---------------------------------------- #
-        windows_flat = space.take("conv.windows_flat",
-                                  (m, n, batch * window, window), xb.dtype)
-        shifted = space.take("bwd.conv.grad", (m, batch, n, n, window),
-                             cdtype)
-        np.copyto(shifted, grad_v.transpose(0, 1, 3, 2, 4))
-        shift_buf = space.take("bwd.conv.shift", (m, batch, window), cdtype)
+        conv_axis = 0 if self._model_axis_first(m, batch) else 1
+
+        def shifted_body(lo, hi):
+            np.copyto(slice_axis(p.shifted, conv_axis, lo, hi),
+                      slice_axis(p.grad_v_t, conv_axis, lo, hi))
+
+        parallel_for(shifted_body, p.shifted.shape[conv_axis],
+                     outputs=((p.shifted, conv_axis),))
         for index in range(n):
-            np.copyto(shift_buf, shifted[:, :, index, index, :])
-            shifted[:, :, index, index, :-1] = shift_buf[..., 1:]
-            shifted[:, :, index, index, -1] = 0.0
-        sdtype = np.result_type(cdtype, stage["scale_array"].dtype)
-        grad_scaled = space.take("bwd.conv.scaled",
-                                 (m, batch, n, n, window), sdtype)
-        np.multiply(shifted, stage["scale_array"], out=grad_scaled)
-        flat_k = space.take("bwd.conv.flat_k", (m, n, n, batch * window),
-                            sdtype)
-        np.copyto(flat_k.reshape(m, n, n, batch, window),
-                  grad_scaled.transpose(0, 2, 3, 1, 4))
-        if config.single_kernel:
+            np.copyto(p.shift_buf, p.shifted[:, :, index, index, :])
+            p.shifted[:, :, index, index, :-1] = p.shift_buf[..., 1:]
+            p.shifted[:, :, index, index, -1] = 0.0
+        scale_array = stage["scale_array"]
+
+        def scaled_body(lo, hi):
+            np.multiply(slice_axis(p.shifted, conv_axis, lo, hi),
+                        scale_array,
+                        out=slice_axis(p.grad_scaled, conv_axis, lo, hi))
+
+        parallel_for(scaled_body, p.grad_scaled.shape[conv_axis],
+                     outputs=((p.grad_scaled, conv_axis),))
+        k_axis = 0 if self._model_axis_first(m, n) else 1
+
+        def kernel_body(lo, hi):
+            np.copyto(slice_axis(p.flat_k_r, k_axis, lo, hi),
+                      slice_axis(p.grad_scaled_t, k_axis, lo, hi))
+            np.matmul(slice_axis(p.flat_k, k_axis, lo, hi),
+                      slice_axis(p.windows_flat, k_axis, lo, hi),
+                      out=slice_axis(p.kgrad, k_axis, lo, hi))
+
+        parallel_for(kernel_body, p.flat_k.shape[k_axis],
+                     outputs=((p.flat_k_r, k_axis), (p.kgrad, k_axis)))
+        if p.single_kernel:
             # Broadcast-multiply backward: gradient × constant ones (exact
             # ×1.0, elided), then the unbroadcast sum down to (K, 1, 1, T).
-            grad_eff = space.take("bwd.conv.geff", (m, n, n, window), sdtype)
-            np.matmul(flat_k, windows_flat, out=grad_eff)
-            ksum = space.take("bwd.conv.ksum", (m, 1, 1, window), sdtype)
-            grad_eff.sum(axis=(1, 2), keepdims=True, out=ksum)
-            if has_l1_kernel:
-                kernel_view += ksum
+            p.kgrad.sum(axis=(1, 2), keepdims=True, out=p.ksum)
+            if p.has_l1_kernel:
+                p.kernel_view += p.ksum
             else:
-                kernel_view[...] = ksum
+                p.kernel_view[...] = p.ksum
+        elif p.has_l1_kernel:
+            p.kernel_view += p.kgrad
         else:
-            kgrad = space.take("bwd.conv.kgrad", (m, n, n, window), sdtype)
-            np.matmul(flat_k, windows_flat, out=kgrad)
-            if has_l1_kernel:
-                kernel_view += kgrad
-            else:
-                kernel_view[...] = kgrad
+            p.kernel_view[...] = p.kgrad

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 import traceback
 from collections import OrderedDict
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.data.base import TimeSeriesDataset
 from repro.service.jobs import DiscoveryJob, JobResult, canonical_json
@@ -181,18 +181,26 @@ def execute_batched_jobs(pairs: Sequence[JobPair]) -> List[JobResult]:
 
 
 def execute_batched_jobs_with_dtype(pairs: Sequence[JobPair], dtype: str,
-                                    collect_telemetry: bool = False
+                                    collect_telemetry: bool = False,
+                                    engine_threads: Optional[int] = None
                                     ) -> List[JobResult]:
     """Pool worker entry point: adopt the submitter's engine dtype, then run.
+
+    ``engine_threads`` re-applies the submitter's engine thread count inside
+    the worker (fresh processes start with an empty engine pool), so stacked
+    groups thread their training pass exactly like an in-process run would.
 
     With ``collect_telemetry``, the whole group runs under an in-worker
     buffering runtime whose export ships back on the group's *first* result
     (the group shares one training pass, so its telemetry is one payload).
     """
+    from repro.nn.parallel import set_engine_threads
     from repro.nn.tensor import set_default_dtype
     from repro.telemetry import capture
 
     set_default_dtype(dtype)
+    if engine_threads is not None:
+        set_engine_threads(engine_threads)
     if not collect_telemetry:
         return execute_batched_jobs(pairs)
     with capture() as telemetry:

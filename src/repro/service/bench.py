@@ -64,7 +64,8 @@ REGRESSION_KEY = "train_epoch"
 #: regenerated whenever this set grows
 REGRESSION_KEYS = ("train_epoch", "train_step", "evaluate",
                    "detector_interpret", "evaluate_stacked",
-                   "telemetry_overhead")
+                   "telemetry_overhead", "train_epoch_threaded",
+                   "evaluate_stacked_threaded")
 
 
 def _numbered_reports(root: Optional[str] = None) -> List[Tuple[int, str]]:
@@ -393,6 +394,46 @@ def _payload_interpret_batched() -> Callable[[], None]:
     return run
 
 
+def _payload_train_epoch_threaded() -> Callable[[], None]:
+    """The ``train_epoch`` payload under four engine threads.
+
+    Identical work to ``train_epoch`` (same fixture, same rng, bit-identical
+    losses) with the fused engines chunking their batch-axis ops across the
+    shared thread pool.  On multi-core hosts the ``train_epoch`` /
+    ``train_epoch_threaded`` ratio is the intra-engine parallel speedup; on
+    a single hardware thread it measures the pool's dispatch overhead
+    instead (the regression gate budgets for that).
+    """
+    from repro.nn.parallel import engine_threads
+
+    trainer, windows = _epoch_fixture()
+
+    def run() -> None:
+        with engine_threads(4):
+            trainer._run_epoch(windows, np.random.default_rng(4))
+
+    return run
+
+
+def _payload_evaluate_stacked_threaded() -> Callable[[], None]:
+    """The ``evaluate_stacked`` payload under four engine threads.
+
+    Four stacked models at four threads chunk across the model axis — one
+    model per thread — the sweep-shaped best case for the parallel layer.
+    """
+    from repro.nn.inference import StackedInferenceEngine
+    from repro.nn.parallel import engine_threads
+
+    models, window_sets, config = _stacked_models()
+    engine = StackedInferenceEngine(models)
+
+    def run() -> None:
+        with engine_threads(4):
+            engine.evaluate(window_sets, config.batch_size)
+
+    return run
+
+
 #: name -> (builder, full-mode repeats, smoke-mode repeats)
 PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "tensor_ops": (_payload_tensor_ops, 20, 5),
@@ -407,6 +448,8 @@ PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "sweep_batched": (_payload_sweep_batched, 5, 1),
     "evaluate_stacked": (_payload_evaluate_stacked, 20, 5),
     "interpret_batched": (_payload_interpret_batched, 9, 3),
+    "train_epoch_threaded": (_payload_train_epoch_threaded, 9, 3),
+    "evaluate_stacked_threaded": (_payload_evaluate_stacked_threaded, 20, 5),
 }
 
 

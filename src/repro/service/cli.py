@@ -311,7 +311,16 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="slots of slack when scoring causal delays")
     parser.add_argument("--json", action="store_true",
                         help="print machine-readable JSON instead of text")
+    _add_engine_threads_flag(parser)
     _add_telemetry_flags(parser)
+
+
+def _add_engine_threads_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine-threads", type=int, default=None,
+                        metavar="N",
+                        help="threads per fused engine (default: "
+                             "REPRO_ENGINE_THREADS or 1 = serial; results "
+                             "are bit-identical at any thread count)")
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -404,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail when the telemetry-off train_epoch overhead "
                             "(train_epoch/telemetry_overhead - 1, same run) "
                             "exceeds this fraction (e.g. 0.02)")
+    _add_engine_threads_flag(bench)
     _add_telemetry_flags(bench)
     bench.set_defaults(handler=_cmd_bench)
 
@@ -418,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    engine_threads = getattr(args, "engine_threads", None)
+    if engine_threads is not None:
+        from repro.nn.parallel import set_engine_threads
+
+        try:
+            set_engine_threads(engine_threads)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
     spec = getattr(args, "telemetry", None)
     profile = getattr(args, "profile_engines", False)
     if not spec and not profile:

@@ -41,21 +41,29 @@ CacheLike = Union[None, str, ResultCache]
 
 def execute_job_with_dtype(job: DiscoveryJob, dataset: TimeSeriesDataset,
                            dtype: str,
-                           collect_telemetry: bool = False) -> JobResult:
+                           collect_telemetry: bool = False,
+                           engine_threads: Optional[int] = None) -> JobResult:
     """Worker entry point: adopt the submitter's engine dtype, then run.
 
     The engine's default dtype is thread-local state, so a fresh pool worker
     would otherwise silently fall back to float32 even when the submitting
     process opted into float64 (``set_default_dtype``/``default_dtype``).
+    ``engine_threads`` likewise re-applies the submitter's engine thread
+    count (:func:`repro.nn.parallel.set_engine_threads`) — worker processes
+    start with a fresh (empty) engine pool, so the setting must travel with
+    the job rather than rely on inherited module state.
 
     With ``collect_telemetry`` (requested when the submitting process has
     telemetry configured), the job runs under an in-worker buffering
     runtime and the collected spans/events/metrics ship back attached to
     the result, for the parent executor to absorb.
     """
+    from repro.nn.parallel import set_engine_threads
     from repro.nn.tensor import set_default_dtype
 
     set_default_dtype(dtype)
+    if engine_threads is not None:
+        set_engine_threads(engine_threads)
     if not collect_telemetry:
         return execute_job(job, dataset)
     with capture() as telemetry:
@@ -199,22 +207,24 @@ class JobExecutor:
                         groups=len(groups), singles=len(singles),
                         pool=use_pool, workers=self.max_workers)
         if use_pool:
+            from repro.nn.parallel import get_engine_threads
             from repro.nn.tensor import get_default_dtype
 
             dtype = str(get_default_dtype())
             collect = telemetry.enabled
+            engine_threads = get_engine_threads()
             try:
                 with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                     group_futures = [
                         (members,
                          pool.submit(execute_batched_jobs_with_dtype,
                                      [pair for _idx, pair in members], dtype,
-                                     collect))
+                                     collect, engine_threads))
                         for members in groups]
                     single_futures = [
                         (index, job,
                          pool.submit(execute_job_with_dtype, job, dataset,
-                                     dtype, collect))
+                                     dtype, collect, engine_threads))
                         for index, (job, dataset) in singles]
                     for members, future in group_futures:
                         try:

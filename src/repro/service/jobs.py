@@ -114,7 +114,13 @@ class DiscoveryJob:
         return canonical_json(self.to_dict())
 
     def cache_key(self) -> str:
-        """SHA-256 of the canonical spec — the result-cache key."""
+        """SHA-256 of the canonical spec — the result-cache key.
+
+        Execution-environment knobs (worker count, engine dtype adoption,
+        engine thread count) are deliberately *not* part of the key: the
+        engines are bit-identical across all of them, so a result computed
+        serially answers a threaded run and vice versa.
+        """
         return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
 
     @property

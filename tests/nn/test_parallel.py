@@ -1,0 +1,451 @@
+"""Threaded engine execution must be bit-identical to the serial path.
+
+The parallel layer (:mod:`repro.nn.parallel`) chunks engine ops along
+batch/model axes whose slices numpy already computes independently, so a
+threaded run is the *same* arithmetic in the same order — every comparison
+in this module is ``array_equal`` / ``==``, never ``allclose``.  The suite
+covers the pool mechanics (chunking, error propagation, laziness,
+concurrent submitters), the debug aliasing audit, forward/backward/stacked
+/interpretation bit-identity across the Table 3 ablation grid in both
+dtypes, and the propagation seams (pool workers, CLI flag).
+"""
+
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.batched import StackedCausalFormerTrainer
+from repro.core.config import CausalFormerConfig
+from repro.core.detector import (DecompositionCausalityDetector,
+                                 compute_scores_group)
+from repro.core.training import Trainer
+from repro.core.transformer import CausalityAwareTransformer
+from repro.nn import parallel
+from repro.nn.inference import InferenceEngine
+from repro.nn.optim import Adam
+from repro.nn.parallel import (EngineThreadPool, engine_threads,
+                               get_engine_threads, parallel_for,
+                               set_engine_threads, set_parallel_debug,
+                               slice_axis)
+from repro.nn.tensor import default_dtype
+from repro.nn.training_engine import TrainingEngine
+
+
+def make_config(**overrides):
+    base = dict(n_series=4, window=10, d_model=14, d_qk=14, d_ffn=14,
+                n_heads=3, seed=0, max_epochs=3, batch_size=8,
+                window_stride=2, patience=3)
+    base.update(overrides)
+    return CausalFormerConfig(**base)
+
+
+#: the training-relevant Table 3 ablation grid (see test_training_engine)
+ABLATION_GRID = [
+    {},
+    {"single_kernel": True},
+    {"lambda_kernel": 0.0},
+    {"lambda_mask": 0.0},
+    {"lambda_kernel": 0.0, "lambda_mask": 0.0},
+    {"n_heads": 1},
+    {"single_kernel": True, "n_heads": 1},
+    {"temperature": 2.5},
+]
+
+
+def training_series(seed, n_series=4, length=120):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n_series, length)).cumsum(axis=1)
+    values -= values.mean(axis=1, keepdims=True)
+    values /= values.std(axis=1, keepdims=True) + 1e-9
+    return values
+
+
+@pytest.fixture(autouse=True)
+def _serial_default():
+    """Every test starts serial and restores the process-wide setting."""
+    previous = get_engine_threads()
+    set_engine_threads(1)
+    yield
+    set_engine_threads(previous)
+
+
+@pytest.fixture
+def debug_audit():
+    """Run the body with the chunk-aliasing audit enabled."""
+    set_parallel_debug(True)
+    yield
+    set_parallel_debug(False)
+
+
+# ---------------------------------------------------------------------- #
+# Pool mechanics
+# ---------------------------------------------------------------------- #
+class TestChunking:
+    def test_chunk_bounds_cover_range_exactly(self):
+        for n_items in (1, 2, 3, 7, 16, 100):
+            for n_chunks in (1, 2, 3, 5, 32):
+                bounds = parallel._chunk_bounds(n_items, n_chunks)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n_items
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+                assert len(bounds) == min(n_chunks, n_items)
+                sizes = [hi - lo for lo, hi in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_slice_axis_views(self):
+        array = np.arange(24.0).reshape(2, 3, 4)
+        assert np.shares_memory(slice_axis(array, 0, 0, 1), array)
+        assert np.array_equal(slice_axis(array, 1, 1, 3), array[:, 1:3])
+        assert np.array_equal(slice_axis(array, 2, 0, 2), array[:, :, :2])
+
+    def test_serial_path_is_one_full_range_call(self):
+        calls = []
+        parallel_for(lambda lo, hi: calls.append((lo, hi)), 7)
+        assert calls == [(0, 7)]
+
+    def test_single_item_stays_serial_even_when_threaded(self):
+        calls = []
+        with engine_threads(4):
+            parallel_for(lambda lo, hi: calls.append((lo, hi)), 1)
+        assert calls == [(0, 1)]
+
+    def test_threaded_covers_every_index_once(self):
+        hits = np.zeros(23, dtype=np.int64)
+
+        def body(lo, hi):
+            hits[lo:hi] += 1
+
+        with engine_threads(4):
+            parallel_for(body, 23, outputs=[(hits, 0)])
+        assert (hits == 1).all()
+
+
+class TestPool:
+    def test_workers_start_lazily(self):
+        pool = EngineThreadPool()
+        assert pool.worker_count == 0
+        pool.run(lambda lo, hi: None, [(0, 1)])
+        assert pool.worker_count == 0          # single chunk runs inline
+        pool.run(lambda lo, hi: None, [(0, 1), (1, 2), (2, 3)])
+        assert pool.worker_count == 2          # caller takes chunk 0
+
+    def test_exceptions_propagate_to_the_caller(self):
+        def body(lo, hi):
+            if lo > 0:
+                raise ValueError("chunk failed")
+
+        with engine_threads(3):
+            with pytest.raises(ValueError, match="chunk failed"):
+                parallel_for(body, 9)
+        # the pool survives a failed round
+        hits = np.zeros(9, dtype=np.int64)
+        with engine_threads(3):
+            parallel_for(lambda lo, hi: hits.__setitem__(slice(lo, hi), 1), 9)
+        assert (hits == 1).all()
+
+    def test_concurrent_submitters_share_one_pool(self):
+        pool = EngineThreadPool()
+        results = np.zeros((8, 40), dtype=np.int64)
+        errors = []
+
+        def submitter(row):
+            try:
+                for _ in range(25):
+                    def body(lo, hi, row=row):
+                        results[row, lo:hi] += 1
+                    pool.run(body, parallel._chunk_bounds(40, 4))
+            except BaseException as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submitter, args=(row,))
+                   for row in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert (results == 25).all()
+
+    def test_set_engine_threads_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_engine_threads(0)
+
+    def test_env_reread_on_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_THREADS", "5")
+        assert set_engine_threads(None) == 5
+        monkeypatch.delenv("REPRO_ENGINE_THREADS")
+        assert set_engine_threads(None) == 1
+
+
+class TestDebugAudit:
+    def test_overlapping_output_views_raise(self, debug_audit):
+        overlapping = np.zeros(8)[None, :].repeat(4, axis=0)  # fresh, fine
+        broadcast = np.broadcast_to(np.zeros(8), (4, 8))      # rows alias
+        with engine_threads(2):
+            parallel_for(lambda lo, hi: None, 4, outputs=[(overlapping, 0)])
+            with pytest.raises(RuntimeError, match="alias"):
+                parallel_for(lambda lo, hi: None, 4, outputs=[(broadcast, 0)])
+
+    def test_audit_skipped_when_serial(self, debug_audit):
+        broadcast = np.broadcast_to(np.zeros(8), (4, 8))
+        parallel_for(lambda lo, hi: None, 4, outputs=[(broadcast, 0)])
+
+
+# ---------------------------------------------------------------------- #
+# Engine bit-identity: threaded == serial, to the bit
+# ---------------------------------------------------------------------- #
+class TestForwardBitIdentity:
+    @pytest.mark.parametrize("overrides", ABLATION_GRID)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_forward_and_evaluate(self, overrides, dtype, debug_audit):
+        with default_dtype(dtype):
+            config = make_config(**overrides)
+            model = CausalityAwareTransformer(config)
+            windows = np.random.default_rng(1).normal(
+                size=(9, config.n_series, config.window)).astype(dtype)
+            serial_forward = InferenceEngine(model).forward(windows).copy()
+            serial_loss = InferenceEngine(model).evaluate(windows, 4)
+            with engine_threads(3):
+                engine = InferenceEngine(model)
+                assert np.array_equal(engine.forward(windows), serial_forward)
+                assert engine.evaluate(windows, 4) == serial_loss
+
+    def test_threads_exceeding_batch(self):
+        config = make_config()
+        model = CausalityAwareTransformer(config)
+        windows = np.random.default_rng(2).normal(
+            size=(3, config.n_series, config.window))
+        serial = InferenceEngine(model).forward(windows).copy()
+        with engine_threads(16):
+            assert np.array_equal(InferenceEngine(model).forward(windows),
+                                  serial)
+
+
+class TestBackwardBitIdentity:
+    @pytest.mark.parametrize("overrides", ABLATION_GRID)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_gradients(self, overrides, dtype, debug_audit):
+        with default_dtype(dtype):
+            config = make_config(**overrides)
+            model = CausalityAwareTransformer(config)
+            batch = np.random.default_rng(3).normal(
+                size=(8, config.n_series, config.window)).astype(dtype)
+
+            def gradients():
+                engine = TrainingEngine(
+                    model, Adam(list(model.parameters()),
+                                lr=config.learning_rate,
+                                clip_norm=config.grad_clip))
+                return engine.gradients(batch)
+
+            serial = gradients()
+            with engine_threads(3):
+                threaded = gradients()
+            assert set(serial) == set(threaded)
+            for name, expected in serial.items():
+                assert np.array_equal(expected, threaded[name]), name
+
+    def test_solo_training_trajectory(self):
+        values = training_series(5)
+        config = make_config()
+
+        def fit():
+            model = CausalityAwareTransformer(config)
+            history = Trainer(model, config).fit(values)
+            return history, [p.data.copy() for p in model.parameters()]
+
+        serial_history, serial_params = fit()
+        with engine_threads(3):
+            threaded_history, threaded_params = fit()
+        assert serial_history.train_loss == threaded_history.train_loss
+        assert (serial_history.validation_loss
+                == threaded_history.validation_loss)
+        for expected, actual in zip(serial_params, threaded_params):
+            assert np.array_equal(expected, actual)
+
+
+class TestStackedBitIdentity:
+    @pytest.mark.parametrize("overrides",
+                             [{}, {"single_kernel": True}, {"n_heads": 1},
+                              {"lambda_kernel": 0.0, "lambda_mask": 0.0}])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_stacked_fit(self, overrides, dtype, debug_audit):
+        with default_dtype(dtype):
+            config = make_config(max_epochs=2, **overrides)
+            values_list = [training_series(seed) for seed in range(3)]
+
+            def fit():
+                models = [CausalityAwareTransformer(replace(config, seed=s))
+                          for s in range(3)]
+                trainer = StackedCausalFormerTrainer(models)
+                histories = trainer.fit(values_list)
+                return histories, [[p.data.copy() for p in model.parameters()]
+                                   for model in models]
+
+            serial_histories, serial_params = fit()
+            # k=3 models: 2 threads chunk the model axis, 4 threads the
+            # batch axis (fit picks via ``k >= get_engine_threads()``) —
+            # both layouts must reproduce the serial trajectory exactly.
+            for threads in (2, 4):
+                with engine_threads(threads):
+                    threaded_histories, threaded_params = fit()
+                for expected, actual in zip(serial_histories,
+                                            threaded_histories):
+                    assert expected.train_loss == actual.train_loss
+                for expected, actual in zip(serial_params, threaded_params):
+                    for left, right in zip(expected, actual):
+                        assert np.array_equal(left, right)
+
+    @pytest.mark.parametrize("single_kernel", [False, True])
+    def test_group_interpretation(self, single_kernel, debug_audit):
+        configs = [CausalFormerConfig(n_series=4, window=10, d_model=12,
+                                      d_qk=12, d_ffn=12, n_heads=2, seed=seed,
+                                      single_kernel=single_kernel)
+                   for seed in range(3)]
+        models = [CausalityAwareTransformer(config) for config in configs]
+        detectors = [DecompositionCausalityDetector(model, config)
+                     for model, config in zip(models, configs)]
+        rng = np.random.default_rng(17)
+        window_sets = [rng.normal(size=(4, 4, 10)) for _ in models]
+        serial = compute_scores_group(detectors, window_sets)
+        with engine_threads(3):
+            threaded = compute_scores_group(detectors, window_sets)
+        for expected, actual in zip(serial, threaded):
+            assert np.array_equal(expected.attention, actual.attention)
+            assert np.array_equal(expected.kernel, actual.kernel)
+
+
+class TestConcurrentTrainers:
+    def test_trainers_on_python_threads_share_the_pool(self):
+        """Several trainers hammering one pool stay bit-identical.
+
+        Each Python thread drives its own model/engine/arena; only the
+        worker pool is shared.  Every trajectory must equal the serial run
+        of the same seed — interleaved rounds from different submitters
+        must never cross-contaminate.  (The engine dtype is thread-local,
+        so each submitter pins it explicitly — fresh Python threads don't
+        inherit the session fixture's float64 default.)"""
+        config = make_config(max_epochs=2)
+        seeds = [0, 1, 2, 3]
+        series = {seed: training_series(seed + 10) for seed in seeds}
+
+        def fit(seed):
+            with default_dtype(np.float64):
+                model = CausalityAwareTransformer(replace(config, seed=seed))
+                history = Trainer(model, replace(config, seed=seed)).fit(
+                    series[seed])
+            return history.train_loss, [p.data.copy()
+                                        for p in model.parameters()]
+
+        serial = {seed: fit(seed) for seed in seeds}
+        results = {}
+        errors = []
+
+        def worker(seed):
+            try:
+                results[seed] = fit(seed)
+            except BaseException as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        with engine_threads(3):
+            threads = [threading.Thread(target=worker, args=(seed,))
+                       for seed in seeds]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        for seed in seeds:
+            assert serial[seed][0] == results[seed][0]
+            for expected, actual in zip(serial[seed][1], results[seed][1]):
+                assert np.array_equal(expected, actual)
+
+
+# ---------------------------------------------------------------------- #
+# Propagation seams
+# ---------------------------------------------------------------------- #
+class TestPropagation:
+    def test_worker_entry_point_adopts_thread_count(self):
+        """``execute_job_with_dtype`` re-applies the submitter's setting."""
+        from repro.service.executor import execute_job_with_dtype
+        from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+        from repro.service.registry import build_dataset
+
+        dataset = build_dataset("fork", seed=0, length=120)
+        job = DiscoveryJob(
+            method="var_granger", config={}, dataset="fork",
+            dataset_fingerprint=fingerprint_dataset(dataset), seed=0)
+        result = execute_job_with_dtype(job, dataset, "float64",
+                                        engine_threads=3)
+        assert result.ok
+        assert get_engine_threads() == 3
+
+    def test_batched_entry_point_adopts_thread_count(self):
+        from repro.service.batched import execute_batched_jobs_with_dtype
+
+        results = execute_batched_jobs_with_dtype([], "float64",
+                                                  engine_threads=2)
+        assert results == []
+        assert get_engine_threads() == 2
+
+    def test_cli_flag_sets_thread_count(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["sweep", "--datasets", "fork", "--methods",
+                     "var_granger", "--seeds", "0", "--length", "120",
+                     "--no-cache", "--engine-threads", "2"]) == 0
+        capsys.readouterr()
+        assert get_engine_threads() == 2
+
+    def test_cli_rejects_bad_thread_count(self):
+        from repro.service.cli import main
+
+        with pytest.raises(SystemExit, match="engine threads"):
+            main(["sweep", "--datasets", "fork", "--methods", "var_granger",
+                  "--seeds", "0", "--no-cache", "--engine-threads", "0"])
+
+    def test_engine_threads_gauge(self):
+        from repro.telemetry import capture
+
+        values = training_series(3)
+        config = make_config(max_epochs=1)
+        with engine_threads(2):
+            with capture() as telemetry:
+                Trainer(CausalityAwareTransformer(config), config).fit(values)
+                snapshot = telemetry.metrics.snapshot()
+        assert snapshot["gauges"]["engine.threads"] == 2
+
+
+class TestProfilingUnderThreads:
+    def test_profiling_hook_counts_ops_once(self):
+        """Per-op histograms record one sample per op call, threaded or not.
+
+        Threaded ops are timed on the dispatching thread, so the hook fires
+        exactly as often as in a serial run — the per-op counts must match.
+        """
+        from repro.nn.inference import profiling_hook
+        from repro.telemetry import capture
+
+        config = make_config()
+        model = CausalityAwareTransformer(config)
+        windows = np.random.default_rng(4).normal(
+            size=(8, config.n_series, config.window))
+
+        def histogram_counts():
+            with capture() as telemetry:
+                engine = InferenceEngine(model)
+                engine.enable_profiling(profiling_hook(telemetry))
+                engine.forward(windows)
+                snapshot = telemetry.metrics.snapshot()
+            return {name: stats["count"]
+                    for name, stats in snapshot["histograms"].items()
+                    if name.startswith("engine.")}
+
+        serial = histogram_counts()
+        with engine_threads(3):
+            threaded = histogram_counts()
+        assert serial
+        assert serial == threaded
