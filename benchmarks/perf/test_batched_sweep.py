@@ -44,3 +44,30 @@ def test_batched_sweep_matches_per_job_results():
         assert sorted(edge.as_tuple() for edge in result_a.graph.edges) \
             == sorted(edge.as_tuple() for edge in result_b.graph.edges)
         assert result_a.scores.f1 == result_b.scores.f1
+
+def test_hetero_sweep_faster_than_per_job_dispatch():
+    """Mixed-length jobs (the ``sweep_hetero`` fixture) must also win
+    stacked: shape bucketing + pad-and-mask lanes + compaction/refill
+    amortise the dispatch overhead even when no two jobs share a shape."""
+    pairs = bench._hetero_sweep_pairs()
+    sequential = JobExecutor(max_workers=1, cache=None)
+    batched = JobExecutor(max_workers=1, cache=None, batch_jobs=True,
+                          bucket_slack=0.5, max_lanes=4)
+    sequential_best = best_of(3, lambda: sequential.run(pairs))
+    batched_best = best_of(3, lambda: batched.run(pairs))
+    assert batched_best < sequential_best, (
+        f"hetero batched sweep took {batched_best:.3f}s, per-job dispatch "
+        f"{sequential_best:.3f}s — continuous batching should win on 6 "
+        "mixed-shape jobs")
+
+
+def test_hetero_sweep_matches_per_job_results():
+    pairs = bench._hetero_sweep_pairs()
+    sequential = JobExecutor(max_workers=1, cache=None).run(pairs)
+    batched = JobExecutor(max_workers=1, cache=None, batch_jobs=True,
+                          bucket_slack=0.5, max_lanes=4).run(pairs)
+    for result_a, result_b in zip(sequential, batched):
+        assert result_a.ok and result_b.ok
+        assert sorted(edge.as_tuple() for edge in result_a.graph.edges) \
+            == sorted(edge.as_tuple() for edge in result_b.graph.edges)
+        assert result_a.scores.f1 == result_b.scores.f1

@@ -1,4 +1,4 @@
-"""Lockstep training of several same-shape CausalFormer models at once.
+"""Lockstep training of several CausalFormer models with continuous batching.
 
 A causal-discovery sweep runs many *small* models — one per (dataset, seed)
 cell — and at these sizes the per-step numpy/autograd dispatch overhead
@@ -11,34 +11,62 @@ fused autograd ops' closures, evaluated over persistent scratch arenas by
 :class:`repro.nn.training_engine.StackedTrainingEngine` — fills a stacked
 flat Adam state.  Mini-batches are built by one stacked gather (a single
 ``np.take`` over the concatenated training sets into a persistent batch
-buffer), not one ``np.take`` per model, and the engine that runs the
-training steps is the same object (same arena) that runs every validation
-pass; its arena is also handed to the group detector interpretation.
+buffer), and the engine that runs the training steps is the same object
+(same arena) that runs every validation pass; its arena is also handed to
+the group detector interpretation.
+
+This is the scheduler's *steady-state* mode, not a same-shape sweep trick —
+three continuous-batching mechanisms keep the stack full and honest:
+
+**Pad-and-mask lanes.**  Lanes may carry *different window counts* (datasets
+of different lengths bucketed together by the service scheduler).  Padding a
+model's own batch axis would break bit-exactness — a different GEMM ``M``
+dimension can change BLAS kernel selection, hence summation order — so the
+padding happens on the *lane axis* instead: the lockstep schedule is the
+rectangular ``K x max_steps`` grid, every full-size step runs at the exact
+solo ``(B, N, T)`` batch shape, and a lane whose epoch has fewer full steps
+is masked out of the surplus steps.  The mask genuinely *skips* the work:
+lanes stay sorted by descending window count, so each full step's
+participants form a contiguous prefix of the stack and the step runs at
+width ``m`` through a cached prefix engine over ``params[:m]`` — the masked
+lanes contribute no FLOPs, no gradients, and no Adam tick (the row-masked
+:class:`repro.nn.optim.StackedAdam` never touches them).  Ragged epoch
+tails group by remainder size and run at each exact tail shape through a
+small gathered sub-stack of just the participating rows.  Per-lane
+validation counts are handled the same way
+(:meth:`StackedInferenceEngine.evaluate_grouped`: shape sub-groups
+evaluated at their exact solo shapes).  Because stacked width never enters
+a row's arithmetic (batched matmuls dispatch per-slice 2-D GEMMs), every
+lane's step/evaluate sequence is *exactly* the solo sequence.
+
+**Live lane compaction.**  When a lane early-stops, diverges or completes
+``max_epochs``, it is retired at the round boundary: its best-epoch weights
+become owned arrays on the model, and the ``(K, P)`` parameter/Adam
+matrices repack in place to ``(K-1, P)`` — the remaining lanes stop paying
+for a dead row on every subsequent step.
+
+**Queue refill.**  A ``refill`` callback can hand freed lanes new
+``(model, values)`` work at round boundaries; a refilled lane starts at
+epoch 0 with zeroed Adam state, exactly like a fresh solo fit.
 
 Numerical contract: batched matmuls dispatch one GEMM per 2-D slice and
 reductions keep their per-model order, so every model's parameter
 trajectory is **bit-identical** to training it alone through
 :class:`repro.core.training.Trainer` (the correctness tests assert exactly
-this).  Early stopping is tracked per model: a model that has stopped keeps
-riding the stacked step (its updates are discarded when its best snapshot
-is restored, exactly like the sequential trainer restores its best epoch),
-and the loop ends when every model has stopped or ``max_epochs`` is
-reached.
+this), in float64 and float32 alike, through compaction and refill.
 
-The per-model parameter tensors are re-pointed at views of the stacked
-``(K, P)`` parameter matrix, so the models — and the stacked inference
-engine that runs every validation pass in one set of stacked GEMMs
-(:class:`repro.nn.inference.StackedInferenceEngine`) — stay live during
-training with zero copying; best-state restoration copies *into* those
-views so the stack stays authoritative after ``fit`` returns.  The
-single-kernel ablation stacks too: its shared ``(1, 1, T)`` kernel is
-broadcast through the same constant-ones multiply as the autograd
-``effective_kernel`` node, with the matching unbroadcast-sum backward.
+While a lane is live, its model's parameter tensors are views of the
+stacked ``(K, P)`` matrix (zero-copy stacked steps); when it retires, the
+best-state restore re-points the model at owned arrays, because its lane is
+about to be reused.  The single-kernel ablation stacks too: its shared
+``(1, 1, T)`` kernel is broadcast through the same constant-ones multiply
+as the autograd ``effective_kernel`` node, with the matching
+unbroadcast-sum backward.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,12 +76,57 @@ from repro.core.training import (GATHER_ELEMENT_BUDGET, TrainingHistory,
 from repro.core.transformer import CausalityAwareTransformer
 from repro.data.windows import sliding_windows
 from repro.nn.inference import profiling_hook
-from repro.nn.optim import ADAM_BETAS, ADAM_CLIP_FUZZ, ADAM_EPS
+from repro.nn.optim import StackedAdam
 from repro.nn.parallel import get_engine_threads
 from repro.nn.training_engine import StackedTrainingEngine
 from repro.telemetry import get_telemetry
 
+#: type of the queue-refill callback: receives the number of free lanes and
+#: returns up to that many ``(model, values)`` pairs to admit.
+RefillCallback = Callable[[int], Sequence[Tuple[CausalityAwareTransformer,
+                                                np.ndarray]]]
 
+
+class _Lane:
+    """Bookkeeping for one occupied stack row."""
+
+    __slots__ = ("model", "index", "parameters", "rng", "train", "validation",
+                 "history", "epoch", "stale_epochs", "best_state",
+                 "batch_losses")
+
+    def __init__(self, model, index, parameters, rng, train, validation,
+                 history) -> None:
+        self.model = model
+        #: admission index into the trainer's ``models``/``histories`` lists
+        self.index = index
+        self.parameters = parameters
+        self.rng = rng
+        self.train = train
+        self.validation = validation
+        self.history = history
+        self.epoch = 0
+        self.stale_epochs = 0
+        self.best_state: Optional[List[np.ndarray]] = None
+        self.batch_losses: List[float] = []
+
+    @property
+    def n_train(self) -> int:
+        return self.train.shape[0]
+
+    @property
+    def has_validation(self) -> bool:
+        return self.validation is not None and len(self.validation) > 0
+
+
+class _TailStack:
+    """A gathered ``(g, P)`` sub-stack for one ragged-tail row group."""
+
+    __slots__ = ("params", "grads", "engine")
+
+    def __init__(self, params, grads, engine) -> None:
+        self.params = params
+        self.grads = grads
+        self.engine = engine
 
 
 class StackedCausalFormerTrainer:
@@ -63,20 +136,31 @@ class StackedCausalFormerTrainer:
     ----------
     models:
         Same-architecture :class:`CausalityAwareTransformer` instances (their
-        configs may differ only in ``seed``).
+        configs may differ only in ``seed``).  They occupy the initial lanes.
+    capacity:
+        Total lane capacity ``C >= len(models)``; the extra rows let
+        :meth:`fit`'s ``refill`` callback admit queued models into lanes
+        freed by compaction.  Defaults to ``len(models)``.
     """
 
-    def __init__(self, models: Sequence[CausalityAwareTransformer]) -> None:
+    def __init__(self, models: Sequence[CausalityAwareTransformer],
+                 capacity: Optional[int] = None) -> None:
         if not models:
             raise ValueError("need at least one model to train")
-        self.models = list(models)
-        reference = self.models[0].config
-        for model in self.models[1:]:
+        initial = list(models)
+        reference = initial[0].config
+        for model in initial[1:]:
             if not self._compatible(reference, model.config):
                 raise ValueError(
                     "stacked training requires identical configs up to the seed")
         self.config = reference
-        self.histories = [TrainingHistory() for _ in self.models]
+        self.capacity = max(len(initial),
+                            int(capacity) if capacity is not None else 0)
+        #: admission-ordered — grows when ``refill`` admits queued models
+        self.models = initial
+        self.histories = [TrainingHistory() for _ in initial]
+        self._parameters = [list(model.parameters()) for model in initial]
+        self._lanes: List[_Lane] = []
         self._build_parameter_stack()
         # One fused engine serves the whole sweep: training steps (its
         # hand-derived stacked backward writes into self._grads), every
@@ -85,6 +169,22 @@ class StackedCausalFormerTrainer:
         # group's detector interpretation.
         self.engine = StackedTrainingEngine(self.models, self._stacked,
                                             self._grad_views)
+        self._optimizer = StackedAdam(self.params, lr=self.config.learning_rate,
+                                      clip_norm=self.config.grad_clip)
+        self._train_flat: Optional[np.ndarray] = None
+        self._row_offsets: Optional[np.ndarray] = None
+        self._flat_dirty = True
+        self._members_dirty = False
+        self._padded_lane_steps = 0
+        self._total_lane_steps = 0
+        #: width → engine over the ``params[:m]`` prefix (narrow full steps)
+        self._prefix_engines = {}
+        #: participating-rows tuple → gathered sub-stack (ragged tail steps)
+        self._tail_stacks = {}
+        #: rows tuple → sub-fleet/solo engine for grouped validation passes
+        self._eval_engines = {}
+        #: (engine, grad matrix) the next ``_forward_backward`` call runs on
+        self._step_ctx = (self.engine, self._grads)
 
     @staticmethod
     def _compatible(a: CausalFormerConfig, b: CausalFormerConfig) -> bool:
@@ -92,20 +192,33 @@ class StackedCausalFormerTrainer:
         payload_b = {k: v for k, v in b.to_dict().items() if k != "seed"}
         return payload_a == payload_b
 
+    @property
+    def padded_window_fraction(self) -> float:
+        """Fraction of the lockstep schedule's lane-step slots that were
+        padding — slots a lane sat out because its epoch had fewer steps.
+        Padded slots are *skipped*, not ridden: the step runs at the width
+        of the participating rows only, so this is saved work."""
+        if not self._total_lane_steps:
+            return 0.0
+        return self._padded_lane_steps / self._total_lane_steps
+
     # ------------------------------------------------------------------ #
     # Stacked parameter storage
     # ------------------------------------------------------------------ #
     def _build_parameter_stack(self) -> None:
-        """Stack every model's parameters into one ``(K, P)`` matrix.
+        """Stack every model's parameters into one ``(C, P)`` matrix.
 
         Each model's ``Parameter.data`` is re-pointed at a contiguous view
         of its row, mirroring the fused flat Adam's parameter fusion — the
         stacked update is then a single in-place subtraction and the models
-        (and their inference engines) observe it with no copies.
+        (and their inference engines) observe it with no copies.  Only the
+        first ``K`` rows are occupied; rows above ``K`` are lane capacity
+        for queue refill.
         """
-        self._parameters = [list(model.parameters()) for model in self.models]
         reference = self._parameters[0]
         self.dtype = reference[0].data.dtype
+        self._names = [name for name, _p in self.models[0].named_parameters()]
+        self._shapes = [parameter.data.shape for parameter in reference]
         sizes = [parameter.data.size for parameter in reference]
         self._slices = []
         offset = 0
@@ -113,267 +226,484 @@ class StackedCausalFormerTrainer:
             self._slices.append(slice(offset, offset + size))
             offset += size
         self.n_params = offset
-        k = len(self.models)
-        self.params = np.empty((k, offset), dtype=self.dtype)
+        self._k = len(self.models)
+        self.params = np.empty((self.capacity, offset), dtype=self.dtype)
+        self._grads = np.empty((self.capacity, offset), dtype=self.dtype)
         for row, parameters in enumerate(self._parameters):
-            for view, parameter in zip(self._slices, parameters):
-                self.params[row, view] = parameter.data.ravel()
-        # Stacked per-parameter views (K, *shape), and per-model re-pointing.
-        self._stacked = {}
-        self._grad_views = {}
-        names = [name for name, _p in self.models[0].named_parameters()]
-        for name, view, parameter in zip(names, self._slices, reference):
-            stacked = self.params[:, view].reshape((k,) + parameter.data.shape)
-            assert np.shares_memory(stacked, self.params)
-            self._stacked[name] = stacked
-        for row, parameters in enumerate(self._parameters):
-            for view, parameter in zip(self._slices, parameters):
-                data = self.params[row, view].reshape(parameter.data.shape)
-                assert np.shares_memory(data, self.params)
-                parameter.data = data
-        # Adam state (stacked flat buffers, one row per model).
-        self._grads = np.empty((k, offset), dtype=self.dtype)
-        for name, view, parameter in zip(names, self._slices, reference):
-            grad_view = self._grads[:, view].reshape((k,) + parameter.data.shape)
-            assert np.shares_memory(grad_view, self._grads)
-            self._grad_views[name] = grad_view
-        self._adam_m = np.zeros((k, offset), dtype=self.dtype)
-        self._adam_v = np.zeros((k, offset), dtype=self.dtype)
-        self._step_count = 0
+            self._fill_row(row, parameters)
+            self._point_parameters_at_row(parameters, row)
+        self._refresh_views()
+
+    def _fill_row(self, row: int, parameters: Sequence) -> None:
+        for view, parameter in zip(self._slices, parameters):
+            self.params[row, view] = parameter.data.ravel()
+
+    def _point_parameters_at_row(self, parameters: Sequence, row: int) -> None:
+        for view, shape, parameter in zip(self._slices, self._shapes,
+                                          parameters):
+            data = self.params[row, view].reshape(shape)
+            assert np.shares_memory(data, self.params)
+            parameter.data = data
+
+    def _refresh_views(self) -> None:
+        """(Re)build the ``(K, *shape)`` stacked views over the active prefix.
+
+        Always derived from the same capacity-wide base matrices, so views of
+        a given width are layout-identical no matter how often lanes come and
+        go — the engine's per-shape scratch spaces stay valid across rebinds.
+        """
+        self._stacked, self._grad_views = self._views_over(
+            self.params, self._grads, self._k)
+
+    def _views_over(self, params: np.ndarray, grads: np.ndarray,
+                    m: int) -> Tuple[dict, dict]:
+        """Name → ``(m, *shape)`` stacked views over two flat matrices."""
+        stacked = {}
+        grad_views = {}
+        for name, view, shape in zip(self._names, self._slices, self._shapes):
+            stacked[name] = params[:m, view].reshape((m,) + shape)
+            grad_views[name] = grads[:m, view].reshape((m,) + shape)
+        return stacked, grad_views
 
     def _grad_view(self, name: str) -> np.ndarray:
         """The ``(K, *shape)`` stacked view into the flat gradient matrix."""
         return self._grad_views[name]
 
+    def _refresh_bindings(self) -> None:
+        """Rebind the engine after lane compaction/refill changed the width."""
+        self._refresh_views()
+        self.engine.rebind([lane.model for lane in self._lanes],
+                           self._stacked, self._grad_views)
+        self.engine.parallel_model_axis = self._k >= get_engine_threads()
+        # Sub-engines index rows by lane position; a membership change (or
+        # re-sort) invalidates every cached width/row-set binding.
+        self._prefix_engines.clear()
+        self._tail_stacks.clear()
+        self._eval_engines.clear()
+        self._step_ctx = (self.engine, self._grads)
+        self._flat_dirty = True
+        self._members_dirty = False
+
+    def _reorder_lanes(self) -> None:
+        """Keep lanes sorted by descending window count (ties: admission).
+
+        The sort is what turns the lane mask into *skipped* work: with
+        non-increasing per-lane step counts, every full step's participants
+        are the contiguous prefix ``lanes[:m]``, which runs through a
+        prefix-width engine with no masked rows at all.  Reordering is a
+        plain row permutation of the parameter and Adam matrices (fancy
+        indexing gathers before it assigns, so in-place is safe) plus a
+        re-point of each model at its new row — per-lane trajectories are
+        position-independent, so this is bit-neutral.
+        """
+        lanes = self._lanes
+        order = sorted(range(len(lanes)),
+                       key=lambda row: (-lanes[row].n_train,
+                                        lanes[row].index))
+        if order == list(range(len(lanes))):
+            return
+        k = self._k
+        index = np.asarray(order, dtype=np.intp)
+        self.params[:k] = self.params[index]
+        self._optimizer.permute_rows(order, k)
+        self._lanes = [lanes[row] for row in order]
+        for row, lane in enumerate(self._lanes):
+            self._point_parameters_at_row(lane.parameters, row)
+        self._members_dirty = True
+
+    def _prefix_engine(self, m: int) -> StackedTrainingEngine:
+        """The engine for a width-``m`` prefix step (cached per width).
+
+        Width ``K`` is the main engine.  Narrower widths get their own
+        :class:`StackedTrainingEngine` over ``params[:m]`` /
+        ``grads[:m]`` views of the same base matrices — zero copies, and
+        the shared arena keys scratch buffers by ``(name, shape)`` so every
+        width keeps its own persistent scratch space.
+        """
+        if m == self._k:
+            return self.engine
+        engine = self._prefix_engines.get(m)
+        if engine is None:
+            stacked, grad_views = self._views_over(self.params, self._grads, m)
+            engine = StackedTrainingEngine(
+                [lane.model for lane in self._lanes[:m]], stacked, grad_views,
+                arena=self.engine.arena)
+            engine.parallel_model_axis = m >= get_engine_threads()
+            if self.engine.profiling_enabled:
+                engine.enable_profiling(profiling_hook(get_telemetry()))
+            self._prefix_engines[m] = engine
+        return engine
+
+    def _tail_stack(self, rows: Tuple[int, ...]) -> "_TailStack":
+        """The gathered sub-stack for a scattered tail group (cached).
+
+        Tail participants rarely form a prefix, so their rows are gathered
+        into a private ``(g, P)`` parameter/gradient pair with an engine
+        bound to views over it.  Tail group membership is constant within a
+        lane era, so the stack (and its engine's backward plans) is reused
+        every epoch; only the ``(g, P)`` row gather/scatter repeats.
+        """
+        entry = self._tail_stacks.get(rows)
+        if entry is None:
+            g = len(rows)
+            params = np.empty((g, self.n_params), dtype=self.dtype)
+            grads = np.empty((g, self.n_params), dtype=self.dtype)
+            stacked, grad_views = self._views_over(params, grads, g)
+            engine = StackedTrainingEngine(
+                [self._lanes[row].model for row in rows], stacked, grad_views,
+                arena=self.engine.arena)
+            engine.parallel_model_axis = g >= get_engine_threads()
+            if self.engine.profiling_enabled:
+                engine.enable_profiling(profiling_hook(get_telemetry()))
+            entry = _TailStack(params, grads, engine)
+            self._tail_stacks[rows] = entry
+        return entry
+
     # ------------------------------------------------------------------ #
-    # Training loop (lockstep replica of Trainer.fit)
+    # Lane lifecycle
     # ------------------------------------------------------------------ #
-    def fit(self, values_list: Sequence[np.ndarray]) -> List[TrainingHistory]:
-        """Train every model on its own ``(N, T_total)`` series, in lockstep."""
+    def _make_lane(self, model, values, index: int, parameters) -> _Lane:
+        config = self.config
+        rng = np.random.default_rng(model.config.seed)
+        windows = sliding_windows(np.asarray(values), config.window,
+                                  config.window_stride)
+        windows = np.ascontiguousarray(windows, dtype=self.dtype)
+        train, validation = self._split(windows, rng, model.config)
+        if self._lanes and train.shape[1:] != self._lanes[0].train.shape[1:]:
+            raise ValueError(
+                "stacked training requires matching (N, T) window geometry")
+        return _Lane(model, index, parameters, rng, train, validation,
+                     self.histories[index])
+
+    def _retire_lane(self, row: int, telemetry) -> None:
+        """Restore a finished lane's best weights and compact it out.
+
+        The model leaves with *owned* parameter arrays (its stack row is
+        about to be reused); rows above it shift up one-by-one in the
+        parameter and Adam matrices, and every shifted lane's model is
+        re-pointed at its new row — all plain per-row copies, so the
+        surviving lanes' trajectories are untouched bit for bit.
+        """
+        lane = self._lanes.pop(row)
+        k = self._k
+        if lane.best_state is not None:
+            final = lane.best_state
+        else:
+            # Never improved and did not diverge-before-best: keep the
+            # current weights, exactly like the sequential trainer without a
+            # snapshot to restore.
+            final = [parameter.data.copy() for parameter in lane.parameters]
+        for parameter, data in zip(lane.parameters, final):
+            parameter.data = data
+        for r in range(row, k - 1):
+            self.params[r] = self.params[r + 1]
+        self._optimizer.compact_row(row, k)
+        self._k = k - 1
+        for r in range(row, self._k):
+            self._point_parameters_at_row(self._lanes[r].parameters, r)
+        self._members_dirty = True
+        telemetry.event("lane_compacted", model=lane.index,
+                        epochs=lane.history.n_epochs, lanes=self._k)
+
+    def _admit_lane(self, model, values, telemetry) -> None:
+        """Occupy a freed lane with a queued model (continuous batching)."""
+        if self._k >= self.capacity:
+            raise RuntimeError("no free lane to admit a model into")
+        if not self._compatible(self.config, model.config):
+            raise ValueError(
+                "refilled model must match the fleet config up to the seed")
+        parameters = list(model.parameters())
+        if [p.data.shape for p in parameters] != self._shapes:
+            raise ValueError("refilled model must match the fleet architecture")
+        if any(p.data.dtype != self.dtype for p in parameters):
+            raise ValueError("refilled model must match the fleet dtype")
+        row = self._k
+        index = len(self.models)
+        self.models.append(model)
+        self.histories.append(TrainingHistory())
+        self._parameters.append(parameters)
+        lane = self._make_lane(model, values, index, parameters)
+        self._fill_row(row, parameters)
+        self._point_parameters_at_row(parameters, row)
+        self._optimizer.reset_row(row)
+        self._lanes.append(lane)
+        self._k = row + 1
+        self._members_dirty = True
+        telemetry.event("lane_refilled", model=index, lanes=self._k)
+
+    def _ensure_train_flat(self) -> None:
+        """Concatenate the live lanes' training sets for the fused gather."""
+        if not self._flat_dirty:
+            return
+        sets = [lane.train for lane in self._lanes]
+        self._train_flat = np.ascontiguousarray(np.concatenate(sets, axis=0))
+        counts = [lane.n_train for lane in self._lanes]
+        self._row_offsets = np.concatenate(
+            ([0], np.cumsum(counts[:-1]))).astype(np.intp)
+        self._flat_dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Training loop (lockstep replica of Trainer.fit, per-lane schedules)
+    # ------------------------------------------------------------------ #
+    def fit(self, values_list: Sequence[np.ndarray],
+            refill: Optional[RefillCallback] = None) -> List[TrainingHistory]:
+        """Train every model on its own ``(N, T_total)`` series, in lockstep.
+
+        ``refill`` (optional) is consulted at round boundaries whenever
+        compaction freed lanes: it receives the number of free lanes and
+        returns up to that many ``(model, values)`` pairs to admit.  The
+        returned histories cover *every* admitted model, in admission order.
+        """
         if len(values_list) != len(self.models):
             raise ValueError("one dataset per model required")
         config = self.config
-        k = len(self.models)
-        rngs = [np.random.default_rng(model.config.seed) for model in self.models]
-        train_sets: List[np.ndarray] = []
-        validation_sets: List[Optional[np.ndarray]] = []
-        for model, values, rng in zip(self.models, values_list, rngs):
-            windows = sliding_windows(np.asarray(values), config.window,
-                                      config.window_stride)
-            windows = np.ascontiguousarray(windows, dtype=self.dtype)
-            train, validation = self._split(windows, rng, model.config)
-            train_sets.append(train)
-            validation_sets.append(validation)
-        # The validation shapes must match too: equal *training* shapes do
-        # not imply it (round() on the validation fraction can split 105 and
-        # 106 windows into 95 + 10 and 95 + 11).  Reject up front, before
-        # any training work is spent.
-        train_shapes = {train.shape for train in train_sets}
-        validation_shapes = {None if validation is None else validation.shape
-                             for validation in validation_sets}
-        if len(train_shapes) != 1 or len(validation_shapes) != 1:
-            raise ValueError("stacked training requires same-shape window sets")
+        self._lanes = []
+        for index, (model, values) in enumerate(zip(self.models, values_list)):
+            self._lanes.append(self._make_lane(model, values, index,
+                                               self._parameters[index]))
+        self._reorder_lanes()
+        if self._members_dirty:
+            self._refresh_bindings()
 
-        # Training, validation and (via the shared arena) interpretation all
-        # run through self.engine — the sweep stays stacked from the first
-        # training step to the last validation score with one buffer pool.
         engine = self.engine
-        has_validation = validation_sets[0] is not None \
-            and len(validation_sets[0])
-        n_train = train_sets[0].shape[0]
-        batch_size = config.batch_size
-        active = [True] * k
-        best_states: List[Optional[List[np.ndarray]]] = [None] * k
-        stale_epochs = [0] * k
-
-        # Stacked mini-batch gather: the fleet's training sets concatenate
-        # into one (K·W, N, T) block, so each step's K mini-batches are one
-        # np.take into a persistent batch buffer (the per-row np.take loop
-        # was the last per-model operation in the stacked step).  Row
-        # offsets shift each model's shuffled indices into its own block;
-        # the gathered rows are exactly train_sets[row][order[row][...]].
-        # Full-size steps fuse further: several steps' indices transpose
-        # into one (steps, K, B) layout and gather through a single
-        # np.take, bounded by GATHER_ELEMENT_BUDGET; each step then trains
-        # on a contiguous (K, B) slice of the block — the same rows in the
-        # same order as a per-step gather.
-        tail_shape = train_sets[0].shape[1:]
-        train_flat = np.ascontiguousarray(np.stack(train_sets)) \
-            .reshape((k * n_train,) + tail_shape)
-        row_offsets = (np.arange(k) * n_train)[:, None]
-        arena = engine.arena
-        row_elements = max(1, int(np.prod(tail_shape)))
-        step_rows = k * batch_size
-        n_full = n_train // batch_size
-        tail_start = n_full * batch_size
-        block_steps = max(1, min(n_full or 1, GATHER_ELEMENT_BUDGET
-                                 // max(1, step_rows * row_elements)))
-        gather = arena.take("train.gather",
-                            (block_steps, k, batch_size) + tail_shape,
-                            self.dtype) if n_full else None
-
         # The stacked engines thread over the model axis when the fleet is
         # at least as wide as the pool, otherwise over the batch axis.
-        engine.parallel_model_axis = k >= get_engine_threads()
+        engine.parallel_model_axis = self._k >= get_engine_threads()
         telemetry = get_telemetry()
         telemetry.gauge("engine.threads").set(get_engine_threads())
         if telemetry.engine_profiling:
             engine.enable_profiling(profiling_hook(telemetry))
         else:
             engine.disable_profiling()
-        with telemetry.trace("train_fit_stacked", models=k,
-                             n_windows=n_train,
-                             max_epochs=config.max_epochs) as fit_span:
-            for _epoch in range(config.max_epochs):
-                orders = [rng.permutation(n_train) for rng in rngs]
-                order_matrix = np.stack(orders)
-                order_matrix += row_offsets
-                batch_losses: List[List[float]] = [[] for _ in range(k)]
-                steps = order_matrix[:, :tail_start] \
-                    .reshape(k, n_full, batch_size)
-                for block_start in range(0, n_full, block_steps):
-                    block_stop = min(block_start + block_steps, n_full)
-                    count = block_stop - block_start
-                    block = gather[:count]
-                    np.take(train_flat,
-                            steps[:, block_start:block_stop]
-                            .transpose(1, 0, 2).ravel(), axis=0,
-                            out=block.reshape((count * step_rows,)
-                                              + tail_shape))
-                    for index in range(count):
-                        losses = self._train_step(block[index])
-                        for row, loss in enumerate(losses):
-                            batch_losses[row].append(loss)
-                if tail_start < n_train:
-                    remainder = n_train - tail_start
-                    batch = arena.take("train.batch",
-                                       (k, remainder) + tail_shape,
-                                       self.dtype)
-                    np.take(train_flat, order_matrix[:, tail_start:].ravel(),
-                            axis=0,
-                            out=batch.reshape((k * remainder,) + tail_shape))
-                    losses = self._train_step(batch)
-                    for row, loss in enumerate(losses):
-                        batch_losses[row].append(loss)
+        lanes_gauge = telemetry.gauge("scheduler.lanes_active")
+        lanes_gauge.set(self._k)
+        self._padded_lane_steps = 0
+        self._total_lane_steps = 0
 
-                if has_validation:
-                    validation_losses = engine.evaluate(validation_sets,
-                                                        batch_size)
-                for row in range(k):
-                    if not active[row]:
-                        continue
-                    history = self.histories[row]
-                    epoch_loss = float(np.mean(batch_losses[row])) \
-                        if batch_losses[row] else float("nan")
-                    history.train_loss.append(epoch_loss)
-                    validation_loss = validation_losses[row] if has_validation \
-                        else epoch_loss
-                    history.validation_loss.append(validation_loss)
-                    if telemetry.enabled:
-                        telemetry.event("train_epoch", model=row, epoch=_epoch,
-                                        loss=epoch_loss,
-                                        validation_loss=validation_loss)
-                    if losses_diverged(epoch_loss, validation_loss):
-                        # Same rule as the sequential trainer: a NaN/inf loss
-                        # stops this model immediately (it would otherwise ride
-                        # the whole patience window without ever improving); its
-                        # last finite best state is restored below.  A row that
-                        # diverged before ever improving has no best snapshot,
-                        # but still rides the remaining stacked steps — freeze
-                        # its current weights so the final restore hands back
-                        # exactly what the sequential trainer's break leaves
-                        # (the post-diverged-epoch parameters).
-                        history.diverged = True
-                        telemetry.event("train_diverged", model=row,
-                                        epoch=_epoch, loss=epoch_loss,
-                                        validation_loss=validation_loss)
-                        active[row] = False
-                        if best_states[row] is None:
-                            best_states[row] = [
-                                parameter.data.copy()
-                                for parameter in self._parameters[row]]
-                        continue
-                    if validation_loss < history.best_validation_loss - config.min_delta:
-                        history.best_validation_loss = validation_loss
-                        history.best_epoch = history.n_epochs - 1
-                        best_states[row] = [
-                            parameter.data.copy()
-                            for parameter in self._parameters[row]]
-                        stale_epochs[row] = 0
-                    else:
-                        stale_epochs[row] += 1
-                        if stale_epochs[row] >= config.patience:
-                            history.stopped_early = True
-                            telemetry.event("early_stop", model=row,
-                                            epoch=_epoch,
-                                            best_epoch=history.best_epoch)
-                            active[row] = False
-                if not any(active):
-                    break
+        with telemetry.trace(
+                "train_fit_stacked", models=self._k,
+                capacity=self.capacity,
+                n_windows=sum(lane.n_train for lane in self._lanes),
+                max_epochs=config.max_epochs) as fit_span:
+            while self._lanes:
+                self._run_round(telemetry)
+                finished = self._finish_epochs(telemetry)
+                for row in sorted(finished, reverse=True):
+                    self._retire_lane(row, telemetry)
+                if refill is not None:
+                    free = self.capacity - self._k
+                    if free > 0:
+                        for model, values in list(refill(free))[:free]:
+                            self._admit_lane(model, values, telemetry)
+                if self._lanes:
+                    self._reorder_lanes()
+                if self._members_dirty:
+                    if self._lanes:
+                        self._refresh_bindings()
+                    lanes_gauge.set(self._k)
+            fraction = self.padded_window_fraction
+            telemetry.gauge("scheduler.padded_window_fraction").set(fraction)
             fit_span.set(
+                models=len(self.models),
                 epochs=max(history.n_epochs for history in self.histories),
                 stopped_early=sum(history.stopped_early
                                   for history in self.histories),
                 diverged=sum(history.diverged
-                             for history in self.histories))
-
-        for row, saved in enumerate(best_states):
-            if saved is not None:
-                # In-place copy (not a .data re-point): the parameters must
-                # keep backing the stacked (K, P) matrix so the shared
-                # inference engines and any later stacked pass keep observing
-                # the restored best-epoch weights.
-                for parameter, data in zip(self._parameters[row], saved):
-                    parameter.data[...] = data
+                             for history in self.histories),
+                padded_window_fraction=fraction)
         return self.histories
+
+    def _run_round(self, telemetry) -> None:
+        """One epoch for every live lane: prefix full steps, then tails.
+
+        Every full step runs at the exact solo ``(B, N, T)`` shape.  Lanes
+        are kept sorted by descending window count, so the participants of
+        full step ``s`` are always the prefix ``lanes[:m]`` — the step runs
+        at width ``m`` through a cached prefix engine and the masked lanes
+        contribute *nothing*: no FLOPs, no loss, no Adam tick.  Ragged
+        remainders group by size and run at each exact tail shape through a
+        gathered sub-stack of just the participating rows, after the full
+        steps, so each lane's own step order matches its solo epoch exactly.
+        """
+        lanes = self._lanes
+        k = self._k
+        config = self.config
+        batch_size = config.batch_size
+        engine = self.engine
+        arena = engine.arena
+        self._ensure_train_flat()
+        train_flat = self._train_flat
+        offsets = self._row_offsets
+        tail_shape = train_flat.shape[1:]
+        row_elements = max(1, int(np.prod(tail_shape)))
+        orders = [lane.rng.permutation(lane.n_train) for lane in lanes]
+        n_fulls = [lane.n_train // batch_size for lane in lanes]
+        max_full = max(n_fulls)
+        for lane in lanes:
+            lane.batch_losses = []
+
+        step_rows = k * batch_size
+        if max_full:
+            # The gather stays rectangular (filler slots repeat a lane's
+            # first window — a few kB of memcpy); the *compute* does not:
+            # each step slices the participating prefix off the block.
+            steps = np.empty((k, max_full, batch_size), dtype=np.intp)
+            for row, lane in enumerate(lanes):
+                n_full = n_fulls[row]
+                if n_full:
+                    steps[row, :n_full] = orders[row][:n_full * batch_size] \
+                        .reshape(n_full, batch_size) + offsets[row]
+                if n_full < max_full:
+                    steps[row, n_full:] = offsets[row]
+            block_steps = max(1, min(max_full, GATHER_ELEMENT_BUDGET
+                                     // max(1, step_rows * row_elements)))
+            gather = arena.take("train.gather",
+                                (block_steps, k, batch_size) + tail_shape,
+                                self.dtype)
+            for block_start in range(0, max_full, block_steps):
+                block_stop = min(block_start + block_steps, max_full)
+                count = block_stop - block_start
+                block = gather[:count]
+                np.take(train_flat,
+                        steps[:, block_start:block_stop]
+                        .transpose(1, 0, 2).ravel(), axis=0,
+                        out=block.reshape((count * step_rows,) + tail_shape))
+                for index in range(count):
+                    step = block_start + index
+                    m = 0
+                    while m < k and n_fulls[m] > step:
+                        m += 1
+                    losses = self._train_step(block[index][:m], range(m))
+                    for row in range(m):
+                        lanes[row].batch_losses.append(losses[row])
+                    self._total_lane_steps += k
+                    self._padded_lane_steps += k - m
+
+        tails = {}
+        for row, lane in enumerate(lanes):
+            remainder = lane.n_train - n_fulls[row] * batch_size
+            if remainder:
+                tails.setdefault(remainder, []).append(row)
+        for remainder in sorted(tails):
+            rows = tails[remainder]
+            g = len(rows)
+            indices = np.empty((g, remainder), dtype=np.intp)
+            for i, row in enumerate(rows):
+                indices[i] = orders[row][n_fulls[row] * batch_size:] \
+                    + offsets[row]
+            batch = arena.take("train.batch", (g, remainder) + tail_shape,
+                               self.dtype)
+            np.take(train_flat, indices.ravel(), axis=0,
+                    out=batch.reshape((g * remainder,) + tail_shape))
+            losses = self._train_step(batch, rows)
+            for i, row in enumerate(rows):
+                lanes[row].batch_losses.append(losses[i])
+            self._total_lane_steps += k
+            self._padded_lane_steps += k - g
+
+    def _finish_epochs(self, telemetry) -> List[int]:
+        """Per-lane epoch-end bookkeeping; returns lane rows to retire."""
+        lanes = self._lanes
+        config = self.config
+        if any(lane.has_validation for lane in lanes):
+            validation_losses = self.engine.evaluate_grouped(
+                [lane.validation if lane.has_validation else None
+                 for lane in lanes], config.batch_size,
+                cache=self._eval_engines)
+        else:
+            validation_losses = [None] * len(lanes)
+        finished: List[int] = []
+        for row, lane in enumerate(lanes):
+            history = lane.history
+            epoch = lane.epoch
+            epoch_loss = float(np.mean(lane.batch_losses)) \
+                if lane.batch_losses else float("nan")
+            history.train_loss.append(epoch_loss)
+            validation_loss = validation_losses[row] \
+                if validation_losses[row] is not None else epoch_loss
+            history.validation_loss.append(validation_loss)
+            lane.epoch = epoch + 1
+            if telemetry.enabled:
+                telemetry.event("train_epoch", model=lane.index, epoch=epoch,
+                                loss=epoch_loss,
+                                validation_loss=validation_loss)
+            if losses_diverged(epoch_loss, validation_loss):
+                # Same rule as the sequential trainer: a NaN/inf loss stops
+                # this model immediately (it would otherwise ride the whole
+                # patience window without ever improving).  A lane that
+                # diverged before ever improving has no best snapshot —
+                # retirement keeps its current weights, exactly what the
+                # sequential trainer's break leaves behind.
+                history.diverged = True
+                telemetry.event("train_diverged", model=lane.index,
+                                epoch=epoch, loss=epoch_loss,
+                                validation_loss=validation_loss)
+                finished.append(row)
+                continue
+            if validation_loss < history.best_validation_loss - config.min_delta:
+                history.best_validation_loss = validation_loss
+                history.best_epoch = history.n_epochs - 1
+                lane.best_state = [parameter.data.copy()
+                                   for parameter in lane.parameters]
+                lane.stale_epochs = 0
+            else:
+                lane.stale_epochs += 1
+                if lane.stale_epochs >= config.patience:
+                    history.stopped_early = True
+                    telemetry.event("early_stop", model=lane.index,
+                                    epoch=epoch,
+                                    best_epoch=history.best_epoch)
+                    finished.append(row)
+                    continue
+            if lane.epoch >= config.max_epochs:
+                finished.append(row)
+        return finished
 
     # The split must match the sequential trainer draw for draw.
     _split = staticmethod(split_windows)
 
     # ------------------------------------------------------------------ #
-    # One stacked step: forward, per-model losses, backward, Adam
+    # One stacked step: forward, per-model losses, backward, masked Adam
     # ------------------------------------------------------------------ #
-    def _train_step(self, batch: np.ndarray) -> List[float]:
+    def _train_step(self, batch: np.ndarray,
+                    rows: Optional[Sequence[int]] = None) -> List[float]:
+        """One stacked step for ``rows`` (default: every live lane).
+
+        ``batch`` has one slab per participating row, in ``rows`` order, and
+        the returned losses are positional the same way.  A prefix row set
+        runs straight off the main stack through a prefix-width engine; a
+        scattered tail set runs through its gathered sub-stack — its rows
+        are copied in, the sub-engine's gradients are scattered back into
+        the main gradient matrix, and the row-masked Adam update proceeds
+        exactly as if a full-width masked step had produced them.
+        """
+        k = self._k
+        row_list = list(range(k)) if rows is None else list(rows)
+        m = len(row_list)
+        if row_list == list(range(m)):
+            self._step_ctx = (self._prefix_engine(m), self._grads)
+            losses, grads = self._forward_backward(batch)
+            self._optimizer.step_rows(grads, row_list, k)
+            return losses
+        entry = self._tail_stack(tuple(row_list))
+        np.take(self.params, row_list, axis=0, out=entry.params)
+        self._step_ctx = (entry.engine, entry.grads)
         losses, grads = self._forward_backward(batch)
-        self._adam_step()
+        self._grads[row_list] = grads
+        self._optimizer.step_rows(self._grads, row_list, k)
         return losses
 
     def _forward_backward(self, xb: np.ndarray
                           ) -> Tuple[List[float], np.ndarray]:
         """One stacked fused forward + hand-derived backward (no autograd).
 
-        Delegates to :class:`repro.nn.training_engine.StackedTrainingEngine`,
-        which transcribes the fused autograd ops' closures with a leading
-        model axis over persistent arena buffers and writes every gradient
-        into the stacked flat matrix returned here; batched matmuls run the
-        same per-slice GEMMs, so each model's gradients are bit-identical
-        to a solo step.
+        Delegates to :class:`repro.nn.training_engine.StackedTrainingEngine`
+        — the one ``_train_step`` staged in ``_step_ctx`` (the main engine
+        by default), which transcribes the fused autograd ops' closures with
+        a leading model axis over persistent arena buffers and writes every
+        gradient into the stacked flat matrix returned here; batched matmuls
+        run the same per-slice GEMMs, so each model's gradients are
+        bit-identical to a solo step.
         """
-        return self.engine.train_step(xb), self._grads
-
-    def _adam_step(self) -> None:
-        """Stacked replica of the fused flat Adam update (one row per model)."""
-        config = self.config
-        self._step_count += 1
-        t = self._step_count
-        beta1, beta2 = ADAM_BETAS
-        eps = ADAM_EPS
-        bias_correction1 = 1.0 - beta1 ** t
-        bias_correction2 = 1.0 - beta2 ** t
-        grad = self._grads
-        if config.grad_clip is not None:
-            for row in range(grad.shape[0]):
-                total = float(np.sqrt(np.dot(grad[row], grad[row])))
-                if total > config.grad_clip:
-                    grad[row] *= config.grad_clip / (total + ADAM_CLIP_FUZZ)
-        m, v = self._adam_m, self._adam_v
-        m *= beta1
-        m += (1.0 - beta1) * grad
-        v *= beta2
-        np.multiply(grad, grad, out=grad)
-        v += (1.0 - beta2) * grad
-        denominator = np.sqrt(v / bias_correction2)
-        denominator += eps
-        update = (config.learning_rate / bias_correction1) * m
-        update /= denominator
-        self.params -= update
+        engine, grads = self._step_ctx
+        return engine.train_step(xb), grads

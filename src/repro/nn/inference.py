@@ -1453,6 +1453,78 @@ class StackedInferenceEngine(ProfilingSeam):
             count += chunk.shape[1]
         return [total / count if count else float("nan") for total in totals]
 
+    def evaluate_grouped(self, window_sets: Sequence[Optional[np.ndarray]],
+                         batch_size: int,
+                         cache: Optional[dict] = None
+                         ) -> List[Optional[float]]:
+        """Per-model losses when the fleet's window sets differ in count.
+
+        The heterogeneous stacked trainer validates lanes whose datasets
+        carry different window counts (pad-and-mask bucketing).  Padding a
+        model's own batch axis is off the table — the solo engine never sees
+        the padded rows, and a different GEMM ``M`` dimension may pick a
+        different BLAS kernel — so instead the rows are grouped by shape and
+        each group runs the *existing* stacked (or solo) evaluation at its
+        exact shape:
+
+        * all rows share one shape → ``self.evaluate`` (the lockstep path,
+          staged straight off this engine's views);
+        * a multi-row group → a sub-fleet :class:`StackedInferenceEngine`
+          over the same arena (staging copies the group's weights, the
+          per-row arithmetic is the proven stacked contract);
+        * a single row → a solo :class:`InferenceEngine` over the same
+          arena, which *is* the reference path.
+
+        ``None`` entries (lanes without a validation split) are skipped and
+        returned as ``None``.  Every returned loss is bit-identical to
+        ``InferenceEngine.evaluate`` on that model's windows alone.
+
+        ``cache`` (optional) is a caller-owned dict that keeps the sub-fleet
+        and solo engines alive across calls — validation groups are stable
+        between epochs, so a trainer passes one dict per lane era and the
+        engines (with their staged buffers) rebuild only when membership
+        changes.  The caller must discard it whenever ``self.models``
+        changes, because the cached engines hold references to the models
+        by row.
+        """
+        m = len(self.models)
+        if len(window_sets) != m:
+            raise ValueError("one window set per model required")
+        results: List[Optional[float]] = [None] * m
+        groups: Dict[tuple, List[tuple]] = {}
+        for row, windows in enumerate(window_sets):
+            if windows is None:
+                continue
+            arr = np.asarray(windows)
+            groups.setdefault(arr.shape, []).append((row, arr))
+        for members in groups.values():
+            rows = [row for row, _arr in members]
+            arrays = [arr for _row, arr in members]
+            if len(rows) == m:
+                losses = self.evaluate(arrays, batch_size)
+            elif len(rows) == 1:
+                key = (rows[0],)
+                solo = cache.get(key) if cache is not None else None
+                if solo is None:
+                    solo = InferenceEngine(self.models[rows[0]],
+                                           arena=self.arena)
+                    if cache is not None:
+                        cache[key] = solo
+                losses = [solo.evaluate(arrays[0], batch_size)]
+            else:
+                key = tuple(rows)
+                sub = cache.get(key) if cache is not None else None
+                if sub is None:
+                    sub = StackedInferenceEngine(
+                        [self.models[row] for row in rows], arena=self.arena)
+                    sub.parallel_model_axis = self.parallel_model_axis
+                    if cache is not None:
+                        cache[key] = sub
+                losses = sub.evaluate(arrays, batch_size)
+            for row, loss in zip(rows, losses):
+                results[row] = loss
+        return results
+
     # ------------------------------------------------------------------ #
     # Detector support: stacked cache forward + multi-target backward
     # ------------------------------------------------------------------ #

@@ -7,7 +7,7 @@ stop strategy; the training loop in :mod:`repro.core.training` uses
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -237,6 +237,153 @@ class Adam(Optimizer):
         else:
             for parameter, view_slice, shape in self._flat_views:
                 parameter.data -= update[view_slice].reshape(shape)
+
+
+class StackedAdam:
+    """Row-masked Adam over a stacked ``(C, P)`` parameter matrix.
+
+    The stacked trainer (:mod:`repro.core.batched`) trains ``K <= C`` models
+    whose flat parameter vectors occupy the first ``K`` rows of one matrix
+    (``C`` is the lane capacity).  Under continuous batching the rows stop
+    moving in lockstep: a lane whose dataset has fewer windows sits out the
+    trailing steps of a round, a freshly refilled lane starts its step count
+    at zero, and a finished lane is compacted out of the prefix entirely.
+    Each row therefore carries its *own* Adam step count — and its own bias
+    corrections — and :meth:`step_rows` updates only the rows that really
+    trained this step.
+
+    Bit-exactness contract: every participating row sees the exact scalar
+    arithmetic of the solo fused update (:meth:`Adam._apply_flat_update`) —
+    the per-row bias corrections are computed with Python-float ``**`` and
+    applied through columns cast to the parameter dtype, matching the
+    implicit scalar cast of the solo path, and the moment/denominator op
+    sequence is identical — so a row's trajectory equals training that model
+    alone regardless of which other rows ride along.
+    """
+
+    def __init__(self, params: np.ndarray, lr: float,
+                 clip_norm: Optional[float] = None,
+                 betas: tuple = ADAM_BETAS, eps: float = ADAM_EPS) -> None:
+        if params.ndim != 2:
+            raise ValueError("StackedAdam expects a (C, P) parameter matrix")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.clip_norm = clip_norm
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.m = np.zeros_like(params)
+        self.v = np.zeros_like(params)
+        #: per-row step counts (Python ints: the bias corrections must come
+        #: from the same ``float ** int`` the solo optimiser computes).
+        self.t: List[int] = [0] * params.shape[0]
+
+    def _clip_rows(self, grad: np.ndarray) -> None:
+        clip = self.clip_norm
+        if clip is None:
+            return
+        for row in range(grad.shape[0]):
+            g = grad[row]
+            total = float(np.sqrt(np.dot(g, g)))
+            if total > clip:
+                g *= clip / (total + ADAM_CLIP_FUZZ)
+
+    def _bias_columns(self, rows: List[int]):
+        dtype = self.params.dtype
+        scale = np.array([[self.lr / (1.0 - self.beta1 ** self.t[row])]
+                          for row in rows], dtype=dtype)
+        bias2 = np.array([[1.0 - self.beta2 ** self.t[row]]
+                          for row in rows], dtype=dtype)
+        return scale, bias2
+
+    def step_rows(self, grads: np.ndarray, rows: Iterable[int],
+                  active: int) -> None:
+        """One Adam update for ``rows``, reading their ``grads`` rows.
+
+        ``active`` is the current lane count ``K``; when every active row
+        participates the update runs in place on the ``[:K]`` prefix (the
+        lockstep fast path — no gathers), otherwise the participating rows
+        are gathered, updated with the identical op sequence, and scattered
+        back.  Non-participating rows are untouched: no moment decay, no
+        step-count tick, no parameter change.
+        """
+        rows = list(rows)
+        if not rows:
+            return
+        for row in rows:
+            self.t[row] += 1
+        beta1, beta2 = self.beta1, self.beta2
+        scale, bias2 = self._bias_columns(rows)
+        if len(rows) == active:
+            grad = grads[:active]
+            self._clip_rows(grad)
+            m = self.m[:active]
+            v = self.v[:active]
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            np.multiply(grad, grad, out=grad)  # grad buffer now holds g²
+            v += (1.0 - beta2) * grad
+            denominator = np.sqrt(v / bias2)
+            denominator += self.eps
+            update = scale * m
+            update /= denominator
+            self.params[:active] -= update
+            return
+        index = np.asarray(rows, dtype=np.intp)
+        grad = grads[index]
+        self._clip_rows(grad)
+        m = self.m[index]
+        v = self.v[index]
+        m *= beta1
+        m += (1.0 - beta1) * grad
+        v *= beta2
+        np.multiply(grad, grad, out=grad)
+        v += (1.0 - beta2) * grad
+        self.m[index] = m
+        self.v[index] = v
+        denominator = np.sqrt(v / bias2)
+        denominator += self.eps
+        update = scale * m
+        update /= denominator
+        self.params[index] -= update
+
+    def permute_rows(self, order: Sequence[int], active: int) -> None:
+        """Reorder the first ``active`` rows of the moments and step counts.
+
+        The stacked trainer keeps its lanes sorted by descending window
+        count so that every full step's participants form a contiguous
+        prefix; admissions and compactions can disturb that order, and the
+        matching permutation of the parameter matrix must be mirrored here.
+        Fancy indexing materialises the gathered rows before assignment, so
+        the in-place overwrite is safe for any permutation.
+        """
+        index = np.asarray(list(order), dtype=np.intp)
+        if index.shape[0] != active:
+            raise ValueError("permutation must cover the active prefix")
+        self.m[:active] = self.m[index]
+        self.v[:active] = self.v[index]
+        self.t[:active] = [self.t[row] for row in order]
+
+    def compact_row(self, row: int, active: int) -> None:
+        """Drop ``row`` from the first ``active`` rows, shifting the tail up.
+
+        Row-by-row copies (no overlapping slice assignment); the caller
+        performs the matching shift on the parameter matrix itself.  The
+        vacated row at ``active - 1`` is left cleared for a future refill.
+        """
+        for r in range(row, active - 1):
+            self.m[r] = self.m[r + 1]
+            self.v[r] = self.v[r + 1]
+            self.t[r] = self.t[r + 1]
+        self.reset_row(active - 1)
+
+    def reset_row(self, row: int) -> None:
+        """Zero one lane's moments and step count for a fresh admission."""
+        self.m[row] = 0.0
+        self.v[row] = 0.0
+        self.t[row] = 0
 
 
 def clip_grad_norm_(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -721,6 +721,26 @@ class StackedTrainingEngine(StackedInferenceEngine):
         self._grad_views = grad_views
         self._backward_plans: Dict[tuple, _StackedBackwardPlan] = {}
 
+    def rebind(self, models: Sequence, stacked: Dict[str, np.ndarray],
+               grad_views: Dict[str, np.ndarray]) -> None:
+        """Re-point the engine at a repacked fleet (lane compaction/refill).
+
+        The stacked trainer repacks its ``(K, P)`` matrices in place when a
+        lane retires or a freed lane is refilled from the job queue, then
+        hands the engine the fresh ``(K', *shape)`` views.  Re-running the
+        architecture validation through ``StackedInferenceEngine.__init__``
+        keeps the compatibility guarantees while preserving the arena (and
+        with it every per-shape scratch space), any installed profiling
+        hooks (instance-dict state, untouched here) and the
+        ``parallel_model_axis`` choice.  Cached backward plans are dropped:
+        plans for the new width rebuild on the next step, and stale-width
+        plans must not outlive views they no longer describe.
+        """
+        StackedInferenceEngine.__init__(self, models, arena=self.arena)
+        self._stacked = stacked
+        self._grad_views = grad_views
+        self._backward_plans.clear()
+
     def _stage(self) -> dict:
         """Stage only the genuinely fused layouts; serve the rest as views.
 

@@ -15,6 +15,9 @@ The suite times the layers the training loop actually exercises —
 * ``evaluate``      — ``Trainer._evaluate`` (the no-grad validation pass),
 * ``detector_interpret`` — the causality detector's full interpretation,
 * ``sweep_batched`` — four same-shape discovery jobs through the executor,
+* ``sweep_hetero``  — six mixed-length discovery jobs through the
+  continuous-batching path (shape bucketing, pad-and-mask lanes, lane
+  compaction and queue refill under ``max_lanes``),
 * ``evaluate_stacked``  — four models' validation sets through the stacked
   inference engine (what a batched sweep runs every epoch),
 * ``interpret_batched`` — group detector interpretation of four models in
@@ -65,7 +68,7 @@ REGRESSION_KEY = "train_epoch"
 REGRESSION_KEYS = ("train_epoch", "train_step", "evaluate",
                    "detector_interpret", "evaluate_stacked",
                    "telemetry_overhead", "train_epoch_threaded",
-                   "evaluate_stacked_threaded")
+                   "evaluate_stacked_threaded", "sweep_hetero")
 
 
 def _numbered_reports(root: Optional[str] = None) -> List[Tuple[int, str]]:
@@ -326,6 +329,50 @@ def _payload_sweep_batched() -> Callable[[], None]:
     return run
 
 
+def _hetero_sweep_pairs():
+    """Six mixed-length CausalFormer discovery jobs on fork datasets.
+
+    Three series lengths (200/240/280) with two dataset seeds each — the
+    shape mix of a Table-3-style sweep — so the run exercises shape
+    bucketing, pad-and-mask prefix scheduling, tail sub-stacks, lane
+    compaction and queue refill rather than the exact-shape fast case.
+    """
+    from repro.service.jobs import DiscoveryJob, fingerprint_dataset
+    from repro.service.registry import build_dataset
+
+    config = {
+        "window": 16, "d_model": 24, "d_qk": 24, "d_ffn": 24, "n_heads": 4,
+        "batch_size": 32, "window_stride": 1, "max_epochs": 8,
+        "patience": 1000, "max_detector_windows": 8,
+    }
+    pairs = []
+    job_seed = 0
+    for length in [200, 240, 280]:
+        for dataset_seed in (0, 1):
+            dataset = build_dataset("fork", seed=dataset_seed, length=length)
+            pairs.append((DiscoveryJob(
+                method="causalformer", config=dict(config), dataset="fork",
+                dataset_fingerprint=fingerprint_dataset(dataset),
+                seed=job_seed), dataset))
+            job_seed += 1
+    return pairs
+
+
+def _payload_sweep_hetero() -> Callable[[], None]:
+    """Six mixed-shape discovery jobs through the continuous-batching path:
+    one slack bucket, four live lanes, queue refill as lanes finish."""
+    from repro.service.executor import JobExecutor
+
+    pairs = _hetero_sweep_pairs()
+    executor = JobExecutor(max_workers=1, cache=None, batch_jobs=True,
+                           bucket_slack=0.5, max_lanes=4)
+
+    def run() -> None:
+        executor.run(pairs)
+
+    return run
+
+
 def _stacked_models(n_models: int = 4):
     """Four same-architecture models + per-model window sets (sweep shapes)."""
     from dataclasses import replace
@@ -446,6 +493,7 @@ PAYLOADS: Dict[str, Tuple[Callable[[], Callable[[], None]], int, int]] = {
     "evaluate": (_payload_evaluate, 20, 5),
     "detector_interpret": (_payload_detector_interpret, 9, 3),
     "sweep_batched": (_payload_sweep_batched, 5, 1),
+    "sweep_hetero": (_payload_sweep_hetero, 5, 1),
     "evaluate_stacked": (_payload_evaluate_stacked, 20, 5),
     "interpret_batched": (_payload_interpret_batched, 9, 3),
     "train_epoch_threaded": (_payload_train_epoch_threaded, 9, 3),

@@ -65,6 +65,17 @@ def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(args.cache_dir)
 
 
+def _parse_lengths(raw) -> List[int]:
+    """Sweep ``--length``: one series length, or a comma list cycled across
+    seeds (mixed-shape sweeps exercise the shape-bucketed stacked path)."""
+    if raw is None:
+        return []
+    try:
+        return [int(item) for item in _split_csv(str(raw))]
+    except ValueError:
+        raise SystemExit(f"--length expects integers, got {raw!r}")
+
+
 def _dataset_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
     kwargs: Dict[str, Any] = {}
     if getattr(args, "length", None) is not None:
@@ -152,10 +163,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     seeds = [int(seed) for seed in _split_csv(args.seeds)]
     config = _parse_config(args.config)
 
+    lengths = _parse_lengths(args.length)
     pairs = []
     for dataset_name in datasets:
-        for seed in seeds:
-            dataset = _build_dataset_checked(dataset_name, seed, **_dataset_kwargs(args))
+        for position, seed in enumerate(seeds):
+            kwargs: Dict[str, Any] = {}
+            if lengths:
+                kwargs["length"] = lengths[position % len(lengths)]
+            dataset = _build_dataset_checked(dataset_name, seed, **kwargs)
             fingerprint = fingerprint_dataset(dataset)
             for method in methods:
                 job = DiscoveryJob(
@@ -169,7 +184,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 pairs.append((job, dataset))
 
     executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args),
-                           batch_jobs=args.batch_jobs)
+                           batch_jobs=args.batch_jobs,
+                           bucket_slack=args.bucket_slack,
+                           max_lanes=args.max_lanes)
     results = executor.run(pairs)
     run_path = _persist(args, results, {"subcommand": "sweep", "metric": args.metric})
 
@@ -358,14 +375,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--methods", default="causalformer",
                        help="comma-separated method names")
     sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
-    sweep.add_argument("--length", type=int, default=None,
-                       help="series length (dataset default when omitted)")
+    sweep.add_argument("--length", default=None,
+                       help="series length, or a comma-separated list cycled "
+                            "across seeds (dataset default when omitted)")
     sweep.add_argument("--metric", default="f1",
                        choices=("f1", "precision", "recall", "precision_of_delay"))
     sweep.add_argument("--config", action="append", metavar="KEY=VALUE",
                        help="configuration overrides for --config-method")
     sweep.add_argument("--config-method", default="causalformer",
                        help="method that receives the --config overrides")
+    sweep.add_argument("--bucket-slack", type=float, default=0.0,
+                       help="relative series-length slack for stacking "
+                            "mixed-shape jobs (0 = exact shapes only)")
+    sweep.add_argument("--max-lanes", type=int, default=None,
+                       help="cap on live stacked lanes per group; the rest "
+                            "queue and refill freed lanes")
     sweep.add_argument("--batch-jobs", action="store_true",
                        help="pack same-shape causalformer jobs into stacked "
                             "training passes (identical results, faster)")

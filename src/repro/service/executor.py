@@ -104,6 +104,28 @@ def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(str(cache))
 
 
+def lookup_cached(cache: Optional[ResultCache],
+                  job: DiscoveryJob) -> Optional[JobResult]:
+    """Answer a job from the cache, or ``None`` (shared by executor and
+    the batched scheduler's lane admission)."""
+    if cache is None:
+        return None
+    start = time.perf_counter()
+    payload = cache.get(job.cache_key())
+    if payload is None:
+        return None
+    try:
+        result = JobResult.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    result.cached = True
+    # ``duration`` keeps the original run's compute time (restored from
+    # the cached payload); the price actually paid for this result is
+    # the lookup, recorded separately.
+    result.lookup_duration = time.perf_counter() - start
+    return result
+
+
 class JobExecutor:
     """Fan discovery jobs out over worker processes, through a result cache.
 
@@ -117,24 +139,40 @@ class JobExecutor:
         :class:`~repro.service.cache.ResultCache` there; an existing cache
         instance is used as-is.
     batch_jobs:
-        Pack same-shape CausalFormer jobs into stacked training passes (see
+        Pack compatible CausalFormer jobs into stacked training passes (see
         :mod:`repro.service.batched`).  Each group runs as one unit — one
         in-process pass, or one pool task when workers are available — and
         returns the same results as per-job dispatch, faster.
+    bucket_slack:
+        Relative series-length slack for shape bucketing (``0.0`` groups
+        only exact same-length jobs; ``0.25`` lets lengths within 25% of a
+        bucket's shortest job stack together via pad-and-mask lanes).
+    max_lanes:
+        Cap on a stacked group's live lane count; the rest of the bucket
+        queues and refills lanes freed by compaction.  ``None`` (default)
+        trains each bucket at its full width.
     """
 
     def __init__(self, max_workers: Optional[int] = 1,
                  cache: CacheLike = None,
-                 batch_jobs: bool = False) -> None:
+                 batch_jobs: bool = False,
+                 bucket_slack: float = 0.0,
+                 max_lanes: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None for cpu_count)")
         if max_workers is None:
             import os
 
             max_workers = os.cpu_count() or 1
+        if bucket_slack < 0:
+            raise ValueError("bucket_slack must be non-negative")
+        if max_lanes is not None and max_lanes < 1:
+            raise ValueError("max_lanes must be at least 1 (or None)")
         self.max_workers = max_workers
         self.cache = _coerce_cache(cache)
         self.batch_jobs = batch_jobs
+        self.bucket_slack = bucket_slack
+        self.max_lanes = max_lanes
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -198,7 +236,12 @@ class JobExecutor:
 
         telemetry = get_telemetry()
         if self.batch_jobs:
-            groups, singles = group_batchable(pending)
+            # The cache travels into grouping too: a job cached between the
+            # run()-level lookup and here (another process finishing it)
+            # must not anchor a bucket.
+            groups, singles = group_batchable(pending,
+                                              slack=self.bucket_slack,
+                                              cache=self.cache)
         else:
             groups, singles = [], list(pending)
         results: dict = {}
@@ -213,13 +256,15 @@ class JobExecutor:
             dtype = str(get_default_dtype())
             collect = telemetry.enabled
             engine_threads = get_engine_threads()
+            cache_dir = self.cache.directory if self.cache is not None else None
             try:
                 with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                     group_futures = [
                         (members,
                          pool.submit(execute_batched_jobs_with_dtype,
                                      [pair for _idx, pair in members], dtype,
-                                     collect, engine_threads))
+                                     collect, engine_threads,
+                                     self.max_lanes, cache_dir))
                         for members in groups]
                     single_futures = [
                         (index, job,
@@ -253,7 +298,9 @@ class JobExecutor:
                                 pending=len(pending))
                 results.clear()
         for members in groups:
-            fresh = execute_batched_jobs([pair for _idx, pair in members])
+            fresh = execute_batched_jobs([pair for _idx, pair in members],
+                                         max_lanes=self.max_lanes,
+                                         cache=self.cache)
             for (index, _pair), result in zip(members, fresh):
                 results[index] = result
         for index, (job, dataset) in singles:
@@ -269,28 +316,17 @@ class JobExecutor:
         return result
 
     def _lookup(self, job: DiscoveryJob) -> Optional[JobResult]:
-        if self.cache is None:
-            return None
-        start = time.perf_counter()
-        payload = self.cache.get(job.cache_key())
-        if payload is None:
-            return None
-        try:
-            result = JobResult.from_dict(payload)
-        except (KeyError, TypeError, ValueError):
-            return None
-        result.cached = True
-        # ``duration`` keeps the original run's compute time (restored from
-        # the cached payload); the price actually paid for this result is
-        # the lookup, recorded separately.
-        result.lookup_duration = time.perf_counter() - start
-        return result
+        return lookup_cached(self.cache, job)
 
     def _store(self, result: JobResult) -> None:
-        if self.cache is None or not result.ok:
+        # ``cached`` results came *from* the cache (possibly via a stacked
+        # group's admission-time lookup) — don't rewrite them.
+        if self.cache is None or not result.ok or result.cached:
             return
         self.cache.put(result.job.cache_key(), result.to_dict())
 
     def __repr__(self) -> str:
         return (f"JobExecutor(max_workers={self.max_workers}, "
-                f"cache={self.cache!r}, batch_jobs={self.batch_jobs})")
+                f"cache={self.cache!r}, batch_jobs={self.batch_jobs}, "
+                f"bucket_slack={self.bucket_slack}, "
+                f"max_lanes={self.max_lanes})")

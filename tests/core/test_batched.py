@@ -101,17 +101,24 @@ class TestValidation:
         trainer = StackedCausalFormerTrainer(models)
         assert trainer.config.single_kernel
 
-    def test_rejects_unequal_validation_counts(self):
+    def test_unequal_validation_counts_train_identically(self):
         """Equal training shapes with unequal validation shapes (a round()
-        artefact of the validation fraction) must be rejected up front."""
-        config = replace(base_config(validation_fraction=0.1), n_series=4)
-        models = [CausalityAwareTransformer(config),
-                  CausalityAwareTransformer(replace(config, seed=1))]
+        artefact of the validation fraction) train bit-identically: the
+        grouped evaluation runs each validation count at its exact shape."""
+        configs = [replace(base_config(validation_fraction=0.1, max_epochs=3),
+                           n_series=4, seed=seed) for seed in range(2)]
         # window=12, stride=2: lengths 220 and 222 give 105 and 106 windows,
         # which split into 95 + 10 and 95 + 11 under a 0.1 fraction.
-        with pytest.raises(ValueError, match="same-shape"):
-            StackedCausalFormerTrainer(models).fit(
-                [make_series(0, length=220), make_series(1, length=222)])
+        values_list = [make_series(0, length=220), make_series(1, length=222)]
+        sequential = [CausalityAwareTransformer(config) for config in configs]
+        for model, config, values in zip(sequential, configs, values_list):
+            Trainer(model, config).fit(values)
+        stacked = [CausalityAwareTransformer(config) for config in configs]
+        StackedCausalFormerTrainer(stacked).fit(values_list)
+        for model_a, model_b in zip(sequential, stacked):
+            for (name, param_a), (_n, param_b) in zip(
+                    model_a.named_parameters(), model_b.named_parameters()):
+                assert np.array_equal(param_a.data, param_b.data), name
 
     def test_rejects_empty_model_list(self):
         with pytest.raises(ValueError, match="at least one"):
@@ -124,13 +131,15 @@ class TestValidation:
         with pytest.raises(ValueError, match="one dataset per model"):
             StackedCausalFormerTrainer(models).fit([make_series(0)])
 
-    def test_rejects_different_window_counts(self):
+    def test_rejects_mismatched_variable_counts(self):
+        """Lanes must share the (N, T) window geometry — padding the model's
+        own variable axis would change every GEMM."""
         config = replace(base_config(), n_series=4)
         models = [CausalityAwareTransformer(config),
                   CausalityAwareTransformer(replace(config, seed=1))]
-        with pytest.raises(ValueError, match="same-shape"):
+        with pytest.raises(ValueError, match="window geometry"):
             StackedCausalFormerTrainer(models).fit(
-                [make_series(0), make_series(1, length=120)])
+                [make_series(0), make_series(1, n_series=3)])
 
 
 class TestSingleKernelBitIdentity:
@@ -167,11 +176,11 @@ class TestSingleKernelBitIdentity:
             assert history_a.best_epoch == history_b.best_epoch
 
 
-class TestRestoreKeepsStackBacked:
-    def test_best_state_restore_copies_into_stack(self):
-        """Restoring best states must write *into* the (K, P) stack, not
-        re-point parameters at the snapshot arrays (which detaches every
-        engine and stacked view bound to the shared storage)."""
+class TestRetiredModelsOwnTheirWeights:
+    def test_best_state_restore_detaches_from_stack(self):
+        """A finished lane's model leaves with *owned* best-epoch arrays —
+        its stack row is compacted away and may be reused by a refilled
+        lane, so the restored weights must not alias the (K, P) matrix."""
         values_list = [make_series(seed + 60) for seed in range(2)]
         configs = [replace(base_config(max_epochs=8, patience=1,
                                        min_delta=10.0),
@@ -183,7 +192,10 @@ class TestRestoreKeepsStackBacked:
         assert any(history.stopped_early for history in histories)
         for row in range(len(models)):
             for parameter in trainer._parameters[row]:
-                assert np.shares_memory(parameter.data, trainer.params)
+                assert not np.shares_memory(parameter.data, trainer.params)
+        for model in models:
+            windows = make_series(9)[:, :model.config.window][None]
+            assert np.isfinite(model.predict(windows)).all()
 
 
 class TestDivergenceStopsRow:
@@ -203,7 +215,10 @@ class TestDivergenceStopsRow:
         def poisoned(self, xb):
             losses, grads = original(self, xb)
             state["epoch_batches"] += 1
-            if state["epoch_batches"] > 12:   # poison row 0 later epochs
+            # Poison row 0 in later epochs, but only while both lanes are
+            # live — once model 0 retires, lane compaction shifts model 1
+            # into row 0.
+            if state["epoch_batches"] > 12 and len(losses) > 1:
                 losses[0] = float("nan")
             return losses, grads
 
@@ -232,7 +247,8 @@ class TestDivergenceStopsRow:
 
         def poison_row0(self, xb):
             losses, grads = original_stacked(self, xb)
-            losses[0] = float("nan")   # row 0 never sees a finite loss
+            if len(losses) > 1:        # row 0 is model 0 until it retires
+                losses[0] = float("nan")
             return losses, grads
 
         monkeypatch.setattr(StackedCausalFormerTrainer, "_forward_backward",
@@ -259,3 +275,175 @@ class TestDivergenceStopsRow:
                 sequential.named_parameters(),
                 stacked_models[0].named_parameters()):
             assert np.array_equal(param_a.data, param_b.data), name
+
+
+#: the training-relevant Table 3 ablation grid (detector-only switches
+#: never touch a training step), plus the head/penalty axes that change
+#: the backward's accumulation structure — see test_training_engine
+ABLATION_GRID = [
+    {},
+    {"single_kernel": True},
+    {"lambda_kernel": 0.0},
+    {"lambda_mask": 0.0},
+    {"n_heads": 1},
+    {"temperature": 2.5},
+]
+
+
+class TestHeterogeneousShapes:
+    """Pad-and-mask lanes: mixed window counts must train bit-identically.
+
+    Series lengths are chosen so every lane has a different window count
+    (and a different full-step/tail split), forcing masked full steps,
+    ragged tail groups and grouped validation — and, with finite patience,
+    mid-fit lane compaction when lanes stop at different epochs."""
+
+    LENGTHS = [150, 190, 166]
+
+    def _run(self, dtype):
+        from repro.nn.tensor import default_dtype
+
+        with default_dtype(dtype):
+            values_list = [make_series(seed, length=length)
+                           for seed, length in enumerate(self.LENGTHS)]
+            configs = [replace(base_config(max_epochs=6, patience=2),
+                               n_series=v.shape[0], seed=seed)
+                       for seed, v in enumerate(values_list)]
+            sequential = [CausalityAwareTransformer(config)
+                          for config in configs]
+            sequential_histories = [
+                Trainer(model, config).fit(values)
+                for model, config, values in zip(sequential, configs,
+                                                 values_list)]
+            stacked = [CausalityAwareTransformer(config)
+                       for config in configs]
+            trainer = StackedCausalFormerTrainer(stacked)
+            stacked_histories = trainer.fit(values_list)
+        return (sequential, sequential_histories, stacked, stacked_histories,
+                trainer)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_mixed_lengths_bit_identical(self, dtype):
+        sequential, seq_histories, stacked, stk_histories, trainer = \
+            self._run(dtype)
+        for model_a, model_b in zip(sequential, stacked):
+            for (name, param_a), (_n, param_b) in zip(
+                    model_a.named_parameters(), model_b.named_parameters()):
+                assert param_a.data.dtype == param_b.data.dtype
+                assert np.array_equal(param_a.data, param_b.data), name
+        for history_a, history_b in zip(seq_histories, stk_histories):
+            assert history_a.train_loss == history_b.train_loss
+            assert history_a.validation_loss == history_b.validation_loss
+            assert history_a.best_epoch == history_b.best_epoch
+            assert history_a.stopped_early == history_b.stopped_early
+            assert history_a.diverged == history_b.diverged
+
+    def test_padding_is_accounted(self):
+        *_rest, trainer = self._run(np.float64)
+        assert 0.0 < trainer.padded_window_fraction < 1.0
+
+    @pytest.mark.parametrize("overrides", ABLATION_GRID)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_ablation_grid_bit_identical(self, overrides, dtype):
+        """Two mixed-length lanes across the Table 3 ablation grid."""
+        from repro.nn.tensor import default_dtype
+
+        with default_dtype(dtype):
+            values_list = [make_series(7, length=150),
+                           make_series(8, length=198)]
+            configs = [replace(base_config(max_epochs=3, **overrides),
+                               n_series=v.shape[0], seed=seed)
+                       for seed, v in enumerate(values_list)]
+            sequential = [CausalityAwareTransformer(config)
+                          for config in configs]
+            for model, config, values in zip(sequential, configs,
+                                             values_list):
+                Trainer(model, config).fit(values)
+            stacked = [CausalityAwareTransformer(config)
+                       for config in configs]
+            StackedCausalFormerTrainer(stacked).fit(values_list)
+        for model_a, model_b in zip(sequential, stacked):
+            for (name, param_a), (_n, param_b) in zip(
+                    model_a.named_parameters(), model_b.named_parameters()):
+                assert np.array_equal(param_a.data, param_b.data), name
+
+
+class TestCompaction:
+    def test_retired_lanes_stop_consuming_step_time(self, monkeypatch):
+        """Once a lane diverges, the stack repacks to (K-1, P) and later
+        steps run at the narrower width — a dead lane costs nothing."""
+        values_list = [make_series(seed + 100) for seed in range(3)]
+        configs = [replace(base_config(max_epochs=4, patience=1000),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+        models = [CausalityAwareTransformer(config) for config in configs]
+        trainer = StackedCausalFormerTrainer(models)
+
+        original = StackedCausalFormerTrainer._forward_backward
+        widths = []
+
+        def recording(self, xb):
+            widths.append(xb.shape[0])
+            losses, grads = original(self, xb)
+            if len(losses) == 3:       # poison one lane in the full fleet
+                losses[0] = float("nan")
+            return losses, grads
+
+        monkeypatch.setattr(StackedCausalFormerTrainer, "_forward_backward",
+                            recording)
+        histories = trainer.fit(values_list)
+        assert histories[0].diverged
+        assert not histories[1].diverged and not histories[2].diverged
+        assert widths[0] == 3          # epoch 0 runs the full stack
+        assert widths[-1] == 2         # survivors run without the dead lane
+        assert set(widths) == {3, 2}
+
+
+class TestRefill:
+    def test_refilled_lanes_train_bit_identically(self):
+        """A model admitted into a freed lane mid-sweep trains exactly like
+        a fresh solo fit (epoch 0, zeroed Adam state, its own rng)."""
+        lengths = [150, 190, 166, 222, 174]
+        values_list = [make_series(seed, length=length)
+                       for seed, length in enumerate(lengths)]
+        configs = [replace(base_config(max_epochs=6, patience=2),
+                           n_series=v.shape[0], seed=seed)
+                   for seed, v in enumerate(values_list)]
+        sequential = [CausalityAwareTransformer(config) for config in configs]
+        sequential_histories = [
+            Trainer(model, config).fit(values)
+            for model, config, values in zip(sequential, configs, values_list)]
+        stacked = [CausalityAwareTransformer(config) for config in configs]
+        trainer = StackedCausalFormerTrainer(stacked[:3], capacity=3)
+        queue = list(zip(stacked[3:], values_list[3:]))
+
+        def refill(free):
+            admissions = []
+            while free and queue:
+                admissions.append(queue.pop(0))
+                free -= 1
+            return admissions
+
+        histories = trainer.fit(values_list[:3], refill=refill)
+        assert not queue and len(histories) == 5
+        assert len(trainer.models) == 5
+        for model_a, model_b in zip(sequential, stacked):
+            for (name, param_a), (_n, param_b) in zip(
+                    model_a.named_parameters(), model_b.named_parameters()):
+                assert np.array_equal(param_a.data, param_b.data), name
+        for history_a, history_b in zip(sequential_histories, histories):
+            assert history_a.train_loss == history_b.train_loss
+            assert history_a.best_epoch == history_b.best_epoch
+
+    def test_refill_respects_capacity(self):
+        values_list = [make_series(seed + 30) for seed in range(2)]
+        configs = [replace(base_config(max_epochs=2), n_series=4, seed=seed)
+                   for seed in range(2)]
+        models = [CausalityAwareTransformer(config) for config in configs]
+        trainer = StackedCausalFormerTrainer(models, capacity=2)
+        with pytest.raises(RuntimeError, match="no free lane"):
+            trainer._admit_lane(
+                CausalityAwareTransformer(replace(configs[0], seed=9)),
+                make_series(9), __import__("repro.telemetry",
+                                           fromlist=["get_telemetry"])
+                .get_telemetry())

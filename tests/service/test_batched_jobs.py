@@ -210,3 +210,182 @@ class TestUnequalWindowCounts:
         results = JobExecutor(max_workers=1, cache=None,
                               batch_jobs=True).run(pairs)
         assert all(result.ok for result in results)
+
+
+class TestShapeBucketing:
+    """Slack-based length bucketing: mixed-shape jobs stack via pad-and-mask."""
+
+    def test_slack_groups_mixed_lengths(self):
+        pairs = [causalformer_pair(seed, length=length)
+                 for seed, length in enumerate([160, 200, 176])]
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed, slack=0.5)
+        assert len(groups) == 1 and not singles
+        assert sorted(index for index, _pair in groups[0]) == [0, 1, 2]
+
+    def test_zero_slack_reproduces_exact_grouping(self):
+        pairs = [causalformer_pair(seed, length=length)
+                 for seed, length in enumerate([160, 200, 160])]
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed, slack=0.0)
+        assert len(groups) == 1
+        assert sorted(index for index, _pair in groups[0]) == [0, 2]
+        assert [index for index, _pair in singles] == [1]
+
+    def test_slack_bound_is_relative_to_bucket_anchor(self):
+        """Admission compares against the bucket's *shortest* job, so chains
+        of pairwise-close lengths cannot stretch a bucket unboundedly."""
+        pairs = [causalformer_pair(seed, length=length)
+                 for seed, length in enumerate([160, 200, 250])]
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed, slack=0.25)
+        # 200 <= 160 * 1.25, but 250 > 160 * 1.25 even though 250 = 200 * 1.25.
+        assert len(groups) == 1
+        assert sorted(index for index, _pair in groups[0]) == [0, 1]
+        assert [index for index, _pair in singles] == [2]
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            group_batchable([], slack=-0.1)
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_random_shape_mixes_partition_exactly(self, trial):
+        """Property: whatever the shape mix and slack, every job lands in
+        exactly one bucket or the per-job leftovers, buckets meet MIN_GROUP,
+        and every bucket obeys the anchor-relative slack bound."""
+        import numpy as np
+
+        from repro.service.batched import (MIN_GROUP, batch_signature)
+
+        rng = np.random.default_rng(trial)
+        lengths = [160, 168, 176, 200, 240, 300]
+        configs = [dict(CONFIG), dict(CONFIG, single_kernel=True)]
+        pairs = []
+        for seed in range(int(rng.integers(5, 12))):
+            pairs.append(causalformer_pair(
+                seed, length=int(rng.choice(lengths)),
+                config=configs[int(rng.integers(0, 2))]))
+        slack = float(rng.choice([0.0, 0.1, 0.3, 0.6]))
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed, slack=slack)
+        seen = sorted([index for group in groups for index, _pair in group]
+                      + [index for index, _pair in singles])
+        assert seen == list(range(len(pairs)))
+        for group in groups:
+            assert len(group) >= MIN_GROUP
+            signatures = {batch_signature(job, data)
+                          for _idx, (job, data) in group}
+            assert len(signatures) == 1
+            group_lengths = sorted(data.values.shape[1]
+                                   for _idx, (_job, data) in group)
+            assert group_lengths[-1] <= group_lengths[0] * (1.0 + slack)
+
+    def test_mixed_shape_group_executes_identically(self):
+        """The acceptance contract: a slack-bucketed, lane-capped sweep over
+        mixed lengths returns results bit-identical to per-job dispatch."""
+        pairs = [causalformer_pair(seed, length=length)
+                 for seed, length in enumerate([160, 200, 176, 168])]
+        sequential = JobExecutor(max_workers=1, cache=None).run(pairs)
+        batched = JobExecutor(max_workers=1, cache=None, batch_jobs=True,
+                              bucket_slack=0.5, max_lanes=2).run(pairs)
+        for result_a, result_b in zip(sequential, batched):
+            assert result_a.ok and result_b.ok
+            edges_a = sorted(edge.as_tuple() for edge in result_a.graph.edges)
+            edges_b = sorted(edge.as_tuple() for edge in result_b.graph.edges)
+            assert edges_a == edges_b
+            assert result_a.scores.f1 == result_b.scores.f1
+        assert [result.job.seed for result in batched] == [0, 1, 2, 3]
+
+
+class TestCacheAwareGrouping:
+    def test_cached_jobs_never_anchor_a_bucket(self, tmp_path):
+        """A job already answered by the cache goes to the leftovers, so it
+        neither anchors a bucket nor occupies a lane."""
+        cache = ResultCache(str(tmp_path / "cache"))
+        pairs = [causalformer_pair(seed) for seed in range(3)]
+        # Prime the cache with job 0's result.
+        JobExecutor(max_workers=1, cache=cache).run(pairs[:1])
+        indexed = list(enumerate(pairs))
+        groups, singles = group_batchable(indexed, cache=cache)
+        assert [index for index, _pair in singles] == [0]
+        assert len(groups) == 1
+        assert sorted(index for index, _pair in groups[0]) == [1, 2]
+
+    def test_admission_consults_cache(self, tmp_path):
+        """execute_batched_jobs answers cached members from disk and trains
+        only the rest — the cached job never occupies a lane."""
+        from repro.core.batched import StackedCausalFormerTrainer
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        pairs = [causalformer_pair(seed) for seed in range(3)]
+        JobExecutor(max_workers=1, cache=cache).run(pairs[:1])
+
+        trained = []
+        original = StackedCausalFormerTrainer.__init__
+
+        def recording(self, models, capacity=None):
+            trained.append(len(models))
+            return original(self, models, capacity=capacity)
+
+        import repro.core.batched as core_batched
+        try:
+            core_batched.StackedCausalFormerTrainer.__init__ = recording
+            results = execute_batched_jobs(pairs, cache=cache)
+        finally:
+            core_batched.StackedCausalFormerTrainer.__init__ = original
+        assert len(results) == 3
+        assert results[0].cached and results[0].ok
+        assert not results[1].cached and not results[2].cached
+        assert all(result.ok for result in results)
+        assert trained == [2]
+
+    def test_fully_cached_bucket_skips_training(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        pairs = [causalformer_pair(seed) for seed in range(2)]
+        JobExecutor(max_workers=1, cache=cache).run(pairs)
+        results = execute_batched_jobs(pairs, cache=cache)
+        assert len(results) == 2
+        assert all(result.cached and result.ok for result in results)
+
+
+class TestMaxLanes:
+    def test_lane_cap_with_queue_refill_matches_full_width(self):
+        """Capping lanes forces admission-queue refill; results must match
+        the uncapped stacked run (which matches per-job dispatch)."""
+        pairs = [causalformer_pair(seed) for seed in range(4)]
+        full = execute_batched_jobs(pairs)
+        capped = execute_batched_jobs(pairs, max_lanes=2)
+        for result_a, result_b in zip(full, capped):
+            assert result_a.ok and result_b.ok
+            edges_a = sorted(edge.as_tuple() for edge in result_a.graph.edges)
+            edges_b = sorted(edge.as_tuple() for edge in result_b.graph.edges)
+            assert edges_a == edges_b
+
+
+class TestSchedulerTelemetry:
+    def test_lane_lifecycle_is_observable(self):
+        """The continuous-batching scheduler reports its lane occupancy,
+        compaction/refill churn, and padding waste."""
+        from repro.telemetry import capture, reset
+
+        pairs = [causalformer_pair(seed, length=length)
+                 for seed, length in enumerate([160, 200, 176])]
+        try:
+            with capture() as telemetry:
+                results = execute_batched_jobs(pairs, max_lanes=2)
+        finally:
+            reset(close=False)
+        assert all(result.ok for result in results)
+
+        def events(name):
+            return [record for record in telemetry.records()
+                    if record.get("kind") == "event"
+                    and record.get("name") == name]
+
+        # Every trained job's lane retires through compaction; the third
+        # job waits in the queue and is admitted into a freed lane.
+        assert len(events("lane_compacted")) == 3
+        assert len(events("lane_refilled")) == 1
+        assert telemetry.gauge("scheduler.lanes_active").value == 0.0
+        fraction = telemetry.gauge("scheduler.padded_window_fraction").value
+        assert 0.0 <= fraction < 1.0
