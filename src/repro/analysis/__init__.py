@@ -1,0 +1,47 @@
+"""Pluggable AST lint framework enforcing the engine invariants.
+
+The fused engines' performance and correctness contracts — arena-only
+allocation in steady state, no silent float64 promotion, declared
+``parallel_for`` outputs, the telemetry null-object guarantee, no stray
+``print`` — are statically checkable from the AST.  This package checks
+them on every commit:
+
+.. code-block:: console
+
+    $ python -m repro lint                 # text report, exit 1 on findings
+    $ python -m repro lint --format json   # CI artifact
+    $ python -m repro lint --list-rules    # rule catalogue
+
+Violations that are *deliberate* (blessed float64 promotion sites, the
+cold-start fallback in an otherwise hot helper) carry a justified
+suppression comment in the source::
+
+    out = np.empty(shape)  # repro: allow(hot-path-alloc): cold-start fallback, engine call sites pass out=
+
+Suppressions without a justification — or naming an unknown rule — are
+themselves lint errors (:mod:`repro.analysis.suppressions`).
+
+Extending
+---------
+Register new rules with :func:`register`; a checker is one class with a
+``name``, a ``description`` and a ``check(module, config)`` generator (see
+:class:`Checker`).  The built-ins live in :mod:`repro.analysis.checkers`
+and double as reference implementations.
+"""
+
+from repro.analysis.base import (Checker, CheckerConfig, Finding, LintConfig,
+                                 ModuleSource)
+from repro.analysis.registry import (build_checkers, get_checker, register,
+                                     rule_names)
+from repro.analysis.runner import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
+                                   LintResult, default_root, lint_paths)
+from repro.analysis.suppressions import (SUPPRESSION_RULE, SuppressionSheet,
+                                         parse_suppressions)
+
+__all__ = [
+    "Checker", "CheckerConfig", "EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS",
+    "Finding", "LintConfig", "LintResult", "ModuleSource",
+    "SUPPRESSION_RULE", "SuppressionSheet", "build_checkers",
+    "default_root", "get_checker", "lint_paths", "parse_suppressions",
+    "register", "rule_names",
+]

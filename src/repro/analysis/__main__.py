@@ -1,0 +1,13 @@
+"""``python -m repro.analysis`` — stdlib-only lint entry point.
+
+Equivalent to ``python -m repro lint`` but importable before the
+scientific stack: CI's lint job uses this path so a numpy-level breakage
+cannot take the lint gate down with it.
+"""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Built-in checkers — importing this package registers all of them.
+
+Each module defines one rule:
+
+``hot-path-alloc``
+    No allocating numpy calls inside ``@hot_path`` functions.
+``dtype-purity``
+    No silent float64 promotion in engine modules.
+``parallel-outputs``
+    Every buffer a ``parallel_for`` body writes is declared in ``outputs=``.
+``telemetry-guard``
+    Hot-module telemetry emissions stay behind ``.enabled`` guards.
+``no-print``
+    No ``print()`` outside the CLI allowlist.
+"""
+
+from repro.analysis.checkers import (dtype_purity, hot_path_alloc,  # noqa: F401
+                                     no_print, parallel_outputs,
+                                     telemetry_guard)

@@ -1,0 +1,123 @@
+"""``hot-path-alloc``: no steady-state allocation inside ``@hot_path`` code.
+
+The fused engines (PR 3/7) draw every large temporary from a
+:class:`~repro.nn.inference.ScratchArena`, so a steady-state training step
+or evaluation performs no heap allocation of large arrays.  That contract
+used to be guarded only by ``buffer_ids()`` identity tests, which see the
+shapes the tests exercise; this rule makes it shape-independent by flagging
+*any* allocating numpy call inside a function marked hot:
+
+* ``np.zeros`` / ``np.empty`` / ``np.concatenate`` / ``np.array`` / ... —
+  the configured :attr:`~repro.analysis.base.CheckerConfig.allocating_calls`;
+* ``.copy()`` on anything;
+* ``.astype(...)`` without ``copy=False`` (with ``copy=False`` it is a
+  no-op when the dtype already matches — the fused engines' idiom).
+
+A function is hot when it carries the :func:`repro.contracts.hot_path`
+decorator or is listed in
+:attr:`~repro.analysis.base.CheckerConfig.hot_functions`.  Nested
+functions (the ``parallel_for`` chunk bodies) inherit hotness from their
+enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import Checker, Finding, LintConfig, ModuleSource
+from repro.analysis.registry import register
+
+
+def _decorator_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _astype_is_copy_free(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "copy" \
+                and isinstance(keyword.value, ast.Constant) \
+                and keyword.value.value is False:
+            return True
+    return False
+
+
+@register
+class HotPathAllocChecker(Checker):
+    name = "hot-path-alloc"
+    description = ("allocating numpy call inside a @hot_path function — "
+                   "draw from the scratch arena or pass out=")
+
+    def check(self, module: ModuleSource,
+              config: LintConfig) -> Iterator[Finding]:
+        checkers = config.checkers
+        allocating = set(checkers.allocating_calls)
+        hot_decorators = set(checkers.hot_decorators)
+        explicit = {qualname for path, qualname in checkers.hot_functions
+                    if path == module.path}
+
+        def walk(node: ast.AST, qualprefix: str, hot: bool,
+                 hot_name: str) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = qualprefix + child.name
+                    child_hot = hot or qualname in explicit or any(
+                        _decorator_name(decorator) in hot_decorators
+                        for decorator in child.decorator_list)
+                    yield from walk(child, qualname + ".",
+                                    child_hot,
+                                    hot_name if hot else qualname)
+                elif isinstance(child, ast.ClassDef):
+                    yield from walk(child, qualprefix + child.name + ".",
+                                    False, "")
+                elif isinstance(child, ast.Lambda) and hot:
+                    yield from self._check_expression(
+                        child, module, allocating, hot_name)
+                    continue
+                else:
+                    if hot:
+                        yield from self._check_expression(
+                            child, module, allocating, hot_name)
+                    else:
+                        yield from walk(child, qualprefix, hot, hot_name)
+
+        yield from walk(module.tree, "", False, "")
+
+    def _check_expression(self, node: ast.AST, module: ModuleSource,
+                          allocating, hot_name: str) -> Iterator[Finding]:
+        """Flag allocating calls in a subtree that is entirely hot."""
+        for current in ast.walk(node):
+            if not isinstance(current, ast.Call):
+                continue
+            func = current.func
+            if isinstance(func, ast.Attribute):
+                receiver = func.value
+                if isinstance(receiver, ast.Name) \
+                        and receiver.id in ("np", "numpy"):
+                    if func.attr in allocating:
+                        yield Finding(
+                            self.name, module.path,
+                            current.lineno, current.col_offset,
+                            f"np.{func.attr} allocates inside hot path "
+                            f"{hot_name!r}; use an arena buffer or out=")
+                elif func.attr == "copy" and not current.args \
+                        and not current.keywords:
+                    yield Finding(
+                        self.name, module.path,
+                        current.lineno, current.col_offset,
+                        f".copy() allocates inside hot path {hot_name!r}; "
+                        "copy into an arena buffer with np.copyto")
+                elif func.attr == "astype" \
+                        and not _astype_is_copy_free(current):
+                    yield Finding(
+                        self.name, module.path,
+                        current.lineno, current.col_offset,
+                        f".astype(...) without copy=False allocates inside "
+                        f"hot path {hot_name!r}; stage the cast once or "
+                        "pass copy=False")

@@ -1,0 +1,38 @@
+"""``no-print``: library code must not call ``print()``.
+
+Library output goes through :mod:`repro.telemetry` — a stray ``print``
+cannot be redirected to a trace file, silenced by a consumer, or attributed
+to a span.  CLI modules whose stdout *is* the product are allowlisted in
+:class:`~repro.analysis.base.CheckerConfig`.
+
+This is the former ``tools/check_print.py`` walk, re-homed as a plugin
+(``tools/check_print.py`` remains as a thin shim over this rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, Finding, LintConfig, ModuleSource
+from repro.analysis.registry import register
+
+
+@register
+class NoPrintChecker(Checker):
+    name = "no-print"
+    description = ("print() outside the CLI allowlist — route output "
+                   "through repro.telemetry")
+
+    def check(self, module: ModuleSource,
+              config: LintConfig) -> Iterator[Finding]:
+        if module.path in config.checkers.print_allowlist:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "print":
+                yield Finding(
+                    self.name, module.path, node.lineno, node.col_offset,
+                    "print() call in library code; emit a telemetry event "
+                    "(repro.telemetry) or use an allowlisted CLI module")

@@ -1,0 +1,234 @@
+"""``parallel-outputs``: every buffer a ``parallel_for`` body writes must be
+declared in ``outputs=``.
+
+The threaded engines' bit-exactness contract rests on chunk bodies writing
+*disjoint slices of declared buffers* — the runtime audit
+(``REPRO_PARALLEL_DEBUG``, see :func:`repro.nn.parallel.parallel_for`)
+asserts disjointness via ``np.shares_memory``, but it can only audit the
+arrays the call site *declared*, and only for the shapes a run happens to
+exercise.  This rule closes both gaps statically: for every
+``parallel_for(body, n, outputs=...)`` call whose body is a local ``def``
+or ``lambda``, the names the body assigns into (slice assignment, ``out=``
+keywords, ``np.copyto`` targets, ``.fill`` receivers, augmented
+assignment) must be either
+
+* **chunk-local** — bound inside the body (a view like
+  ``rows = flat[lo:hi]`` counts as a write to its base, which is resolved
+  through the alias), or
+* **declared** — the base of an ``(array, axis)`` pair in ``outputs=``.
+
+A body that writes anything while the call has no ``outputs=`` at all is
+flagged the same way — an undeclared output is invisible to the runtime
+audit, which is exactly how a silent data race gets introduced.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import Checker, Finding, LintConfig, ModuleSource
+from repro.analysis.registry import register
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _declared_outputs(call: ast.Call) -> Optional[Tuple[Set[str], bool]]:
+    """``(base names, exhaustive)`` declared in ``outputs=``.
+
+    ``None`` when the kwarg is absent.  Concatenated declarations like
+    ``((a, 0),) + tuple((v, 0) for v in views)`` resolve the literal part
+    and come back non-exhaustive — the generated pairs cannot be
+    enumerated statically, so undeclared-name checking is skipped for
+    such calls (the runtime audit still covers them in full).
+    """
+    for keyword in call.keywords:
+        if keyword.arg == "outputs":
+            return _collect_pairs(keyword.value)
+    return None
+
+
+def _collect_pairs(value: ast.AST) -> Tuple[Set[str], bool]:
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add):
+        left, left_exhaustive = _collect_pairs(value.left)
+        right, right_exhaustive = _collect_pairs(value.right)
+        return left | right, left_exhaustive and right_exhaustive
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return set(), False
+    declared: Set[str] = set()
+    for element in value.elts:
+        if isinstance(element, (ast.Tuple, ast.List)) and element.elts:
+            name = Checker.subscript_base(element.elts[0])
+            if name is not None:
+                declared.add(name)
+    return declared, True
+
+
+class _BodyWrites(ast.NodeVisitor):
+    """Collects the buffers a chunk body writes, resolving local aliases."""
+
+    def __init__(self, parameters: Set[str]) -> None:
+        #: names bound inside the body (chunk-local by construction)
+        self.local: Set[str] = set(parameters)
+        #: local name -> dotted base it is a view of (``rows = flat[lo:hi]``)
+        self.aliases: Dict[str, str] = {}
+        #: (dotted base, line, column) of every write
+        self.writes: List[Tuple[str, int, int]] = []
+
+    # -- write resolution ---------------------------------------------- #
+    def _record(self, node: ast.AST) -> None:
+        base = Checker.subscript_base(node)
+        if base is None:
+            return
+        root = base.split(".", 1)[0]
+        if base in self.aliases:
+            base = self.aliases[base]
+        elif root in self.local:
+            return  # chunk-local buffer: disjoint by construction
+        self.writes.append((base, node.lineno, node.col_offset))
+
+    def _bind(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.local.add(target.id)
+            if isinstance(value, ast.Subscript):
+                base = Checker.subscript_base(value)
+                if base is not None \
+                        and base.split(".", 1)[0] not in self.local:
+                    self.aliases[target.id] = base
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, ast.Constant(value=None))
+        elif isinstance(target, ast.Subscript):
+            self._record(target)
+
+    # -- visitors ------------------------------------------------------- #
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._bind(target, node.value)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, node.value)
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            # In-place update of a local view writes through to its base.
+            name = node.target.id
+            if name in self.aliases:
+                self.writes.append((self.aliases[name],
+                                    node.lineno, node.col_offset))
+        else:
+            self._record(node.target)
+        self.visit(node.value)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind(node.target, ast.Constant(value=None))
+        self.generic_visit(node)
+
+    def visit_comprehension_target(self, node) -> None:  # pragma: no cover
+        self._bind(node, ast.Constant(value=None))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name == "copyto" and node.args:
+            self._record(node.args[0])
+        elif name == "fill" and isinstance(node.func, ast.Attribute):
+            self._record(node.func.value)
+        for keyword in node.keywords:
+            if keyword.arg == "out":
+                self._record(keyword.value)
+        self.generic_visit(node)
+
+
+def _resolve_body(call: ast.Call,
+                  scope_functions: Dict[str, ast.FunctionDef]):
+    """The body callable of a ``parallel_for`` call, when statically known."""
+    if not call.args:
+        return None
+    body = call.args[0]
+    if isinstance(body, ast.Lambda):
+        return body
+    if isinstance(body, ast.Name):
+        return scope_functions.get(body.id)
+    return None
+
+
+@register
+class ParallelOutputsChecker(Checker):
+    name = "parallel-outputs"
+    description = ("parallel_for body writes a buffer not declared in "
+                   "outputs= (invisible to the aliasing audit)")
+
+    def check(self, module: ModuleSource,
+              config: LintConfig) -> Iterator[Finding]:
+        # Local function definitions per enclosing scope, for body-by-name.
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.Module)):
+                continue
+            functions: Dict[str, ast.FunctionDef] = {
+                statement.name: statement
+                for statement in ast.walk(scope)
+                if isinstance(statement, ast.FunctionDef)}
+            for node in self._direct_calls(scope):
+                yield from self._check_call(node, functions, module)
+
+    @staticmethod
+    def _direct_calls(scope: ast.AST) -> Iterator[ast.Call]:
+        """``parallel_for`` calls belonging to this scope (not nested defs)."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call) \
+                    and _call_name(node) == "parallel_for":
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, call: ast.Call,
+                    functions: Dict[str, ast.FunctionDef],
+                    module: ModuleSource) -> Iterator[Finding]:
+        body = _resolve_body(call, functions)
+        if body is None:
+            return  # dynamic body: not statically analysable
+        parameters = {argument.arg for argument in body.args.args}
+        writes = _BodyWrites(parameters)
+        if isinstance(body, ast.Lambda):
+            writes.visit(body.body)
+        else:
+            for statement in body.body:
+                writes.visit(statement)
+        if not writes.writes:
+            return
+        outputs = _declared_outputs(call)
+        if outputs is None:
+            names = sorted({base for base, _line, _column in writes.writes})
+            yield Finding(
+                self.name, module.path, call.lineno, call.col_offset,
+                "parallel_for call declares no outputs= but its body writes "
+                + ", ".join(names) + "; declare every written buffer so the "
+                "aliasing audit can cover it")
+            return
+        declared, exhaustive = outputs
+        if not exhaustive:
+            return  # generated pairs: leave coverage to the runtime audit
+        seen: Set[str] = set()
+        for base, line, column in writes.writes:
+            if base in declared or base in seen:
+                continue
+            seen.add(base)
+            yield Finding(
+                self.name, module.path, line, column,
+                f"parallel_for body writes {base!r} which is not declared "
+                "in outputs=; the aliasing audit cannot see it")

@@ -1,0 +1,187 @@
+"""``telemetry-guard``: hot-module emissions stay behind ``.enabled``.
+
+PR 6's null-object contract: with telemetry off, a hot path pays one
+attribute check (``telemetry.enabled``) and nothing else.  An unguarded
+``telemetry.event(...)`` still builds its kwargs dict every step, an
+unguarded ``telemetry.counter(f"...")`` formats a metric name and takes the
+registry lock — death by a thousand no-ops.  This rule flags, in the
+configured hot modules, every telemetry emission (``event`` / ``trace`` /
+``counter`` / ``gauge`` / ``histogram`` / ``emit`` / ``record``) that is not
+*dominated* by an enabled-style guard:
+
+* an ancestor ``if``/ternary whose test reads ``.enabled`` or
+  ``.engine_profiling``, or
+* an earlier ``if not <x>.enabled: return/raise/continue`` in the same
+  block (the early-exit idiom).
+
+Metric-name f-strings get a dedicated message — even a cheap emission must
+not format names per call (resolve the metric once and cache it, as
+:func:`repro.nn.inference.profiling_hook` does).
+
+Receivers are recognised structurally — a value returned by
+``get_telemetry()`` / ``verbose_telemetry()`` (directly or via a local
+binding) — and by the conventional names ``telemetry`` / ``tel`` (which
+covers runtimes received as function parameters).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.base import Checker, Finding, LintConfig, ModuleSource
+from repro.analysis.registry import register
+
+_EMISSION_METHODS = ("event", "trace", "counter", "gauge", "histogram",
+                     "emit", "record")
+_NAMED_METRICS = ("event", "trace", "counter", "gauge", "histogram")
+_SOURCE_CALLS = ("get_telemetry", "verbose_telemetry")
+_CONVENTIONAL = ("telemetry", "tel")
+_GUARD_ATTRS = ("enabled", "engine_profiling")
+
+
+def _mentions_guard_attribute(node: ast.AST) -> bool:
+    return any(isinstance(child, ast.Attribute) and child.attr in _GUARD_ATTRS
+               for child in ast.walk(node))
+
+
+def _is_source_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else \
+        func.id if isinstance(func, ast.Name) else ""
+    return name in _SOURCE_CALLS
+
+
+def _exits_block(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1],
+                                     (ast.Return, ast.Raise, ast.Continue,
+                                      ast.Break))
+
+
+class _FunctionAuditor:
+    """Audits one function body for unguarded emissions."""
+
+    def __init__(self, checker: "TelemetryGuardChecker",
+                 module: ModuleSource) -> None:
+        self.checker = checker
+        self.module = module
+        self.findings: List[Finding] = []
+        self.receivers: Set[str] = set(_CONVENTIONAL)
+
+    def audit(self, function: ast.AST) -> None:
+        # Pass 1: local names bound (anywhere in the function) to a
+        # telemetry runtime; conservative and flow-insensitive.
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and _is_source_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.receivers.add(target.id)
+        # Pass 2: walk statements tracking guard domination.
+        self._walk_block(function.body, guarded=False)
+
+    # ------------------------------------------------------------------ #
+    def _walk_block(self, body: List[ast.stmt], guarded: bool) -> None:
+        for statement in body:
+            # ``if not tel.enabled: return`` dominates the rest of the block.
+            if isinstance(statement, ast.If) \
+                    and isinstance(statement.test, ast.UnaryOp) \
+                    and isinstance(statement.test.op, ast.Not) \
+                    and _mentions_guard_attribute(statement.test) \
+                    and _exits_block(statement.body):
+                self._walk_statement(statement, guarded=True)
+                guarded = True
+                continue
+            self._walk_statement(statement, guarded)
+
+    def _walk_statement(self, statement: ast.stmt, guarded: bool) -> None:
+        if isinstance(statement, ast.If):
+            test_guards = _mentions_guard_attribute(statement.test)
+            self._check_expression(statement.test, guarded)
+            self._walk_block(statement.body, guarded or test_guards)
+            self._walk_block(statement.orelse, guarded)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._check_expression(statement.iter, guarded)
+            self._walk_block(statement.body, guarded)
+            self._walk_block(statement.orelse, guarded)
+            return
+        if isinstance(statement, ast.While):
+            self._check_expression(statement.test, guarded)
+            self._walk_block(statement.body, guarded)
+            self._walk_block(statement.orelse, guarded)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._check_expression(item.context_expr, guarded)
+            self._walk_block(statement.body, guarded)
+            return
+        if isinstance(statement, ast.Try):
+            self._walk_block(statement.body, guarded)
+            for handler in statement.handlers:
+                self._walk_block(handler.body, guarded)
+            self._walk_block(statement.orelse, guarded)
+            self._walk_block(statement.finalbody, guarded)
+            return
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            # Nested scopes are audited separately by the checker.
+            return
+        self._check_expression(statement, guarded)
+
+    # ------------------------------------------------------------------ #
+    def _receiver_is_telemetry(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.receivers
+        return _is_source_call(node)
+
+    def _check_expression(self, node: ast.AST, guarded: bool) -> None:
+        for current in ast.walk(node):
+            if not isinstance(current, ast.Call) \
+                    or not isinstance(current.func, ast.Attribute):
+                continue
+            method = current.func.attr
+            if method not in _EMISSION_METHODS:
+                continue
+            if not self._receiver_is_telemetry(current.func.value):
+                continue
+            # A ternary guard on the same expression also dominates.
+            effective = guarded or any(
+                isinstance(ancestor, ast.IfExp)
+                and _mentions_guard_attribute(ancestor.test)
+                for ancestor in self.module.ancestors(current))
+            fstring = method in _NAMED_METRICS and current.args \
+                and isinstance(current.args[0], ast.JoinedStr)
+            if effective:
+                continue
+            if fstring:
+                message = (f"telemetry .{method}() formats an f-string "
+                           "metric name on a hot module without an "
+                           "enabled-guard; resolve the metric once and "
+                           "cache it")
+            else:
+                message = (f"telemetry .{method}() on a hot module is not "
+                           "dominated by an 'if telemetry.enabled' guard; "
+                           "the telemetry-off contract is one attribute "
+                           "check per step")
+            self.findings.append(Finding(
+                self.checker.name, self.module.path,
+                current.lineno, current.col_offset, message))
+
+
+@register
+class TelemetryGuardChecker(Checker):
+    name = "telemetry-guard"
+    description = ("telemetry emission in a hot module not dominated by an "
+                   "if telemetry.enabled guard")
+
+    def check(self, module: ModuleSource,
+              config: LintConfig) -> Iterator[Finding]:
+        if module.path not in config.checkers.telemetry_modules:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                auditor = _FunctionAuditor(self, module)
+                auditor.audit(node)
+                yield from auditor.findings

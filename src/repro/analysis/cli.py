@@ -1,0 +1,92 @@
+"""``python -m repro lint`` / ``tools/lint.py`` — the lint CLI.
+
+The argument surface is shared between the standalone entry point
+(:func:`main`) and the ``lint`` subcommand of the service CLI
+(:func:`add_arguments` + :func:`run`), so both invocations behave
+identically.
+
+Exit codes: ``0`` clean, ``1`` unsuppressed findings, ``2`` usage or
+internal error — suitable for CI gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.registry import build_checkers, rule_names
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import (EXIT_ERROR, default_root, lint_paths)
+from repro.analysis.base import LintConfig
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src/repro under the repo root)")
+    parser.add_argument("--rules", default=None, metavar="R1,R2",
+                        help="comma-separated rule names (default: all)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json"), dest="output_format",
+                        help="report format (default: %(default)s)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the report to this file "
+                             "(CI artifact)")
+    parser.add_argument("--root", default=None,
+                        help="repository root reported paths are relative "
+                             "to (default: auto-detected)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for checker in build_checkers():
+            print(f"{checker.name}: {checker.description}")
+        return 0
+    root = args.root if args.root is not None else default_root()
+    rules: Optional[Sequence[str]] = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",")
+                 if name.strip()]
+    try:
+        result = lint_paths(paths=args.paths or None, rules=rules,
+                            config=LintConfig(root=root))
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    render = render_json if args.output_format == "json" else render_text
+    report = render(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        summary = ("clean" if not result.findings
+                   else f"{len(result.findings)} finding(s)")
+        print(f"lint report written to {args.output} ({summary}, "
+              f"{result.files_checked} file(s) checked)")
+        if args.output_format == "text" or result.findings:
+            print(report)
+    else:
+        print(report)
+    return result.exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis: enforce the engine invariants "
+                    f"({', '.join(rule_names())}).")
+    add_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The checker registry: rules register by name, runs select by name.
+
+Built-in checkers register at import of :mod:`repro.analysis.checkers`;
+third-party code registers its own :class:`~repro.analysis.base.Checker`
+subclasses the same way::
+
+    from repro.analysis import Checker, register
+
+    @register
+    class NoEvalChecker(Checker):
+        name = "no-eval"
+        description = "eval() is banned in library code"
+        def check(self, module, config):
+            ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.base import Checker
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(checker_class: Type[Checker]) -> Type[Checker]:
+    """Class decorator: add a checker to the registry (idempotent per name)."""
+    name = checker_class.name
+    if not name:
+        raise ValueError(
+            f"checker {checker_class.__name__} declares no rule name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not checker_class:
+        raise ValueError(f"rule name {name!r} is already registered "
+                         f"by {existing.__name__}")
+    _REGISTRY[name] = checker_class
+    return checker_class
+
+
+def _ensure_builtins() -> None:
+    # Importing the subpackage runs each builtin's @register decorator.
+    from repro.analysis import checkers  # noqa: F401 — import for effect
+
+
+def rule_names() -> List[str]:
+    """Every registered rule name, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_checker(name: str) -> Checker:
+    """Instantiate the checker registered under ``name``."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(f"unknown lint rule {name!r} "
+                       f"(known: {', '.join(rule_names())})") from None
+
+
+def build_checkers(names: Optional[Sequence[str]] = None) -> List[Checker]:
+    """Instantiate the selected checkers (all of them when ``names`` is None)."""
+    return [get_checker(name) for name in (names or rule_names())]

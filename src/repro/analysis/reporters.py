@@ -1,0 +1,57 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON schema is versioned and stable — CI uploads it as an artifact and
+the tree-clean test asserts against it::
+
+    {
+      "version": 1,
+      "root": "<absolute repo root>",
+      "rules": ["dtype-purity", ...],
+      "files_checked": 73,
+      "suppressed": 16,
+      "findings": [
+        {"rule": "...", "path": "src/...", "line": 1, "column": 0,
+         "message": "..."},
+        ...
+      ],
+      "clean": true
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:column: rule: message`` lines plus a summary."""
+    lines = [f"{finding.location()}: {finding.rule}: {finding.message}"
+             for finding in result.sorted_findings()]
+    summary = (f"{len(result.findings)} finding(s) in "
+               f"{result.files_checked} file(s)"
+               f" ({result.suppressed} suppressed)"
+               f" [rules: {', '.join(result.rules)}]")
+    if not result.findings:
+        summary = (f"clean: {result.files_checked} file(s), "
+                   f"{result.suppressed} suppression(s) in effect"
+                   f" [rules: {', '.join(result.rules)}]")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "root": result.root,
+        "rules": list(result.rules),
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [finding.to_dict()
+                     for finding in result.sorted_findings()],
+        "clean": not result.findings,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,130 @@
+"""File discovery and lint orchestration.
+
+:func:`lint_paths` walks the requested paths, parses each ``.py`` file
+once, runs the selected checkers, applies the file's suppression sheet and
+returns a :class:`LintResult`.  Exit-code semantics for CI live here too:
+``0`` clean, ``1`` unsuppressed findings, ``2`` internal/usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import Checker, Finding, LintConfig, ModuleSource
+from repro.analysis.registry import build_checkers, rule_names
+from repro.analysis.suppressions import parse_suppressions
+
+#: Rule id for files the parser rejects.
+PARSE_RULE = "parse-error"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rules: List[str] = field(default_factory=list)
+    root: str = "."
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.column, f.rule))
+
+
+def default_root() -> str:
+    """The repository root this package is checked out in.
+
+    Resolved from the package location (``src/repro/analysis`` → three
+    levels up) when that looks like a repo checkout, else the current
+    directory — so ``python -m repro lint`` works from any cwd in CI and
+    in tests.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidate = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    if os.path.isdir(os.path.join(candidate, "src", "repro")):
+        return candidate
+    return os.getcwd()
+
+
+def discover_files(paths: Sequence[str], root: str) -> List[str]:
+    """``.py`` files under ``paths`` (files or directories), sorted."""
+    found: List[str] = []
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            found.append(absolute)
+            continue
+        if not os.path.isdir(absolute):
+            # A typo'd path must not come back as a "clean: 0 file(s)" run.
+            raise FileNotFoundError(
+                f"lint path {path!r} does not exist under {root!r}")
+        for directory, _subdirectories, files in sorted(os.walk(absolute)):
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    found.append(os.path.join(directory, name))
+    return found
+
+
+def relative_path(path: str, root: str) -> str:
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    return relative.replace(os.sep, "/")
+
+
+def lint_file(path: str, checkers: Sequence[Checker],
+              config: LintConfig) -> tuple:
+    """Lint one file: returns ``(kept findings, suppressed count)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    relative = relative_path(path, config.root)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        finding = Finding(PARSE_RULE, relative, error.lineno or 1,
+                          (error.offset or 1) - 1,
+                          f"file does not parse: {error.msg}")
+        return [finding], 0
+    module = ModuleSource(relative, source, tree)
+    raw: List[Finding] = []
+    for checker in checkers:
+        raw.extend(checker.check(module, config))
+    sheet = parse_suppressions(relative, source, rule_names())
+    kept = [finding for finding in raw
+            if not sheet.covers(finding.rule, finding.line)]
+    kept.extend(sheet.errors)
+    return kept, len(raw) - (len(kept) - len(sheet.errors))
+
+
+def lint_paths(paths: Optional[Sequence[str]] = None,
+               rules: Optional[Sequence[str]] = None,
+               config: Optional[LintConfig] = None) -> LintResult:
+    """Run the selected rules over ``paths`` and return the result.
+
+    ``paths`` defaults to ``src/repro`` under the resolved repository root;
+    ``rules`` defaults to every registered rule.  Unknown rule names raise
+    ``KeyError`` (the CLI maps that to exit code 2).
+    """
+    if config is None:
+        config = LintConfig(root=default_root())
+    checkers = build_checkers(rules)
+    result = LintResult(rules=[checker.name for checker in checkers],
+                        root=config.root)
+    for path in discover_files(paths or ["src/repro"], config.root):
+        findings, suppressed = lint_file(path, checkers, config)
+        result.files_checked += 1
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+    result.findings = result.sorted_findings()
+    return result

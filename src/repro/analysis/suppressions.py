@@ -1,0 +1,137 @@
+"""Suppression comments: ``# repro: allow(<rule>): <justification>``.
+
+A suppression silences one rule at one location — it is a *blessing*, not
+an escape hatch, so the justification text is mandatory and a malformed or
+unknown-rule suppression is itself a lint error (rule ``suppression``).
+
+Syntax
+------
+``# repro: allow(<rule>): <justification>``
+    Same line as the violation, or a comment-only line directly above it.
+``# repro: allow-file(<rule>): <justification>``
+    Anywhere in the file; silences the rule for the whole file.
+
+Comments are found with :mod:`tokenize`, so ``repro: allow`` inside string
+literals and docstrings never parses as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.base import Finding
+
+#: Rule id carried by findings about the suppression comments themselves.
+SUPPRESSION_RULE = "suppression"
+
+_MARKER = re.compile(r"#\s*repro:\s*(.*)$")
+_ALLOW = re.compile(
+    r"^allow(?P<scope>-file)?\s*\(\s*(?P<rule>[A-Za-z0-9_-]*)\s*\)"
+    r"\s*(?::\s*(?P<why>.*))?$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    rule: str
+    line: int
+    file_wide: bool
+    justification: str
+    standalone: bool  # True when the comment is alone on its line
+
+
+class SuppressionSheet:
+    """Every suppression in one file, plus the errors found parsing them."""
+
+    def __init__(self, suppressions: List[Suppression],
+                 errors: List[Finding]) -> None:
+        self._file_wide: Set[str] = set()
+        self._by_line: Dict[Tuple[str, int], Suppression] = {}
+        self.errors = errors
+        for suppression in suppressions:
+            if suppression.file_wide:
+                self._file_wide.add(suppression.rule)
+            else:
+                self._by_line[(suppression.rule, suppression.line)] = \
+                    suppression
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is suppressed.
+
+        Same-line comments always count; a comment on the preceding line
+        counts only when it stands alone (a trailing comment on an
+        unrelated statement must not leak downward).
+        """
+        if rule in self._file_wide:
+            return True
+        if (rule, line) in self._by_line:
+            return True
+        above = self._by_line.get((rule, line - 1))
+        return above is not None and above.standalone
+
+
+def parse_suppressions(path: str, source: str,
+                       known_rules: Iterable[str]) -> SuppressionSheet:
+    """Parse every ``# repro:`` comment in ``source`` into a sheet.
+
+    ``known_rules`` is the full rule catalogue — a suppression naming an
+    unknown rule is reported as an error rather than silently ignored (a
+    typo must not disable nothing while looking like it disabled
+    something).
+    """
+    known = set(known_rules)
+    known.add(SUPPRESSION_RULE)
+    suppressions: List[Suppression] = []
+    errors: List[Finding] = []
+
+    def error(line: int, column: int, message: str) -> None:
+        errors.append(Finding(SUPPRESSION_RULE, path, line, column, message))
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        # The runner reports unparseable files through the parse step; the
+        # suppression pass just declines to guess.
+        return SuppressionSheet([], [])
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        marker = _MARKER.search(token.string)
+        if marker is None:
+            continue
+        line, column = token.start
+        body = marker.group(1).strip()
+        match = _ALLOW.match(body)
+        if match is None:
+            error(line, column,
+                  f"malformed suppression {token.string.strip()!r}; expected "
+                  "'# repro: allow(<rule>): <justification>'")
+            continue
+        rule = match.group("rule")
+        justification = (match.group("why") or "").strip()
+        if not rule:
+            error(line, column, "suppression names no rule; expected "
+                                "'allow(<rule>): <justification>'")
+            continue
+        if rule not in known:
+            error(line, column,
+                  f"suppression names unknown rule {rule!r} "
+                  f"(known: {', '.join(sorted(known))})")
+            continue
+        if not justification:
+            error(line, column,
+                  f"suppression of {rule!r} carries no justification; "
+                  "write '# repro: allow(" + rule + "): <why this is safe>'")
+            continue
+        standalone = token.line.strip().startswith("#")
+        suppressions.append(Suppression(
+            rule=rule, line=line,
+            file_wide=match.group("scope") == "-file",
+            justification=justification, standalone=standalone))
+    return SuppressionSheet(suppressions, errors)

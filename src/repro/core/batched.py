@@ -402,8 +402,9 @@ class StackedCausalFormerTrainer:
         for r in range(row, self._k):
             self._point_parameters_at_row(self._lanes[r].parameters, r)
         self._members_dirty = True
-        telemetry.event("lane_compacted", model=lane.index,
-                        epochs=lane.history.n_epochs, lanes=self._k)
+        if telemetry.enabled:
+            telemetry.event("lane_compacted", model=lane.index,
+                            epochs=lane.history.n_epochs, lanes=self._k)
 
     def _admit_lane(self, model, values, telemetry) -> None:
         """Occupy a freed lane with a queued model (continuous batching)."""
@@ -429,7 +430,8 @@ class StackedCausalFormerTrainer:
         self._lanes.append(lane)
         self._k = row + 1
         self._members_dirty = True
-        telemetry.event("lane_refilled", model=index, lanes=self._k)
+        if telemetry.enabled:
+            telemetry.event("lane_refilled", model=index, lanes=self._k)
 
     def _ensure_train_flat(self) -> None:
         """Concatenate the live lanes' training sets for the fused gather."""
@@ -470,16 +472,19 @@ class StackedCausalFormerTrainer:
         # at least as wide as the pool, otherwise over the batch axis.
         engine.parallel_model_axis = self._k >= get_engine_threads()
         telemetry = get_telemetry()
-        telemetry.gauge("engine.threads").set(get_engine_threads())
+        if telemetry.enabled:
+            telemetry.gauge("engine.threads").set(get_engine_threads())
         if telemetry.engine_profiling:
             engine.enable_profiling(profiling_hook(telemetry))
         else:
             engine.disable_profiling()
+        # repro: allow(telemetry-guard): handle fetched once per fit and set
         lanes_gauge = telemetry.gauge("scheduler.lanes_active")
         lanes_gauge.set(self._k)
         self._padded_lane_steps = 0
         self._total_lane_steps = 0
 
+        # repro: allow(telemetry-guard): fit-scoped span; null trace is free
         with telemetry.trace(
                 "train_fit_stacked", models=self._k,
                 capacity=self.capacity,
@@ -502,7 +507,9 @@ class StackedCausalFormerTrainer:
                         self._refresh_bindings()
                     lanes_gauge.set(self._k)
             fraction = self.padded_window_fraction
-            telemetry.gauge("scheduler.padded_window_fraction").set(fraction)
+            if telemetry.enabled:
+                telemetry.gauge(
+                    "scheduler.padded_window_fraction").set(fraction)
             fit_span.set(
                 models=len(self.models),
                 epochs=max(history.n_epochs for history in self.histories),
@@ -635,9 +642,10 @@ class StackedCausalFormerTrainer:
                 # retirement keeps its current weights, exactly what the
                 # sequential trainer's break leaves behind.
                 history.diverged = True
-                telemetry.event("train_diverged", model=lane.index,
-                                epoch=epoch, loss=epoch_loss,
-                                validation_loss=validation_loss)
+                if telemetry.enabled:
+                    telemetry.event("train_diverged", model=lane.index,
+                                    epoch=epoch, loss=epoch_loss,
+                                    validation_loss=validation_loss)
                 finished.append(row)
                 continue
             if validation_loss < history.best_validation_loss - config.min_delta:
@@ -650,9 +658,10 @@ class StackedCausalFormerTrainer:
                 lane.stale_epochs += 1
                 if lane.stale_epochs >= config.patience:
                     history.stopped_early = True
-                    telemetry.event("early_stop", model=lane.index,
-                                    epoch=epoch,
-                                    best_epoch=history.best_epoch)
+                    if telemetry.enabled:
+                        telemetry.event("early_stop", model=lane.index,
+                                        epoch=epoch,
+                                        best_epoch=history.best_epoch)
                     finished.append(row)
                     continue
             if lane.epoch >= config.max_epochs:

@@ -112,7 +112,8 @@ class Trainer:
         safe under threaded op execution.
         """
         telemetry = self._telemetry = verbose_telemetry(verbose)
-        telemetry.gauge("engine.threads").set(get_engine_threads())
+        if telemetry.enabled:
+            telemetry.gauge("engine.threads").set(get_engine_threads())
         if telemetry.engine_profiling:
             hook = profiling_hook(telemetry)
             for engine in (self._training, self._inference):
@@ -151,6 +152,7 @@ class Trainer:
         best_state = None
         epochs_without_improvement = 0
 
+        # repro: allow(telemetry-guard): fit-scoped span; null trace is free
         with telemetry.trace("train_fit", n_windows=windows.shape[0],
                              max_epochs=self.config.max_epochs,
                              seed=self.config.seed) as fit_span:
@@ -175,9 +177,10 @@ class Trainer:
                     # run, restoring the last finite best state below (if
                     # any).
                     self.history.diverged = True
-                    telemetry.event("train_diverged", epoch=epoch,
-                                    loss=epoch_loss,
-                                    validation_loss=validation_loss)
+                    if telemetry.enabled:
+                        telemetry.event("train_diverged", epoch=epoch,
+                                        loss=epoch_loss,
+                                        validation_loss=validation_loss)
                     break
 
                 if validation_loss < self.history.best_validation_loss - self.config.min_delta:
@@ -192,8 +195,10 @@ class Trainer:
                     epochs_without_improvement += 1
                     if epochs_without_improvement >= self.config.patience:
                         self.history.stopped_early = True
-                        telemetry.event("early_stop", epoch=epoch,
-                                        best_epoch=self.history.best_epoch)
+                        if telemetry.enabled:
+                            telemetry.event(
+                                "early_stop", epoch=epoch,
+                                best_epoch=self.history.best_epoch)
                         break
             fit_span.set(epochs=self.history.n_epochs,
                          best_epoch=self.history.best_epoch,

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import hot_path
 from .parallel import get_engine_threads, parallel_for, slice_axis
 
 
@@ -56,6 +57,7 @@ class ScratchSpace:
         self._buffers: Dict[str, np.ndarray] = {}
         self._views: Dict[str, np.ndarray] = {}
 
+    # repro: allow(dtype-purity): scratch default is the f64 reference dtype
     def take(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
         buffer = self._buffers.get(name)
         if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
@@ -96,6 +98,7 @@ class ScratchArena:
         self._buffers: Dict[tuple, np.ndarray] = {}
         self._spaces: Dict[tuple, ScratchSpace] = {}
 
+    # repro: allow(dtype-purity): scratch default is the f64 reference dtype
     def take(self, name: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
         key = (name, shape)
         buffer = self._buffers.get(key)
@@ -151,6 +154,7 @@ class InterpretationForward:
     extras: dict = field(default_factory=dict)
 
 
+@hot_path
 def max_last_keepdims(values: np.ndarray,
                       out: Optional[np.ndarray] = None) -> np.ndarray:
     """Last-axis max (keepdims) — chained over columns for short rows.
@@ -163,6 +167,7 @@ def max_last_keepdims(values: np.ndarray,
     """
     n = values.shape[-1]
     if out is None:
+        # repro: allow(hot-path-alloc): cold fallback; engines always pass out=
         out = np.empty(values.shape[:-1] + (1,), dtype=values.dtype)
     if 1 < n <= 16:
         flat = out[..., 0]
@@ -174,6 +179,7 @@ def max_last_keepdims(values: np.ndarray,
     return out
 
 
+@hot_path
 def sum_last_keepdims(values: np.ndarray,
                       out: Optional[np.ndarray] = None) -> np.ndarray:
     """Last-axis sum (keepdims) matching numpy's summation order bit for bit.
@@ -186,6 +192,7 @@ def sum_last_keepdims(values: np.ndarray,
     """
     n = values.shape[-1]
     if out is None:
+        # repro: allow(hot-path-alloc): cold fallback; engines always pass out=
         out = np.empty(values.shape[:-1] + (1,), dtype=values.dtype)
     if 1 < n < 8:
         flat = out[..., 0]
@@ -197,6 +204,7 @@ def sum_last_keepdims(values: np.ndarray,
     return out
 
 
+@hot_path
 def _leaky_slope(space: ScratchSpace, name: str, pre_activation: np.ndarray,
                  negative_slope: float) -> np.ndarray:
     """``np.where(x > 0, 1, negative_slope)`` without temporaries.
@@ -282,6 +290,7 @@ def profiling_hook(telemetry) -> Callable[[str, float], None]:
     def hook(op: str, seconds: float) -> None:
         histogram = cache.get(op)
         if histogram is None:
+            # repro: allow(telemetry-guard): cold path; resolved once, cached
             histogram = cache[op] = telemetry.histogram(
                 f"engine.{op}_seconds")
         histogram.observe(seconds)
@@ -419,6 +428,7 @@ class InferenceEngine(ProfilingSeam):
     # ------------------------------------------------------------------ #
     # Fused building blocks (fast-path operation order)
     # ------------------------------------------------------------------ #
+    @hot_path
     def _causal_windows(self, space: ScratchSpace, x: np.ndarray
                         ) -> Tuple[np.ndarray, np.ndarray]:
         """Left-zero-pad ``x`` and return ``(padded, windows_flat)``.
@@ -444,6 +454,7 @@ class InferenceEngine(ProfilingSeam):
         parallel_for(body, n, outputs=((target, 0),))
         return padded, flat
 
+    @hot_path
     def _convolution(self, space: ScratchSpace, x: np.ndarray, stage: dict,
                      legacy_layout: bool = False
                      ) -> Tuple[np.ndarray, np.ndarray]:
@@ -495,6 +506,7 @@ class InferenceEngine(ProfilingSeam):
             values[:, index, index, 0] = 0.0
         return values, flat
 
+    @hot_path
     def _attention_probs(self, space: ScratchSpace, x: np.ndarray, stage: dict,
                          keep_scores: bool = False
                          ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
@@ -545,6 +557,7 @@ class InferenceEngine(ProfilingSeam):
         self._softmax_inplace(space, probs)
         return probs, emb, scores
 
+    @hot_path
     def _softmax_inplace(self, space: ScratchSpace, probs: np.ndarray) -> None:
         """Tempered-softmax normalisation along the last axis, in place.
 
@@ -566,8 +579,10 @@ class InferenceEngine(ProfilingSeam):
             np.exp(rows, out=rows)
             rows /= sum_last_keepdims(rows, out=tot[lo:hi])
 
-        parallel_for(body, flat.shape[0], outputs=((flat, 0),))
+        parallel_for(body, flat.shape[0],
+                     outputs=((flat, 0), (ext, 0), (tot, 0)))
 
+    @hot_path
     def _combine_layout(self, space: ScratchSpace, probs: np.ndarray,
                         values: np.ndarray
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -606,6 +621,7 @@ class InferenceEngine(ProfilingSeam):
         stage = self._stage()
         return self._forward(x, stage)
 
+    @hot_path
     def _forward(self, x: np.ndarray, stage: dict) -> np.ndarray:
         batch, n, window = x.shape
         space = self.arena.space(("eval", x.shape, x.dtype.str))
@@ -656,6 +672,7 @@ class InferenceEngine(ProfilingSeam):
         """
         return _loss_penalty_terms(self.model, self.arena)
 
+    @hot_path
     def _windowed_diff(self, prediction: np.ndarray, target: np.ndarray,
                        start_slot: int = 1) -> np.ndarray:
         diff_shape = prediction.shape[:-1] + (prediction.shape[-1] - start_slot,)
@@ -752,6 +769,7 @@ class InferenceEngine(ProfilingSeam):
         """Numpy-in / numpy-out prediction (returns an owned copy)."""
         stage = self._stage()
         squeeze = np.ndim(windows) == 2
+        # repro: allow(dtype-purity): ingestion cast to the f64 reference
         batch = self._as_model_batch(np.asarray(windows, dtype=float))
         prediction = self._forward(batch, stage)
         return prediction[0].copy() if squeeze else prediction.copy()
@@ -832,6 +850,7 @@ class InferenceEngine(ProfilingSeam):
 
         # Pre-shift convolution values for relevance propagation (the cache
         # path recomputes them in float64 via einsum, independent of dtype).
+        # repro: allow(dtype-purity): relevance propagation is f64 by spec
         x64 = np.asarray(x, dtype=float)
         padded64 = arena.take("cache.pad64", (batch, n, 2 * window), np.float64)
         padded64[..., window:] = x64
@@ -1125,6 +1144,7 @@ class StackedInferenceEngine(ProfilingSeam):
     # ------------------------------------------------------------------ #
     # Fused building blocks (leading model axis, same per-slice ops)
     # ------------------------------------------------------------------ #
+    @hot_path
     def _causal_windows(self, space: ScratchSpace, x: np.ndarray
                         ) -> Tuple[np.ndarray, np.ndarray]:
         m, batch, n, window = x.shape
@@ -1146,6 +1166,7 @@ class StackedInferenceEngine(ProfilingSeam):
         parallel_for(body, target.shape[axis], outputs=((target, axis),))
         return padded, flat
 
+    @hot_path
     def _convolution(self, space: ScratchSpace, x: np.ndarray, stage: dict,
                      legacy_layout: bool = False
                      ) -> Tuple[np.ndarray, np.ndarray]:
@@ -1191,6 +1212,7 @@ class StackedInferenceEngine(ProfilingSeam):
             values[:, :, index, index, 0] = 0.0
         return values, flat
 
+    @hot_path
     def _softmax_inplace(self, space: ScratchSpace, probs: np.ndarray) -> None:
         # Row-wise normalisation over a contiguous arena buffer: flatten the
         # (model, head, batch) leading axes into one parallel axis — see the
@@ -1207,8 +1229,10 @@ class StackedInferenceEngine(ProfilingSeam):
             np.exp(rows, out=rows)
             rows /= sum_last_keepdims(rows, out=tot[lo:hi])
 
-        parallel_for(body, flat.shape[0], outputs=((flat, 0),))
+        parallel_for(body, flat.shape[0],
+                     outputs=((flat, 0), (ext, 0), (tot, 0)))
 
+    @hot_path
     def _attention_probs(self, space: ScratchSpace, x: np.ndarray, stage: dict
                          ) -> np.ndarray:
         m, batch, n, window = x.shape
@@ -1261,6 +1285,7 @@ class StackedInferenceEngine(ProfilingSeam):
         self._softmax_inplace(space, probs)
         return probs
 
+    @hot_path
     def _combine_layout(self, space: ScratchSpace, probs: np.ndarray,
                         values: np.ndarray
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -1291,6 +1316,7 @@ class StackedInferenceEngine(ProfilingSeam):
                               (head_outputs, axis)))
         return a_bihj, v_bijt, head_outputs
 
+    @hot_path
     def _forward(self, x: np.ndarray, stage: dict) -> np.ndarray:
         m, batch, n, window = x.shape
         space = self.arena.space(("stack.eval", x.shape, x.dtype.str))
@@ -1356,7 +1382,8 @@ class StackedInferenceEngine(ProfilingSeam):
             out2d[lo:hi] += b3[lo:hi, None, :]
 
         parallel_for(mlp_body, m,
-                     outputs=((hidden, 0), (ffn, 0), (out2d, 0), (slope, 0)))
+                     outputs=((hidden, 0), (ffn, 0), (out2d, 0), (slope, 0),
+                              (mask, 0)))
         return space.view("mlp.out.4d",
                           lambda: out2d.reshape(m, batch, n, window))
 
@@ -1388,6 +1415,7 @@ class StackedInferenceEngine(ProfilingSeam):
             batch[row] = arr
         return batch
 
+    @hot_path
     def _windowed_diff(self, prediction: np.ndarray, target: np.ndarray,
                        start_slot: int = 1) -> np.ndarray:
         diff_shape = prediction.shape[:-1] + (prediction.shape[-1] - start_slot,)
@@ -1536,6 +1564,7 @@ class StackedInferenceEngine(ProfilingSeam):
 
         arena = self.arena
         stage = self._stage()
+        # repro: allow(dtype-purity): ingestion cast to the f64 reference
         x = self._as_model_batch([np.asarray(w, dtype=float)
                                   for w in windows_list])
         m, batch, n, window = x.shape
@@ -1595,6 +1624,7 @@ class StackedInferenceEngine(ProfilingSeam):
         np.matmul(ffn_output, stage["w3"][:, None], out=prediction)
         prediction += stage["b3"][:, None, None, :]
 
+        # repro: allow(dtype-purity): relevance propagation is f64 by spec
         x64 = np.asarray(x, dtype=float)
         padded64 = arena.take("stack.cache.pad64", (m, batch, n, 2 * window),
                               np.float64)

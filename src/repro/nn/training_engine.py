@@ -88,11 +88,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.contracts import hot_path
 from repro.nn.inference import (InferenceEngine, ScratchArena, ScratchSpace,
                                 StackedInferenceEngine, sum_last_keepdims)
 from repro.nn.parallel import parallel_for, slice_axis
 
 
+@hot_path
 def _scaled_sign(destination: np.ndarray, source: np.ndarray,
                  coefficient: np.float64) -> None:
     """``destination = coefficient · sign(source)``, autograd-cast-exact.
@@ -126,7 +128,7 @@ class _SoloBackwardPlan:
         d_model = stage["embed_weight"].shape[-1]
         d_ffn = stage["w1"].shape[-1]
         bn = batch * n
-        f64 = np.float64
+        f64 = np.float64  # repro: allow(dtype-purity): grads are f64
 
         self.space = space
         self.grad_id: Optional[int] = None
@@ -361,13 +363,14 @@ class TrainingEngine(InferenceEngine):
     # ------------------------------------------------------------------ #
     # Hand-derived backward (transcribed autograd closures)
     # ------------------------------------------------------------------ #
+    @hot_path
     def _backward(self, space: ScratchSpace, stage: dict, x: np.ndarray,
                   diff: np.ndarray, views: Dict[str, np.ndarray]) -> None:
         p = self._backward_plan(space, stage, x, views)
         model = self.model
         config = model.config
         batch, n, window = x.shape
-        f64 = np.float64
+        f64 = np.float64  # repro: allow(dtype-purity): L1 signs are f64
         one = f64(1.0)
 
         # --- loss node: L1 signs (first accumulation into kernel/masks)
@@ -557,7 +560,7 @@ class _StackedBackwardPlan:
         d_ffn = stage["w1"].shape[-1]
         bn = batch * n
         dtype = engine.dtype
-        f64 = np.float64
+        f64 = np.float64  # repro: allow(dtype-purity): grads are f64
         cdtype = np.result_type(xb_dtype, stage["kernel_eff"].dtype)
         adtype = np.result_type(xb_dtype, stage["embed_weight"].dtype)
         sdtype = np.result_type(cdtype, stage["scale_array"].dtype)
@@ -859,6 +862,7 @@ class StackedTrainingEngine(StackedInferenceEngine):
     # ------------------------------------------------------------------ #
     # Hand-derived backward (stacked transcription, arena-buffered)
     # ------------------------------------------------------------------ #
+    @hot_path
     def _backward(self, space: ScratchSpace, stage: dict, xb: np.ndarray,
                   diff: np.ndarray) -> None:
         p = self._backward_plan(space, stage, xb)
@@ -866,7 +870,7 @@ class StackedTrainingEngine(StackedInferenceEngine):
         config = model.config
         m, batch, n, window = xb.shape
         bn = batch * n
-        f64 = np.float64
+        f64 = np.float64  # repro: allow(dtype-purity): L1 signs are f64
         one = f64(1.0)
 
         # --- loss node: L1 signs + windowed-MSE seed --------------------- #

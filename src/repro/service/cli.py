@@ -447,6 +447,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_report.add_argument("trace", help="path to the .jsonl trace file")
     trace_report.set_defaults(handler=_cmd_report)
 
+    from repro.analysis import cli as analysis_cli
+
+    lint = commands.add_parser(
+        "lint", help="statically check the engine invariants "
+                     "(arena allocation, dtype purity, parallel outputs, "
+                     "telemetry guards, no print)")
+    analysis_cli.add_arguments(lint)
+    lint.set_defaults(handler=analysis_cli.run)
+
     return parser
 
 

@@ -1,0 +1,32 @@
+"""Shared helpers for the static-analysis suite.
+
+``lint_source`` writes a fixture module under a temp root at a chosen
+repo-relative path (so the path-scoped rules see it as an engine module)
+and runs the selected rules over it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import CheckerConfig, LintConfig, lint_paths
+
+#: Path inside the scope of every path-scoped rule (dtype + telemetry).
+ENGINE_PATH = "src/repro/nn/inference.py"
+#: Path outside every scoped rule's module list and allowlist.
+PLAIN_PATH = "src/repro/data/synthetic.py"
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    def run(source, relative=ENGINE_PATH, rules=None, checkers=None):
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        config = LintConfig(root=str(tmp_path),
+                            checkers=checkers or CheckerConfig())
+        return lint_paths(paths=[relative], rules=rules, config=config)
+
+    return run

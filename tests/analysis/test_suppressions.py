@@ -1,0 +1,110 @@
+"""Suppression grammar: blessing syntax, scoping, and its own error modes."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import SUPPRESSION_RULE, parse_suppressions, rule_names
+
+
+def sheet(source):
+    return parse_suppressions("src/repro/x.py", textwrap.dedent(source),
+                              rule_names())
+
+
+class TestCoverage:
+    def test_same_line(self):
+        covered = sheet("""\
+            import numpy as np
+            x = np.zeros(3)  # repro: allow(hot-path-alloc): fixture
+            """)
+        assert covered.covers("hot-path-alloc", 2)
+        assert not covered.covers("hot-path-alloc", 1)
+        assert not covered.covers("dtype-purity", 2)
+        assert covered.errors == []
+
+    def test_standalone_preceding_line(self):
+        covered = sheet("""\
+            # repro: allow(no-print): fixture
+            print("hello")
+            """)
+        assert covered.covers("no-print", 2)
+
+    def test_trailing_comment_does_not_leak_downward(self):
+        # A suppression at the end of an unrelated statement must not bless
+        # the *next* line.
+        covered = sheet("""\
+            y = 1  # repro: allow(no-print): belongs to this line only
+            print("hello")
+            """)
+        assert covered.covers("no-print", 1)
+        assert not covered.covers("no-print", 2)
+
+    def test_file_wide(self):
+        covered = sheet("""\
+            # repro: allow-file(dtype-purity): generated reference tables
+            a = 1
+            b = 2
+            """)
+        assert covered.covers("dtype-purity", 1)
+        assert covered.covers("dtype-purity", 999)
+        assert not covered.covers("no-print", 2)
+
+    def test_string_literals_never_parse_as_suppressions(self):
+        covered = sheet("""\
+            text = "# repro: allow(no-print): inside a string"
+            print(text)
+            """)
+        assert not covered.covers("no-print", 1)
+        assert not covered.covers("no-print", 2)
+        assert covered.errors == []
+
+
+class TestSuppressionErrors:
+    def test_unknown_rule_is_an_error(self):
+        covered = sheet("""\
+            x = 1  # repro: allow(no-such-rule): typo
+            """)
+        assert len(covered.errors) == 1
+        error = covered.errors[0]
+        assert error.rule == SUPPRESSION_RULE
+        assert "unknown rule 'no-such-rule'" in error.message
+        assert not covered.covers("no-such-rule", 1)
+
+    def test_missing_justification_is_an_error(self):
+        for comment in ("# repro: allow(no-print)",
+                        "# repro: allow(no-print):",
+                        "# repro: allow(no-print):   "):
+            covered = sheet(f"x = 1  {comment}\n")
+            assert len(covered.errors) == 1, comment
+            assert "no justification" in covered.errors[0].message
+            assert not covered.covers("no-print", 1)
+
+    def test_malformed_marker_is_an_error(self):
+        covered = sheet("""\
+            x = 1  # repro: allow no-print because reasons
+            """)
+        assert len(covered.errors) == 1
+        assert "malformed suppression" in covered.errors[0].message
+
+    def test_empty_rule_is_an_error(self):
+        covered = sheet("""\
+            x = 1  # repro: allow(): why not
+            """)
+        assert len(covered.errors) == 1
+        assert "names no rule" in covered.errors[0].message
+
+    def test_plain_comments_are_ignored(self):
+        covered = sheet("""\
+            x = 1  # an ordinary comment mentioning repro the project
+            """)
+        assert covered.errors == []
+
+
+class TestErrorsSurfaceThroughLint(object):
+    def test_unknown_rule_suppression_is_a_finding(self, lint_source):
+        result = lint_source("""\
+            x = 1  # repro: allow(no-such-rule): typo
+            """)
+        assert [f.rule for f in result.findings] == [SUPPRESSION_RULE]
+        assert result.exit_code == 1

@@ -193,6 +193,19 @@ class TestDebugAudit:
         broadcast = np.broadcast_to(np.zeros(8), (4, 8))
         parallel_for(lambda lo, hi: None, 4, outputs=[(broadcast, 0)])
 
+    def test_softmax_reduction_buffers_pass_the_audit(self, debug_audit):
+        """The softmax bodies declare their max/sum buffers (``ext``/``tot``)
+        and the MLP body its slope mask — the audit must accept the full
+        declaration set while the threaded result stays bit-identical."""
+        config = make_config()
+        model = CausalityAwareTransformer(config)
+        windows = np.random.default_rng(7).normal(
+            size=(8, config.n_series, config.window))
+        serial = InferenceEngine(model).forward(windows).copy()
+        with engine_threads(3):
+            threaded = InferenceEngine(model).forward(windows)
+        assert np.array_equal(threaded, serial)
+
 
 # ---------------------------------------------------------------------- #
 # Engine bit-identity: threaded == serial, to the bit

@@ -316,17 +316,19 @@ class TestPrintLint:
         assert completed.returncode == 0, completed.stdout
 
     def test_print_calls_ignores_docstring_mentions(self, tmp_path):
-        import importlib.util
-
-        spec = importlib.util.spec_from_file_location(
-            "check_print", os.path.join(REPO_ROOT, "tools", "check_print.py"))
-        lint = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(lint)
+        # The check walks the AST (now as the ``no-print`` rule of
+        # repro.analysis, which tools/check_print.py shims onto), so a
+        # ``print`` mentioned in a docstring must not trip it.
+        from repro.analysis import LintConfig, lint_paths
 
         clean = tmp_path / "clean.py"
         clean.write_text('"""Example: print(x) shows x."""\nVALUE = 1\n')
-        assert lint.print_calls(str(clean)) == []
-
         dirty = tmp_path / "dirty.py"
         dirty.write_text('"""doc"""\n\ndef f(x):\n    print(x)\n')
-        assert [line for line, _col in lint.print_calls(str(dirty))] == [4]
+
+        config = LintConfig(root=str(tmp_path))
+        assert lint_paths(paths=["clean.py"], rules=["no-print"],
+                          config=config).findings == []
+        findings = lint_paths(paths=["dirty.py"], rules=["no-print"],
+                              config=config).findings
+        assert [finding.line for finding in findings] == [4]

@@ -1,80 +1,24 @@
 #!/usr/bin/env python
 """Lint: no ``print()`` calls in the library (``src/repro/``).
 
-Library code reports progress through the telemetry subsystem
-(:mod:`repro.telemetry`): events reach whatever sink the process configured
-(stderr, JSONL, in-memory), and ``verbose=True`` paths get a transient
-stderr runtime via ``verbose_telemetry``.  A stray ``print`` bypasses all
-of that — it can't be redirected to a trace file, silenced by a library
-consumer, or attributed to a span — so this check fails the build on any
-``print`` call outside the explicit allowlist below.
+Historical entry point, kept so existing hooks and muscle memory keep
+working.  The check itself moved into the static-analysis framework as the
+``no-print`` rule (:mod:`repro.analysis.checkers.no_print`); this shim
+runs exactly that rule and preserves the original exit semantics (0 clean,
+1 on violations, ``path:line`` per finding).
 
-The check walks the AST (not the raw text), so ``print`` mentioned in
-docstrings or comments — e.g. the doctest-style usage example in
-``repro/core/discovery.py`` — does not trip it.
-
-Usage: ``python tools/check_print.py`` (exit 1 on violations, listing
-``path:line`` for each).
+Prefer ``python -m repro lint`` — it runs the whole rule set.
 """
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
 
-#: repository root (one level up from tools/)
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
 
-#: the library tree the lint covers
-LIBRARY = os.path.join("src", "repro")
-
-#: modules allowed to print, relative to the repository root.  The CLI is
-#: the process's human interface — its subcommand output (tables, graphs,
-#: error messages) is the product, not diagnostics.
-ALLOWLIST = frozenset({
-    os.path.join("src", "repro", "service", "cli.py"),
-})
-
-
-def print_calls(path: str) -> list:
-    """``(line, column)`` of every ``print(...)`` call in the file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    tree = ast.parse(source, filename=path)
-    calls = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call) \
-                and isinstance(node.func, ast.Name) \
-                and node.func.id == "print":
-            calls.append((node.lineno, node.col_offset))
-    return calls
-
-
-def main() -> int:
-    violations = []
-    library_root = os.path.join(ROOT, LIBRARY)
-    for directory, _subdirs, files in sorted(os.walk(library_root)):
-        for name in sorted(files):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(directory, name)
-            relative = os.path.relpath(path, ROOT)
-            if relative in ALLOWLIST:
-                continue
-            for line, _column in print_calls(path):
-                violations.append(f"{relative}:{line}")
-    if violations:
-        print("print() calls found outside the allowlist "
-              "(route output through repro.telemetry instead):",
-              file=sys.stderr)
-        for violation in violations:
-            print(f"  {violation}", file=sys.stderr)
-        return 1
-    print(f"no stray print() calls under {LIBRARY} "
-          f"({len(ALLOWLIST)} allowlisted module(s))")
-    return 0
-
+from repro.analysis.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--rules", "no-print", "--root", ROOT]))

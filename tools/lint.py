@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Static analysis over the library tree — ``python tools/lint.py``.
+
+Standalone entry point for :mod:`repro.analysis`, equivalent to
+``python -m repro lint`` but importable without installing the package
+(it puts ``src/`` on ``sys.path`` itself).  Exit codes: 0 clean, 1
+unsuppressed findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
