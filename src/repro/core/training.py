@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.core.config import CausalFormerConfig
 from repro.core.transformer import CausalityAwareTransformer
 from repro.nn.inference import profiling_hook
@@ -42,10 +43,43 @@ class TrainingHistory:
     #: without this flag a diverged run would silently burn the whole
     #: patience window and hand back garbage weights with ``best_epoch == -1``.
     diverged: bool = False
+    #: the lane training this model raised mid-fit and was quarantined out
+    #: of its stacked fleet (see
+    #: :class:`repro.core.batched.StackedCausalFormerTrainer`); the history
+    #: covers only the epochs completed before the fault.
+    quarantined: bool = False
 
     @property
     def n_epochs(self) -> int:
         return len(self.train_loss)
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot (used by the fit checkpoints)."""
+        return {
+            "train_loss": list(self.train_loss),
+            "validation_loss": list(self.validation_loss),
+            "best_epoch": self.best_epoch,
+            "best_validation_loss": self.best_validation_loss,
+            "stopped_early": self.stopped_early,
+            "diverged": self.diverged,
+            "quarantined": self.quarantined,
+        }
+
+    def restore(self, payload: dict) -> "TrainingHistory":
+        """Overwrite this history in place from :meth:`to_dict` output.
+
+        In place (rather than a classmethod constructor) because trainers
+        and lanes hold references to the history object they report into —
+        a resumed fit must keep appending to the same object."""
+        self.train_loss = [float(value) for value in payload["train_loss"]]
+        self.validation_loss = [float(value)
+                                for value in payload["validation_loss"]]
+        self.best_epoch = int(payload["best_epoch"])
+        self.best_validation_loss = float(payload["best_validation_loss"])
+        self.stopped_early = bool(payload.get("stopped_early", False))
+        self.diverged = bool(payload.get("diverged", False))
+        self.quarantined = bool(payload.get("quarantined", False))
+        return self
 
 
 def losses_diverged(epoch_loss: float, validation_loss: float) -> bool:
@@ -138,8 +172,19 @@ class Trainer:
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
-    def fit(self, values: np.ndarray, verbose: bool = False) -> TrainingHistory:
-        """Train on an ``(N, T_total)`` array; returns the loss history."""
+    def fit(self, values: np.ndarray, verbose: bool = False,
+            checkpoint=None) -> TrainingHistory:
+        """Train on an ``(N, T_total)`` array; returns the loss history.
+
+        ``checkpoint`` (an optional
+        :class:`~repro.service.checkpoint.FitCheckpointer`) snapshots the
+        full optimisation state — weights, flat Adam buffers, RNG state and
+        the history bookkeeping — at its cadence; when it already holds a
+        snapshot for this fit, training resumes from the saved epoch and the
+        finished run is **bit-identical** to an uninterrupted one (every
+        array restores in place, the generator resumes from the exact saved
+        bit-generator state).  The snapshot is cleared on completion.
+        """
         telemetry = self._resolve_telemetry(verbose)
         rng = np.random.default_rng(self.config.seed)
         windows = self.make_windows(values)
@@ -151,12 +196,31 @@ class Trainer:
 
         best_state = None
         epochs_without_improvement = 0
+        start_epoch = 0
+        if checkpoint is not None:
+            state = checkpoint.load()
+            if state is not None:
+                try:
+                    start_epoch, best_state, epochs_without_improvement = \
+                        self._restore_fit_state(state, rng)
+                except (KeyError, TypeError, ValueError):
+                    # A snapshot from an incompatible config/architecture:
+                    # degrade to a fresh fit (validation happens before any
+                    # mutation, so nothing is half-restored).
+                    if telemetry.enabled:
+                        telemetry.counter("checkpoint.rejected").inc()
+                        telemetry.event("checkpoint_rejected",
+                                        key=checkpoint.key)
+                else:
+                    if telemetry.enabled:
+                        telemetry.event("fit_resumed", epoch=start_epoch,
+                                        key=checkpoint.key)
 
         # repro: allow(telemetry-guard): fit-scoped span; null trace is free
         with telemetry.trace("train_fit", n_windows=windows.shape[0],
                              max_epochs=self.config.max_epochs,
                              seed=self.config.seed) as fit_span:
-            for epoch in range(self.config.max_epochs):
+            for epoch in range(start_epoch, self.config.max_epochs):
                 epoch_loss = self._run_epoch(train_windows, rng)
                 self.history.train_loss.append(epoch_loss)
 
@@ -200,6 +264,11 @@ class Trainer:
                                 "early_stop", epoch=epoch,
                                 best_epoch=self.history.best_epoch)
                         break
+
+                if checkpoint is not None and checkpoint.due(epoch):
+                    checkpoint.save(self._fit_checkpoint_state(
+                        epoch + 1, rng, best_state,
+                        epochs_without_improvement))
             fit_span.set(epochs=self.history.n_epochs,
                          best_epoch=self.history.best_epoch,
                          stopped_early=self.history.stopped_early,
@@ -213,7 +282,95 @@ class Trainer:
             # every one of them from the restored weights.
             for parameter, saved in zip(self._parameters, best_state):
                 parameter.data[...] = saved
+        if checkpoint is not None:
+            # The fit finished — its resume point would only shadow the
+            # (cached/stored) result on a future identical run.
+            checkpoint.clear()
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint state (consumed by service.checkpoint.FitCheckpointer)
+    # ------------------------------------------------------------------ #
+    def _fit_checkpoint_state(self, next_epoch: int,
+                              rng: np.random.Generator,
+                              best_state, epochs_without_improvement: int):
+        """Snapshot everything epoch ``next_epoch`` needs to run as if the
+        preceding epochs had just happened in this process."""
+        arrays = {f"param_{i}": parameter.data.copy()
+                  for i, parameter in enumerate(self._parameters)}
+        adam = self.optimizer.state_dict()
+        arrays["adam_m"] = adam["m"]
+        arrays["adam_v"] = adam["v"]
+        if best_state is not None:
+            for i, saved in enumerate(best_state):
+                arrays[f"best_{i}"] = saved
+        meta = {
+            "kind": "solo_fit",
+            "seed": self.config.seed,
+            "dtype": str(np.dtype(self._parameters[0].data.dtype)),
+            "n_parameters": len(self._parameters),
+            "epoch": next_epoch,
+            "rng": rng.bit_generator.state,
+            "adam_step_count": adam["step_count"],
+            "epochs_without_improvement": epochs_without_improvement,
+            "has_best": best_state is not None,
+            "history": self.history.to_dict(),
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    def _restore_fit_state(self, state, rng: np.random.Generator):
+        """In-place restore of :meth:`_fit_checkpoint_state` output.
+
+        Validates *everything* (kind, seed, dtype, parameter count and
+        shapes, RNG family) before mutating anything, so a rejected
+        snapshot leaves the fresh fit untouched.  Raises ``KeyError`` /
+        ``TypeError`` / ``ValueError`` on mismatch.
+        """
+        meta = state["meta"]
+        arrays = state["arrays"]
+        if meta.get("kind") != "solo_fit":
+            raise ValueError("not a solo-fit checkpoint")
+        if int(meta["seed"]) != self.config.seed:
+            raise ValueError("checkpoint seed mismatch")
+        dtype = self._parameters[0].data.dtype
+        if meta.get("dtype") != str(np.dtype(dtype)):
+            raise ValueError("checkpoint dtype mismatch")
+        if int(meta["n_parameters"]) != len(self._parameters):
+            raise ValueError("checkpoint parameter count mismatch")
+        params = [np.asarray(arrays[f"param_{i}"])
+                  for i in range(len(self._parameters))]
+        for parameter, saved in zip(self._parameters, params):
+            if saved.shape != parameter.data.shape or saved.dtype != dtype:
+                raise ValueError("checkpoint parameter layout mismatch")
+        best_state = None
+        if meta.get("has_best"):
+            best_state = [np.asarray(arrays[f"best_{i}"]).copy()
+                          for i in range(len(self._parameters))]
+            for parameter, saved in zip(self._parameters, best_state):
+                if saved.shape != parameter.data.shape or saved.dtype != dtype:
+                    raise ValueError("checkpoint best-state layout mismatch")
+        rng_state = meta["rng"]
+        if not isinstance(rng_state, dict) or \
+                rng_state.get("bit_generator") != \
+                rng.bit_generator.state["bit_generator"]:
+            raise ValueError("checkpoint RNG family mismatch")
+        start_epoch = int(meta["epoch"])
+        if not 0 < start_epoch <= self.config.max_epochs:
+            raise ValueError("checkpoint epoch out of range")
+        history = dict(meta["history"])
+
+        # Validation passed — mutate in place (the fused Adam buffer, the
+        # shared engines and any stacked views stay bound to the restored
+        # storage, exactly like the best-state restore at fit end).
+        rng.bit_generator.state = rng_state
+        self.optimizer.load_state_dict({
+            "step_count": meta["adam_step_count"],
+            "m": arrays["adam_m"], "v": arrays["adam_v"]})
+        for parameter, saved in zip(self._parameters, params):
+            parameter.data[...] = saved
+        self.history.restore(history)
+        return (start_epoch, best_state,
+                int(meta["epochs_without_improvement"]))
 
     def _run_epoch(self, windows: np.ndarray, rng: np.random.Generator) -> float:
         """One shuffled pass over the training windows.
@@ -244,10 +401,11 @@ class Trainer:
         gather = arena.take("train.gather", (block_rows,) + tail_shape,
                             windows.dtype)
         losses = []
-        if not telemetry.enabled:
+        if not telemetry.enabled and not faults.active():
             # The instrumented loop below is identical but pays a
-            # perf_counter pair per step; this branch keeps the telemetry-off
-            # path at one attribute check per epoch.
+            # perf_counter pair and a fault seam per step; this branch keeps
+            # the telemetry-off, faults-off path at one attribute check per
+            # epoch.
             for block_start in range(0, len(order), block_rows):
                 block_index = order[block_start:block_start + block_rows]
                 block = gather[:len(block_index)]
@@ -256,6 +414,7 @@ class Trainer:
                     losses.append(
                         engine.train_step(block[start:start + batch_size]))
             return float(np.mean(losses)) if losses else float("nan")
+        # repro: allow(telemetry-guard): also reached with telemetry off when a fault plan is active; the null-runtime histogram is a no-op and chaos runs are not perf-sensitive
         histogram = telemetry.histogram("train.step_seconds")
         for block_start in range(0, len(order), block_rows):
             block_index = order[block_start:block_start + block_rows]
@@ -263,6 +422,7 @@ class Trainer:
             np.take(windows, block_index, axis=0, out=block)
             for start in range(0, len(block_index), batch_size):
                 batch = block[start:start + batch_size]
+                faults.fault_point("train_step")
                 step_start = time.perf_counter()
                 losses.append(engine.train_step(batch))
                 histogram.observe(time.perf_counter() - step_start)

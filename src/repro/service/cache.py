@@ -69,14 +69,27 @@ class ResultCache:
     # Read / write
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached payload, or ``None`` on a miss (or a corrupted entry)."""
+        """The cached payload, or ``None`` on a miss (or a corrupted entry).
+
+        Reads are paranoid: an entry that fails to parse, decode, or isn't a
+        JSON object is *evicted* (counted under ``cache.corrupt``) and
+        reported as a miss — a torn write or a flipped bit must never raise
+        mid-sweep, and must never be retried on every subsequent lookup.
+        """
         from repro.telemetry import get_telemetry
 
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except OSError:
+            self.misses += 1
+            get_telemetry().counter("cache.misses").inc()
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            self.evict(key, reason="unparseable")
             self.misses += 1
             get_telemetry().counter("cache.misses").inc()
             return None
@@ -84,19 +97,49 @@ class ResultCache:
         get_telemetry().counter("cache.hits").inc()
         return payload
 
+    def evict(self, key: str, reason: str = "corrupt") -> bool:
+        """Drop one entry (used on corruption); returns whether it existed."""
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+        telemetry.counter("cache.corrupt").inc()
+        if telemetry.enabled:
+            telemetry.event("cache_corrupt_entry", key=key, reason=reason)
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            return False
+        return True
+
     def put(self, key: str, payload: Dict[str, Any]) -> str:
-        """Atomically persist a payload; returns the entry's path."""
+        """Atomically persist a payload; returns the entry's path.
+
+        The entry is serialized up front, written to a same-directory
+        temporary file, flushed and fsynced, and only then renamed into
+        place — a crash at any point leaves either the old entry or a stray
+        ``.tmp`` file (pruned by :meth:`clear`), never a half-written entry.
+        """
+        from repro import faults
         from repro.telemetry import get_telemetry
 
         get_telemetry().counter("cache.writes").inc()
         path = self.path_for(key)
+        # default=str matches canonical_json: a config that hashed
+        # cleanly (e.g. numpy scalars) must also store cleanly.
+        text = json.dumps(payload, default=str)
+        spec = faults.fault_point("cache_write", key=key)
+        if spec is not None and spec.action == "corrupt":
+            # Simulate a torn write surviving to disk: the truncated entry
+            # still lands atomically, so the *read* path's paranoia is what
+            # the injected fault exercises.
+            text = text[:max(1, len(text) // 3)]
         os.makedirs(os.path.dirname(path), exist_ok=True)
         descriptor, temp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                # default=str matches canonical_json: a config that hashed
-                # cleanly (e.g. numpy scalars) must also store cleanly.
-                json.dump(payload, handle, default=str)
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_path, path)
         except BaseException:
             try:

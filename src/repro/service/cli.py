@@ -132,7 +132,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         seed=args.seed,
         delay_tolerance=args.delay_tolerance,
     )
-    executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args))
+    executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args),
+                           **_executor_kwargs(args))
     result = executor.run_one(job, dataset)
     run_path = _persist(args, [result], {"subcommand": "discover"})
 
@@ -186,7 +187,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     executor = JobExecutor(max_workers=args.workers, cache=_make_cache(args),
                            batch_jobs=args.batch_jobs,
                            bucket_slack=args.bucket_slack,
-                           max_lanes=args.max_lanes)
+                           max_lanes=args.max_lanes,
+                           **_executor_kwargs(args))
     results = executor.run(pairs)
     run_path = _persist(args, results, {"subcommand": "sweep", "metric": args.metric})
 
@@ -328,8 +330,44 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="slots of slack when scoring causal delays")
     parser.add_argument("--json", action="store_true",
                         help="print machine-readable JSON instead of text")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for jobs whose execution errors "
+                             "(worker deaths and timeouts always get one "
+                             "free retry)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="exponential backoff base between attempts, "
+                             "with deterministic jitter (default: "
+                             "%(default)s)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget under --workers > 1; "
+                             "overrunning workers are killed and the job "
+                             "retried")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="snapshot fit state here so retried/re-run jobs "
+                             "resume training bit-identically")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="N",
+                        help="save a fit snapshot every N epochs "
+                             "(default: %(default)s)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="deterministic fault-injection plan, e.g. "
+                             "'kill@dispatch=2,raise@train_step=7' "
+                             "(overrides REPRO_FAULTS; chaos testing only)")
     _add_engine_threads_flag(parser)
     _add_telemetry_flags(parser)
+
+
+def _executor_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Fault-tolerance knobs shared by the discover and sweep executors."""
+    return {
+        "retries": args.retries,
+        "retry_backoff": args.retry_backoff,
+        "job_timeout": args.job_timeout,
+        "checkpoint_dir": args.checkpoint_dir,
+        "checkpoint_every": args.checkpoint_every,
+    }
 
 
 def _add_engine_threads_flag(parser: argparse.ArgumentParser) -> None:
@@ -469,6 +507,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             set_engine_threads(engine_threads)
         except ValueError as error:
             raise SystemExit(f"error: {error}")
+    plan = getattr(args, "faults", None)
+    if plan is not None:
+        from repro import faults
+
+        try:
+            faults.configure(plan)
+        except faults.FaultSpecError as error:
+            raise SystemExit(f"error: {error}")
+    try:
+        return _run_with_telemetry(args)
+    finally:
+        if plan is not None:
+            from repro import faults
+
+            # Back to the REPRO_FAULTS-derived default for embedders that
+            # call main() repeatedly.
+            faults.reset()
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
     spec = getattr(args, "telemetry", None)
     profile = getattr(args, "profile_engines", False)
     if not spec and not profile:

@@ -17,18 +17,40 @@ packed into stacked training passes (:mod:`repro.service.batched`): each
 group runs as one unit — in-process or as a single pool task — with
 bit-identical results to per-job dispatch.
 
+Fault tolerance: pooled dispatch survives dying workers and wall-clock
+overruns.  A worker death breaks the whole ``ProcessPoolExecutor``
+(``BrokenProcessPool``); the executor hard-kills what is left of the pool,
+respawns it and resubmits — the failing unit with a counted attempt and
+exponential backoff (deterministic jitter, so retry schedules reproduce),
+abandoned innocent units for free.  A per-job ``job_timeout`` is enforced
+the same way: the overrunning worker is killed, the pool respawned, the
+unit retried.  A job that keeps failing exhausts its attempts and comes
+back as a *dead-letter* result (``JobResult.dead_letter``) carrying the
+last error, so one poisonous job can never wedge a sweep.  Jobs whose
+method supports it can additionally checkpoint their fit state
+(:mod:`repro.service.checkpoint`) keyed by cache key, so a retried job
+resumes training where the killed attempt left off — bit-identically.
+
 The worker entry point :func:`execute_job` is a module-level function (so the
 pool can pickle it by reference) and rebuilds the method inside the worker
 from the registry, so only plain data crosses the process boundary.
+:mod:`repro.faults` seams: ``dispatch`` counts pool submissions in the
+parent (a due ``kill`` travels to the worker as an explicit directive and
+exits it hard), ``job`` counts :func:`execute_job` calls (``delay`` /
+``raise``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.data.base import TimeSeriesDataset
 from repro.service.cache import ResultCache
 from repro.service.jobs import DiscoveryJob, JobResult
@@ -37,12 +59,32 @@ from repro.telemetry import capture, get_telemetry
 
 JobPair = Tuple[DiscoveryJob, TimeSeriesDataset]
 CacheLike = Union[None, str, ResultCache]
+#: checkpoint plumbing crosses the process boundary as plain data:
+#: ``(checkpoint directory, save cadence)``
+CheckpointSpec = Optional[Tuple[str, int]]
+
+
+def _apply_directives(directives) -> None:
+    """Honour parent-side fault directives inside a worker entry point.
+
+    The ``dispatch`` site counts in the *parent* (worker processes each
+    inherit their own counter copies), so a due ``kill`` travels with the
+    submission and the worker executes it here: a hard ``os._exit`` —
+    exactly what a segfault, OOM kill or machine loss looks like to the
+    ``ProcessPoolExecutor``.
+    """
+    if directives and directives.get("kill"):
+        import os
+
+        os._exit(faults.KILL_EXIT_CODE)
 
 
 def execute_job_with_dtype(job: DiscoveryJob, dataset: TimeSeriesDataset,
                            dtype: str,
                            collect_telemetry: bool = False,
-                           engine_threads: Optional[int] = None) -> JobResult:
+                           engine_threads: Optional[int] = None,
+                           checkpoint: CheckpointSpec = None,
+                           directives: Optional[dict] = None) -> JobResult:
     """Worker entry point: adopt the submitter's engine dtype, then run.
 
     The engine's default dtype is thread-local state, so a fresh pool worker
@@ -61,26 +103,53 @@ def execute_job_with_dtype(job: DiscoveryJob, dataset: TimeSeriesDataset,
     from repro.nn.parallel import set_engine_threads
     from repro.nn.tensor import set_default_dtype
 
+    _apply_directives(directives)
     set_default_dtype(dtype)
     if engine_threads is not None:
         set_engine_threads(engine_threads)
     if not collect_telemetry:
-        return execute_job(job, dataset)
+        return execute_job(job, dataset, checkpoint=checkpoint)
     with capture() as telemetry:
-        result = execute_job(job, dataset)
+        result = execute_job(job, dataset, checkpoint=checkpoint)
     result.telemetry = telemetry.export()
     return result
 
 
-def execute_job(job: DiscoveryJob, dataset: TimeSeriesDataset) -> JobResult:
+def _job_checkpointer(job: DiscoveryJob, method,
+                      checkpoint: CheckpointSpec):
+    """A :class:`FitCheckpointer` for this job, or ``None``.
+
+    Keyed by the job's cache key so a retried job (same spec, any process)
+    finds the snapshot its killed predecessor left behind.  Only methods
+    declaring ``supports_checkpoint`` are offered one — baselines take no
+    ``checkpoint`` argument.
+    """
+    if checkpoint is None or not getattr(method, "supports_checkpoint",
+                                         False):
+        return None
+    from repro.service.checkpoint import FitCheckpointer
+
+    directory, every = checkpoint
+    return FitCheckpointer(directory, key=job.cache_key(), every=every)
+
+
+def execute_job(job: DiscoveryJob, dataset: TimeSeriesDataset,
+                checkpoint: CheckpointSpec = None) -> JobResult:
     """Run one job to completion, capturing any exception into the result."""
     telemetry = get_telemetry()
     start = time.perf_counter()
     with telemetry.trace("job", job_id=job.job_id, method=job.method,
                          dataset=job.dataset, seed=job.seed) as span:
         try:
+            spec = faults.fault_point("job", job_id=job.job_id)
+            if spec is not None and spec.action == "delay":
+                time.sleep(spec.seconds)
             method = build_method(job.method, job.config, seed=job.seed)
-            graph = method.discover(dataset)
+            checkpointer = _job_checkpointer(job, method, checkpoint)
+            if checkpointer is not None:
+                graph = method.discover(dataset, checkpoint=checkpointer)
+            else:
+                graph = method.discover(dataset)
             scores = None
             if dataset.graph is not None:
                 from repro.graph.metrics import evaluate_discovery
@@ -126,6 +195,43 @@ def lookup_cached(cache: Optional[ResultCache],
     return result
 
 
+class _PoolUnit:
+    """One pooled submission — a stacked group or a single job — plus its
+    retry bookkeeping (attempts consumed, in-flight future, deadline)."""
+
+    __slots__ = ("members", "index", "job", "dataset", "attempts", "future",
+                 "deadline")
+
+    def __init__(self, members=None, index=None, job=None, dataset=None,
+                 attempts: int = 0) -> None:
+        self.members = members
+        self.index = index
+        self.job = job
+        self.dataset = dataset
+        self.attempts = attempts
+        self.future = None
+        self.deadline = None
+
+    @property
+    def is_group(self) -> bool:
+        return self.members is not None
+
+    def jobs(self):
+        """``(original index, job)`` pairs this unit answers for."""
+        if self.is_group:
+            return [(index, job) for index, (job, _ds) in self.members]
+        return [(self.index, self.job)]
+
+    @property
+    def first_job(self) -> DiscoveryJob:
+        return self.members[0][1][0] if self.is_group else self.job
+
+    @property
+    def key(self) -> str:
+        """Deterministic jitter seed: the (first) job's cache key."""
+        return self.first_job.cache_key()
+
+
 class JobExecutor:
     """Fan discovery jobs out over worker processes, through a result cache.
 
@@ -151,13 +257,39 @@ class JobExecutor:
         Cap on a stacked group's live lane count; the rest of the bucket
         queues and refills lanes freed by compaction.  ``None`` (default)
         trains each bucket at its full width.
+    retries:
+        Extra attempts for a job whose execution *errored* (its result
+        carries a traceback).  Independently of this, pool-level failures —
+        a dying worker, a timeout — always get at least one free retry:
+        infrastructure loss is not the job's fault.
+    retry_backoff:
+        Base of the exponential backoff between attempts, in seconds; the
+        actual delay is ``retry_backoff * 2**(attempt-1)`` scaled by a
+        *deterministic* jitter derived from the job's cache key, so retry
+        schedules reproduce run to run.  ``0`` disables waiting.
+    job_timeout:
+        Per-unit wall-clock budget in seconds for pooled dispatch.  A unit
+        still running past it has its workers hard-killed and is retried
+        (then dead-lettered).  Not enforceable on the inline path.
+    checkpoint_dir:
+        When set, jobs whose method declares ``supports_checkpoint``
+        snapshot their fit state here (keyed by cache key) every
+        ``checkpoint_every`` epochs, and a retried job resumes from the
+        last snapshot bit-identically.  Applies to per-job dispatch; a
+        stacked *group* is retried from scratch (its members' checkpoints
+        are per-job, not per-group).
     """
 
     def __init__(self, max_workers: Optional[int] = 1,
                  cache: CacheLike = None,
                  batch_jobs: bool = False,
                  bucket_slack: float = 0.0,
-                 max_lanes: Optional[int] = None) -> None:
+                 max_lanes: Optional[int] = None,
+                 retries: int = 0,
+                 retry_backoff: float = 0.5,
+                 job_timeout: Optional[float] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 1) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1 (or None for cpu_count)")
         if max_workers is None:
@@ -168,11 +300,30 @@ class JobExecutor:
             raise ValueError("bucket_slack must be non-negative")
         if max_lanes is not None and max_lanes < 1:
             raise ValueError("max_lanes must be at least 1 (or None)")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
         self.max_workers = max_workers
         self.cache = _coerce_cache(cache)
         self.batch_jobs = batch_jobs
         self.bucket_slack = bucket_slack
         self.max_lanes = max_lanes
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self.job_timeout = job_timeout
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = int(checkpoint_every)
+
+    @property
+    def _checkpoint_spec(self) -> CheckpointSpec:
+        if self.checkpoint_dir is None:
+            return None
+        return (self.checkpoint_dir, self.checkpoint_every)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -230,9 +381,7 @@ class JobExecutor:
         inline path also serves as the fallback when the pool cannot be
         created (e.g. sandboxes without working semaphores).
         """
-        from repro.service.batched import (execute_batched_jobs,
-                                           execute_batched_jobs_with_dtype,
-                                           group_batchable)
+        from repro.service.batched import execute_batched_jobs, group_batchable
 
         telemetry = get_telemetry()
         if self.batch_jobs:
@@ -250,47 +399,8 @@ class JobExecutor:
                         groups=len(groups), singles=len(singles),
                         pool=use_pool, workers=self.max_workers)
         if use_pool:
-            from repro.nn.parallel import get_engine_threads
-            from repro.nn.tensor import get_default_dtype
-
-            dtype = str(get_default_dtype())
-            collect = telemetry.enabled
-            engine_threads = get_engine_threads()
-            cache_dir = self.cache.directory if self.cache is not None else None
             try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    group_futures = [
-                        (members,
-                         pool.submit(execute_batched_jobs_with_dtype,
-                                     [pair for _idx, pair in members], dtype,
-                                     collect, engine_threads,
-                                     self.max_lanes, cache_dir))
-                        for members in groups]
-                    single_futures = [
-                        (index, job,
-                         pool.submit(execute_job_with_dtype, job, dataset,
-                                     dtype, collect, engine_threads))
-                        for index, (job, dataset) in singles]
-                    for members, future in group_futures:
-                        try:
-                            fresh = future.result()
-                        except Exception:
-                            # The worker died (or the result failed to
-                            # unpickle); degrade to per-job errors instead
-                            # of aborting the sweep.
-                            error = traceback.format_exc()
-                            fresh = [JobResult(job=job, error=error)
-                                     for _idx, (job, _ds) in members]
-                        for (index, _pair), result in zip(members, fresh):
-                            results[index] = self._absorb(result, telemetry)
-                    for index, job, future in single_futures:
-                        try:
-                            results[index] = self._absorb(future.result(),
-                                                          telemetry)
-                        except Exception:
-                            results[index] = JobResult(
-                                job=job, error=traceback.format_exc())
-                return results
+                return self._run_pool(groups, singles, telemetry)
             except (OSError, PermissionError):
                 # No usable multiprocessing primitives — run inline instead.
                 telemetry.counter("executor.pool_fallbacks").inc()
@@ -304,8 +414,263 @@ class JobExecutor:
             for (index, _pair), result in zip(members, fresh):
                 results[index] = result
         for index, (job, dataset) in singles:
-            results[index] = execute_job(job, dataset)
+            results[index] = self._run_inline_single(job, dataset, telemetry)
         return results
+
+    # ------------------------------------------------------------------ #
+    # Pooled dispatch with retry / timeout / dead-letter
+    # ------------------------------------------------------------------ #
+    def _run_pool(self, groups, singles, telemetry) -> dict:
+        """Round-based pooled dispatch that survives dying workers.
+
+        Each round submits every unfinished unit, then collects in order.
+        Any pool-level casualty (``BrokenProcessPool``, a timeout) poisons
+        the *whole* pool: the culprit's workers are hard-killed, the pool
+        respawned, the culprit retried with a counted attempt and backoff,
+        and every abandoned innocent unit resubmitted for free.  Error
+        results retry per ``self.retries`` (group members demote to solo
+        units first).  ``OSError``/``PermissionError`` propagate to the
+        caller's inline fallback; any other escape — ``KeyboardInterrupt``
+        included — kills the pool and flushes telemetry before re-raising,
+        so an interrupted sweep never leaks orphan workers.
+        """
+        from repro.nn.parallel import get_engine_threads
+        from repro.nn.tensor import get_default_dtype
+
+        dtype = str(get_default_dtype())
+        collect = telemetry.enabled
+        engine_threads = get_engine_threads()
+        cache_dir = self.cache.directory if self.cache is not None else None
+        # Pool-level failures get at least one free retry even at
+        # retries=0 — a dying worker is infrastructure loss, not evidence
+        # against the job.
+        pool_allowed = max(self.retries, 1) + 1
+        units = [_PoolUnit(members=members) for members in groups]
+        units += [_PoolUnit(index=index, job=job, dataset=dataset)
+                  for index, (job, dataset) in singles]
+        results: dict = {}
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        try:
+            queue = units
+            while queue:
+                round_units, queue = queue, []
+                delay = 0.0
+                for unit in round_units:
+                    self._submit_unit(pool, unit, dtype, collect,
+                                      engine_threads, cache_dir)
+                broken = False
+                for unit in round_units:
+                    if broken:
+                        # The pool died under an earlier unit; this one was
+                        # abandoned through no fault of its own — resubmit
+                        # without charging an attempt.
+                        queue.append(unit)
+                        continue
+                    try:
+                        if unit.deadline is not None:
+                            remaining = unit.deadline - time.monotonic()
+                            fresh = unit.future.result(
+                                timeout=max(remaining, 0.01))
+                        else:
+                            fresh = unit.future.result()
+                    except FuturesTimeout:
+                        unit.attempts += 1
+                        telemetry.counter("executor.timeouts").inc()
+                        telemetry.event("job_timeout",
+                                        job_id=unit.first_job.job_id,
+                                        attempt=unit.attempts,
+                                        timeout=self.job_timeout)
+                        pool = self._respawn(pool)
+                        broken = True
+                        if unit.attempts < pool_allowed:
+                            delay = max(delay, self._retry_delay(
+                                unit.key, unit.attempts))
+                            queue.append(unit)
+                        else:
+                            self._dead_letter(
+                                unit, results, telemetry,
+                                f"job exceeded its {self.job_timeout}s "
+                                f"wall-clock budget "
+                                f"(attempt {unit.attempts})")
+                        continue
+                    except BrokenProcessPool:
+                        unit.attempts += 1
+                        telemetry.counter("executor.retries").inc()
+                        telemetry.event("job_retry",
+                                        job_id=unit.first_job.job_id,
+                                        attempt=unit.attempts,
+                                        reason="worker_died")
+                        pool = self._respawn(pool)
+                        broken = True
+                        if unit.attempts < pool_allowed:
+                            delay = max(delay, self._retry_delay(
+                                unit.key, unit.attempts))
+                            queue.append(unit)
+                        else:
+                            self._dead_letter(
+                                unit, results, telemetry,
+                                f"worker process died "
+                                f"(attempt {unit.attempts})")
+                        continue
+                    except (OSError, PermissionError):
+                        raise
+                    except Exception:
+                        # The result failed to unpickle (or similar): the
+                        # pool itself is fine — degrade to per-job errors.
+                        unit.attempts += 1
+                        error = traceback.format_exc()
+                        for index, job in unit.jobs():
+                            results[index] = JobResult(
+                                job=job, error=error,
+                                attempts=unit.attempts)
+                        continue
+                    unit.attempts += 1
+                    delay = max(delay, self._accept(unit, fresh, results,
+                                                    queue, telemetry))
+                if delay > 0:
+                    time.sleep(delay)
+        except BaseException:
+            # KeyboardInterrupt, a propagating OSError, anything: never
+            # leak worker processes, never lose buffered telemetry.
+            self._kill_pool(pool)
+            telemetry.flush()
+            raise
+        pool.shutdown(wait=True)
+        return results
+
+    def _submit_unit(self, pool, unit, dtype, collect, engine_threads,
+                     cache_dir) -> None:
+        """Submit one unit; the ``dispatch`` fault site counts here."""
+        from repro.service.batched import execute_batched_jobs_with_dtype
+
+        directives = None
+        spec = faults.fault_point("dispatch", job_id=unit.first_job.job_id,
+                                  attempt=unit.attempts + 1)
+        if spec is not None:
+            if spec.action == "kill":
+                directives = {"kill": True}
+            elif spec.action == "delay":
+                time.sleep(spec.seconds)
+        if unit.is_group:
+            unit.future = pool.submit(
+                execute_batched_jobs_with_dtype,
+                [pair for _idx, pair in unit.members], dtype, collect,
+                engine_threads, self.max_lanes, cache_dir, directives)
+        else:
+            unit.future = pool.submit(
+                execute_job_with_dtype, unit.job, unit.dataset, dtype,
+                collect, engine_threads, self._checkpoint_spec, directives)
+        unit.deadline = (time.monotonic() + self.job_timeout
+                         if self.job_timeout is not None else None)
+
+    def _accept(self, unit, fresh, results: dict, queue: list,
+                telemetry) -> float:
+        """Fold a completed unit's results in; returns the backoff owed.
+
+        Error results retry when ``retries > 0``: a failing group member
+        demotes to a solo unit (its group-mates' results stand), a failing
+        single re-enqueues until its attempts run out, then keeps its last
+        error marked ``dead_letter``.
+        """
+        error_allowed = self.retries + 1
+        delay = 0.0
+        if unit.is_group:
+            items = [(index, pair[0], result) for (index, pair), result
+                     in zip(unit.members, fresh)]
+        else:
+            items = [(unit.index, unit.job, fresh)]
+        for index, job, result in items:
+            result = self._absorb(result, telemetry)
+            result.attempts = unit.attempts
+            if result.error and self.retries > 0 \
+                    and unit.attempts < error_allowed:
+                telemetry.counter("executor.retries").inc()
+                telemetry.event("job_retry", job_id=job.job_id,
+                                attempt=unit.attempts, reason="job_error")
+                dataset = (dict(unit.members)[index][1] if unit.is_group
+                           else unit.dataset)
+                queue.append(_PoolUnit(index=index, job=job, dataset=dataset,
+                                       attempts=unit.attempts))
+                delay = max(delay, self._retry_delay(job.cache_key(),
+                                                     unit.attempts))
+                continue
+            if result.error and self.retries > 0:
+                result.dead_letter = True
+                telemetry.counter("executor.dead_letters").inc()
+                telemetry.event("job_dead_letter", job_id=job.job_id,
+                                attempts=unit.attempts)
+            results[index] = result
+        return delay
+
+    def _dead_letter(self, unit, results: dict, telemetry,
+                     message: str) -> None:
+        """Give up on a unit: error results flagged ``dead_letter``."""
+        for index, job in unit.jobs():
+            telemetry.counter("executor.dead_letters").inc()
+            telemetry.event("job_dead_letter", job_id=job.job_id,
+                            attempts=unit.attempts)
+            results[index] = JobResult(job=job, error=message,
+                                       attempts=unit.attempts,
+                                       dead_letter=True)
+
+    def _run_inline_single(self, job: DiscoveryJob,
+                           dataset: TimeSeriesDataset,
+                           telemetry) -> JobResult:
+        """In-process execution with the same error-retry policy.
+
+        ``job_timeout`` is not enforceable here (there is no worker to
+        kill), and a hard crash takes the process with it — the inline
+        path trades isolation for working in pool-less sandboxes.
+        """
+        allowed = self.retries + 1
+        attempt = 0
+        while True:
+            attempt += 1
+            result = execute_job(job, dataset,
+                                 checkpoint=self._checkpoint_spec)
+            result.attempts = attempt
+            if not result.error or attempt >= allowed:
+                if result.error and self.retries > 0:
+                    result.dead_letter = True
+                    telemetry.counter("executor.dead_letters").inc()
+                    telemetry.event("job_dead_letter", job_id=job.job_id,
+                                    attempts=attempt)
+                return result
+            telemetry.counter("executor.retries").inc()
+            telemetry.event("job_retry", job_id=job.job_id, attempt=attempt,
+                            reason="job_error")
+            delay = self._retry_delay(job.cache_key(), attempt)
+            if delay > 0:
+                time.sleep(delay)
+
+    def _retry_delay(self, key: str, attempt: int) -> float:
+        """Exponential backoff with *deterministic* jitter.
+
+        The jitter derives from the job's cache key and the attempt number,
+        so two runs of the same sweep back off identically — randomness
+        would break the reproducibility contract chaos tests rely on.
+        """
+        if self.retry_backoff <= 0:
+            return 0.0
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        jitter = digest[0] / 255.0
+        return self.retry_backoff * (2.0 ** (attempt - 1)) * (0.5 + 0.5 * jitter)
+
+    def _respawn(self, pool) -> ProcessPoolExecutor:
+        """Hard-kill what is left of a poisoned pool and start a fresh one."""
+        self._kill_pool(pool)
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Kill every worker outright; cancel queued work; don't wait."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     @staticmethod
     def _absorb(result: JobResult, telemetry) -> JobResult:

@@ -157,6 +157,12 @@ class JobResult:
     #: process boundary for the parent executor to absorb.  Transient: the
     #: executor clears it after absorption and it is never cached.
     telemetry: Optional[Dict[str, Any]] = None
+    #: how many executions this result consumed (1 = no retries).  The
+    #: executor's retry/timeout recovery stamps it on the final result.
+    attempts: int = 1
+    #: the executor exhausted its retry budget on this job — the error is
+    #: final, not transient.  A dead-letter result is never cached.
+    dead_letter: bool = False
 
     @property
     def ok(self) -> bool:
@@ -179,6 +185,10 @@ class JobResult:
         }
         if self.lookup_duration is not None:
             payload["lookup_duration"] = self.lookup_duration
+        if self.attempts != 1:
+            payload["attempts"] = self.attempts
+        if self.dead_letter:
+            payload["dead_letter"] = True
         if self.graph is not None:
             payload["graph"] = self.graph.to_dict()
         if self.scores is not None:
@@ -225,4 +235,6 @@ class JobResult:
             duration=float(payload.get("duration", 0.0)),
             lookup_duration=(None if payload.get("lookup_duration") is None
                              else float(payload["lookup_duration"])),
+            attempts=int(payload.get("attempts", 1)),
+            dead_letter=bool(payload.get("dead_letter", False)),
         )

@@ -104,6 +104,40 @@ class TestExecutionIdentity:
         assert batched[4].job.method == "var_granger"
 
 
+class TestQuarantineRetry:
+    """A lane failing mid-fit degrades to a solo re-run of that one job
+    while the survivors' stacked results stand, bit-identical."""
+
+    def test_quarantined_lane_retries_solo(self, four_pairs):
+        from repro import faults
+        from repro.service.executor import execute_job
+
+        reference = [execute_job(job, data) for job, data in four_pairs]
+        with faults.override("raise@lane_step=4:lane=1"):
+            results = execute_batched_jobs(four_pairs)
+        assert len(results) == 4
+        assert all(result.ok for result in results), \
+            [result.error for result in results]
+        for result_a, result_b in zip(reference, results):
+            assert result_a.graph.to_dict() == result_b.graph.to_dict()
+            assert result_a.scores.f1 == result_b.scores.f1
+
+    def test_quarantine_emits_telemetry(self, four_pairs):
+        from repro import faults
+        from repro.telemetry import capture
+
+        with faults.override("raise@lane_step=4:lane=1"):
+            with capture() as telemetry:
+                results = execute_batched_jobs(four_pairs)
+        assert all(result.ok for result in results)
+        assert telemetry.counter("jobs.quarantined").value == 1.0
+        assert telemetry.counter("batched.quarantine_retries").value == 1.0
+        names = {record.get("name") for record in telemetry.records()
+                 if record.get("kind") == "event"}
+        assert "lane_quarantined" in names
+        assert "job_quarantine_retry" in names
+
+
 class TestFallback:
     def test_stacked_failure_falls_back_to_sequential(self, four_pairs,
                                                       monkeypatch):

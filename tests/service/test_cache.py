@@ -46,6 +46,48 @@ class TestRobustness:
             handle.write("{not json")
         assert cache.get(KEY) is None
 
+    def test_corrupted_entry_is_evicted_and_counted(self, cache):
+        from repro.telemetry import capture
+
+        path = cache.put(KEY, {"ok": True})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        with capture() as telemetry:
+            assert cache.get(KEY) is None
+        assert not os.path.exists(path)
+        assert telemetry.counter("cache.corrupt").value == 1.0
+        # the poisoned entry never resurfaces, and a rewrite heals it
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"ok": True})
+        assert cache.get(KEY) == {"ok": True}
+
+    def test_non_object_payload_is_evicted(self, cache):
+        path = cache.put(KEY, {"ok": True})
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps([1, 2, 3]))
+        assert cache.get(KEY) is None
+        assert not os.path.exists(path)
+
+    def test_injected_corrupt_write_degrades_to_miss(self, cache):
+        """The cache_write fault seam truncates the serialized entry; the
+        paranoid reader must treat it as a miss and evict it."""
+        from repro import faults
+
+        with faults.override("corrupt@cache_write=1"):
+            path = cache.put(KEY, {"payload": list(range(50))})
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(text)
+        assert cache.get(KEY) is None
+        assert not os.path.exists(path)
+
+    def test_writes_are_atomic_no_tmp_left_behind(self, cache):
+        cache.put(KEY, {"ok": True})
+        shard = os.path.dirname(cache.path_for(KEY))
+        assert [name for name in os.listdir(shard)
+                if name.endswith(".tmp")] == []
+
     def test_rejects_non_hex_keys(self, cache):
         with pytest.raises(ValueError):
             cache.path_for("../escape")

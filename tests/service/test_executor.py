@@ -153,3 +153,188 @@ class TestBatchedDtypePropagation:
                 .run(batchable_pairs)
         assert all(result.ok for result in pooled)
         assert _summaries(inline) == _summaries(pooled)
+
+
+CHAOS_CONFIG = {"window": 12, "d_model": 16, "d_qk": 16, "d_ffn": 16,
+                "n_heads": 2, "batch_size": 16, "window_stride": 2,
+                "max_epochs": 3, "patience": 1000, "max_detector_windows": 4}
+
+
+def _chaos_pairs(n=3, length=140):
+    from repro.service.jobs import DiscoveryJob as Job
+    from repro.service.jobs import fingerprint_dataset as fingerprint
+
+    pairs = []
+    for seed in range(n):
+        dataset = fork_dataset(seed=seed, length=length)
+        pairs.append((Job(method="causalformer", config=dict(CHAOS_CONFIG),
+                          dataset="fork",
+                          dataset_fingerprint=fingerprint(dataset),
+                          seed=seed), dataset))
+    return pairs
+
+
+def _graphs(results):
+    return [result.graph.to_dict() for result in results]
+
+
+class TestRetryPolicy:
+    """Deterministic fault injection exercising every recovery path."""
+
+    @pytest.fixture(scope="class")
+    def chaos_pairs(self):
+        return _chaos_pairs()
+
+    @pytest.fixture(scope="class")
+    def reference(self, chaos_pairs):
+        return JobExecutor(max_workers=1).run(chaos_pairs)
+
+    def test_killed_worker_breaks_pool_then_retry_succeeds(self, chaos_pairs,
+                                                           reference):
+        from repro import faults
+        from repro.telemetry import capture
+
+        with faults.override("kill@dispatch=2"):
+            with capture() as telemetry:
+                results = JobExecutor(max_workers=3,
+                                      retry_backoff=0.01).run(chaos_pairs)
+        assert all(result.ok for result in results)
+        assert _graphs(results) == _graphs(reference)
+        # exactly one unit paid an attempt; the innocents rode along free
+        assert sorted(result.attempts for result in results) == [1, 1, 2]
+        assert telemetry.counter("executor.retries").value == 1.0
+        events = [record for record in telemetry.records()
+                  if record.get("kind") == "event"
+                  and record.get("name") == "job_retry"]
+        assert events and events[0]["attrs"]["reason"] == "worker_died"
+
+    def test_inline_error_retry_recovers(self, chaos_pairs, reference):
+        from repro import faults
+
+        job, dataset = chaos_pairs[0]
+        with faults.override("raise@job=1"):
+            result = JobExecutor(max_workers=1, retries=1,
+                                 retry_backoff=0.0).run_one(job, dataset)
+        assert result.ok and result.attempts == 2
+        assert result.graph.to_dict() == reference[0].graph.to_dict()
+
+    def test_inline_without_retries_keeps_the_error(self, chaos_pairs):
+        from repro import faults
+
+        job, dataset = chaos_pairs[0]
+        with faults.override("raise@job=1"):
+            result = JobExecutor(max_workers=1).run_one(job, dataset)
+        assert not result.ok and result.attempts == 1
+        assert not result.dead_letter
+
+    def test_exhausted_retries_produce_a_dead_letter(self, chaos_pairs):
+        from repro import faults
+
+        job, dataset = chaos_pairs[0]
+        with faults.override("raise@job=1,raise@job=2"):
+            result = JobExecutor(max_workers=1, retries=1,
+                                 retry_backoff=0.0).run_one(job, dataset)
+        assert not result.ok
+        assert result.dead_letter and result.attempts == 2
+
+    def test_dead_letters_are_not_cached(self, chaos_pairs, tmp_path):
+        from repro import faults
+
+        job, dataset = chaos_pairs[0]
+        cache = ResultCache(tmp_path / "cache")
+        with faults.override("raise@job=1,raise@job=2"):
+            result = JobExecutor(max_workers=1, retries=1, retry_backoff=0.0,
+                                 cache=cache).run_one(job, dataset)
+        assert result.dead_letter
+        assert job.cache_key() not in cache
+        # the sweep heals on the next run
+        healed = JobExecutor(max_workers=1, cache=cache).run_one(job, dataset)
+        assert healed.ok
+
+    def test_timeout_kills_and_dead_letters(self, chaos_pairs):
+        """A stalled worker is hard-killed at the budget; because the
+        worker-side one-shot refires in every fresh process, the unit
+        exhausts its attempts and dead-letters instead of wedging."""
+        from repro import faults
+
+        with faults.override("delay@job=1:seconds=20"):
+            results = JobExecutor(max_workers=2, job_timeout=2.0,
+                                  retry_backoff=0.01).run(chaos_pairs[:2])
+        for result in results:
+            assert not result.ok
+            assert result.dead_letter and result.attempts == 2
+            assert "wall-clock" in result.error
+
+    def test_backoff_is_deterministic(self, chaos_pairs):
+        executor = JobExecutor(retry_backoff=0.5)
+        job, _dataset = chaos_pairs[0]
+        first = executor._retry_delay(job.cache_key(), 1)
+        assert first == executor._retry_delay(job.cache_key(), 1)
+        assert 0.25 <= first <= 0.5
+        # exponential growth attempt over attempt
+        assert executor._retry_delay(job.cache_key(), 3) >= 2 * first
+        assert JobExecutor(retry_backoff=0.0)._retry_delay("00", 1) == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            JobExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            JobExecutor(retry_backoff=-0.1)
+        with pytest.raises(ValueError):
+            JobExecutor(job_timeout=0)
+        with pytest.raises(ValueError):
+            JobExecutor(checkpoint_every=0)
+
+
+class TestChaosAcceptance:
+    """The PR's acceptance bar: sweeps under injected faults finish with
+    results bit-identical to fault-free runs, in float64 and float32."""
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_killed_worker_sweep_is_bit_identical(self, dtype):
+        import numpy as np
+
+        from repro import faults
+        from repro.nn.tensor import default_dtype
+
+        with default_dtype(np.dtype(dtype)):
+            pairs = _chaos_pairs()
+            reference = JobExecutor(max_workers=1).run(pairs)
+            with faults.override("kill@dispatch=2"):
+                survived = JobExecutor(max_workers=3,
+                                       retry_backoff=0.01).run(pairs)
+        assert all(result.ok for result in survived)
+        assert _graphs(survived) == _graphs(reference)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_training_crash_resumes_from_checkpoint_bit_identical(
+            self, tmp_path, dtype):
+        import numpy as np
+
+        from repro import faults
+        from repro.nn.tensor import default_dtype
+        from repro.telemetry import capture
+
+        with default_dtype(np.dtype(dtype)):
+            pairs = _chaos_pairs()
+            reference = JobExecutor(max_workers=1).run(pairs)
+            with faults.override("raise@train_step=12"):
+                with capture() as telemetry:
+                    survived = JobExecutor(
+                        max_workers=1, retries=1, retry_backoff=0.0,
+                        checkpoint_dir=str(tmp_path)).run(pairs)
+        assert all(result.ok for result in survived)
+        assert _graphs(survived) == _graphs(reference)
+        # exactly one job crashed mid-fit and was retried...
+        assert sorted(result.attempts for result in survived) == [1, 1, 2]
+        # ...resuming from its checkpoint rather than restarting
+        resumed = [record for record in telemetry.records()
+                   if record.get("kind") == "event"
+                   and record.get("name") == "fit_resumed"]
+        assert len(resumed) == 1
+        # completed fits leave no snapshots behind
+        import os
+
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.endswith(".ckpt.npz")]
+        assert leftovers == []

@@ -121,3 +121,16 @@ class TestJobResultRoundTrip:
         assert not restored.ok
         assert restored.error == result.error
         assert restored.metric("f1") is None
+
+    def test_retry_bookkeeping_round_trip(self):
+        result = JobResult(job=_job(), error="boom", attempts=3,
+                           dead_letter=True)
+        restored = JobResult.from_dict(result.to_dict())
+        assert restored.attempts == 3 and restored.dead_letter
+
+    def test_first_attempt_defaults_stay_out_of_the_payload(self):
+        result = JobResult(job=_job(), error="boom")
+        payload = result.to_dict()
+        assert "attempts" not in payload and "dead_letter" not in payload
+        restored = JobResult.from_dict(payload)
+        assert restored.attempts == 1 and not restored.dead_letter
